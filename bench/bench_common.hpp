@@ -1,0 +1,149 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: planning with the
+ * standard CPU budget, timed executions of the fused/unfused paths, and
+ * uniform table headers. Every bench prints the rows of its paper
+ * table/figure through AsciiTable so runs are diffable.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "exec/constraints.hpp"
+#include "exec/conv_chain_exec.hpp"
+#include "exec/gemm_chain_exec.hpp"
+#include "ir/workloads.hpp"
+#include "plan/planner.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace chimera::bench {
+
+/** Planner memory budget: most of the Xeon-class per-core L2. */
+inline constexpr double kCpuCapacityBytes = 768.0 * 1024;
+
+/** Timed repetitions per measurement (best-of). */
+inline constexpr int kRepeats = 3;
+
+/** Widest micro kernel available on this host. */
+inline const kernels::MicroKernel &
+hostKernel()
+{
+    return kernels::MicroKernelRegistry::instance().select(
+        detectSimdTier());
+}
+
+/** Plans a chain with the executor-aware CPU constraints. */
+inline plan::ExecutionPlan
+planCpu(const ir::Chain &chain,
+        double capacityBytes = kCpuCapacityBytes)
+{
+    plan::PlannerOptions options;
+    options.memCapacityBytes = capacityBytes;
+    options.constraints = exec::cpuChainConstraints(chain, hostKernel());
+    return plan::planChain(chain, options);
+}
+
+/** Holds the tensors of one GEMM-chain workload. */
+struct GemmChainData
+{
+    explicit GemmChainData(const ir::GemmChainConfig &cfg,
+                           std::uint64_t seed = 42)
+        : a(exec::gemmChainShapeA(cfg)), b(exec::gemmChainShapeB(cfg)),
+          d(exec::gemmChainShapeD(cfg)), e(exec::gemmChainShapeE(cfg)),
+          scratchC(exec::gemmChainShapeC(cfg))
+    {
+        Rng rng(seed);
+        fillUniform(a, rng);
+        fillUniform(b, rng);
+        fillUniform(d, rng);
+    }
+
+    Tensor a, b, d, e, scratchC;
+};
+
+/** Holds the tensors of one conv-chain workload. */
+struct ConvChainData
+{
+    explicit ConvChainData(const ir::ConvChainConfig &cfg,
+                           std::uint64_t seed = 42)
+        : input(exec::convChainShapeI(cfg)), w1(exec::convChainShapeW1(cfg)),
+          w2(exec::convChainShapeW2(cfg)),
+          output(exec::convChainShapeO(cfg)),
+          scratchT(exec::convChainShapeT(cfg))
+    {
+        Rng rng(seed);
+        fillUniform(input, rng);
+        fillUniform(w1, rng);
+        fillUniform(w2, rng);
+    }
+
+    Tensor input, w1, w2, output, scratchT;
+};
+
+/** Best-of timed fused GEMM chain run, seconds. */
+inline double
+timeFusedGemmChain(const ir::GemmChainConfig &cfg,
+                   const plan::ExecutionPlan &plan,
+                   const exec::ComputeEngine &engine, GemmChainData &data,
+                   int repeats = kRepeats)
+{
+    return bestOfSeconds(
+        [&] {
+            exec::runFusedGemmChain(cfg, plan, engine, data.a, data.b,
+                                    data.d, data.e);
+        },
+        repeats);
+}
+
+/** Best-of timed unfused GEMM chain run, seconds. */
+inline double
+timeUnfusedGemmChain(const ir::GemmChainConfig &cfg,
+                     const exec::ComputeEngine &engine, GemmChainData &data,
+                     const exec::GemmTiles &tiles1,
+                     const exec::GemmTiles &tiles2, int repeats = kRepeats)
+{
+    return bestOfSeconds(
+        [&] {
+            exec::runUnfusedGemmChain(cfg, engine, data.a, data.b, data.d,
+                                      data.scratchC, data.e, tiles1,
+                                      tiles2);
+        },
+        repeats);
+}
+
+/** Per-GEMM tiles solved analytically (the tuned-library proxy). */
+inline exec::GemmTiles
+solvedGemmTiles(std::int64_t batch, std::int64_t m, std::int64_t n,
+                std::int64_t k)
+{
+    const ir::Chain chain = ir::makeSingleGemm(batch, m, n, k);
+    const plan::ExecutionPlan plan = planCpu(chain);
+    exec::GemmTiles tiles;
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        const std::string &name =
+            chain.axes()[static_cast<std::size_t>(a)].name;
+        const std::int64_t tile =
+            plan.tiles[static_cast<std::size_t>(a)];
+        if (name == "m") {
+            tiles.tm = tile;
+        } else if (name == "n") {
+            tiles.tn = tile;
+        } else if (name == "k") {
+            tiles.tk = tile;
+        }
+    }
+    return tiles;
+}
+
+/** Prints a section header for a bench. */
+inline void
+printHeader(const std::string &title, const std::string &subtitle)
+{
+    std::printf("=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
+}
+
+} // namespace chimera::bench

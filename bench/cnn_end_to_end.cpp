@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Companion to Figure 9 for CNNs: a SqueezeNet-like backbone (stages
+ * are Table-V-style conv chains with ReLU) executed end to end with
+ * Chimera-fused stages vs the unfused library path. Measured wall-clock
+ * on the host CPU; outputs validated to agree first.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/cnn.hpp"
+#include "support/mathutil.hpp"
+
+int
+main()
+{
+    using namespace chimera;
+    using namespace chimera::bench;
+    bench::printHeader(
+        "End-to-end CNN — conv-chain stages fused vs unfused (measured)",
+        "SqueezeNet-like backbone variants; every stage is a conv chain "
+        "with fused ReLU.");
+
+    struct Variant
+    {
+        const char *name;
+        std::int64_t ic, hw;
+    };
+    const Variant variants[] = {
+        {"CNN-56", 8, 56},
+        {"CNN-112", 8, 112},
+        {"CNN-3ch-64", 3, 64},
+    };
+
+    AsciiTable table({"Network", "stages", "Unfused (ms)", "Chimera (ms)",
+                      "speedup"});
+    std::vector<double> speedups;
+    for (const Variant &variant : variants) {
+        graph::CnnConfig cfg = graph::squeezeNetLike();
+        cfg.name = variant.name;
+        cfg.inChannels = variant.ic;
+        cfg.height = variant.hw;
+        cfg.width = variant.hw;
+        const graph::CnnBackbone cnn(cfg, kCpuCapacityBytes);
+
+        Tensor input({cfg.batch, cfg.inChannels, cfg.height, cfg.width});
+        Rng rng(12);
+        fillUniform(input, rng);
+
+        const Tensor fusedOut =
+            cnn.forward(input, graph::ConvMode::FusedChimera);
+        const Tensor unfusedOut =
+            cnn.forward(input, graph::ConvMode::Unfused);
+        if (!allClose(fusedOut, unfusedOut, 5e-3f, 5e-3f)) {
+            std::printf("VALIDATION FAILED for %s\n", cfg.name.c_str());
+            return 1;
+        }
+
+        const double tFused = bestOfSeconds(
+            [&] {
+                (void)cnn.forward(input, graph::ConvMode::FusedChimera);
+            },
+            kRepeats);
+        const double tUnfused = bestOfSeconds(
+            [&] { (void)cnn.forward(input, graph::ConvMode::Unfused); },
+            kRepeats);
+        speedups.push_back(tUnfused / tFused);
+        table.addRow({cfg.name, std::to_string(cfg.stages.size()),
+                      AsciiTable::num(tUnfused * 1e3, 2),
+                      AsciiTable::num(tFused * 1e3, 2),
+                      AsciiTable::num(tUnfused / tFused, 2) + "x"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("geomean end-to-end speedup %.2fx (single-core fp32 conv "
+                "chains are compute-bound; see EXPERIMENTS.md).\n",
+                geometricMean(speedups));
+    return 0;
+}

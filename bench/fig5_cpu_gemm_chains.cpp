@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 5a/5b reproduction (CPU): batch GEMM chain fusion, without and
+ * with the softmax intermediate, on the Table IV workloads G1-G12.
+ *
+ * Baseline mapping (DESIGN.md §2):
+ *  - "Relay"   -> unfused, scalar micro kernel, fixed tiles
+ *                 (template-grade per-op kernels, no tuning);
+ *  - "PyTorch" -> unfused, best micro kernel, fixed 64^3 tiles
+ *                 (library-grade per-op kernels, no chain fusion);
+ *  - "Ansor"   -> unfused, best micro kernel, analytically solved
+ *                 per-GEMM tiles (well-tuned per-op schedules);
+ *  - "Chimera" -> fused, planner-chosen order and tiles.
+ *
+ * Every row is validated against the naive oracle before timing.
+ * Speedups are normalized to the PyTorch proxy as in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "support/mathutil.hpp"
+
+namespace chimera::bench {
+namespace {
+
+void
+runFamily(ir::Epilogue epilogue, const char *title)
+{
+    const exec::ComputeEngine best = exec::ComputeEngine::best();
+    const exec::ComputeEngine scalar = exec::ComputeEngine::scalar();
+
+    AsciiTable table({"Chain", "Relay (ms)", "PyTorch (ms)", "Ansor (ms)",
+                      "Chimera (ms)", "order", "vs PyTorch", "vs Ansor"});
+    std::vector<double> speedupsPt;
+    std::vector<double> speedupsAnsor;
+    for (const auto &load : ir::tableIvWorkloads()) {
+        ir::GemmChainConfig cfg = load.config;
+        cfg.epilogue = epilogue;
+        const ir::Chain chain = ir::makeGemmChain(cfg);
+        const plan::ExecutionPlan plan = planCpu(chain);
+        GemmChainData data(cfg);
+
+        // Correctness gate: fused output must match the oracle.
+        Tensor expected(exec::gemmChainShapeE(cfg));
+        exec::referenceGemmChain(cfg, data.a, data.b, data.d, expected);
+        exec::runFusedGemmChain(cfg, plan, best, data.a, data.b, data.d,
+                                data.e);
+        if (!allClose(data.e, expected, 5e-3f, 5e-3f)) {
+            std::printf("VALIDATION FAILED for %s\n", cfg.name.c_str());
+            return;
+        }
+
+        const exec::GemmTiles fixed{64, 64, 64};
+        const exec::GemmTiles tuned1 =
+            solvedGemmTiles(cfg.batch, cfg.m, cfg.l, cfg.k);
+        const exec::GemmTiles tuned2 =
+            solvedGemmTiles(cfg.batch, cfg.m, cfg.n, cfg.l);
+
+        const double tRelay =
+            timeUnfusedGemmChain(cfg, scalar, data, fixed, fixed);
+        const double tPytorch =
+            timeUnfusedGemmChain(cfg, best, data, fixed, fixed);
+        const double tAnsor =
+            timeUnfusedGemmChain(cfg, best, data, tuned1, tuned2);
+        const double tChimera =
+            timeFusedGemmChain(cfg, plan, best, data);
+
+        speedupsPt.push_back(tPytorch / tChimera);
+        speedupsAnsor.push_back(tAnsor / tChimera);
+        table.addRow({cfg.name, AsciiTable::num(tRelay * 1e3, 2),
+                      AsciiTable::num(tPytorch * 1e3, 2),
+                      AsciiTable::num(tAnsor * 1e3, 2),
+                      AsciiTable::num(tChimera * 1e3, 2),
+                      plan::orderString(chain, plan.perm),
+                      AsciiTable::num(tPytorch / tChimera, 2) + "x",
+                      AsciiTable::num(tAnsor / tChimera, 2) + "x"});
+    }
+    std::printf("--- %s ---\n%s", title, table.render().c_str());
+    std::printf("geomean speedup vs PyTorch proxy: %.2fx, vs Ansor proxy:"
+                " %.2fx\n\n",
+                geometricMean(speedupsPt), geometricMean(speedupsAnsor));
+}
+
+} // namespace
+} // namespace chimera::bench
+
+int
+main()
+{
+    using namespace chimera;
+    bench::printHeader(
+        "Figure 5a/5b — CPU batch GEMM chain fusion (measured)",
+        "Single-core AVX-512 fp32; note the substrate's compute/bandwidth"
+        " balance (~6 Flop/byte) is far below the paper's 18-core fp16"
+        " Xeon (92 Flop/byte), which compresses memory-bound gaps"
+        " (see EXPERIMENTS.md).");
+    bench::runFamily(ir::Epilogue::None,
+                     "Figure 5a: BGEMM + BGEMM");
+    bench::runFamily(ir::Epilogue::Softmax,
+                     "Figure 5b: BGEMM + softmax + BGEMM");
+    return 0;
+}

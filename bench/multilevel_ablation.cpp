@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation of the multi-level extension (§IV-C) on the Xeon-like
+ * hierarchy. Single-level planning must pick one capacity to respect:
+ * planning for L1 keeps the near traffic low but floods DRAM (small
+ * blocks reload inputs), planning for L3 minimizes DRAM but floods L1
+ * (blocks far larger than the near cache). Nested per-level planning
+ * (Eq. 3) satisfies every capacity at once and its pipeline bound
+ * dominates both single-level choices.
+ *
+ * Model bounds come from Eq. 3; the traffic columns replay each
+ * single-level schedule's block walk in the LRU cache simulator.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cachesim/gemm_trace.hpp"
+#include "hw/machines.hpp"
+#include "support/mathutil.hpp"
+#include "support/str.hpp"
+
+namespace chimera::bench {
+namespace {
+
+/** Eq.-3 cost of one tile vector replicated across all levels. */
+model::MultiLevelCost
+flatCost(const ir::Chain &chain, const model::MachineModel &machine,
+         const plan::ExecutionPlan &plan)
+{
+    std::vector<model::LevelSchedule> schedules(machine.levels.size());
+    for (auto &schedule : schedules) {
+        schedule.perm = plan.perm;
+        schedule.tiles = plan.tiles;
+    }
+    return model::evaluateMultiLevel(chain, machine, schedules);
+}
+
+} // namespace
+} // namespace chimera::bench
+
+int
+main()
+{
+    using namespace chimera;
+    using namespace chimera::bench;
+    bench::printHeader(
+        "§IV-C ablation — single-level vs nested multi-level planning",
+        "Machine: Xeon-like L1/L2/L3. 'for-L1'/'for-L3' are single-level "
+        "plans solved at that capacity and used everywhere; bounds from "
+        "Eq. 3 (infeasible levels make a bound fictitious and are "
+        "flagged); traffic from the LRU simulator.");
+
+    model::MachineModel machine = hw::cascadeLakeCpu();
+    const auto caches = cachesim::xeonLikeCaches();
+
+    AsciiTable table({"Chain", "for-L1 bound (us)", "for-L3 bound (us)",
+                      "for-L3 fits L1?", "nested bound (us)",
+                      "for-L1 DRAM", "nested-inner DRAM"});
+    std::vector<double> gainsVsL1;
+    for (std::size_t i : {0u, 3u, 6u, 9u, 11u}) {
+        const ir::GemmChainConfig cfg = ir::tableIvWorkloads()[i].config;
+        const ir::Chain chain = ir::makeGemmChain(cfg);
+
+        plan::PlannerOptions options;
+        options.constraints = plan::alphaConstraints(chain, 16);
+
+        options.memCapacityBytes =
+            0.75 * machine.levels.front().capacityBytes;
+        const plan::ExecutionPlan forL1 = plan::planChain(chain, options);
+        options.memCapacityBytes = machine.levels.back().capacityBytes;
+        const plan::ExecutionPlan forL3 = plan::planChain(chain, options);
+        const plan::MultiLevelPlan nested =
+            plan::planChainMultiLevel(chain, machine, options);
+
+        const model::MultiLevelCost costL1 =
+            flatCost(chain, machine, forL1);
+        const model::MultiLevelCost costL3 =
+            flatCost(chain, machine, forL3);
+
+        plan::ExecutionPlan nestedInner;
+        nestedInner.perm = nested.levels.front().perm;
+        nestedInner.tiles = nested.levels.front().tiles;
+        const auto traceL1 =
+            cachesim::traceFusedGemmChain(cfg, forL1, caches);
+        const auto traceNested =
+            cachesim::traceFusedGemmChain(cfg, nestedInner, caches);
+
+        gainsVsL1.push_back(costL1.boundSeconds /
+                            nested.cost.boundSeconds);
+        table.addRow(
+            {cfg.name, AsciiTable::num(costL1.boundSeconds * 1e6, 2),
+             AsciiTable::num(costL3.boundSeconds * 1e6, 2),
+             costL3.feasible ? "yes" : "no (fictitious)",
+             AsciiTable::num(nested.cost.boundSeconds * 1e6, 2),
+             formatBytes(traceL1.dramBytes),
+             formatBytes(traceNested.dramBytes)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "geomean: nested planning improves the honest (for-L1) bound "
+        "%.2fx at equal simulated DRAM traffic; the for-L3 plan's lower "
+        "bound is unachievable because it violates the L1/L2 "
+        "capacities.\n",
+        geometricMean(gainsVsL1));
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Table I reproduction: (a) execution-time breakdown of Transformer /
+ * Bert-Base / ViT into memory-intensive ops (%MI), compute-intensive
+ * ops excluding attention batch GEMMs (%CI), and the memory-bound
+ * attention batch GEMMs (%BMM); (b) the compute/memory characteristics
+ * of the three accelerators.
+ *
+ * The breakdown is derived analytically: each operator of the encoder
+ * stack is costed with the roofline of the A100-like machine model
+ * (max of compute time and DRAM time at fp16), which is exactly the
+ * regime the paper measures.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/transformer.hpp"
+#include "hw/machines.hpp"
+#include "support/str.hpp"
+
+namespace chimera {
+namespace {
+
+struct OpCost
+{
+    double miSeconds = 0.0; ///< memory-intensive operators
+    double ciSeconds = 0.0; ///< compute-intensive ops except BMM
+    double bmmSeconds = 0.0; ///< attention batch GEMMs
+};
+
+/** Roofline time for an operator: max(compute, DRAM traffic). */
+double
+opSeconds(const model::MachineModel &machine, double flops, double bytes)
+{
+    const double compute =
+        flops / (machine.peakFlops * machine.computeEfficiency);
+    const double memory =
+        bytes / machine.levels.back().bandwidthBytesPerSec;
+    return std::max(compute, memory);
+}
+
+OpCost
+encoderCost(const graph::EncoderConfig &cfg,
+            const model::MachineModel &machine)
+{
+    const double seq = static_cast<double>(cfg.seqLen);
+    const double d = static_cast<double>(cfg.modelDim());
+    const double ff = static_cast<double>(cfg.ffDim);
+    const double heads = static_cast<double>(cfg.heads);
+    const double hd = static_cast<double>(cfg.headDim);
+    constexpr double e = 2.0; // fp16 bytes
+
+    OpCost cost;
+    // Dense projections Q, K, V, O: compute-intensive.
+    cost.ciSeconds +=
+        4.0 * opSeconds(machine, 2.0 * seq * d * d,
+                        e * (seq * d + d * d + seq * d));
+    // Feed-forward GEMMs.
+    cost.ciSeconds += opSeconds(machine, 2.0 * seq * d * ff,
+                                e * (seq * d + d * ff + seq * ff));
+    cost.ciSeconds += opSeconds(machine, 2.0 * seq * ff * d,
+                                e * (seq * ff + ff * d + seq * d));
+    // Attention batch GEMMs (QK^T and PV): memory-bound BMM.
+    cost.bmmSeconds += opSeconds(
+        machine, 2.0 * heads * seq * seq * hd,
+        e * heads * (seq * hd + hd * seq + seq * seq));
+    cost.bmmSeconds += opSeconds(
+        machine, 2.0 * heads * seq * seq * hd,
+        e * heads * (seq * seq + seq * hd + seq * hd));
+    // Memory-intensive: softmax, 2x layernorm, GELU, 2x residual add,
+    // bias adds — costed by bytes touched (read+write).
+    const double miBytes =
+        e * (3.0 * heads * seq * seq // softmax (exp, sum, div passes)
+             + 2.0 * 2.0 * seq * d // layer norms
+             + 2.0 * seq * ff // GELU
+             + 2.0 * 2.0 * seq * d // residuals
+             + seq * ff + seq * d); // bias adds
+    cost.miSeconds +=
+        miBytes / machine.levels.back().bandwidthBytesPerSec;
+    return cost;
+}
+
+} // namespace
+} // namespace chimera
+
+int
+main()
+{
+    using namespace chimera;
+    bench::printHeader(
+        "Table I — ML model breakdown and accelerator balance",
+        "Breakdown from the roofline-costed encoder stack on the "
+        "A100-like machine model (fp16, sequence length 512).");
+
+    AsciiTable breakdown({"Model", "%MI", "%CI", "%BMM"});
+    const graph::EncoderConfig models[] = {
+        graph::transformerSmall(),
+        graph::bertBase(),
+        // ViT-Huge: 16 heads x 80 head dim, 256 tokens (patch 14).
+        [] {
+            graph::EncoderConfig cfg;
+            cfg.name = "ViT-Huge";
+            cfg.seqLen = 256;
+            cfg.heads = 16;
+            cfg.headDim = 80;
+            cfg.ffDim = 4 * 16 * 80;
+            return cfg;
+        }(),
+    };
+    const model::MachineModel gpu = hw::a100Gpu();
+    for (const auto &cfg : models) {
+        const auto cost = encoderCost(cfg, gpu);
+        const double total =
+            cost.miSeconds + cost.ciSeconds + cost.bmmSeconds;
+        breakdown.addRow({cfg.name,
+                          AsciiTable::num(100.0 * cost.miSeconds / total,
+                                          2) + "%",
+                          AsciiTable::num(100.0 * cost.ciSeconds / total,
+                                          2) + "%",
+                          AsciiTable::num(100.0 * cost.bmmSeconds / total,
+                                          2) + "%"});
+    }
+    std::printf("%s\n", breakdown.render().c_str());
+
+    AsciiTable machines(
+        {"Device", "Peak Perf.", "Memory BW.", "Peak Perf/BW"});
+    for (const auto &machine :
+         {hw::cascadeLakeCpu(), hw::a100Gpu(), hw::ascend910Npu()}) {
+        machines.addRow(
+            {machine.name,
+             AsciiTable::num(machine.peakFlops / 1e12, 0) + " TFlops",
+             AsciiTable::num(
+                 machine.levels.back().bandwidthBytesPerSec / 1e9, 0) +
+                 " GB/s",
+             AsciiTable::num(hw::machineBalance(machine), 0) +
+                 " Flop/byte"});
+    }
+    std::printf("%s\n", machines.render().c_str());
+    std::printf("Paper reference: %%BMM 26.65%%-40.04%%; balances 92 / 200"
+                " / 267 Flop/byte.\n");
+    return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduces the full evaluation: configure, build, run the test suite,
+# then run every bench binary (one per paper table/figure) capturing the
+# output next to the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        echo "##### $b" | tee -a bench_output.txt
+        "$b" 2>&1 | tee -a bench_output.txt
+    fi
+done
+
+echo "Done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,89 @@
+#include "baselines/random_tuner.hpp"
+
+#include <algorithm>
+
+#include "model/data_movement.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace chimera::baselines {
+
+using ir::AxisId;
+using ir::Chain;
+
+TunerResult
+randomSearchPlan(const Chain &chain, const TunerOptions &options,
+                 const MeasureFn &measure)
+{
+    CHIMERA_CHECK(options.trials >= 1, "tuner needs at least one trial");
+    CHIMERA_CHECK(options.memCapacityBytes > 0.0,
+                  "tuner needs a positive memory capacity");
+    WallTimer timer;
+    Rng rng(options.seed);
+
+    // Candidate tile lattice per axis (pinned axes stay at full extent).
+    solver::TileConstraints constraints = options.constraints;
+    for (AxisId pinned : chain.pinnedAxes()) {
+        constraints.fixed.emplace(
+            pinned, chain.axes()[static_cast<std::size_t>(pinned)].extent);
+    }
+    std::vector<std::vector<std::int64_t>> candidates;
+    for (AxisId a = 0; a < chain.numAxes(); ++a) {
+        candidates.push_back(
+            solver::axisTileCandidates(chain, a, constraints));
+    }
+
+    const std::vector<AxisId> reorderable = chain.reorderableAxes();
+    TunerResult result;
+    bool haveBest = false;
+
+    for (int trial = 0; trial < options.trials; ++trial) {
+        // Random order: shuffle the reorderable prefix.
+        std::vector<AxisId> perm = reorderable;
+        for (std::size_t i = perm.size(); i > 1; --i) {
+            std::swap(perm[i - 1],
+                      perm[static_cast<std::size_t>(rng.below(i))]);
+        }
+        for (AxisId pinned : chain.pinnedAxes()) {
+            perm.push_back(pinned);
+        }
+        if (options.onlyExecutableOrders &&
+            !model::isExecutableOrder(chain, perm)) {
+            continue;
+        }
+
+        // Random tiles from the lattice.
+        std::vector<std::int64_t> tiles(
+            static_cast<std::size_t>(chain.numAxes()));
+        for (AxisId a = 0; a < chain.numAxes(); ++a) {
+            const auto &cands = candidates[static_cast<std::size_t>(a)];
+            tiles[static_cast<std::size_t>(a)] =
+                cands[static_cast<std::size_t>(rng.below(cands.size()))];
+        }
+
+        const model::DataMovement dm =
+            model::computeDataMovement(chain, perm, tiles);
+        if (static_cast<double>(dm.memUsageBytes) >
+            options.memCapacityBytes) {
+            continue; // would overflow on-chip memory: skip, don't run
+        }
+
+        plan::ExecutionPlan candidate;
+        candidate.perm = perm;
+        candidate.tiles = tiles;
+        candidate.predictedVolumeBytes = dm.volumeBytes;
+        candidate.memUsageBytes = dm.memUsageBytes;
+        const double seconds = measure(candidate);
+        ++result.measuredTrials;
+        if (!haveBest || seconds < result.bestSeconds) {
+            haveBest = true;
+            result.bestSeconds = seconds;
+            result.plan = candidate;
+        }
+    }
+    CHIMERA_CHECK(haveBest, "random search found no feasible candidate");
+    result.tuneSeconds = timer.seconds();
+    return result;
+}
+
+} // namespace chimera::baselines

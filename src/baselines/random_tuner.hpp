@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Profiling-driven random search over the schedule space: the proxy for
+ * tuning compilers (Ansor) and the paper's ablation configuration with
+ * the cost model disabled ("randomly samples 100 candidate tiling
+ * factors for each block order and chooses the best one by evaluating
+ * them on hardware", §VI-E).
+ *
+ * Unlike Chimera's analytical planner, every candidate is *measured* by
+ * a caller-supplied function (usually a wall-clock run of the fused
+ * executor), so the search cost scales with trials — the optimization
+ * overhead the paper compares in §VI-E.
+ */
+
+#include <functional>
+
+#include "ir/chain.hpp"
+#include "plan/planner.hpp"
+#include "support/rng.hpp"
+
+namespace chimera::baselines {
+
+/** Measures a candidate plan; returns its cost (seconds, lower wins). */
+using MeasureFn = std::function<double(const plan::ExecutionPlan &)>;
+
+/** Result of a random-search tuning session. */
+struct TunerResult
+{
+    plan::ExecutionPlan plan;
+    double bestSeconds = 0.0;
+
+    /** Wall time of the whole search, including measurements. */
+    double tuneSeconds = 0.0;
+
+    /** Candidates that passed the memory constraint and were measured. */
+    int measuredTrials = 0;
+};
+
+/** Tuner knobs. */
+struct TunerOptions
+{
+    double memCapacityBytes = 0.0;
+    int trials = 100;
+    std::uint64_t seed = 1;
+
+    /** Constraints applied when sampling tile sizes. */
+    solver::TileConstraints constraints;
+
+    /** Restrict sampling to executable orders (see the planner). */
+    bool onlyExecutableOrders = true;
+};
+
+/**
+ * Samples random (order, tiles) candidates under the memory constraint
+ * and returns the best measured plan. Throws Error when no feasible
+ * candidate was found within the trial budget.
+ */
+TunerResult randomSearchPlan(const ir::Chain &chain,
+                             const TunerOptions &options,
+                             const MeasureFn &measure);
+
+} // namespace chimera::baselines

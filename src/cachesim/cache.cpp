@@ -1,0 +1,131 @@
+#include "cachesim/cache.hpp"
+
+#include "support/error.hpp"
+
+namespace chimera::cachesim {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    CHIMERA_CHECK(config.sizeBytes > 0 && config.associativity > 0 &&
+                      config.lineBytes > 0,
+                  "invalid cache geometry");
+    const std::int64_t lines = config.sizeBytes / config.lineBytes;
+    CHIMERA_CHECK(lines >= config.associativity,
+                  "cache smaller than one set");
+    numSets_ = lines / config.associativity;
+    CHIMERA_CHECK(numSets_ >= 1, "cache needs at least one set");
+    ways_.assign(static_cast<std::size_t>(numSets_ * config.associativity),
+                 Way{});
+}
+
+bool
+Cache::accessLine(std::int64_t lineId)
+{
+    ++clock_;
+    ++stats_.accesses;
+    const std::int64_t set = lineId % numSets_;
+    Way *base = ways_.data() + set * config_.associativity;
+
+    Way *lru = base;
+    for (int w = 0; w < config_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.tag == lineId) {
+            way.lastUse = clock_;
+            return true;
+        }
+        if (way.lastUse < lru->lastUse) {
+            lru = &way;
+        }
+    }
+    ++stats_.misses;
+    lru->tag = lineId;
+    lru->lastUse = clock_;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    stats_ = CacheStats{};
+    clock_ = 0;
+    for (Way &way : ways_) {
+        way = Way{};
+    }
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig> &levels)
+{
+    CHIMERA_CHECK(!levels.empty(), "hierarchy needs at least one level");
+    lineBytes_ = levels.front().lineBytes;
+    for (const CacheConfig &config : levels) {
+        CHIMERA_CHECK(config.lineBytes == lineBytes_,
+                      "all levels must share one line size");
+        caches_.emplace_back(config);
+    }
+    for (std::size_t d = 1; d < levels.size(); ++d) {
+        CHIMERA_CHECK(levels[d].sizeBytes >= levels[d - 1].sizeBytes,
+                      "levels must be ordered smallest first");
+    }
+}
+
+void
+CacheHierarchy::access(std::int64_t address, std::int64_t bytes)
+{
+    CHIMERA_CHECK(bytes > 0, "access must cover at least one byte");
+    const std::int64_t first = address / lineBytes_;
+    const std::int64_t last = (address + bytes - 1) / lineBytes_;
+    for (std::int64_t line = first; line <= last; ++line) {
+        for (Cache &cache : caches_) {
+            if (cache.accessLine(line)) {
+                break; // hit: inner levels already filled on the walk
+            }
+        }
+    }
+}
+
+const CacheStats &
+CacheHierarchy::stats(int level) const
+{
+    CHIMERA_CHECK(level >= 0 && level < numLevels(), "level out of range");
+    return caches_[static_cast<std::size_t>(level)].stats();
+}
+
+const CacheConfig &
+CacheHierarchy::config(int level) const
+{
+    CHIMERA_CHECK(level >= 0 && level < numLevels(), "level out of range");
+    return caches_[static_cast<std::size_t>(level)].config();
+}
+
+double
+CacheHierarchy::trafficIntoLevelBytes(int level) const
+{
+    return static_cast<double>(stats(level).misses) * lineBytes_;
+}
+
+double
+CacheHierarchy::dramTrafficBytes() const
+{
+    return trafficIntoLevelBytes(numLevels() - 1);
+}
+
+void
+CacheHierarchy::reset()
+{
+    for (Cache &cache : caches_) {
+        cache.reset();
+    }
+}
+
+std::vector<CacheConfig>
+xeonLikeCaches()
+{
+    return {
+        {"L1d", 32LL * 1024, 8, 64},
+        {"L2", 1024LL * 1024, 16, 64},
+        {"L3", 24LL * 1024 * 1024 + 768LL * 1024, 11, 64},
+    };
+}
+
+} // namespace chimera::cachesim

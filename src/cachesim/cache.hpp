@@ -1,0 +1,118 @@
+#pragma once
+
+/**
+ * @file
+ * Trace-driven multi-level cache simulator.
+ *
+ * Replaces the paper's hardware performance counters (Figure 8): the
+ * executors' block-level memory traces are replayed against a
+ * set-associative LRU hierarchy, and the per-level miss traffic is the
+ * "measured" data movement volume that Algorithm 1's predictions are
+ * validated against. Deterministic by construction, unlike counters.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chimera::cachesim {
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::string name;
+    std::int64_t sizeBytes = 0;
+    int associativity = 8;
+    int lineBytes = 64;
+};
+
+/** Counters of one cache level. */
+struct CacheStats
+{
+    std::int64_t accesses = 0;
+    std::int64_t misses = 0;
+
+    double
+    hitRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+    }
+};
+
+/** One set-associative LRU cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Accesses the line containing @p address; returns true on hit. */
+    bool accessLine(std::int64_t lineId);
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Clears contents and counters. */
+    void reset();
+
+  private:
+    struct Way
+    {
+        std::int64_t tag = -1;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheConfig config_;
+    CacheStats stats_;
+    std::vector<Way> ways_; ///< sets * associativity, row-major by set.
+    std::int64_t numSets_ = 0;
+    std::uint64_t clock_ = 0;
+};
+
+/**
+ * Inclusive multi-level hierarchy: an access probes level 0 upward; a
+ * miss at level d is counted and the line is filled into every level at
+ * or below d.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const std::vector<CacheConfig> &levels);
+
+    /** Touches @p bytes starting at @p address, one probe per line. */
+    void access(std::int64_t address, std::int64_t bytes);
+
+    /** Number of levels. */
+    int numLevels() const { return static_cast<int>(caches_.size()); }
+
+    /** Stats of level @p level (0 = innermost). */
+    const CacheStats &stats(int level) const;
+
+    /** Configured geometry of level @p level. */
+    const CacheConfig &config(int level) const;
+
+    /**
+     * Bytes transferred into level @p level from the level above
+     * (misses * line size): the measured DV_d of Equation 2.
+     */
+    double trafficIntoLevelBytes(int level) const;
+
+    /** Bytes fetched from DRAM (outermost level's miss traffic). */
+    double dramTrafficBytes() const;
+
+    void reset();
+
+  private:
+    std::vector<Cache> caches_;
+    int lineBytes_ = 64;
+};
+
+/**
+ * The Xeon-Gold-6240-like hierarchy used by the Figure 8 experiments
+ * (per-core L1d/L2 plus shared L3).
+ */
+std::vector<CacheConfig> xeonLikeCaches();
+
+} // namespace chimera::cachesim

@@ -1,0 +1,225 @@
+#include "cachesim/gemm_trace.hpp"
+
+#include <algorithm>
+
+#include "ir/builders.hpp"
+#include "support/error.hpp"
+#include "support/mathutil.hpp"
+
+namespace chimera::cachesim {
+
+using exec::GemmTiles;
+using ir::GemmChainConfig;
+
+namespace {
+
+constexpr std::int64_t kElem = 4; ///< fp32 bytes
+
+/** Base addresses of the chain's tensors in the simulated space. */
+struct AddressMap
+{
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t cGlobal = 0;
+    std::int64_t d = 0;
+    std::int64_t e = 0;
+    std::int64_t cScratch = 0;
+};
+
+AddressMap
+layoutTensors(const GemmChainConfig &cfg)
+{
+    auto align = [](std::int64_t v) { return roundUp(v, 4096); };
+    AddressMap map;
+    std::int64_t cursor = 0;
+    map.a = cursor;
+    cursor = align(cursor + cfg.batch * cfg.m * cfg.k * kElem);
+    map.b = cursor;
+    cursor = align(cursor + cfg.batch * cfg.k * cfg.l * kElem);
+    map.cGlobal = cursor;
+    cursor = align(cursor + cfg.batch * cfg.m * cfg.l * kElem);
+    map.d = cursor;
+    cursor = align(cursor + cfg.batch * cfg.l * cfg.n * kElem);
+    map.e = cursor;
+    cursor = align(cursor + cfg.batch * cfg.m * cfg.n * kElem);
+    map.cScratch = cursor;
+    return map;
+}
+
+/** Touches a [rows x cols] sub-block of a row-major matrix. */
+void
+touchBlock(CacheHierarchy &caches, std::int64_t base, std::int64_t ld,
+           std::int64_t row0, std::int64_t col0, std::int64_t rows,
+           std::int64_t cols)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        caches.access(base + ((row0 + r) * ld + col0) * kElem,
+                      cols * kElem);
+    }
+}
+
+TraceResult
+collect(const CacheHierarchy &caches)
+{
+    TraceResult result;
+    for (int d = 0; d < caches.numLevels(); ++d) {
+        result.trafficIntoLevelBytes.push_back(
+            caches.trafficIntoLevelBytes(d));
+        result.hitRates.push_back(caches.stats(d).hitRate());
+    }
+    result.dramBytes = caches.dramTrafficBytes();
+    return result;
+}
+
+} // namespace
+
+TraceResult
+traceFusedGemmChain(const GemmChainConfig &config,
+                    const plan::ExecutionPlan &plan,
+                    const std::vector<CacheConfig> &levels,
+                    const TraceOptions &options)
+{
+    const ir::Chain chain = ir::makeGemmChain(config);
+    CHIMERA_CHECK(static_cast<int>(plan.tiles.size()) == chain.numAxes(),
+                  "plan does not match the chain configuration");
+    CacheHierarchy caches(levels);
+    const AddressMap map = layoutTensors(config);
+
+    auto tileOf = [&](const std::string &name, std::int64_t fallback) {
+        for (int a = 0; a < chain.numAxes(); ++a) {
+            if (chain.axes()[static_cast<std::size_t>(a)].name == name) {
+                return plan.tiles[static_cast<std::size_t>(a)];
+            }
+        }
+        return fallback;
+    };
+    const std::int64_t tb = tileOf("b", 1);
+    const std::int64_t tm = tileOf("m", config.m);
+    const std::int64_t tn = tileOf("n", config.n);
+    const std::int64_t tk = tileOf("k", config.k);
+    const std::int64_t tl = tileOf("l", config.l);
+
+    struct Loop
+    {
+        char name;
+        std::int64_t extent;
+        std::int64_t tile;
+    };
+    std::vector<Loop> loops;
+    for (ir::AxisId axis : plan.perm) {
+        const std::string &name =
+            chain.axes()[static_cast<std::size_t>(axis)].name;
+        if (name == "b") {
+            loops.push_back({'b', config.batch, tb});
+        } else if (name == "m") {
+            loops.push_back({'m', config.m, tm});
+        } else if (name == "l") {
+            loops.push_back({'l', config.l, tl});
+        }
+    }
+    if (config.batch == 1) {
+        loops.insert(loops.begin(), {'b', 1, 1});
+    }
+
+    const std::int64_t bigM = config.m;
+    const std::int64_t bigN = config.n;
+    const std::int64_t bigK = config.k;
+    const std::int64_t bigL = config.l;
+
+    for (std::int64_t i0 = 0; i0 < loops[0].extent; i0 += loops[0].tile) {
+    for (std::int64_t i1 = 0; i1 < loops[1].extent; i1 += loops[1].tile) {
+    for (std::int64_t i2 = 0; i2 < loops[2].extent; i2 += loops[2].tile) {
+        std::int64_t b0 = 0, m0 = 0, l0 = 0, bb = 1, mm = 1, ll = 1;
+        const std::int64_t starts[3] = {i0, i1, i2};
+        for (int i = 0; i < 3; ++i) {
+            const std::int64_t size = std::min<std::int64_t>(
+                loops[i].tile, loops[i].extent - starts[i]);
+            switch (loops[i].name) {
+              case 'b': b0 = starts[i]; bb = size; break;
+              case 'm': m0 = starts[i]; mm = size; break;
+              case 'l': l0 = starts[i]; ll = size; break;
+              default: break;
+            }
+        }
+
+        for (std::int64_t k0 = 0; k0 < bigK; k0 += tk) {
+            const std::int64_t kk = std::min<std::int64_t>(tk, bigK - k0);
+            for (std::int64_t bi = 0; bi < bb; ++bi) {
+                touchBlock(caches, map.a, bigK, (b0 + bi) * bigM + m0, k0,
+                           mm, kk);
+                touchBlock(caches, map.b, bigL, (b0 + bi) * bigK + k0, l0,
+                           kk, ll);
+                if (options.reuseIntermediate) {
+                    touchBlock(caches, map.cScratch, ll, bi * mm, 0, mm,
+                               ll);
+                } else {
+                    touchBlock(caches, map.cGlobal, bigL,
+                               (b0 + bi) * bigM + m0, l0, mm, ll);
+                }
+            }
+        }
+        for (std::int64_t n0 = 0; n0 < bigN; n0 += tn) {
+            const std::int64_t nn = std::min<std::int64_t>(tn, bigN - n0);
+            for (std::int64_t bi = 0; bi < bb; ++bi) {
+                if (options.reuseIntermediate) {
+                    touchBlock(caches, map.cScratch, ll, bi * mm, 0, mm,
+                               ll);
+                } else {
+                    touchBlock(caches, map.cGlobal, bigL,
+                               (b0 + bi) * bigM + m0, l0, mm, ll);
+                }
+                touchBlock(caches, map.d, bigN, (b0 + bi) * bigL + l0, n0,
+                           ll, nn);
+                touchBlock(caches, map.e, bigN, (b0 + bi) * bigM + m0, n0,
+                           mm, nn);
+            }
+        }
+    }
+    }
+    }
+    return collect(caches);
+}
+
+TraceResult
+traceUnfusedGemmChain(const GemmChainConfig &config, const GemmTiles &tiles1,
+                      const GemmTiles &tiles2,
+                      const std::vector<CacheConfig> &levels)
+{
+    CacheHierarchy caches(levels);
+    const AddressMap map = layoutTensors(config);
+
+    // GEMM1: C = A x B over the full tensors, m-k-n(l) blocking as in
+    // runTiledBatchGemm.
+    auto traceGemm = [&](std::int64_t aBase, std::int64_t bBase,
+                         std::int64_t cBase, std::int64_t m, std::int64_t n,
+                         std::int64_t k, const GemmTiles &tiles) {
+        for (std::int64_t bi = 0; bi < config.batch; ++bi) {
+            for (std::int64_t m0 = 0; m0 < m; m0 += tiles.tm) {
+                const std::int64_t mm =
+                    std::min<std::int64_t>(tiles.tm, m - m0);
+                for (std::int64_t k0 = 0; k0 < k; k0 += tiles.tk) {
+                    const std::int64_t kk =
+                        std::min<std::int64_t>(tiles.tk, k - k0);
+                    for (std::int64_t n0 = 0; n0 < n; n0 += tiles.tn) {
+                        const std::int64_t nn =
+                            std::min<std::int64_t>(tiles.tn, n - n0);
+                        touchBlock(caches, aBase, k, bi * m + m0, k0, mm,
+                                   kk);
+                        touchBlock(caches, bBase, n, bi * k + k0, n0, kk,
+                                   nn);
+                        touchBlock(caches, cBase, n, bi * m + m0, n0, mm,
+                                   nn);
+                    }
+                }
+            }
+        }
+    };
+
+    traceGemm(map.a, map.b, map.cGlobal, config.m, config.l, config.k,
+              tiles1);
+    traceGemm(map.cGlobal, map.d, map.e, config.m, config.n, config.l,
+              tiles2);
+    return collect(caches);
+}
+
+} // namespace chimera::cachesim

@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * C source emitter: the tangible "code generation" stage of Figure 3.
+ *
+ * Given a GEMM-chain configuration and an execution plan, emits a
+ * standalone C translation unit containing
+ *  - the replaceable micro kernel lowered for the target (a scalar
+ *    reference implementation plus an AVX-512 implementation selected
+ *    by the preprocessor, mirroring Figure 4's per-device registration),
+ *  - the fused loop nest walking the planned block order with the
+ *    planned tile sizes baked in as constants, and
+ *  - optionally a self-test main() that fills the inputs with a
+ *    deterministic pattern and prints an output checksum, so the
+ *    generated kernel can be compiled and validated end to end.
+ */
+
+#include <string>
+
+#include "ir/builders.hpp"
+#include "plan/planner.hpp"
+
+namespace chimera::codegen {
+
+/** Emitter knobs. */
+struct EmitOptions
+{
+    /** Emit a main() that self-tests the kernel and prints a checksum. */
+    bool emitSelfTestMain = true;
+
+    /** Function name of the generated kernel. */
+    std::string kernelName = "chimera_fused_gemm_chain";
+};
+
+/**
+ * Emits the fused kernel for a batch GEMM chain under @p plan.
+ * The generated unit compiles with any C99 compiler; compiling with
+ * -mavx512f activates the wide micro kernel.
+ */
+std::string emitGemmChainC(const ir::GemmChainConfig &config,
+                           const plan::ExecutionPlan &plan,
+                           const EmitOptions &options = {});
+
+/**
+ * Deterministic checksum matching the generated self-test main: the sum
+ * over E of E[i] * ((i % 7) + 1) with fillPattern inputs. Tests compare
+ * this against the checksum printed by the compiled artifact.
+ */
+double selfTestChecksum(const ir::GemmChainConfig &config);
+
+} // namespace chimera::codegen

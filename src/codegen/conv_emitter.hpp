@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * C source emitter for fused convolution chains: the conv counterpart
+ * of c_emitter.hpp. Emits a standalone C translation unit with the
+ * planned region structure — per (b, oc1, oh, ow) region the producer
+ * convolution fills a halo-inflated on-chip buffer, the optional ReLU
+ * applies in place, and the consumer convolution drains it for every
+ * oc2 block — plus an optional self-test main.
+ *
+ * The generated kernel favours auditability over speed (plain loop
+ * nests; the comment block marks where registered micro kernels replace
+ * the inner loops during real code generation).
+ */
+
+#include <string>
+
+#include "ir/builders.hpp"
+#include "plan/planner.hpp"
+
+namespace chimera::codegen {
+
+/** Emitter knobs (mirrors EmitOptions of the GEMM emitter). */
+struct ConvEmitOptions
+{
+    bool emitSelfTestMain = true;
+    std::string kernelName = "chimera_fused_conv_chain";
+};
+
+/** Emits the fused conv-chain kernel for @p plan as C99 source. */
+std::string emitConvChainC(const ir::ConvChainConfig &config,
+                           const plan::ExecutionPlan &plan,
+                           const ConvEmitOptions &options = {});
+
+/** Oracle checksum matching the generated self-test main. */
+double convSelfTestChecksum(const ir::ConvChainConfig &config);
+
+} // namespace chimera::codegen

@@ -1,0 +1,62 @@
+#include "exec/constraints.hpp"
+
+#include <algorithm>
+
+namespace chimera::exec {
+
+solver::TileConstraints
+cpuChainConstraints(const ir::Chain &chain,
+                    const kernels::MicroKernel &kernel)
+{
+    solver::TileConstraints constraints;
+    for (ir::AxisId a = 0; a < chain.numAxes(); ++a) {
+        const ir::Axis &axis = chain.axes()[static_cast<std::size_t>(a)];
+        if (!axis.reorderable) {
+            continue; // kernel axes are pinned by the planner
+        }
+        const std::string &name = axis.name;
+        if (name == "b") {
+            constraints.fixed[a] = 1;
+        } else if (name == "n" || name == "l") {
+            if (axis.extent >= kernel.nr) {
+                constraints.multipleOf[a] = kernel.nr;
+            }
+        } else if (name == "m") {
+            if (axis.extent >= kernel.mr) {
+                constraints.multipleOf[a] = kernel.mr;
+            }
+        } else if (name == "k") {
+            constraints.minTile[a] =
+                std::min<std::int64_t>(axis.extent, 256);
+        } else if (name == "oc1" || name == "oc2") {
+            if (axis.extent >= kernel.mr) {
+                constraints.multipleOf[a] = kernel.mr;
+            }
+            if (name == "oc1") {
+                // oc1 is the consumer's reduction depth: keep it large
+                // enough to amortize packing and accumulator traffic.
+                constraints.minTile[a] =
+                    std::min<std::int64_t>(axis.extent, 48);
+            }
+        } else if (name == "ow") {
+            // The conv executors issue one matmul per output row with
+            // N = the ow tile: keep it at least the micro-kernel width
+            // (full extent when the image is narrower).
+            constraints.multipleOf[a] = kernel.nr;
+        } else if (name == "ic") {
+            constraints.minTile[a] =
+                std::min<std::int64_t>(axis.extent, 64);
+        } else if (name == "oh") {
+            // Row tiles can stay small: with a halo'd full-width input
+            // slice the footprint grows quickly in oh.
+            constraints.minTile[a] =
+                std::min<std::int64_t>(axis.extent, 4);
+        } else {
+            constraints.minTile[a] =
+                std::min<std::int64_t>(axis.extent, 16);
+        }
+    }
+    return constraints;
+}
+
+} // namespace chimera::exec

@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Executor-aware tile constraints for CPU planning.
+ *
+ * The analytical model is indifferent to several tile choices (free
+ * variables sit at the paper's alpha bound), but the micro kernel is
+ * not: matmul width should be a multiple of the kernel's NR, rows a
+ * multiple of MR, and the reduction depth long enough to amortize the
+ * accumulator load/store. These constraints feed the solver's candidate
+ * lattice so planned tiles are efficient to execute — the intra-block
+ * half of the paper's co-design.
+ */
+
+#include "ir/chain.hpp"
+#include "kernels/micro_kernel.hpp"
+#include "solver/tile_solver.hpp"
+
+namespace chimera::exec {
+
+/**
+ * Constraints for a chain executed by the CPU executors with
+ * @p kernel. Handles both GEMM chains and conv chains by axis name:
+ *  - "b": fixed to 1 (batch elements are processed independently);
+ *  - GEMM "n"/"l": multiples of NR (micro-kernel width);
+ *  - GEMM "m": multiples of MR;
+ *  - GEMM "k": at least min(extent, 256) so kc amortizes C traffic;
+ *  - conv "oc1"/"oc2": multiples of MR (they are matmul row dims);
+ *  - other axes: the paper's alpha lower bound (16).
+ */
+solver::TileConstraints cpuChainConstraints(
+    const ir::Chain &chain, const kernels::MicroKernel &kernel);
+
+} // namespace chimera::exec

@@ -1,0 +1,366 @@
+#include "exec/conv_chain_exec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "tensor/reference.hpp"
+
+namespace chimera::exec {
+
+using ir::ConvChainConfig;
+using ir::Epilogue;
+
+namespace {
+
+/**
+ * Packs one im2col patch row: for output columns [col0, col0+cols) of
+ * output row @p outRow, gathers the (channels x kh x kw) receptive
+ * fields from a [C, H, W] source with implicit zero padding.
+ *
+ * dst layout: dst[(c*kh + i)*kw + j][x] with row stride @p cols.
+ */
+void
+packPatchRow(const float *src, std::int64_t chanStride, std::int64_t h,
+             std::int64_t w, std::int64_t chan0, std::int64_t chans,
+             std::int64_t outRow, std::int64_t col0, std::int64_t cols,
+             int kernel, int stride, int pad, float *dst)
+{
+    for (std::int64_t c = 0; c < chans; ++c) {
+        const float *chanBase = src + (chan0 + c) * chanStride;
+        for (int ki = 0; ki < kernel; ++ki) {
+            const std::int64_t row = outRow * stride + ki - pad;
+            for (int kj = 0; kj < kernel; ++kj) {
+                float *out =
+                    dst + ((c * kernel + ki) * kernel + kj) * cols;
+                if (row < 0 || row >= h) {
+                    std::memset(out, 0,
+                                static_cast<std::size_t>(cols) *
+                                    sizeof(float));
+                    continue;
+                }
+                const float *rowBase = chanBase + row * w;
+                for (std::int64_t x = 0; x < cols; ++x) {
+                    const std::int64_t col =
+                        (col0 + x) * stride + kj - pad;
+                    out[x] = (col >= 0 && col < w) ? rowBase[col] : 0.0f;
+                }
+            }
+        }
+    }
+}
+
+void
+checkShape(const Tensor &t, const std::vector<std::int64_t> &expected,
+           const char *what)
+{
+    CHIMERA_CHECK(t.shape() == expected,
+                  std::string("unexpected shape for ") + what + ": got " +
+                      t.shapeString());
+}
+
+std::int64_t
+tileByName(const ir::Chain &chain, const plan::ExecutionPlan &plan,
+           const std::string &name, std::int64_t fallback)
+{
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        if (chain.axes()[static_cast<std::size_t>(a)].name == name) {
+            return plan.tiles[static_cast<std::size_t>(a)];
+        }
+    }
+    return fallback;
+}
+
+/** One blocked region loop. */
+struct RegionLoop
+{
+    char name = '?'; ///< 'b', 'c' (oc1), 'h' (oh), 'w' (ow).
+    std::int64_t extent = 1;
+    std::int64_t tile = 1;
+};
+
+} // namespace
+
+std::vector<std::int64_t>
+convChainShapeI(const ConvChainConfig &c)
+{
+    return {c.batch, c.ic, c.h, c.w};
+}
+
+std::vector<std::int64_t>
+convChainShapeW1(const ConvChainConfig &c)
+{
+    return {c.oc1, c.ic, c.k1, c.k1};
+}
+
+std::vector<std::int64_t>
+convChainShapeW2(const ConvChainConfig &c)
+{
+    return {c.oc2, c.oc1, c.k2, c.k2};
+}
+
+std::vector<std::int64_t>
+convChainShapeT(const ConvChainConfig &c)
+{
+    return {c.batch, c.oc1, c.oh1(), c.ow1()};
+}
+
+std::vector<std::int64_t>
+convChainShapeO(const ConvChainConfig &c)
+{
+    return {c.batch, c.oc2, c.oh2(), c.ow2()};
+}
+
+void
+runFusedConvChain(const ConvChainConfig &config,
+                  const plan::ExecutionPlan &plan,
+                  const ComputeEngine &engine, const Tensor &input,
+                  const Tensor &w1, const Tensor &w2, Tensor &output)
+{
+    checkShape(input, convChainShapeI(config), "I");
+    checkShape(w1, convChainShapeW1(config), "W1");
+    checkShape(w2, convChainShapeW2(config), "W2");
+    checkShape(output, convChainShapeO(config), "O");
+
+    const ir::Chain chain = ir::makeConvChain(config);
+    CHIMERA_CHECK(static_cast<int>(plan.tiles.size()) == chain.numAxes(),
+                  "plan does not match the chain configuration");
+    const std::int64_t tb = tileByName(chain, plan, "b", 1);
+    const std::int64_t toc2 = tileByName(chain, plan, "oc2", config.oc2);
+    const std::int64_t toh = tileByName(chain, plan, "oh", config.oh2());
+    const std::int64_t tow = tileByName(chain, plan, "ow", config.ow2());
+    const std::int64_t toc1 = tileByName(chain, plan, "oc1", config.oc1);
+    const std::int64_t tic = tileByName(chain, plan, "ic", config.ic);
+
+    const std::int64_t oh1 = config.oh1();
+    const std::int64_t ow1 = config.ow1();
+    const std::int64_t oh2 = config.oh2();
+    const std::int64_t ow2 = config.ow2();
+    const int k1 = config.k1;
+    const int k2 = config.k2;
+    const int st1 = config.stride1;
+    const int st2 = config.stride2;
+    const int pad1 = config.effectivePad1();
+    const int pad2 = config.effectivePad2();
+
+    // Region loops ordered by the plan; kernel axes stay internal.
+    std::vector<RegionLoop> loops;
+    for (ir::AxisId axis : plan.perm) {
+        const std::string &name =
+            chain.axes()[static_cast<std::size_t>(axis)].name;
+        if (name == "b") {
+            loops.push_back({'b', config.batch, tb});
+        } else if (name == "oc1") {
+            loops.push_back({'c', config.oc1, toc1});
+        } else if (name == "oh") {
+            loops.push_back({'h', oh2, toh});
+        } else if (name == "ow") {
+            loops.push_back({'w', ow2, tow});
+        }
+    }
+    if (config.batch == 1) {
+        loops.insert(loops.begin(), {'b', 1, 1});
+    }
+    CHIMERA_ASSERT(loops.size() == 4, "missing conv region loop");
+
+    // On-chip intermediate region (maximal size over regions).
+    const std::int64_t midHMax = st2 * (toh - 1) + k2;
+    const std::int64_t midWMax = st2 * (tow - 1) + k2;
+    auto tRegion = allocateAligned<float>(static_cast<std::size_t>(
+        tb * toc1 * midHMax * midWMax));
+    // im2col patch buffers for conv1 and conv2.
+    auto patch1 = allocateAligned<float>(static_cast<std::size_t>(
+        tic * k1 * k1 * midWMax));
+    auto patch2 = allocateAligned<float>(static_cast<std::size_t>(
+        toc1 * k2 * k2 * tow));
+
+    output.zero();
+
+    const std::int64_t w1Ld = config.ic * k1 * k1;
+    const std::int64_t w2Ld = config.oc1 * k2 * k2;
+    const std::int64_t inChanStride = config.h * config.w;
+    const std::int64_t inBatchStride = config.ic * inChanStride;
+    const std::int64_t outChanStride = oh2 * ow2;
+    const std::int64_t outBatchStride = config.oc2 * outChanStride;
+
+    // Four nested region loops in plan order.
+    std::int64_t starts[4];
+    for (starts[0] = 0; starts[0] < loops[0].extent;
+         starts[0] += loops[0].tile) {
+    for (starts[1] = 0; starts[1] < loops[1].extent;
+         starts[1] += loops[1].tile) {
+    for (starts[2] = 0; starts[2] < loops[2].extent;
+         starts[2] += loops[2].tile) {
+    for (starts[3] = 0; starts[3] < loops[3].extent;
+         starts[3] += loops[3].tile) {
+        std::int64_t b0 = 0, c0 = 0, h0 = 0, w0 = 0;
+        std::int64_t bb = 1, cc = 1, hh = 1, ww = 1;
+        for (int i = 0; i < 4; ++i) {
+            const RegionLoop &loop = loops[static_cast<std::size_t>(i)];
+            const std::int64_t size =
+                std::min<std::int64_t>(loop.tile, loop.extent - starts[i]);
+            switch (loop.name) {
+              case 'b': b0 = starts[i]; bb = size; break;
+              case 'c': c0 = starts[i]; cc = size; break;
+              case 'h': h0 = starts[i]; hh = size; break;
+              case 'w': w0 = starts[i]; ww = size; break;
+              default: break;
+            }
+        }
+
+        // Halo-inflated intermediate slice covered by this region.
+        const std::int64_t midH = st2 * (hh - 1) + k2;
+        const std::int64_t midW = st2 * (ww - 1) + k2;
+        const std::int64_t tRowLo = h0 * st2 - pad2;
+        const std::int64_t tColLo = w0 * st2 - pad2;
+        const std::int64_t ldRow = midW;
+        const std::int64_t ldChan = midH * midW;
+        const std::int64_t ldBatch = cc * ldChan;
+        std::memset(tRegion.get(), 0,
+                    static_cast<std::size_t>(bb * ldBatch) * sizeof(float));
+
+        // conv1: fill the valid part of the region via implicit GEMM.
+        for (std::int64_t bi = 0; bi < bb; ++bi) {
+            const float *inBase =
+                input.data() + (b0 + bi) * inBatchStride;
+            for (std::int64_t r = 0; r < midH; ++r) {
+                const std::int64_t tRow = tRowLo + r;
+                if (tRow < 0 || tRow >= oh1) {
+                    continue; // conv2 zero padding stays zero
+                }
+                const std::int64_t colLoValid = std::max<std::int64_t>(
+                    0, -tColLo);
+                const std::int64_t colHiValid = std::min<std::int64_t>(
+                    midW, ow1 - tColLo);
+                if (colHiValid <= colLoValid) {
+                    continue;
+                }
+                const std::int64_t cols = colHiValid - colLoValid;
+                float *cBase = tRegion.get() + bi * ldBatch + r * ldRow +
+                               colLoValid;
+                for (std::int64_t ic0 = 0; ic0 < config.ic; ic0 += tic) {
+                    const std::int64_t icc =
+                        std::min<std::int64_t>(tic, config.ic - ic0);
+                    packPatchRow(inBase, inChanStride, config.h, config.w,
+                                 ic0, icc, tRow, tColLo + colLoValid, cols,
+                                 k1, st1, pad1, patch1.get());
+                    engine.matmul(w1.data() + c0 * w1Ld + ic0 * k1 * k1,
+                                  w1Ld, patch1.get(), cols, cBase, ldChan,
+                                  cc, cols, icc * k1 * k1);
+                }
+            }
+        }
+
+        // Fused epilogue on the on-chip region (relu(0) == 0, so the
+        // zero-padded border stays consistent with reference padding).
+        if (config.epilogue == Epilogue::Relu) {
+            float *p = tRegion.get();
+            for (std::int64_t i = 0; i < bb * ldBatch; ++i) {
+                p[i] = std::max(p[i], 0.0f);
+            }
+        }
+
+        // conv2: consume the region for every oc2 block.
+        for (std::int64_t bi = 0; bi < bb; ++bi) {
+            for (std::int64_t rr = 0; rr < hh; ++rr) {
+                // Patch over the region buffer: padding is materialized,
+                // so pad = 0 and coordinates are region-local.
+                packPatchRow(tRegion.get() + bi * ldBatch, ldChan, midH,
+                             midW, 0, cc, rr, 0, ww, k2, st2, 0,
+                             patch2.get());
+                for (std::int64_t oc0 = 0; oc0 < config.oc2; oc0 += toc2) {
+                    const std::int64_t occ =
+                        std::min<std::int64_t>(toc2, config.oc2 - oc0);
+                    float *oBase = output.data() +
+                                   (b0 + bi) * outBatchStride +
+                                   oc0 * outChanStride + (h0 + rr) * ow2 +
+                                   w0;
+                    engine.matmul(w2.data() + oc0 * w2Ld + c0 * k2 * k2,
+                                  w2Ld, patch2.get(), ww, oBase,
+                                  outChanStride, occ, ww, cc * k2 * k2);
+                }
+            }
+        }
+    }
+    }
+    }
+    }
+}
+
+void
+runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
+               const Tensor &weight, Tensor &output, int stride, int pad,
+               const ConvTiles &tiles)
+{
+    CHIMERA_CHECK(input.rank() == 4 && weight.rank() == 4 &&
+                      output.rank() == 4,
+                  "conv2d expects rank-4 tensors");
+    const std::int64_t batch = input.shape()[0];
+    const std::int64_t ic = input.shape()[1];
+    const std::int64_t h = input.shape()[2];
+    const std::int64_t w = input.shape()[3];
+    const std::int64_t oc = weight.shape()[0];
+    const int kernel = static_cast<int>(weight.shape()[2]);
+    const std::int64_t oh = ref::convOutDim(h, kernel, stride, pad);
+    const std::int64_t ow = ref::convOutDim(w, kernel, stride, pad);
+    CHIMERA_CHECK(weight.shape()[1] == ic, "conv channel mismatch");
+    checkShape(output, {batch, oc, oh, ow}, "conv output");
+
+    output.zero();
+    const std::int64_t wLd = ic * kernel * kernel;
+    auto patch = allocateAligned<float>(static_cast<std::size_t>(
+        std::min(tiles.tic, ic) * kernel * kernel * ow));
+
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+        const float *inBase = input.data() + bi * ic * h * w;
+        float *outBase = output.data() + bi * oc * oh * ow;
+        for (std::int64_t r = 0; r < oh; ++r) {
+            for (std::int64_t ic0 = 0; ic0 < ic; ic0 += tiles.tic) {
+                const std::int64_t icc =
+                    std::min<std::int64_t>(tiles.tic, ic - ic0);
+                packPatchRow(inBase, h * w, h, w, ic0, icc, r, 0, ow,
+                             kernel, stride, pad, patch.get());
+                for (std::int64_t oc0 = 0; oc0 < oc; oc0 += tiles.toc) {
+                    const std::int64_t occ =
+                        std::min<std::int64_t>(tiles.toc, oc - oc0);
+                    engine.matmul(
+                        weight.data() + oc0 * wLd + ic0 * kernel * kernel,
+                        wLd, patch.get(), ow,
+                        outBase + oc0 * oh * ow + r * ow, oh * ow, occ, ow,
+                        icc * kernel * kernel);
+                }
+            }
+        }
+    }
+}
+
+void
+runUnfusedConvChain(const ConvChainConfig &config,
+                    const ComputeEngine &engine, const Tensor &input,
+                    const Tensor &w1, const Tensor &w2, Tensor &scratchT,
+                    Tensor &output, const ConvTiles &tiles1,
+                    const ConvTiles &tiles2)
+{
+    checkShape(scratchT, convChainShapeT(config), "T scratch");
+    runTiledConv2d(engine, input, w1, scratchT, config.stride1,
+                   config.effectivePad1(), tiles1);
+    if (config.epilogue == Epilogue::Relu) {
+        ref::reluInPlace(scratchT);
+    }
+    runTiledConv2d(engine, scratchT, w2, output, config.stride2,
+                   config.effectivePad2(), tiles2);
+}
+
+void
+referenceConvChain(const ConvChainConfig &config, const Tensor &input,
+                   const Tensor &w1, const Tensor &w2, Tensor &output)
+{
+    Tensor t(convChainShapeT(config));
+    ref::conv2d(input, w1, t, config.stride1, config.effectivePad1());
+    if (config.epilogue == Epilogue::Relu) {
+        ref::reluInPlace(t);
+    }
+    ref::conv2d(t, w2, output, config.stride2, config.effectivePad2());
+}
+
+} // namespace chimera::exec

@@ -1,0 +1,234 @@
+#include "exec/gemm_chain3_exec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "exec/constraints.hpp"
+#include "support/error.hpp"
+#include "tensor/reference.hpp"
+
+namespace chimera::exec {
+
+using ir::Epilogue;
+using ir::GemmChain3Config;
+
+namespace {
+
+std::vector<std::int64_t>
+shapeOf(const GemmChain3Config &c, std::int64_t rows, std::int64_t cols)
+{
+    return c.batch > 1 ? std::vector<std::int64_t>{c.batch, rows, cols}
+                       : std::vector<std::int64_t>{rows, cols};
+}
+
+std::int64_t
+tileOf(const ir::Chain &chain, const plan::ExecutionPlan &plan,
+       const std::string &name, std::int64_t fallback)
+{
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        if (chain.axes()[static_cast<std::size_t>(a)].name == name) {
+            return plan.tiles[static_cast<std::size_t>(a)];
+        }
+    }
+    return fallback;
+}
+
+} // namespace
+
+std::vector<std::int64_t>
+gemmChain3ShapeA(const GemmChain3Config &c)
+{
+    return shapeOf(c, c.m, c.k);
+}
+
+std::vector<std::int64_t>
+gemmChain3ShapeB(const GemmChain3Config &c)
+{
+    return shapeOf(c, c.k, c.l);
+}
+
+std::vector<std::int64_t>
+gemmChain3ShapeD(const GemmChain3Config &c)
+{
+    return shapeOf(c, c.l, c.p);
+}
+
+std::vector<std::int64_t>
+gemmChain3ShapeF(const GemmChain3Config &c)
+{
+    return shapeOf(c, c.p, c.n);
+}
+
+std::vector<std::int64_t>
+gemmChain3ShapeE(const GemmChain3Config &c)
+{
+    return shapeOf(c, c.m, c.n);
+}
+
+solver::TileConstraints
+gemmChain3Constraints(const ir::Chain &chain,
+                      const kernels::MicroKernel &kernel)
+{
+    solver::TileConstraints constraints =
+        cpuChainConstraints(chain, kernel);
+    const ir::AxisId p = ir::axisIdByName(chain, "p");
+    constraints.minTile.erase(p);
+    constraints.multipleOf.erase(p);
+    constraints.fixed[p] =
+        chain.axes()[static_cast<std::size_t>(p)].extent;
+    return constraints;
+}
+
+void
+runFusedGemmChain3(const GemmChain3Config &config,
+                   const plan::ExecutionPlan &plan,
+                   const ComputeEngine &engine, const Tensor &a,
+                   const Tensor &b, const Tensor &d, const Tensor &f,
+                   Tensor &e)
+{
+    CHIMERA_CHECK(a.shape() == gemmChain3ShapeA(config) &&
+                      b.shape() == gemmChain3ShapeB(config) &&
+                      d.shape() == gemmChain3ShapeD(config) &&
+                      f.shape() == gemmChain3ShapeF(config) &&
+                      e.shape() == gemmChain3ShapeE(config),
+                  "three-GEMM chain tensor shape mismatch");
+
+    const ir::Chain chain = ir::makeGemmChain3(config);
+    CHIMERA_CHECK(static_cast<int>(plan.tiles.size()) == chain.numAxes(),
+                  "plan does not match the chain configuration");
+    const std::int64_t tb = tileOf(chain, plan, "b", 1);
+    const std::int64_t tm = tileOf(chain, plan, "m", config.m);
+    const std::int64_t tn = tileOf(chain, plan, "n", config.n);
+    const std::int64_t tk = tileOf(chain, plan, "k", config.k);
+    const std::int64_t tl = tileOf(chain, plan, "l", config.l);
+    CHIMERA_CHECK(tileOf(chain, plan, "p", config.p) == config.p,
+                  "the fused 3-chain executor requires T_P = P");
+
+    const std::int64_t M = config.m, N = config.n, K = config.k,
+                       L = config.l, P = config.p;
+    struct Loop
+    {
+        char name;
+        std::int64_t extent;
+        std::int64_t tile;
+    };
+    std::vector<Loop> loops;
+    for (ir::AxisId axis : plan.perm) {
+        const std::string &name =
+            chain.axes()[static_cast<std::size_t>(axis)].name;
+        if (name == "b") {
+            loops.push_back({'b', config.batch, tb});
+        } else if (name == "m") {
+            loops.push_back({'m', M, tm});
+        }
+    }
+    if (config.batch == 1) {
+        loops.insert(loops.begin(), {'b', 1, 1});
+    }
+    CHIMERA_ASSERT(loops.size() == 2, "missing 3-chain region loop");
+
+    auto c1Tile = allocateAligned<float>(
+        static_cast<std::size_t>(tb * tm * tl));
+    auto c2Panel = allocateAligned<float>(
+        static_cast<std::size_t>(tb * tm * P));
+    e.zero();
+
+    for (std::int64_t i0 = 0; i0 < loops[0].extent; i0 += loops[0].tile) {
+    for (std::int64_t i1 = 0; i1 < loops[1].extent; i1 += loops[1].tile) {
+        std::int64_t b0 = 0, m0 = 0, bb = 1, mm = 1;
+        const std::int64_t starts[2] = {i0, i1};
+        for (int i = 0; i < 2; ++i) {
+            const std::int64_t size = std::min<std::int64_t>(
+                loops[i].tile, loops[i].extent - starts[i]);
+            if (loops[i].name == 'b') {
+                b0 = starts[i];
+                bb = size;
+            } else {
+                m0 = starts[i];
+                mm = size;
+            }
+        }
+
+        std::memset(c2Panel.get(), 0,
+                    static_cast<std::size_t>(bb * mm * P) * sizeof(float));
+        for (std::int64_t l0 = 0; l0 < L; l0 += tl) {
+            const std::int64_t ll = std::min<std::int64_t>(tl, L - l0);
+            std::memset(c1Tile.get(), 0,
+                        static_cast<std::size_t>(bb * mm * ll) *
+                            sizeof(float));
+            for (std::int64_t k0 = 0; k0 < K; k0 += tk) {
+                const std::int64_t kk = std::min<std::int64_t>(tk, K - k0);
+                for (std::int64_t bi = 0; bi < bb; ++bi) {
+                    engine.matmul(
+                        a.data() + ((b0 + bi) * M + m0) * K + k0, K,
+                        b.data() + ((b0 + bi) * K + k0) * L + l0, L,
+                        c1Tile.get() + bi * mm * ll, ll, mm, ll, kk);
+                }
+            }
+            if (config.epilogue == Epilogue::Relu) {
+                float *p = c1Tile.get();
+                for (std::int64_t i = 0; i < bb * mm * ll; ++i) {
+                    p[i] = std::max(p[i], 0.0f);
+                }
+            }
+            for (std::int64_t bi = 0; bi < bb; ++bi) {
+                engine.matmul(c1Tile.get() + bi * mm * ll, ll,
+                              d.data() + ((b0 + bi) * L + l0) * P, P,
+                              c2Panel.get() + bi * mm * P, P, mm, P, ll);
+            }
+        }
+        for (std::int64_t n0 = 0; n0 < N; n0 += tn) {
+            const std::int64_t nn = std::min<std::int64_t>(tn, N - n0);
+            for (std::int64_t bi = 0; bi < bb; ++bi) {
+                engine.matmul(c2Panel.get() + bi * mm * P, P,
+                              f.data() + (b0 + bi) * P * N + n0, N,
+                              e.data() + ((b0 + bi) * M + m0) * N + n0, N,
+                              mm, nn, P);
+            }
+        }
+    }
+    }
+}
+
+void
+runUnfusedGemmChain3(const GemmChain3Config &config,
+                     const ComputeEngine &engine, const Tensor &a,
+                     const Tensor &b, const Tensor &d, const Tensor &f,
+                     Tensor &scratchC1, Tensor &scratchC2, Tensor &e,
+                     const GemmTiles &tiles)
+{
+    CHIMERA_CHECK(scratchC1.shape() == shapeOf(config, config.m, config.l),
+                  "C1 scratch shape mismatch");
+    CHIMERA_CHECK(scratchC2.shape() == shapeOf(config, config.m, config.p),
+                  "C2 scratch shape mismatch");
+    runTiledBatchGemm(engine, a, b, scratchC1, tiles);
+    if (config.epilogue == Epilogue::Relu) {
+        ref::reluInPlace(scratchC1);
+    }
+    runTiledBatchGemm(engine, scratchC1, d, scratchC2, tiles);
+    runTiledBatchGemm(engine, scratchC2, f, e, tiles);
+}
+
+void
+referenceGemmChain3(const GemmChain3Config &config, const Tensor &a,
+                    const Tensor &b, const Tensor &d, const Tensor &f,
+                    Tensor &e)
+{
+    Tensor c1(shapeOf(config, config.m, config.l));
+    Tensor c2(shapeOf(config, config.m, config.p));
+    auto mm = [&](const Tensor &x, const Tensor &y, Tensor &z) {
+        if (config.batch > 1) {
+            ref::batchGemm(x, y, z);
+        } else {
+            ref::gemm(x, y, z);
+        }
+    };
+    mm(a, b, c1);
+    if (config.epilogue == Epilogue::Relu) {
+        ref::reluInPlace(c1);
+    }
+    mm(c1, d, c2);
+    mm(c2, f, e);
+}
+
+} // namespace chimera::exec

@@ -1,0 +1,365 @@
+#include "exec/gemm_chain_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "ir/builders.hpp"
+#include "support/error.hpp"
+#include "support/mathutil.hpp"
+#include "tensor/reference.hpp"
+
+namespace chimera::exec {
+
+using ir::Epilogue;
+using ir::GemmChainConfig;
+
+namespace {
+
+/** One blocked loop of the region walk. */
+struct BlockedAxis
+{
+    char name = '?'; ///< 'b', 'm' or 'l'.
+    std::int64_t extent = 1;
+    std::int64_t tile = 1;
+};
+
+std::int64_t
+tileOf(const ir::Chain &chain, const plan::ExecutionPlan &plan,
+       const std::string &name, std::int64_t fallback)
+{
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        if (chain.axes()[static_cast<std::size_t>(a)].name == name) {
+            return plan.tiles[static_cast<std::size_t>(a)];
+        }
+    }
+    return fallback;
+}
+
+void
+checkShape(const Tensor &t, const std::vector<std::int64_t> &expected,
+           const char *what)
+{
+    CHIMERA_CHECK(t.shape() == expected,
+                  std::string("unexpected shape for ") + what + ": got " +
+                      t.shapeString());
+}
+
+/** Sets future positions of the scores tensor to -inf before softmax. */
+void
+applyCausalMask(Tensor &scores, const GemmChainConfig &config)
+{
+    const std::int64_t rows = config.m;
+    const std::int64_t cols = config.l;
+    float *p = scores.data();
+    for (std::int64_t b = 0; b < config.batch; ++b) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+            float *row = p + (b * rows + r) * cols;
+            for (std::int64_t j = r + 1; j < cols; ++j) {
+                row[j] = -std::numeric_limits<float>::infinity();
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::int64_t>
+gemmChainShapeA(const GemmChainConfig &c)
+{
+    return c.batch > 1 ? std::vector<std::int64_t>{c.batch, c.m, c.k}
+                       : std::vector<std::int64_t>{c.m, c.k};
+}
+
+std::vector<std::int64_t>
+gemmChainShapeB(const GemmChainConfig &c)
+{
+    return c.batch > 1 ? std::vector<std::int64_t>{c.batch, c.k, c.l}
+                       : std::vector<std::int64_t>{c.k, c.l};
+}
+
+std::vector<std::int64_t>
+gemmChainShapeD(const GemmChainConfig &c)
+{
+    return c.batch > 1 ? std::vector<std::int64_t>{c.batch, c.l, c.n}
+                       : std::vector<std::int64_t>{c.l, c.n};
+}
+
+std::vector<std::int64_t>
+gemmChainShapeE(const GemmChainConfig &c)
+{
+    return c.batch > 1 ? std::vector<std::int64_t>{c.batch, c.m, c.n}
+                       : std::vector<std::int64_t>{c.m, c.n};
+}
+
+std::vector<std::int64_t>
+gemmChainShapeC(const GemmChainConfig &c)
+{
+    return c.batch > 1 ? std::vector<std::int64_t>{c.batch, c.m, c.l}
+                       : std::vector<std::int64_t>{c.m, c.l};
+}
+
+void
+runFusedGemmChain(const GemmChainConfig &config,
+                  const plan::ExecutionPlan &plan,
+                  const ComputeEngine &engine, const Tensor &a,
+                  const Tensor &b, const Tensor &d, Tensor &e)
+{
+    checkShape(a, gemmChainShapeA(config), "A");
+    checkShape(b, gemmChainShapeB(config), "B");
+    checkShape(d, gemmChainShapeD(config), "D");
+    checkShape(e, gemmChainShapeE(config), "E");
+
+    // Recover per-axis tiles by name from the plan (the chain that
+    // produced the plan must match the config).
+    const ir::Chain chain = ir::makeGemmChain(config);
+    CHIMERA_CHECK(static_cast<int>(plan.tiles.size()) == chain.numAxes(),
+                  "plan does not match the chain configuration");
+    const std::int64_t tb = tileOf(chain, plan, "b", 1);
+    const std::int64_t tm = tileOf(chain, plan, "m", config.m);
+    const std::int64_t tn = tileOf(chain, plan, "n", config.n);
+    const std::int64_t tk = tileOf(chain, plan, "k", config.k);
+    const std::int64_t tl = tileOf(chain, plan, "l", config.l);
+
+    // Region loops (b, m, l) ordered by their position in the plan.
+    std::vector<BlockedAxis> regionLoops;
+    for (ir::AxisId axis : plan.perm) {
+        const std::string &name =
+            chain.axes()[static_cast<std::size_t>(axis)].name;
+        if (name == "b") {
+            regionLoops.push_back({'b', config.batch, tb});
+        } else if (name == "m") {
+            regionLoops.push_back({'m', config.m, tm});
+        } else if (name == "l") {
+            regionLoops.push_back({'l', config.l, tl});
+        }
+    }
+    if (config.batch == 1) {
+        regionLoops.insert(regionLoops.begin(), {'b', 1, 1});
+    }
+    CHIMERA_ASSERT(regionLoops.size() == 3, "missing region loop");
+
+    const std::int64_t bigM = config.m;
+    const std::int64_t bigN = config.n;
+    const std::int64_t bigK = config.k;
+    const std::int64_t bigL = config.l;
+
+    // On-chip region buffer for C and the softmax row-sum side buffer.
+    auto cRegion = allocateAligned<float>(
+        static_cast<std::size_t>(tb * tm * tl));
+    std::vector<float> rowSum;
+    if (config.epilogue == Epilogue::Softmax) {
+        rowSum.assign(static_cast<std::size_t>(config.batch * bigM), 0.0f);
+    }
+    e.zero();
+
+    const std::int64_t perBatchA = bigM * bigK;
+    const std::int64_t perBatchB = bigK * bigL;
+    const std::int64_t perBatchD = bigL * bigN;
+    const std::int64_t perBatchE = bigM * bigN;
+
+    // Walk regions in plan order (three nested blocked loops).
+    for (std::int64_t i0 = 0; i0 < regionLoops[0].extent;
+         i0 += regionLoops[0].tile) {
+        for (std::int64_t i1 = 0; i1 < regionLoops[1].extent;
+             i1 += regionLoops[1].tile) {
+            for (std::int64_t i2 = 0; i2 < regionLoops[2].extent;
+                 i2 += regionLoops[2].tile) {
+                std::int64_t b0 = 0, m0 = 0, l0 = 0;
+                std::int64_t bb = 1, mm = 1, ll = 1;
+                const std::int64_t starts[3] = {i0, i1, i2};
+                for (int i = 0; i < 3; ++i) {
+                    const BlockedAxis &loop =
+                        regionLoops[static_cast<std::size_t>(i)];
+                    const std::int64_t start = starts[i];
+                    const std::int64_t size = std::min<std::int64_t>(
+                        loop.tile, loop.extent - start);
+                    switch (loop.name) {
+                      case 'b': b0 = start; bb = size; break;
+                      case 'm': m0 = start; mm = size; break;
+                      case 'l': l0 = start; ll = size; break;
+                      default: break;
+                    }
+                }
+
+                float *cBase = cRegion.get();
+                std::memset(cBase, 0,
+                            static_cast<std::size_t>(bb * mm * ll) *
+                                sizeof(float));
+
+                // GEMM1: accumulate all k blocks into the region.
+                for (std::int64_t k0 = 0; k0 < bigK; k0 += tk) {
+                    const std::int64_t kk =
+                        std::min<std::int64_t>(tk, bigK - k0);
+                    for (std::int64_t bi = 0; bi < bb; ++bi) {
+                        const float *aBlk = a.data() +
+                                            (b0 + bi) * perBatchA +
+                                            m0 * bigK + k0;
+                        const float *bBlk = b.data() +
+                                            (b0 + bi) * perBatchB +
+                                            k0 * bigL + l0;
+                        engine.matmul(aBlk, bigK, bBlk, bigL,
+                                      cBase + bi * mm * ll, ll, mm, ll, kk);
+                    }
+                }
+
+                // Fused epilogue on the on-chip region.
+                if (config.epilogue == Epilogue::Relu) {
+                    for (std::int64_t i = 0; i < bb * mm * ll; ++i) {
+                        cBase[i] = std::max(cBase[i], 0.0f);
+                    }
+                } else if (config.epilogue == Epilogue::Softmax) {
+                    // exp now; sum rides along; division deferred (§VI-B).
+                    // Causal masking zeroes future positions (global
+                    // column l0+j beyond global row m0+r) on chip, so
+                    // the deferred normalization stays exact.
+                    for (std::int64_t bi = 0; bi < bb; ++bi) {
+                        for (std::int64_t r = 0; r < mm; ++r) {
+                            float *row = cBase + (bi * mm + r) * ll;
+                            float sum = 0.0f;
+                            const std::int64_t lastValid =
+                                config.causalMask ? (m0 + r) - l0
+                                                  : ll - 1;
+                            for (std::int64_t j = 0; j < ll; ++j) {
+                                if (j > lastValid) {
+                                    row[j] = 0.0f;
+                                    continue;
+                                }
+                                row[j] = std::exp(config.softmaxScale *
+                                                  row[j]);
+                                sum += row[j];
+                            }
+                            rowSum[static_cast<std::size_t>(
+                                (b0 + bi) * bigM + m0 + r)] += sum;
+                        }
+                    }
+                }
+
+                // GEMM2: consume the region across all n blocks.
+                for (std::int64_t n0 = 0; n0 < bigN; n0 += tn) {
+                    const std::int64_t nn =
+                        std::min<std::int64_t>(tn, bigN - n0);
+                    for (std::int64_t bi = 0; bi < bb; ++bi) {
+                        const float *dBlk = d.data() +
+                                            (b0 + bi) * perBatchD +
+                                            l0 * bigN + n0;
+                        float *eBlk = e.data() + (b0 + bi) * perBatchE +
+                                      m0 * bigN + n0;
+                        engine.matmul(cBase + bi * mm * ll, ll, dBlk, bigN,
+                                      eBlk, bigN, mm, nn, ll);
+                    }
+                }
+            }
+        }
+    }
+
+    // Deferred softmax division over the finished output.
+    if (config.epilogue == Epilogue::Softmax) {
+        for (std::int64_t bi = 0; bi < config.batch; ++bi) {
+            for (std::int64_t r = 0; r < bigM; ++r) {
+                const float inv =
+                    1.0f /
+                    rowSum[static_cast<std::size_t>(bi * bigM + r)];
+                float *row = e.data() + (bi * bigM + r) * bigN;
+                for (std::int64_t j = 0; j < bigN; ++j) {
+                    row[j] *= inv;
+                }
+            }
+        }
+    }
+}
+
+void
+runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
+                  const Tensor &b, Tensor &c, const GemmTiles &tiles)
+{
+    const bool batched = a.rank() == 3;
+    CHIMERA_CHECK(a.rank() == b.rank() && a.rank() == c.rank() &&
+                      (a.rank() == 2 || a.rank() == 3),
+                  "tiled GEMM expects rank 2 or 3 tensors");
+    const std::int64_t batch = batched ? a.shape()[0] : 1;
+    const std::int64_t m = a.shape()[batched ? 1 : 0];
+    const std::int64_t k = a.shape()[batched ? 2 : 1];
+    const std::int64_t n = b.shape()[batched ? 2 : 1];
+    CHIMERA_CHECK(b.shape()[batched ? 1 : 0] == k &&
+                      c.shape()[batched ? 1 : 0] == m &&
+                      c.shape()[batched ? 2 : 1] == n,
+                  "tiled GEMM shape mismatch");
+
+    c.zero();
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+        const float *aBase = a.data() + bi * m * k;
+        const float *bBase = b.data() + bi * k * n;
+        float *cBase = c.data() + bi * m * n;
+        for (std::int64_t m0 = 0; m0 < m; m0 += tiles.tm) {
+            const std::int64_t mm = std::min<std::int64_t>(tiles.tm, m - m0);
+            for (std::int64_t k0 = 0; k0 < k; k0 += tiles.tk) {
+                const std::int64_t kk =
+                    std::min<std::int64_t>(tiles.tk, k - k0);
+                for (std::int64_t n0 = 0; n0 < n; n0 += tiles.tn) {
+                    const std::int64_t nn =
+                        std::min<std::int64_t>(tiles.tn, n - n0);
+                    engine.matmul(aBase + m0 * k + k0, k,
+                                  bBase + k0 * n + n0, n,
+                                  cBase + m0 * n + n0, n, mm, nn, kk);
+                }
+            }
+        }
+    }
+}
+
+void
+runUnfusedGemmChain(const GemmChainConfig &config,
+                    const ComputeEngine &engine, const Tensor &a,
+                    const Tensor &b, const Tensor &d, Tensor &scratchC,
+                    Tensor &e, const GemmTiles &tiles1,
+                    const GemmTiles &tiles2)
+{
+    checkShape(scratchC, gemmChainShapeC(config), "C scratch");
+    runTiledBatchGemm(engine, a, b, scratchC, tiles1);
+    if (config.epilogue == Epilogue::Relu) {
+        ref::reluInPlace(scratchC);
+    } else if (config.epilogue == Epilogue::Softmax) {
+        float *p = scratchC.data();
+        for (std::int64_t i = 0; i < scratchC.numel(); ++i) {
+            p[i] *= config.softmaxScale;
+        }
+        if (config.causalMask) {
+            applyCausalMask(scratchC, config);
+        }
+        ref::softmaxLastDim(scratchC);
+    }
+    runTiledBatchGemm(engine, scratchC, d, e, tiles2);
+}
+
+void
+referenceGemmChain(const GemmChainConfig &config, const Tensor &a,
+                   const Tensor &b, const Tensor &d, Tensor &e)
+{
+    Tensor c(gemmChainShapeC(config));
+    if (config.batch > 1) {
+        ref::batchGemm(a, b, c);
+    } else {
+        ref::gemm(a, b, c);
+    }
+    if (config.epilogue == Epilogue::Relu) {
+        ref::reluInPlace(c);
+    } else if (config.epilogue == Epilogue::Softmax) {
+        float *p = c.data();
+        for (std::int64_t i = 0; i < c.numel(); ++i) {
+            p[i] *= config.softmaxScale;
+        }
+        if (config.causalMask) {
+            applyCausalMask(c, config);
+        }
+        ref::softmaxLastDim(c);
+    }
+    if (config.batch > 1) {
+        ref::batchGemm(c, d, e);
+    } else {
+        ref::gemm(c, d, e);
+    }
+}
+
+} // namespace chimera::exec

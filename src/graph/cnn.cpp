@@ -1,0 +1,139 @@
+#include "graph/cnn.hpp"
+
+#include <cmath>
+
+#include "exec/constraints.hpp"
+#include "exec/gemm_chain_exec.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace chimera::graph {
+
+CnnConfig
+squeezeNetLike()
+{
+    CnnConfig cfg;
+    cfg.name = "SqueezeNet-like";
+    cfg.batch = 1;
+    cfg.inChannels = 8;
+    cfg.height = 56;
+    cfg.width = 56;
+    cfg.classes = 10;
+    cfg.stages = {
+        {16, 32, 3, 1, 2, 1}, // stem-ish: 3x3 s2 then pointwise expand
+        {24, 48, 1, 3, 1, 1}, // squeeze 1x1 then 3x3 expand
+        {32, 64, 3, 1, 1, 1}, // 3x3 then pointwise
+    };
+    return cfg;
+}
+
+CnnBackbone::CnnBackbone(const CnnConfig &config, double cacheCapacityBytes,
+                         std::uint64_t seed)
+    : config_(config), engine_(exec::ComputeEngine::best())
+{
+    CHIMERA_CHECK(!config.stages.empty(), "CNN needs at least one stage");
+    Rng rng(seed);
+
+    std::int64_t ic = config.inChannels;
+    std::int64_t h = config.height;
+    std::int64_t w = config.width;
+    const kernels::MicroKernel &kernel =
+        kernels::MicroKernelRegistry::instance().select(detectSimdTier());
+    for (std::size_t s = 0; s < config.stages.size(); ++s) {
+        const CnnStageSpec &spec = config.stages[s];
+        ir::ConvChainConfig chain;
+        chain.name = config.name + "-stage" + std::to_string(s);
+        chain.batch = config.batch;
+        chain.ic = ic;
+        chain.h = h;
+        chain.w = w;
+        chain.oc1 = spec.oc1;
+        chain.oc2 = spec.oc2;
+        chain.k1 = spec.k1;
+        chain.k2 = spec.k2;
+        chain.stride1 = spec.stride1;
+        chain.stride2 = spec.stride2;
+        chain.epilogue = ir::Epilogue::Relu;
+        chains_.push_back(chain);
+
+        const ir::Chain chainIr = ir::makeConvChain(chain);
+        plan::PlannerOptions options;
+        options.memCapacityBytes = cacheCapacityBytes;
+        options.constraints = exec::cpuChainConstraints(chainIr, kernel);
+        plans_.push_back(plan::planChain(chainIr, options));
+
+        Tensor w1(exec::convChainShapeW1(chain));
+        Tensor w2(exec::convChainShapeW2(chain));
+        const float scale1 =
+            1.0f / std::sqrt(static_cast<float>(ic * spec.k1 * spec.k1));
+        const float scale2 = 1.0f / std::sqrt(static_cast<float>(
+                                 spec.oc1 * spec.k2 * spec.k2));
+        fillUniform(w1, rng, -scale1, scale1);
+        fillUniform(w2, rng, -scale2, scale2);
+        w1_.push_back(std::move(w1));
+        w2_.push_back(std::move(w2));
+
+        ic = spec.oc2;
+        h = chain.oh2();
+        w = chain.ow2();
+    }
+
+    classifier_ = Tensor({ic, config.classes});
+    fillUniform(classifier_, rng, -0.1f, 0.1f);
+}
+
+Tensor
+CnnBackbone::forward(const Tensor &input, ConvMode mode) const
+{
+    CHIMERA_CHECK(input.shape() ==
+                      std::vector<std::int64_t>({config_.batch,
+                                                 config_.inChannels,
+                                                 config_.height,
+                                                 config_.width}),
+                  "CNN input must be [batch, C, H, W]");
+
+    Tensor activation = input;
+    for (std::size_t s = 0; s < chains_.size(); ++s) {
+        const ir::ConvChainConfig &chain = chains_[s];
+        Tensor next(exec::convChainShapeO(chain));
+        if (mode == ConvMode::FusedChimera) {
+            exec::runFusedConvChain(chain, plans_[s], engine_, activation,
+                                    w1_[s], w2_[s], next);
+        } else {
+            Tensor scratch(exec::convChainShapeT(chain));
+            exec::runUnfusedConvChain(chain, engine_, activation, w1_[s],
+                                      w2_[s], scratch, next, {64, 64},
+                                      {64, 64});
+        }
+        // Inter-stage ReLU (the chains fuse only the internal one).
+        float *p = next.data();
+        for (std::int64_t i = 0; i < next.numel(); ++i) {
+            p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+        }
+        activation = std::move(next);
+    }
+
+    // Global average pooling to [batch, channels].
+    const std::int64_t channels = activation.shape()[1];
+    const std::int64_t pixels =
+        activation.shape()[2] * activation.shape()[3];
+    Tensor pooled({config_.batch, channels});
+    for (std::int64_t b = 0; b < config_.batch; ++b) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float *base =
+                activation.data() + (b * channels + c) * pixels;
+            float sum = 0.0f;
+            for (std::int64_t i = 0; i < pixels; ++i) {
+                sum += base[i];
+            }
+            pooled[b * channels + c] = sum / static_cast<float>(pixels);
+        }
+    }
+
+    Tensor logits({config_.batch, config_.classes});
+    exec::runTiledBatchGemm(engine_, pooled, classifier_, logits,
+                            {64, 64, 64});
+    return logits;
+}
+
+} // namespace chimera::graph

@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * CNN backbone substrate: a stack of convolution chains (the Figure 1b
+ * pattern from SqueezeNet/Yolo) ending in global average pooling and a
+ * classifier. Each stage's two convolutions + ReLU execute either as a
+ * Chimera-fused chain or as the unfused library path, with identical
+ * weights, so end-to-end deltas isolate the chain fusion exactly as the
+ * Transformer substrate does for attention.
+ */
+
+#include <string>
+#include <vector>
+
+#include "exec/compute_engine.hpp"
+#include "exec/conv_chain_exec.hpp"
+#include "plan/planner.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chimera::graph {
+
+/** How conv chains are executed (mirrors AttentionMode). */
+enum class ConvMode
+{
+    FusedChimera,
+    Unfused,
+};
+
+/** One conv-chain stage specification. */
+struct CnnStageSpec
+{
+    std::int64_t oc1 = 0; ///< squeeze / first-conv channels
+    std::int64_t oc2 = 0; ///< expand / second-conv channels
+    int k1 = 3;
+    int k2 = 1;
+    int stride1 = 1;
+    int stride2 = 1;
+};
+
+/** Backbone hyper-parameters. */
+struct CnnConfig
+{
+    std::string name = "cnn";
+    std::int64_t batch = 1;
+    std::int64_t inChannels = 3;
+    std::int64_t height = 64;
+    std::int64_t width = 64;
+    std::int64_t classes = 10;
+    std::vector<CnnStageSpec> stages;
+};
+
+/** A scaled-down SqueezeNet-like backbone (3 stages). */
+CnnConfig squeezeNetLike();
+
+/** Weight-initialized CNN; both modes share weights. */
+class CnnBackbone
+{
+  public:
+    CnnBackbone(const CnnConfig &config, double cacheCapacityBytes,
+                std::uint64_t seed = 5);
+
+    /** Runs the stack on [batch, C, H, W]; returns [batch, classes]. */
+    Tensor forward(const Tensor &input, ConvMode mode) const;
+
+    /** Resolved chain configs, one per stage. */
+    const std::vector<ir::ConvChainConfig> &stageChains() const
+    {
+        return chains_;
+    }
+
+    const CnnConfig &config() const { return config_; }
+
+  private:
+    CnnConfig config_;
+    std::vector<ir::ConvChainConfig> chains_;
+    std::vector<plan::ExecutionPlan> plans_;
+    std::vector<Tensor> w1_;
+    std::vector<Tensor> w2_;
+    Tensor classifier_; ///< [lastChannels, classes]
+    exec::ComputeEngine engine_;
+};
+
+} // namespace chimera::graph

@@ -1,0 +1,215 @@
+#include "graph/transformer.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tensor/reference.hpp"
+
+namespace chimera::graph {
+
+namespace {
+
+EncoderConfig
+named(const char *name, std::int64_t seq, std::int64_t heads,
+      std::int64_t headDim, int layers)
+{
+    EncoderConfig cfg;
+    cfg.name = name;
+    cfg.seqLen = seq;
+    cfg.heads = heads;
+    cfg.headDim = headDim;
+    cfg.ffDim = 4 * heads * headDim;
+    cfg.layers = layers;
+    return cfg;
+}
+
+} // namespace
+
+EncoderConfig
+transformerSmall()
+{
+    return named("TF-Small", 512, 8, 64, 1);
+}
+
+EncoderConfig
+transformerBase()
+{
+    return named("TF-Base", 512, 12, 64, 1);
+}
+
+EncoderConfig
+transformerLarge()
+{
+    return named("TF-Large", 512, 16, 64, 1);
+}
+
+EncoderConfig
+bertBase()
+{
+    return named("Bert-Base", 512, 12, 64, 2);
+}
+
+EncoderConfig
+bertLarge()
+{
+    return named("Bert-Large", 512, 16, 64, 2);
+}
+
+EncoderConfig
+vitBase()
+{
+    return named("ViT-Base", 256, 12, 64, 2);
+}
+
+EncoderConfig
+vitLarge()
+{
+    return named("ViT-Large", 256, 16, 64, 2);
+}
+
+TransformerEncoder::TransformerEncoder(const EncoderConfig &config,
+                                       double cacheCapacityBytes,
+                                       std::uint64_t seed)
+    : config_(config), engine_(exec::ComputeEngine::best())
+{
+    CHIMERA_CHECK(config.seqLen >= 1 && config.heads >= 1 &&
+                      config.headDim >= 1 && config.ffDim >= 1 &&
+                      config.layers >= 1,
+                  "bad encoder configuration");
+
+    chainCfg_.name = config.name + "-attention";
+    chainCfg_.batch = config.heads;
+    chainCfg_.m = config.seqLen;
+    chainCfg_.n = config.headDim;
+    chainCfg_.k = config.headDim;
+    chainCfg_.l = config.seqLen;
+    chainCfg_.epilogue = ir::Epilogue::Softmax;
+    chainCfg_.softmaxScale =
+        1.0f / std::sqrt(static_cast<float>(config.headDim));
+    chainCfg_.causalMask = config.causal;
+
+    const ir::Chain chain = ir::makeGemmChain(chainCfg_);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = cacheCapacityBytes;
+    options.constraints = exec::cpuChainConstraints(
+        chain,
+        kernels::MicroKernelRegistry::instance().select(detectSimdTier()));
+    plan_ = plan::planChain(chain, options);
+
+    Rng rng(seed);
+    const std::int64_t d = config.modelDim();
+    weights_.resize(static_cast<std::size_t>(config.layers));
+    for (LayerWeights &w : weights_) {
+        w.wq = Tensor({d, d});
+        w.wk = Tensor({d, d});
+        w.wv = Tensor({d, d});
+        w.wo = Tensor({d, d});
+        w.ff1 = Tensor({d, config.ffDim});
+        w.ff2 = Tensor({config.ffDim, d});
+        w.bias1 = Tensor({config.ffDim});
+        w.bias2 = Tensor({d});
+        w.gamma1 = Tensor({d});
+        w.beta1 = Tensor({d});
+        w.gamma2 = Tensor({d});
+        w.beta2 = Tensor({d});
+        const float scale = 0.5f / std::sqrt(static_cast<float>(d));
+        for (Tensor *t : {&w.wq, &w.wk, &w.wv, &w.wo, &w.ff1, &w.ff2}) {
+            fillUniform(*t, rng, -scale, scale);
+        }
+        fillUniform(w.bias1, rng, -0.05f, 0.05f);
+        fillUniform(w.bias2, rng, -0.05f, 0.05f);
+        w.gamma1.fill(1.0f);
+        w.gamma2.fill(1.0f);
+        w.beta1.zero();
+        w.beta2.zero();
+    }
+}
+
+void
+TransformerEncoder::runAttention(const Tensor &x, Tensor &out,
+                                 AttentionMode mode,
+                                 const LayerWeights &w) const
+{
+    const std::int64_t seq = config_.seqLen;
+    const std::int64_t heads = config_.heads;
+    const std::int64_t hd = config_.headDim;
+    const std::int64_t d = config_.modelDim();
+    const exec::GemmTiles denseTiles{64, 64, 64};
+
+    Tensor q({seq, d}), k({seq, d}), v({seq, d});
+    exec::runTiledBatchGemm(engine_, x, w.wq, q, denseTiles);
+    exec::runTiledBatchGemm(engine_, x, w.wk, k, denseTiles);
+    exec::runTiledBatchGemm(engine_, x, w.wv, v, denseTiles);
+
+    // Head split: A [heads, seq, hd], B = K^T [heads, hd, seq],
+    // D = V [heads, seq, hd].
+    Tensor a({heads, seq, hd}), bT({heads, hd, seq}), dV({heads, seq, hd});
+    for (std::int64_t h = 0; h < heads; ++h) {
+        for (std::int64_t s = 0; s < seq; ++s) {
+            for (std::int64_t e = 0; e < hd; ++e) {
+                a[(h * seq + s) * hd + e] = q[s * d + h * hd + e];
+                bT[(h * hd + e) * seq + s] = k[s * d + h * hd + e];
+                dV[(h * seq + s) * hd + e] = v[s * d + h * hd + e];
+            }
+        }
+    }
+
+    Tensor headsOut({heads, seq, hd});
+    if (mode == AttentionMode::FusedChimera) {
+        exec::runFusedGemmChain(chainCfg_, plan_, engine_, a, bT, dV,
+                                headsOut);
+    } else {
+        Tensor scratch({heads, seq, seq});
+        exec::runUnfusedGemmChain(chainCfg_, engine_, a, bT, dV, scratch,
+                                  headsOut, denseTiles, denseTiles);
+    }
+
+    // Concat heads and project.
+    Tensor concat({seq, d});
+    for (std::int64_t h = 0; h < heads; ++h) {
+        for (std::int64_t s = 0; s < seq; ++s) {
+            for (std::int64_t e = 0; e < hd; ++e) {
+                concat[s * d + h * hd + e] =
+                    headsOut[(h * seq + s) * hd + e];
+            }
+        }
+    }
+    exec::runTiledBatchGemm(engine_, concat, w.wo, out, denseTiles);
+}
+
+Tensor
+TransformerEncoder::forward(const Tensor &input, AttentionMode mode) const
+{
+    const std::int64_t seq = config_.seqLen;
+    const std::int64_t d = config_.modelDim();
+    CHIMERA_CHECK(input.shape() == std::vector<std::int64_t>({seq, d}),
+                  "encoder input must be [seqLen, modelDim]");
+    const exec::GemmTiles denseTiles{64, 64, 64};
+
+    Tensor x = input;
+    for (const LayerWeights &w : weights_) {
+        // Self-attention block with residual + layer norm.
+        Tensor attn({seq, d});
+        runAttention(x, attn, mode, w);
+        Tensor res1({seq, d});
+        ref::add(x, attn, res1);
+        ref::layerNormLastDim(res1, w.gamma1, w.beta1);
+
+        // Feed-forward block with residual + layer norm.
+        Tensor h({seq, config_.ffDim});
+        exec::runTiledBatchGemm(engine_, res1, w.ff1, h, denseTiles);
+        ref::addBiasLastDim(h, w.bias1);
+        ref::geluInPlace(h);
+        Tensor y({seq, d});
+        exec::runTiledBatchGemm(engine_, h, w.ff2, y, denseTiles);
+        ref::addBiasLastDim(y, w.bias2);
+        Tensor res2({seq, d});
+        ref::add(res1, y, res2);
+        ref::layerNormLastDim(res2, w.gamma2, w.beta2);
+        x = std::move(res2);
+    }
+    return x;
+}
+
+} // namespace chimera::graph

@@ -1,0 +1,110 @@
+#pragma once
+
+/**
+ * @file
+ * End-to-end network substrate for the Figure 9 experiment: a
+ * Transformer encoder stack (the shared architecture of Transformer,
+ * Bert, and ViT) whose multi-head self-attention dispatches its batch
+ * GEMM chain either to Chimera's fused executor or to the unfused
+ * library-style path. All other operators (dense projections, GELU,
+ * layer norm, residual adds) run identically in both modes, so the
+ * end-to-end delta isolates the chain-fusion contribution exactly as
+ * the paper's Relay+Chimera vs Relay+CuDNN comparison does.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/compute_engine.hpp"
+#include "exec/constraints.hpp"
+#include "exec/gemm_chain_exec.hpp"
+#include "plan/planner.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chimera::graph {
+
+/** Encoder stack hyper-parameters. */
+struct EncoderConfig
+{
+    std::string name = "encoder";
+    std::int64_t seqLen = 512;
+    std::int64_t heads = 8;
+    std::int64_t headDim = 64;
+    std::int64_t ffDim = 2048;
+    int layers = 1;
+
+    /** Decoder-style causal attention masking. */
+    bool causal = false;
+
+    std::int64_t modelDim() const { return heads * headDim; }
+};
+
+/** Named model configurations used by the paper's Figure 9. */
+EncoderConfig transformerSmall();
+EncoderConfig transformerBase();
+EncoderConfig transformerLarge();
+EncoderConfig bertBase();
+EncoderConfig bertLarge();
+EncoderConfig vitBase();
+EncoderConfig vitLarge();
+
+/** How the attention batch GEMM chain is executed. */
+enum class AttentionMode
+{
+    FusedChimera, ///< Planned fused kernel (this paper).
+    Unfused, ///< Library-style: two batch GEMMs + softmax pass.
+};
+
+/**
+ * A weight-initialized encoder stack. Weights are deterministic from a
+ * seed; both attention modes share identical weights so their outputs
+ * must agree.
+ */
+class TransformerEncoder
+{
+  public:
+    /**
+     * Builds the encoder and plans the attention chain.
+     *
+     * @param config            Architecture.
+     * @param cacheCapacityBytes Planner memory budget for the chain.
+     * @param seed              Weight-init seed.
+     */
+    TransformerEncoder(const EncoderConfig &config,
+                       double cacheCapacityBytes, std::uint64_t seed = 7);
+
+    /**
+     * Runs the full stack on input [seqLen, modelDim]; returns the
+     * output activation.
+     */
+    Tensor forward(const Tensor &input, AttentionMode mode) const;
+
+    /** The attention chain configuration (Table IV row equivalent). */
+    const ir::GemmChainConfig &attentionChain() const { return chainCfg_; }
+
+    /** The plan chosen for the fused attention chain. */
+    const plan::ExecutionPlan &attentionPlan() const { return plan_; }
+
+    const EncoderConfig &config() const { return config_; }
+
+  private:
+    struct LayerWeights
+    {
+        Tensor wq, wk, wv, wo; ///< [modelDim, modelDim]
+        Tensor ff1, ff2; ///< [modelDim, ffDim], [ffDim, modelDim]
+        Tensor bias1, bias2; ///< [ffDim], [modelDim]
+        Tensor gamma1, beta1, gamma2, beta2; ///< layer-norm params
+    };
+
+    void runAttention(const Tensor &x, Tensor &out,
+                      AttentionMode mode, const LayerWeights &w) const;
+
+    EncoderConfig config_;
+    ir::GemmChainConfig chainCfg_;
+    plan::ExecutionPlan plan_;
+    exec::ComputeEngine engine_;
+    std::vector<LayerWeights> weights_;
+};
+
+} // namespace chimera::graph

@@ -1,0 +1,166 @@
+#include "hw/accelerator_sim.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace chimera::hw {
+
+using model::MachineModel;
+using plan::MultiLevelPlan;
+using plan::PlannerOptions;
+
+namespace {
+
+/** Multi-level plan + Eq.-3 bound for one chain. */
+MultiLevelPlan
+planOn(const ir::Chain &chain, const MachineModel &machine)
+{
+    PlannerOptions options;
+    options.constraints = plan::alphaConstraints(chain, 16);
+    return plan::planChainMultiLevel(chain, machine, options);
+}
+
+/**
+ * Fixed-order fused proxy: canonical order (declaration order of the
+ * axes, which puts reduction/consumer axes innermost) solved per level.
+ */
+double
+fixedOrderBound(const ir::Chain &chain, const MachineModel &machine)
+{
+    // Canonical executable order: axes indexing an intermediate first
+    // (in declaration order), then reduction/consumer-only axes, then
+    // the pinned kernel axes. Fixed once, never searched — the template
+    // library behaviour the paper contrasts against.
+    std::vector<ir::AxisId> perm;
+    auto touchesIntermediate = [&](ir::AxisId axis) {
+        for (const ir::TensorDecl &tensor : chain.tensors()) {
+            if (tensor.kind == ir::TensorKind::Intermediate &&
+                tensor.usesAxis(axis)) {
+                return true;
+            }
+        }
+        return false;
+    };
+    for (ir::AxisId a : chain.reorderableAxes()) {
+        if (touchesIntermediate(a)) {
+            perm.push_back(a);
+        }
+    }
+    for (ir::AxisId a : chain.reorderableAxes()) {
+        if (!touchesIntermediate(a)) {
+            perm.push_back(a);
+        }
+    }
+    for (ir::AxisId a : chain.pinnedAxes()) {
+        perm.push_back(a);
+    }
+    CHIMERA_ASSERT(model::isExecutableOrder(chain, perm),
+                   "canonical order must be executable");
+
+    std::vector<model::LevelSchedule> schedules(machine.levels.size());
+    PlannerOptions options;
+    options.constraints = plan::alphaConstraints(chain, 16);
+    for (std::size_t d = machine.levels.size(); d-- > 0;) {
+        options.memCapacityBytes = machine.levels[d].capacityBytes;
+        const plan::ExecutionPlan levelPlan =
+            plan::planFixedOrder(chain, perm, options);
+        schedules[d].perm = levelPlan.perm;
+        schedules[d].tiles = levelPlan.tiles;
+        for (ir::AxisId a = 0; a < chain.numAxes(); ++a) {
+            options.constraints.maxTile[a] =
+                levelPlan.tiles[static_cast<std::size_t>(a)];
+        }
+    }
+    return model::evaluateMultiLevel(chain, machine, schedules)
+        .boundSeconds;
+}
+
+} // namespace
+
+namespace {
+
+/** Accelerators run fp16 (Table I peaks are fp16). */
+constexpr int kAccelElemBytes = 2;
+
+ir::Chain
+fp16(ir::Chain chain)
+{
+    chain.setElementSize(kAccelElemBytes);
+    return chain;
+}
+
+} // namespace
+
+AcceleratorComparison
+simulateGemmChain(const ir::GemmChainConfig &config,
+                  const MachineModel &machine,
+                  const std::optional<UnifiedBufferSpec> &ub)
+{
+    AcceleratorComparison result;
+    const ir::Chain fused = fp16(ir::makeGemmChain(config));
+    const MultiLevelPlan fusedPlan = planOn(fused, machine);
+    result.chimeraSeconds = fusedPlan.cost.boundSeconds;
+    result.chimeraDramBytes = fusedPlan.cost.volumeBytes.back();
+    result.chimeraOrder =
+        plan::orderString(fused, fusedPlan.levels.back().perm);
+
+    result.fixedOrderSeconds = fixedOrderBound(fused, machine);
+
+    // Unfused: C spills to DRAM between the two GEMMs.
+    const ir::Chain gemm1 = fp16(ir::makeSingleGemm(
+        config.batch, config.m, config.l, config.k, "gemm1"));
+    const ir::Chain gemm2 = fp16(ir::makeSingleGemm(
+        config.batch, config.m, config.n, config.l, "gemm2"));
+    const MultiLevelPlan plan1 = planOn(gemm1, machine);
+    const MultiLevelPlan plan2 = planOn(gemm2, machine);
+    result.unfusedSeconds =
+        plan1.cost.boundSeconds + plan2.cost.boundSeconds;
+    result.unfusedDramBytes =
+        plan1.cost.volumeBytes.back() + plan2.cost.volumeBytes.back();
+
+    if (ub.has_value()) {
+        // Every intermediate element is staged through the UB between
+        // the cube unit and the consumer (§VI-B).
+        const double interBytes = kAccelElemBytes *
+                                  static_cast<double>(config.batch) *
+                                  static_cast<double>(config.m) *
+                                  static_cast<double>(config.l);
+        result.unifiedBufferSeconds =
+            interBytes / ub->bandwidthBytesPerSec;
+        result.chimeraSeconds =
+            std::max(result.chimeraSeconds, result.unifiedBufferSeconds);
+    }
+    return result;
+}
+
+AcceleratorComparison
+simulateConvChain(const ir::ConvChainConfig &config,
+                  const MachineModel &machine)
+{
+    AcceleratorComparison result;
+    const ir::Chain fused = fp16(ir::makeConvChain(config));
+    const MultiLevelPlan fusedPlan = planOn(fused, machine);
+    result.chimeraSeconds = fusedPlan.cost.boundSeconds;
+    result.chimeraDramBytes = fusedPlan.cost.volumeBytes.back();
+    result.chimeraOrder =
+        plan::orderString(fused, fusedPlan.levels.back().perm);
+
+    result.fixedOrderSeconds = fixedOrderBound(fused, machine);
+
+    const ir::Chain conv1 = fp16(ir::makeSingleConv(
+        config.batch, config.ic, config.h, config.w, config.oc1, config.k1,
+        config.stride1, config.effectivePad1(), "conv1"));
+    const ir::Chain conv2 = fp16(ir::makeSingleConv(
+        config.batch, config.oc1, config.oh1(), config.ow1(), config.oc2,
+        config.k2, config.stride2, config.effectivePad2(), "conv2"));
+    const MultiLevelPlan plan1 = planOn(conv1, machine);
+    const MultiLevelPlan plan2 = planOn(conv2, machine);
+    result.unfusedSeconds =
+        plan1.cost.boundSeconds + plan2.cost.boundSeconds;
+    result.unfusedDramBytes =
+        plan1.cost.volumeBytes.back() + plan2.cost.volumeBytes.back();
+    return result;
+}
+
+} // namespace chimera::hw

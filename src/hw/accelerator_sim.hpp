@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated accelerator backends (DESIGN.md §2).
+ *
+ * The paper evaluates fused kernels on an A100 GPU and an Ascend 910
+ * NPU. Without that hardware, this module runs the *same planning
+ * machinery* against the machine models of src/hw and derives execution
+ * times from the paper's own pipeline cost (Eq. 3: max over memory
+ * stages and the compute stage). Three configurations are compared per
+ * workload, mirroring the paper's baselines:
+ *
+ *  - chimera:     fused chain, planner-chosen order and tiles;
+ *  - fixedOrder:  fused chain, pinned canonical order (the
+ *                 template-library/BOLT proxy), solved tiles;
+ *  - unfused:     each operator planned separately, intermediate
+ *                 spilled to DRAM (the library/TBE proxy).
+ *
+ * For the NPU, the Unified Buffer stage is added: every intermediate
+ * element crosses the UB twice (cube unit -> UB -> next op), which
+ * reproduces the paper's observation that large GEMM chains bottleneck
+ * on the UB.
+ */
+
+#include <optional>
+#include <string>
+
+#include "hw/machines.hpp"
+#include "ir/builders.hpp"
+#include "plan/planner.hpp"
+
+namespace chimera::hw {
+
+/** Timing comparison of one workload on one simulated machine. */
+struct AcceleratorComparison
+{
+    double chimeraSeconds = 0.0;
+    double fixedOrderSeconds = 0.0;
+    double unfusedSeconds = 0.0;
+
+    /** DRAM bytes moved (outermost-level DV). */
+    double chimeraDramBytes = 0.0;
+    double unfusedDramBytes = 0.0;
+
+    /** Chosen block order of the fused plan (outer level). */
+    std::string chimeraOrder;
+
+    /** UB stage time (NPU only; 0 elsewhere). */
+    double unifiedBufferSeconds = 0.0;
+};
+
+/** Simulates a batch GEMM chain on @p machine. */
+AcceleratorComparison
+simulateGemmChain(const ir::GemmChainConfig &config,
+                  const model::MachineModel &machine,
+                  const std::optional<UnifiedBufferSpec> &ub = std::nullopt);
+
+/** Simulates a convolution chain on @p machine. */
+AcceleratorComparison
+simulateConvChain(const ir::ConvChainConfig &config,
+                  const model::MachineModel &machine);
+
+} // namespace chimera::hw

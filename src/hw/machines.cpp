@@ -1,0 +1,84 @@
+#include "hw/machines.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace chimera::hw {
+
+model::MachineModel
+cascadeLakeCpu()
+{
+    model::MachineModel machine;
+    machine.name = "XeonGold6240";
+    machine.levels = {
+        // name, usable capacity (bytes), fill bandwidth (bytes/s)
+        {"L1d", 32.0 * 1024, 400e9},
+        {"L2", 1.0 * 1024 * 1024, 200e9},
+        {"L3", 24.75 * 1024 * 1024, 131e9},
+    };
+    machine.peakFlops = 12e12; // fp16 AVX-512 peak (Table I)
+    machine.computeEfficiency = 0.75;
+    machine.cores = 1;
+    return machine;
+}
+
+model::MachineModel
+a100Gpu()
+{
+    model::MachineModel machine;
+    machine.name = "A100";
+    machine.levels = {
+        // Shared memory per SM aggregated across 108 SMs; the model
+        // plans per-SM blocks, so capacity is per SM while bandwidth is
+        // the aggregate fill rate.
+        {"SMEM", 164.0 * 1024, 19500e9},
+        {"L2", 40.0 * 1024 * 1024, 7000e9},
+    };
+    machine.peakFlops = 312e12; // Tensor Core fp16 (Table I)
+    machine.computeEfficiency = 0.6;
+    machine.cores = 1; // bandwidths are aggregate
+    // The link above the last level is HBM at 1555 GB/s; expressed as a
+    // third pseudo-level so the Eq.-2 stage for DRAM exists.
+    machine.levels.push_back({"HBM", 40.0 * 1024 * 1024, 1555e9});
+    return machine;
+}
+
+model::MachineModel
+ascend910Npu()
+{
+    model::MachineModel machine;
+    machine.name = "Ascend910";
+    machine.levels = {
+        {"L0", 64.0 * 1024, 4000e9},
+        {"L1", 1.0 * 1024 * 1024, 2000e9},
+        {"HBM", 32.0 * 1024 * 1024, 1200e9},
+    };
+    machine.peakFlops = 320e12; // cube unit fp16 (Table I)
+    machine.computeEfficiency = 0.6;
+    machine.cores = 1;
+    return machine;
+}
+
+UnifiedBufferSpec
+ascend910UnifiedBuffer()
+{
+    return UnifiedBufferSpec{256.0 * 1024, 1000e9};
+}
+
+double
+rooflineFlops(const model::MachineModel &machine, double flopsPerDramByte)
+{
+    CHIMERA_CHECK(!machine.levels.empty(), "machine has no levels");
+    const double dramBw = machine.levels.back().bandwidthBytesPerSec;
+    return std::min(machine.peakFlops, flopsPerDramByte * dramBw);
+}
+
+double
+machineBalance(const model::MachineModel &machine)
+{
+    CHIMERA_CHECK(!machine.levels.empty(), "machine has no levels");
+    return machine.peakFlops / machine.levels.back().bandwidthBytesPerSec;
+}
+
+} // namespace chimera::hw

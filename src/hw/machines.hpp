@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Machine descriptions of the paper's three evaluation platforms
+ * (Table I) for the multi-level analytical model.
+ *
+ * Bandwidths are aggregate device bandwidths of the link that fills
+ * each level; peakFlops is the dedicated-unit peak (fp16 for the
+ * accelerators). The GPU and NPU are *simulated* through these models
+ * (DESIGN.md §2): the paper's own Eq. 2-3 cost function turns planned
+ * schedules into execution-time estimates, which preserves the relative
+ * orderings its evaluation reports.
+ */
+
+#include "model/multilevel.hpp"
+
+namespace chimera::hw {
+
+/** Intel Xeon Gold 6240-like CPU (AVX-512), per-socket aggregates. */
+model::MachineModel cascadeLakeCpu();
+
+/** NVIDIA A100-like Tensor Core GPU. */
+model::MachineModel a100Gpu();
+
+/**
+ * Huawei Ascend 910-like NPU. The Unified Buffer (UB) that carries
+ * intermediate results between the cube unit and the vector unit is
+ * exposed separately because it bottlenecks large fused GEMM chains
+ * (§VI-B "NPU Performance").
+ */
+model::MachineModel ascend910Npu();
+
+/** UB capacity/bandwidth used by the NPU backend's extra constraint. */
+struct UnifiedBufferSpec
+{
+    double capacityBytes = 256.0 * 1024;
+    double bandwidthBytesPerSec = 1000e9;
+};
+
+UnifiedBufferSpec ascend910UnifiedBuffer();
+
+/** Roofline-attainable FLOP/s at a given arithmetic intensity. */
+double rooflineFlops(const model::MachineModel &machine,
+                     double flopsPerDramByte);
+
+/** The Table I peak-performance / memory-bandwidth ratio (FLOP/byte). */
+double machineBalance(const model::MachineModel &machine);
+
+} // namespace chimera::hw

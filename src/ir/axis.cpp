@@ -1,0 +1,31 @@
+#include "ir/axis.hpp"
+
+#include "support/error.hpp"
+
+namespace chimera::ir {
+
+std::int64_t
+AccessDim::footprint(const std::vector<std::int64_t> &tiles) const
+{
+    std::int64_t fp = 1;
+    for (const AccessTerm &term : terms) {
+        CHIMERA_ASSERT(term.axis >= 0 &&
+                           term.axis < static_cast<int>(tiles.size()),
+                       "access term references an unknown axis");
+        fp += term.coeff * (tiles[static_cast<std::size_t>(term.axis)] - 1);
+    }
+    return fp;
+}
+
+bool
+AccessDim::usesAxis(AxisId axis) const
+{
+    for (const AccessTerm &term : terms) {
+        if (term.axis == axis) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace chimera::ir

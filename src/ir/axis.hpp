@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Loop axes and affine tensor-access maps.
+ *
+ * A chain of compute-intensive operators is described by a set of
+ * *independent* loop axes (the paper's l_1..l_I, §IV-B). Operators that
+ * share a dimension (e.g. m and l in the GEMM chain of Figure 2) bind to
+ * the same axis, which is what shrinks the reordering space from (P+Q)!
+ * to I!.
+ *
+ * Each tensor dimension is accessed through an affine combination of
+ * axes. For a tile vector S the footprint of a dimension is
+ *     1 + sum_i coeff_i * (S_i - 1)
+ * which covers plain indexing (coeff 1, one term) as well as convolution
+ * sliding windows (h = oh*stride + kh gives terms {oh: stride, kh: 1} and
+ * the familiar halo footprint stride*(T_oh-1) + T_kh).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chimera::ir {
+
+/** Index of an axis within its owning Chain. */
+using AxisId = int;
+
+/** One independent loop axis of a chain. */
+struct Axis
+{
+    /** Short name used in permutation strings ("m", "l", "oh", ...). */
+    std::string name;
+
+    /** Full trip count L_i of the loop. */
+    std::int64_t extent = 1;
+
+    /**
+     * Whether the planner may move this axis when enumerating block
+     * execution orders. Small kernel axes (kh/kw) stay pinned innermost.
+     */
+    bool reorderable = true;
+};
+
+/** One affine term of an access expression: coeff * axis. */
+struct AccessTerm
+{
+    AxisId axis = -1;
+    std::int64_t coeff = 1;
+};
+
+/** Affine access expression for one tensor dimension. */
+struct AccessDim
+{
+    std::vector<AccessTerm> terms;
+
+    /** Tile footprint along this dimension given per-axis tile sizes. */
+    std::int64_t footprint(const std::vector<std::int64_t> &tiles) const;
+
+    /** True when @p axis appears in this dimension's expression. */
+    bool usesAxis(AxisId axis) const;
+};
+
+} // namespace chimera::ir

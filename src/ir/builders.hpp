@@ -1,0 +1,127 @@
+#pragma once
+
+/**
+ * @file
+ * Builders that construct Chain IR for the operator chains the paper
+ * evaluates, together with the concrete workload configuration the
+ * executors need.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "ir/chain.hpp"
+
+namespace chimera::ir {
+
+/**
+ * Batch GEMM chain from attention (Figure 1a / Figure 2):
+ *   C[b,m,l] = A[b,m,k] * B[b,k,l]
+ *   E[b,m,n] = C'[b,m,l] * D[b,l,n]
+ * where C' is C after the optional intermediate epilogue
+ * (softmax over l, fused per §VI-B, or none).
+ */
+struct GemmChainConfig
+{
+    std::int64_t batch = 1;
+    std::int64_t m = 0;
+    std::int64_t n = 0;
+    std::int64_t k = 0;
+    std::int64_t l = 0;
+    Epilogue epilogue = Epilogue::None;
+
+    /** Pre-exp scaling for softmax (attention's 1/sqrt(d_k)). */
+    float softmaxScale = 1.0f;
+
+    /**
+     * Decoder-style causal masking (requires the softmax epilogue and
+     * m == l): score (m, l) participates only when l <= m. The fused
+     * executor masks on chip after exp; the probability rows stay
+     * normalized because the row sums accumulate only unmasked entries.
+     */
+    bool causalMask = false;
+
+    /** Display name, e.g. "G2". */
+    std::string name = "gemm_chain";
+};
+
+/**
+ * Convolution chain (Figure 1b):
+ *   T = Conv(I[b,ic,h,w], W1[oc1,ic,k1,k1], stride1, pad1)
+ *   O = Conv(T', W2[oc2,oc1,k2,k2], stride2, pad2)
+ * with an optional ReLU epilogue on T.
+ */
+struct ConvChainConfig
+{
+    std::int64_t batch = 1;
+    std::int64_t ic = 0;
+    std::int64_t h = 0;
+    std::int64_t w = 0;
+    std::int64_t oc1 = 0;
+    std::int64_t oc2 = 0;
+    int stride1 = 1;
+    int stride2 = 1;
+    int k1 = 3;
+    int k2 = 1;
+    int pad1 = -1; ///< -1 means (k1-1)/2 ("same" for stride 1).
+    int pad2 = -1; ///< -1 means (k2-1)/2.
+    Epilogue epilogue = Epilogue::None;
+    std::string name = "conv_chain";
+
+    /** Effective paddings after resolving the -1 defaults. */
+    int effectivePad1() const { return pad1 >= 0 ? pad1 : (k1 - 1) / 2; }
+    int effectivePad2() const { return pad2 >= 0 ? pad2 : (k2 - 1) / 2; }
+
+    /** Spatial extents of the intermediate and output tensors. */
+    std::int64_t oh1() const;
+    std::int64_t ow1() const;
+    std::int64_t oh2() const;
+    std::int64_t ow2() const;
+};
+
+/**
+ * Builds the Chain IR of a batch GEMM chain. When batch == 1 the batch
+ * axis is omitted so the independent axes are exactly (m, n, k, l) and
+ * the reorder space is the paper's 4! = 24.
+ */
+Chain makeGemmChain(const GemmChainConfig &config);
+
+/** Builds the Chain IR of a convolution chain (up to 10 axes, §IV-A). */
+Chain makeConvChain(const ConvChainConfig &config);
+
+/**
+ * Three-GEMM chain (the paper's "more compute-intensive operators"
+ * generalization, §IV-B):
+ *   C1[b,m,l]  = A[b,m,k]  * B[b,k,l]
+ *   C2[b,m,p]  = C1[b,m,l] * D[b,l,p]
+ *   E [b,m,n]  = C2[b,m,p] * F[b,p,n]
+ * Six independent axes (m, n, k, l, p, + batch); both intermediates stay
+ * on chip. Optional epilogue applies to the first intermediate.
+ */
+struct GemmChain3Config
+{
+    std::int64_t batch = 1;
+    std::int64_t m = 0;
+    std::int64_t n = 0;
+    std::int64_t k = 0;
+    std::int64_t l = 0;
+    std::int64_t p = 0;
+    Epilogue epilogue = Epilogue::None; ///< applied to C1 (Relu only)
+    std::string name = "gemm_chain3";
+};
+
+Chain makeGemmChain3(const GemmChain3Config &config);
+
+/** Single (batch) GEMM as a chain of one operator, for baselines. */
+Chain makeSingleGemm(std::int64_t batch, std::int64_t m, std::int64_t n,
+                     std::int64_t k, const std::string &name = "gemm");
+
+/** Single NCHW convolution as a chain of one operator, for baselines. */
+Chain makeSingleConv(std::int64_t batch, std::int64_t ic, std::int64_t h,
+                     std::int64_t w, std::int64_t oc, int kernel, int stride,
+                     int pad, const std::string &name = "conv");
+
+/** Axis id lookup by name; throws Error when the name is unknown. */
+AxisId axisIdByName(const Chain &chain, const std::string &name);
+
+} // namespace chimera::ir

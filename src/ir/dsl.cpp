@@ -1,0 +1,257 @@
+#include "ir/dsl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace chimera::ir {
+
+namespace {
+
+/** One parsed tensor reference: name + index list. */
+struct TensorRef
+{
+    std::string name;
+    std::vector<std::string> indices;
+};
+
+/** One parsed statement: out = lhs * rhs. */
+struct Statement
+{
+    TensorRef out;
+    TensorRef lhs;
+    TensorRef rhs;
+};
+
+std::string
+stripSpace(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+            out += c;
+        }
+    }
+    return out;
+}
+
+bool
+validIdentifier(const std::string &s)
+{
+    if (s.empty()) {
+        return false;
+    }
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+            return false;
+        }
+    }
+    return !std::isdigit(static_cast<unsigned char>(s.front()));
+}
+
+/** Parses `Name[i,j,k]`; @p cursor advances past the reference. */
+TensorRef
+parseRef(const std::string &text, std::size_t &cursor)
+{
+    const std::size_t open = text.find('[', cursor);
+    CHIMERA_CHECK(open != std::string::npos,
+                  "expected '[' in tensor reference: " + text);
+    const std::size_t close = text.find(']', open);
+    CHIMERA_CHECK(close != std::string::npos,
+                  "expected ']' in tensor reference: " + text);
+
+    TensorRef ref;
+    ref.name = text.substr(cursor, open - cursor);
+    CHIMERA_CHECK(validIdentifier(ref.name),
+                  "bad tensor name: '" + ref.name + "'");
+    std::stringstream indices(text.substr(open + 1, close - open - 1));
+    std::string index;
+    while (std::getline(indices, index, ',')) {
+        CHIMERA_CHECK(validIdentifier(index),
+                      "bad index name: '" + index + "'");
+        ref.indices.push_back(index);
+    }
+    CHIMERA_CHECK(!ref.indices.empty(),
+                  "tensor " + ref.name + " has no indices");
+    cursor = close + 1;
+    return ref;
+}
+
+Statement
+parseStatement(const std::string &raw)
+{
+    const std::string text = stripSpace(raw);
+    Statement stmt;
+    std::size_t cursor = 0;
+    stmt.out = parseRef(text, cursor);
+    CHIMERA_CHECK(cursor < text.size() && text[cursor] == '=',
+                  "expected '=' in statement: " + raw);
+    ++cursor;
+    stmt.lhs = parseRef(text, cursor);
+    CHIMERA_CHECK(cursor < text.size() && text[cursor] == '*',
+                  "expected '*' in statement: " + raw);
+    ++cursor;
+    stmt.rhs = parseRef(text, cursor);
+    CHIMERA_CHECK(cursor == text.size(),
+                  "trailing characters in statement: " + raw);
+    return stmt;
+}
+
+} // namespace
+
+Chain
+parseEinsumChain(const std::string &source,
+                 const std::map<std::string, std::int64_t> &extents,
+                 const std::string &name)
+{
+    // Split on ';' and parse each statement.
+    std::vector<Statement> statements;
+    std::stringstream ss(source);
+    std::string piece;
+    while (std::getline(ss, piece, ';')) {
+        if (stripSpace(piece).empty()) {
+            continue;
+        }
+        statements.push_back(parseStatement(piece));
+    }
+    CHIMERA_CHECK(!statements.empty(), "DSL source has no statements");
+
+    Chain chain(name);
+
+    // Axes in first-use order.
+    std::map<std::string, AxisId> axisByName;
+    auto axisOf = [&](const std::string &index) {
+        auto it = axisByName.find(index);
+        if (it != axisByName.end()) {
+            return it->second;
+        }
+        const auto extent = extents.find(index);
+        CHIMERA_CHECK(extent != extents.end(),
+                      "no extent given for index '" + index + "'");
+        const AxisId id = chain.addAxis(index, extent->second);
+        axisByName.emplace(index, id);
+        return id;
+    };
+
+    // Tensor bookkeeping: who produces, who consumes.
+    struct TensorInfo
+    {
+        int id = -1;
+        std::vector<std::string> indices;
+        int producerStmt = -1;
+        bool consumed = false;
+    };
+    std::map<std::string, TensorInfo> tensors;
+
+    auto declareTensor = [&](const TensorRef &ref, bool isOutput,
+                             int stmtIdx) -> TensorInfo & {
+        auto it = tensors.find(ref.name);
+        if (it != tensors.end()) {
+            TensorInfo &info = it->second;
+            CHIMERA_CHECK(info.indices == ref.indices,
+                          "tensor " + ref.name +
+                              " used with inconsistent indices");
+            if (isOutput) {
+                CHIMERA_CHECK(info.producerStmt < 0,
+                              "tensor " + ref.name + " produced twice");
+                CHIMERA_CHECK(!info.consumed,
+                              "tensor " + ref.name +
+                                  " consumed before it is produced");
+                info.producerStmt = stmtIdx;
+            } else {
+                CHIMERA_CHECK(info.producerStmt < 0 ||
+                                  info.producerStmt < stmtIdx,
+                              "statements not in topological order");
+                info.consumed = true;
+            }
+            return info;
+        }
+        TensorInfo info;
+        info.indices = ref.indices;
+        info.producerStmt = isOutput ? stmtIdx : -1;
+        info.consumed = !isOutput;
+        TensorDecl decl;
+        decl.name = ref.name;
+        decl.kind = TensorKind::Input; // refined after all statements
+        for (const std::string &index : ref.indices) {
+            decl.dims.push_back(AccessDim{{AccessTerm{axisOf(index), 1}}});
+        }
+        info.id = chain.addTensor(decl);
+        return tensors.emplace(ref.name, info).first->second;
+    };
+
+    std::vector<OpDecl> ops;
+    for (std::size_t s = 0; s < statements.size(); ++s) {
+        const Statement &stmt = statements[s];
+        TensorInfo &lhs =
+            declareTensor(stmt.lhs, false, static_cast<int>(s));
+        TensorInfo &rhs =
+            declareTensor(stmt.rhs, false, static_cast<int>(s));
+        TensorInfo &out =
+            declareTensor(stmt.out, true, static_cast<int>(s));
+
+        OpDecl op;
+        op.name = "contract" + std::to_string(s);
+        op.kind = OpKind::Gemm;
+        for (const TensorRef *ref : {&stmt.out, &stmt.lhs, &stmt.rhs}) {
+            for (const std::string &index : ref->indices) {
+                const AxisId axis = axisOf(index);
+                if (!op.usesLoop(axis)) {
+                    op.loops.push_back(axis);
+                    op.iterDims.push_back(
+                        AccessDim{{AccessTerm{axis, 1}}});
+                }
+            }
+        }
+        // Every output index must appear on an input side (projection).
+        for (const std::string &index : stmt.out.indices) {
+            const AxisId axis = axisOf(index);
+            bool onInput = false;
+            for (const TensorRef *ref : {&stmt.lhs, &stmt.rhs}) {
+                for (const std::string &in : ref->indices) {
+                    onInput = onInput || axisOf(in) == axis;
+                }
+            }
+            CHIMERA_CHECK(onInput, "output index '" + index +
+                                       "' missing from the inputs");
+        }
+        op.tensorIds = {lhs.id, rhs.id, out.id};
+        op.outputTensorId = out.id;
+        ops.push_back(op);
+    }
+
+    // Refine tensor kinds now that all uses are known. Mutating the
+    // declarations requires rebuilding the chain tensors in place via
+    // element size setter-free approach: rebuild a fresh chain.
+    Chain result(name);
+    for (const auto &axis : chain.axes()) {
+        result.addAxis(axis.name, axis.extent, axis.reorderable);
+    }
+    for (std::size_t t = 0; t < chain.tensors().size(); ++t) {
+        TensorDecl decl = chain.tensors()[t];
+        // Find the bookkeeping record by id.
+        for (const auto &[tname, info] : tensors) {
+            if (info.id != static_cast<int>(t)) {
+                continue;
+            }
+            if (info.producerStmt >= 0 && info.consumed) {
+                decl.kind = TensorKind::Intermediate;
+            } else if (info.producerStmt >= 0) {
+                decl.kind = TensorKind::Output;
+            } else {
+                decl.kind = TensorKind::Input;
+            }
+        }
+        result.addTensor(decl);
+    }
+    for (const OpDecl &op : ops) {
+        result.addOp(op);
+    }
+    result.validate();
+    return result;
+}
+
+} // namespace chimera::ir

@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * The textual DSL front-end of Figure 3: an operator chain is written
+ * as einsum-style contraction statements, one per compute-intensive
+ * operator, with shared index names unifying axes across operators
+ * (which is what shrinks the reorder space from (P+Q)! to I!, §IV-B).
+ *
+ *     C[b,m,l] = A[b,m,k] * B[b,k,l];
+ *     E[b,m,n] = C[b,m,l] * D[b,l,n];
+ *
+ * Rules:
+ *  - every statement is `OUT[i,j,..] = X[..] * Y[..]`;
+ *  - index names are the chain's axes; extents come from the caller;
+ *  - a tensor produced by one statement and consumed by a later one is
+ *    an on-chip intermediate; produced-only tensors are outputs and
+ *    consumed-only tensors are inputs;
+ *  - statements must be in topological (producer-before-consumer)
+ *    order, and the final statement produces the chain output.
+ *
+ * The parser covers projection-style contractions (each index plain,
+ * no affine expressions), i.e. GEMM chains of any length; convolution
+ * chains with halo indexing use the structured builders.
+ */
+
+#include <map>
+#include <string>
+
+#include "ir/chain.hpp"
+
+namespace chimera::ir {
+
+/**
+ * Parses @p source into a Chain.
+ *
+ * @param source  One or more `;`-separated contraction statements.
+ * @param extents Extent per index name; every used index must appear.
+ * @param name    Chain display name.
+ * @throws Error on syntax errors, unknown indices, inconsistent uses,
+ *         or non-topological statement order.
+ */
+Chain parseEinsumChain(const std::string &source,
+                       const std::map<std::string, std::int64_t> &extents,
+                       const std::string &name = "dsl_chain");
+
+} // namespace chimera::ir

@@ -1,0 +1,92 @@
+#include "ir/workloads.hpp"
+
+#include <cmath>
+
+namespace chimera::ir {
+
+namespace {
+
+GemmChainConfig
+gemmCfg(const char *name, std::int64_t batch, std::int64_t m, std::int64_t n,
+        std::int64_t k, std::int64_t l)
+{
+    GemmChainConfig cfg;
+    cfg.name = name;
+    cfg.batch = batch;
+    cfg.m = m;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.l = l;
+    cfg.softmaxScale = 1.0f / std::sqrt(static_cast<float>(k));
+    return cfg;
+}
+
+ConvChainConfig
+convCfg(const char *name, std::int64_t ic, std::int64_t h, std::int64_t w,
+        std::int64_t oc1, std::int64_t oc2, int st1, int st2, int k1, int k2)
+{
+    ConvChainConfig cfg;
+    cfg.name = name;
+    cfg.batch = 1;
+    cfg.ic = ic;
+    cfg.h = h;
+    cfg.w = w;
+    cfg.oc1 = oc1;
+    cfg.oc2 = oc2;
+    cfg.stride1 = st1;
+    cfg.stride2 = st2;
+    cfg.k1 = k1;
+    cfg.k2 = k2;
+    return cfg;
+}
+
+} // namespace
+
+const std::vector<GemmChainWorkload> &
+tableIvWorkloads()
+{
+    static const std::vector<GemmChainWorkload> workloads = {
+        {gemmCfg("G1", 8, 512, 64, 64, 512), "Bert-Small"},
+        {gemmCfg("G2", 12, 512, 64, 64, 512), "Bert-Base"},
+        {gemmCfg("G3", 16, 512, 64, 64, 512), "Bert-Large"},
+        {gemmCfg("G4", 12, 256, 64, 64, 256), "ViT-Base/14"},
+        {gemmCfg("G5", 16, 256, 64, 64, 256), "ViT-Large/14"},
+        {gemmCfg("G6", 16, 256, 80, 80, 256), "ViT-Huge/14"},
+        {gemmCfg("G7", 12, 208, 64, 64, 208), "ViT-Base/16"},
+        {gemmCfg("G8", 16, 208, 64, 64, 208), "ViT-Large/16"},
+        {gemmCfg("G9", 16, 208, 80, 80, 208), "ViT-Huge/16"},
+        {gemmCfg("G10", 1, 512, 64, 64, 256), "MLP-Mixer"},
+        {gemmCfg("G11", 1, 768, 64, 64, 384), "MLP-Mixer"},
+        {gemmCfg("G12", 1, 1024, 64, 64, 512), "MLP-Mixer"},
+    };
+    return workloads;
+}
+
+const std::vector<ConvChainWorkload> &
+tableVWorkloads()
+{
+    static const std::vector<ConvChainWorkload> workloads = {
+        {convCfg("C1", 64, 112, 112, 192, 128, 2, 1, 3, 1)},
+        {convCfg("C2", 32, 147, 147, 64, 80, 2, 1, 3, 1)},
+        {convCfg("C3", 64, 56, 56, 128, 64, 1, 1, 3, 1)},
+        {convCfg("C4", 128, 28, 28, 256, 128, 1, 1, 3, 1)},
+        {convCfg("C5", 16, 227, 227, 64, 16, 4, 1, 3, 1)},
+        {convCfg("C6", 64, 56, 56, 64, 64, 1, 1, 1, 3)},
+        {convCfg("C7", 64, 56, 56, 64, 64, 1, 1, 1, 1)},
+        {convCfg("C8", 256, 56, 56, 256, 64, 1, 1, 1, 1)},
+    };
+    return workloads;
+}
+
+std::vector<GemmChainWorkload>
+smallGemmWorkloads()
+{
+    return {
+        {gemmCfg("S1", 2, 64, 16, 16, 64), "test"},
+        {gemmCfg("S2", 1, 48, 32, 16, 40), "test"},
+        {gemmCfg("S3", 3, 33, 17, 9, 29), "test"},
+        {gemmCfg("S4", 1, 128, 64, 64, 128), "test"},
+    };
+}
+
+} // namespace chimera::ir

@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * The paper's evaluation workloads: Table IV (batch GEMM chains G1-G12)
+ * and Table V (convolution chains C1-C8). Benches and integration tests
+ * iterate these so every figure uses exactly the published shapes.
+ */
+
+#include <vector>
+
+#include "ir/builders.hpp"
+
+namespace chimera::ir {
+
+/** One row of Table IV with its source network. */
+struct GemmChainWorkload
+{
+    GemmChainConfig config;
+    const char *network;
+};
+
+/** One row of Table V with derived chain configuration. */
+struct ConvChainWorkload
+{
+    ConvChainConfig config;
+};
+
+/** All twelve batch GEMM chains of Table IV (G1-G12). */
+const std::vector<GemmChainWorkload> &tableIvWorkloads();
+
+/** All eight convolution chains of Table V (C1-C8). */
+const std::vector<ConvChainWorkload> &tableVWorkloads();
+
+/**
+ * A scaled-down variant of Table IV for unit/integration tests, keeping
+ * the same aspect ratios but small enough for the naive reference oracle.
+ */
+std::vector<GemmChainWorkload> smallGemmWorkloads();
+
+} // namespace chimera::ir

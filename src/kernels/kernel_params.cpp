@@ -1,0 +1,58 @@
+#include "kernels/kernel_params.hpp"
+
+#include "support/error.hpp"
+
+namespace chimera::kernels {
+
+double
+kernelArithmeticIntensity(int mi, int ni, int ki)
+{
+    CHIMERA_CHECK(mi >= 1 && ni >= 1 && ki >= 1,
+                  "kernel parameters must be positive");
+    const double compute = static_cast<double>(mi) * ni * ki;
+    const double loadStore =
+        static_cast<double>(ki) * (mi + ni) + 2.0 * mi * ni;
+    return compute / loadStore;
+}
+
+CpuKernelParams
+selectCpuKernelParams(int numRegisters)
+{
+    CHIMERA_CHECK(numRegisters >= 4, "too few vector registers");
+    CpuKernelParams best;
+    double bestProbeAi = 0.0;
+    // KI large enough that the asymptotic AI dominates the comparison;
+    // the paper sets KI dynamically at code generation time.
+    constexpr int kProbeKi = 1 << 20;
+    for (int mi = 1; mi <= numRegisters; ++mi) {
+        for (int ni = 1; ni <= numRegisters; ++ni) {
+            for (int mii = 2; mii <= mi; ++mii) {
+                if (mi % mii != 0) {
+                    continue; // Algorithm 2's mo loop steps by MII
+                }
+                const int regs = mi * ni + ni + mii;
+                if (regs > numRegisters) {
+                    continue;
+                }
+                const double ai = kernelArithmeticIntensity(mi, ni, kProbeKi);
+                const bool better =
+                    ai > bestProbeAi + 1e-12 ||
+                    (ai > bestProbeAi - 1e-12 &&
+                     (mi > best.mi || (mi == best.mi && mii < best.mii)));
+                if (better) {
+                    bestProbeAi = ai;
+                    best.mi = mi;
+                    best.ni = ni;
+                    best.mii = mii;
+                    best.arithmeticIntensity =
+                        static_cast<double>(mi) * ni / (mi + ni);
+                    best.registersUsed = regs;
+                }
+            }
+        }
+    }
+    CHIMERA_CHECK(best.mi > 0, "no feasible kernel parameters");
+    return best;
+}
+
+} // namespace chimera::kernels

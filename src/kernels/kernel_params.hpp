@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file
+ * Analytical micro-kernel parameter selection (§V-B).
+ *
+ * The paper chooses the CPU kernel's register tile (MI, NI, MII) by
+ * maximizing arithmetic intensity
+ *     AI = #ComputeInst / #LoadStoreInst
+ *        = (MI*NI*KI) / (KI*(MI+NI) + 2*MI*NI)
+ * subject to the register budget
+ *     RegUsed = MI*NI + NI + MII <= #Registers.
+ * Additional structural constraints from Algorithm 2: MII divides MI
+ * (the mo loop steps by MII) and MII >= 2 (at least two in-flight A
+ * broadcasts to hide load latency). For CascadeLake's 32 ZMM registers
+ * this selects (6, 4, 2), matching the paper.
+ */
+
+namespace chimera::kernels {
+
+/** Selected register-tile parameters of Algorithm 2. */
+struct CpuKernelParams
+{
+    int mi = 0; ///< Rows of the register tile.
+    int ni = 0; ///< Columns in vector registers.
+    int mii = 0; ///< A-broadcast group size.
+
+    /** AI in the KI -> infinity limit: MI*NI / (MI+NI). */
+    double arithmeticIntensity = 0.0;
+
+    /** MI*NI + NI + MII. */
+    int registersUsed = 0;
+};
+
+/** AI for finite KI per the paper's formula. */
+double kernelArithmeticIntensity(int mi, int ni, int ki);
+
+/**
+ * Maximizes AI under the register budget.
+ *
+ * @param numRegisters Architectural vector registers (32 for AVX-512,
+ *                     16 for AVX2).
+ */
+CpuKernelParams selectCpuKernelParams(int numRegisters);
+
+} // namespace chimera::kernels

@@ -1,0 +1,155 @@
+#include "kernels/mma_tile.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace chimera::kernels {
+
+void
+mmaSync(const float *aFrag, const float *bFrag, float *cFrag)
+{
+    for (int i = 0; i < kMmaDim; ++i) {
+        for (int j = 0; j < kMmaDim; ++j) {
+            float acc = cFrag[i * kMmaDim + j];
+            for (int k = 0; k < kMmaDim; ++k) {
+                acc += aFrag[i * kMmaDim + k] * bFrag[k * kMmaDim + j];
+            }
+            cFrag[i * kMmaDim + j] = acc;
+        }
+    }
+}
+
+namespace {
+
+/** Copies a 16x16 fragment out of a row-major matrix. */
+void
+loadFragment(const float *src, std::int64_t ld, float *frag)
+{
+    for (int i = 0; i < kMmaDim; ++i) {
+        std::memcpy(frag + i * kMmaDim, src + i * ld,
+                    kMmaDim * sizeof(float));
+    }
+}
+
+void
+storeFragment(const float *frag, float *dst, std::int64_t ld)
+{
+    for (int i = 0; i < kMmaDim; ++i) {
+        std::memcpy(dst + i * ld, frag + i * kMmaDim,
+                    kMmaDim * sizeof(float));
+    }
+}
+
+void
+checkShapes(const Tensor &a, const Tensor &b, const Tensor &c,
+            int multiple)
+{
+    CHIMERA_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+                  "mma matmul expects rank-2 tensors");
+    CHIMERA_CHECK(a.shape()[1] == b.shape()[0] &&
+                      c.shape()[0] == a.shape()[0] &&
+                      c.shape()[1] == b.shape()[1],
+                  "mma matmul shape mismatch");
+    for (std::int64_t dim :
+         {a.shape()[0], a.shape()[1], b.shape()[1]}) {
+        CHIMERA_CHECK(dim % multiple == 0,
+                      "mma matmul dimensions must be fragment-aligned");
+    }
+}
+
+} // namespace
+
+MmaStats
+mmaMatmulNaive(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    checkShapes(a, b, c, kMmaDim);
+    const std::int64_t m = a.shape()[0];
+    const std::int64_t k = a.shape()[1];
+    const std::int64_t n = b.shape()[1];
+    c.zero();
+
+    MmaStats stats;
+    std::vector<float> aFrag(kMmaDim * kMmaDim);
+    std::vector<float> bFrag(kMmaDim * kMmaDim);
+    std::vector<float> cFrag(kMmaDim * kMmaDim);
+    for (std::int64_t i = 0; i < m; i += kMmaDim) {
+        for (std::int64_t j = 0; j < n; j += kMmaDim) {
+            loadFragment(c.data() + i * n + j, n, cFrag.data());
+            for (std::int64_t p = 0; p < k; p += kMmaDim) {
+                // One A load + one B load per mma: AI-poor (§V-B).
+                loadFragment(a.data() + i * k + p, k, aFrag.data());
+                loadFragment(b.data() + p * n + j, n, bFrag.data());
+                stats.fragmentLoads += 2;
+                mmaSync(aFrag.data(), bFrag.data(), cFrag.data());
+                stats.mmaOps += 1;
+            }
+            storeFragment(cFrag.data(), c.data() + i * n + j, n);
+        }
+    }
+    return stats;
+}
+
+MmaStats
+mmaMatmulTiled(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    checkShapes(a, b, c, 2 * kMmaDim);
+    const std::int64_t m = a.shape()[0];
+    const std::int64_t k = a.shape()[1];
+    const std::int64_t n = b.shape()[1];
+    c.zero();
+
+    MmaStats stats;
+    std::vector<float> aFrag[2];
+    std::vector<float> bFrag[2];
+    std::vector<float> cFrag[2][2];
+    for (int i = 0; i < 2; ++i) {
+        aFrag[i].resize(kMmaDim * kMmaDim);
+        bFrag[i].resize(kMmaDim * kMmaDim);
+        for (int j = 0; j < 2; ++j) {
+            cFrag[i][j].resize(kMmaDim * kMmaDim);
+        }
+    }
+
+    for (std::int64_t i = 0; i < m; i += 2 * kMmaDim) {
+        for (std::int64_t j = 0; j < n; j += 2 * kMmaDim) {
+            for (int ti = 0; ti < 2; ++ti) {
+                for (int tj = 0; tj < 2; ++tj) {
+                    loadFragment(c.data() + (i + ti * kMmaDim) * n + j +
+                                     tj * kMmaDim,
+                                 n, cFrag[ti][tj].data());
+                }
+            }
+            for (std::int64_t p = 0; p < k; p += kMmaDim) {
+                // Two A and two B fragments feed four mma ops: each
+                // loaded fragment is reused twice (§V-B).
+                for (int t = 0; t < 2; ++t) {
+                    loadFragment(a.data() + (i + t * kMmaDim) * k + p, k,
+                                 aFrag[t].data());
+                    loadFragment(b.data() + p * n + j + t * kMmaDim, n,
+                                 bFrag[t].data());
+                    stats.fragmentLoads += 2;
+                }
+                for (int ti = 0; ti < 2; ++ti) {
+                    for (int tj = 0; tj < 2; ++tj) {
+                        mmaSync(aFrag[ti].data(), bFrag[tj].data(),
+                                cFrag[ti][tj].data());
+                        stats.mmaOps += 1;
+                    }
+                }
+            }
+            for (int ti = 0; ti < 2; ++ti) {
+                for (int tj = 0; tj < 2; ++tj) {
+                    storeFragment(cFrag[ti][tj].data(),
+                                  c.data() + (i + ti * kMmaDim) * n + j +
+                                      tj * kMmaDim,
+                                  n);
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace chimera::kernels

@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Tensor-Core-style mma micro kernel (§V-B, "GPU Micro Kernels"),
+ * emulated on the host.
+ *
+ * The unit operation is the WMMA-shaped 16x16x16 fragment multiply
+ *     C_frag[16,16] += A_frag[16,16] * B_frag[16,16].
+ * Issuing one load per mma gives arithmetic intensity too low to feed
+ * the units, so the paper's kernel unrolls a 2x2 tile of C fragments
+ * and reuses each loaded A/B fragment twice. Both variants are
+ * implemented here so the AI improvement is observable (counted
+ * fragment loads per mma), and the tiled kernel is validated against
+ * the reference GEMM.
+ */
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace chimera::kernels {
+
+/** WMMA fragment edge. */
+inline constexpr int kMmaDim = 16;
+
+/** One fragment multiply: c += a * b on 16x16 row-major fragments. */
+void mmaSync(const float *aFrag, const float *bFrag, float *cFrag);
+
+/** Statistics of one emulated-GPU matmul. */
+struct MmaStats
+{
+    std::int64_t mmaOps = 0;
+    std::int64_t fragmentLoads = 0;
+
+    /** mma issued per fragment loaded: 0.5 naive, 1.0 with 2x2 tiles. */
+    double
+    opsPerLoad() const
+    {
+        return fragmentLoads == 0
+                   ? 0.0
+                   : static_cast<double>(mmaOps) /
+                         static_cast<double>(fragmentLoads);
+    }
+};
+
+/**
+ * C = A x B using one mma per fragment pair (the naive schedule the
+ * paper rejects). Dimensions must be multiples of 16.
+ */
+MmaStats mmaMatmulNaive(const Tensor &a, const Tensor &b, Tensor &c);
+
+/**
+ * C = A x B with the paper's 2x2 C-tile schedule: two A fragments and
+ * two B fragments are loaded per step and each is reused twice.
+ * Dimensions must be multiples of 32.
+ */
+MmaStats mmaMatmulTiled(const Tensor &a, const Tensor &b, Tensor &c);
+
+} // namespace chimera::kernels

@@ -1,0 +1,215 @@
+#include "kernels/npu_mad.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/mathutil.hpp"
+
+namespace chimera::kernels {
+
+namespace {
+
+std::size_t
+packedAElems(const MadShape &s)
+{
+    return static_cast<std::size_t>(s.m1) * s.k1 * s.m2 * s.k2;
+}
+
+std::size_t
+packedBElems(const MadShape &s)
+{
+    return static_cast<std::size_t>(s.k1) * s.n1 * s.n2 * s.k2;
+}
+
+std::size_t
+packedCElems(const MadShape &s)
+{
+    return static_cast<std::size_t>(s.m1) * s.n1 * s.m2 * s.n2;
+}
+
+} // namespace
+
+void
+packMadA(const float *a, std::int64_t lda, std::int64_t rows,
+         std::int64_t depth, const MadShape &shape, float *dst)
+{
+    std::memset(dst, 0, packedAElems(shape) * sizeof(float));
+    for (std::int64_t r = 0; r < std::min<std::int64_t>(rows,
+                                                        shape.rows());
+         ++r) {
+        const int m1 = static_cast<int>(r / shape.m2);
+        const int m2 = static_cast<int>(r % shape.m2);
+        for (std::int64_t kIdx = 0;
+             kIdx < std::min<std::int64_t>(depth, shape.depth()); ++kIdx) {
+            const int k1 = static_cast<int>(kIdx / shape.k2);
+            const int k2 = static_cast<int>(kIdx % shape.k2);
+            dst[((static_cast<std::size_t>(m1) * shape.k1 + k1) *
+                     shape.m2 +
+                 m2) *
+                    shape.k2 +
+                k2] = a[r * lda + kIdx];
+        }
+    }
+}
+
+void
+packMadB(const float *b, std::int64_t ldb, std::int64_t depth,
+         std::int64_t cols, const MadShape &shape, float *dst)
+{
+    std::memset(dst, 0, packedBElems(shape) * sizeof(float));
+    for (std::int64_t kIdx = 0;
+         kIdx < std::min<std::int64_t>(depth, shape.depth()); ++kIdx) {
+        const int k1 = static_cast<int>(kIdx / shape.k2);
+        const int k2 = static_cast<int>(kIdx % shape.k2);
+        for (std::int64_t c = 0;
+             c < std::min<std::int64_t>(cols, shape.cols()); ++c) {
+            const int n1 = static_cast<int>(c / shape.n2);
+            const int n2 = static_cast<int>(c % shape.n2);
+            dst[((static_cast<std::size_t>(k1) * shape.n1 + n1) *
+                     shape.n2 +
+                 n2) *
+                    shape.k2 +
+                k2] = b[kIdx * ldb + c];
+        }
+    }
+}
+
+void
+madCompute(const float *aPack, const float *bPack, float *cPack,
+           const MadShape &s)
+{
+    // The six-loop nest the `mad` pragma lowers to (§V-B):
+    // C[m1,n1,m2,n2] += A[m1,k1,m2,k2] * B[k1,n1,n2,k2].
+    for (int m1 = 0; m1 < s.m1; ++m1) {
+        for (int n1 = 0; n1 < s.n1; ++n1) {
+            float *cBlock =
+                cPack + ((static_cast<std::size_t>(m1) * s.n1 + n1) *
+                         s.m2 * s.n2);
+            for (int k1 = 0; k1 < s.k1; ++k1) {
+                const float *aBlock =
+                    aPack + ((static_cast<std::size_t>(m1) * s.k1 + k1) *
+                             s.m2 * s.k2);
+                const float *bBlock =
+                    bPack + ((static_cast<std::size_t>(k1) * s.n1 + n1) *
+                             s.n2 * s.k2);
+                for (int m2 = 0; m2 < s.m2; ++m2) {
+                    for (int n2 = 0; n2 < s.n2; ++n2) {
+                        float acc = 0.0f;
+                        for (int k2 = 0; k2 < s.k2; ++k2) {
+                            acc += aBlock[m2 * s.k2 + k2] *
+                                   bBlock[n2 * s.k2 + k2];
+                        }
+                        cBlock[m2 * s.n2 + n2] += acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+unpackMadC(const float *cPack, const MadShape &shape, float *c,
+           std::int64_t ldc, std::int64_t rows, std::int64_t cols)
+{
+    for (std::int64_t r = 0; r < std::min<std::int64_t>(rows,
+                                                        shape.rows());
+         ++r) {
+        const int m1 = static_cast<int>(r / shape.m2);
+        const int m2 = static_cast<int>(r % shape.m2);
+        for (std::int64_t col = 0;
+             col < std::min<std::int64_t>(cols, shape.cols()); ++col) {
+            const int n1 = static_cast<int>(col / shape.n2);
+            const int n2 = static_cast<int>(col % shape.n2);
+            c[r * ldc + col] +=
+                cPack[((static_cast<std::size_t>(m1) * shape.n1 + n1) *
+                           shape.m2 +
+                       m2) *
+                          shape.n2 +
+                      n2];
+        }
+    }
+}
+
+void
+madMatmul(const Tensor &a, const Tensor &b, Tensor &c,
+          const MadShape &shape)
+{
+    CHIMERA_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+                  "madMatmul expects rank-2 tensors");
+    const std::int64_t m = a.shape()[0];
+    const std::int64_t k = a.shape()[1];
+    const std::int64_t n = b.shape()[1];
+    CHIMERA_CHECK(b.shape()[0] == k && c.shape()[0] == m &&
+                      c.shape()[1] == n,
+                  "madMatmul shape mismatch");
+
+    std::vector<float> aPack(packedAElems(shape));
+    std::vector<float> bPack(packedBElems(shape));
+    std::vector<float> cPack(packedCElems(shape));
+    c.zero();
+
+    for (std::int64_t m0 = 0; m0 < m; m0 += shape.rows()) {
+        const std::int64_t rows = std::min<std::int64_t>(shape.rows(),
+                                                         m - m0);
+        for (std::int64_t n0 = 0; n0 < n; n0 += shape.cols()) {
+            const std::int64_t cols =
+                std::min<std::int64_t>(shape.cols(), n - n0);
+            std::fill(cPack.begin(), cPack.end(), 0.0f);
+            for (std::int64_t k0 = 0; k0 < k; k0 += shape.depth()) {
+                const std::int64_t depth =
+                    std::min<std::int64_t>(shape.depth(), k - k0);
+                packMadA(a.data() + m0 * k + k0, k, rows, depth, shape,
+                         aPack.data());
+                packMadB(b.data() + k0 * n + n0, n, depth, cols, shape,
+                         bPack.data());
+                madCompute(aPack.data(), bPack.data(), cPack.data(),
+                           shape);
+            }
+            unpackMadC(cPack.data(), shape, c.data() + m0 * n + n0, n,
+                       rows, cols);
+        }
+    }
+}
+
+double
+madArithmeticIntensity(const MadShape &s)
+{
+    const double compute = static_cast<double>(s.m1) * s.m2 * s.n1 * s.n2;
+    const double loads = static_cast<double>(s.m1) * s.m2 +
+                         static_cast<double>(s.n1) * s.n2;
+    return compute / loads;
+}
+
+MadShape
+selectMadShape(int lanes, std::int64_t l0aBytes, std::int64_t l0bBytes,
+               int k1)
+{
+    CHIMERA_CHECK(lanes >= 1 && l0aBytes > 0 && l0bBytes > 0 && k1 >= 1,
+                  "bad mad shape parameters");
+    MadShape shape;
+    shape.m2 = lanes; // M2 = N2 = Lane_of_cube_units (§V-B)
+    shape.n2 = lanes;
+    shape.k2 = lanes;
+    shape.k1 = k1;
+    // M1 = N1 maximal such that the packed operands fit L0A/L0B.
+    constexpr std::int64_t kElem = 4;
+    int best = 1;
+    for (int m1 = 1; m1 <= 1024; ++m1) {
+        const std::int64_t aBytes = static_cast<std::int64_t>(m1) * k1 *
+                                    lanes * lanes * kElem;
+        const std::int64_t bBytes = static_cast<std::int64_t>(k1) * m1 *
+                                    lanes * lanes * kElem;
+        if (aBytes <= l0aBytes && bBytes <= l0bBytes) {
+            best = m1;
+        } else {
+            break;
+        }
+    }
+    shape.m1 = best;
+    shape.n1 = best;
+    return shape;
+}
+
+} // namespace chimera::kernels

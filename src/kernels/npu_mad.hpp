@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * NPU cube-unit micro kernel semantics (§V-B, "NPU Micro Kernels").
+ *
+ * The Ascend `mad` pragma expects six nested loops over packed operands:
+ *     C[m1, n1, m2, n2] += A[m1, k1, m2, k2] * B[k1, n1, n2, k2]
+ * with the inner block shapes m2/n2/k2 equal to the cube-unit lane
+ * count. This module implements that computation bit-exactly on the
+ * host (the emulated backend of DESIGN.md §2), the packing from
+ * row-major matrices into the fractal layout, and the §V-B arithmetic
+ * intensity optimization
+ *     AI = (M1*M2*N1*N2) / (M1*M2 + N1*N2)
+ * maximized by M2 = N2 = lanes and M1 = N1 sized to the L0 buffers.
+ */
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace chimera::kernels {
+
+/** Blocking of one mad invocation. */
+struct MadShape
+{
+    int m1 = 1;
+    int n1 = 1;
+    int k1 = 1;
+    int m2 = 16; ///< cube-unit lanes
+    int n2 = 16;
+    int k2 = 16;
+
+    std::int64_t rows() const { return std::int64_t{1} * m1 * m2; }
+    std::int64_t cols() const { return std::int64_t{1} * n1 * n2; }
+    std::int64_t depth() const { return std::int64_t{1} * k1 * k2; }
+};
+
+/**
+ * Packs a row-major A block (rows x depth) into the fractal layout
+ * A[m1][k1][m2][k2]; regions beyond @p rows/@p depth are zero.
+ */
+void packMadA(const float *a, std::int64_t lda, std::int64_t rows,
+              std::int64_t depth, const MadShape &shape, float *dst);
+
+/**
+ * Packs a row-major B block (depth x cols) into B[k1][n1][n2][k2];
+ * note the transposed innermost pair, as the cube unit expects.
+ */
+void packMadB(const float *b, std::int64_t ldb, std::int64_t depth,
+              std::int64_t cols, const MadShape &shape, float *dst);
+
+/**
+ * The mad computation: C[m1][n1][m2][n2] += A * B over packed inputs.
+ */
+void madCompute(const float *aPack, const float *bPack, float *cPack,
+                const MadShape &shape);
+
+/** Unpacks C[m1][n1][m2][n2] into a row-major (rows x cols) block. */
+void unpackMadC(const float *cPack, const MadShape &shape, float *c,
+                std::int64_t ldc, std::int64_t rows, std::int64_t cols);
+
+/**
+ * Full emulated cube-unit matmul C = A x B on row-major tensors,
+ * blocking with @p shape per invocation. Used by tests to validate the
+ * fractal layouts against the reference GEMM.
+ */
+void madMatmul(const Tensor &a, const Tensor &b, Tensor &c,
+               const MadShape &shape);
+
+/** AI of one mad invocation per §V-B. */
+double madArithmeticIntensity(const MadShape &shape);
+
+/**
+ * §V-B parameter choice: M2 = N2 = lanes and M1 = N1 maximal such that
+ * the packed A and B blocks fit the L0A/L0B capacities.
+ */
+MadShape selectMadShape(int lanes, std::int64_t l0aBytes,
+                        std::int64_t l0bBytes, int k1 = 1);
+
+} // namespace chimera::kernels

@@ -1,0 +1,262 @@
+#include "model/data_movement.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/mathutil.hpp"
+
+namespace chimera::model {
+
+using ir::AxisId;
+using ir::Chain;
+using ir::OpDecl;
+using ir::TensorDecl;
+using ir::TensorKind;
+
+void
+validatePermutation(const Chain &chain, const std::vector<AxisId> &perm)
+{
+    CHIMERA_CHECK(static_cast<int>(perm.size()) == chain.numAxes(),
+                  "permutation must cover every axis");
+    std::vector<bool> seen(perm.size(), false);
+    for (AxisId axis : perm) {
+        CHIMERA_CHECK(axis >= 0 && axis < chain.numAxes(),
+                      "permutation contains an unknown axis");
+        CHIMERA_CHECK(!seen[static_cast<std::size_t>(axis)],
+                      "permutation repeats an axis");
+        seen[static_cast<std::size_t>(axis)] = true;
+    }
+}
+
+void
+validateTiles(const Chain &chain, const std::vector<std::int64_t> &tiles)
+{
+    CHIMERA_CHECK(static_cast<int>(tiles.size()) == chain.numAxes(),
+                  "tile vector must cover every axis");
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        const std::int64_t extent =
+            chain.axes()[static_cast<std::size_t>(a)].extent;
+        CHIMERA_CHECK(tiles[static_cast<std::size_t>(a)] >= 1 &&
+                          tiles[static_cast<std::size_t>(a)] <= extent,
+                      "tile size out of range for axis " +
+                          chain.axes()[static_cast<std::size_t>(a)].name);
+    }
+}
+
+namespace {
+
+/** Number of blocks of @p axis under @p tiles. */
+std::int64_t
+blockCount(const Chain &chain, const std::vector<std::int64_t> &tiles,
+           AxisId axis)
+{
+    const auto a = static_cast<std::size_t>(axis);
+    return ceilDiv(chain.axes()[a].extent, tiles[a]);
+}
+
+/**
+ * Movement multiplier for one tensor within one operator: the product of
+ * trip counts of every block loop from the innermost accessing loop
+ * outward (Algorithm 1 lines 9-15).
+ */
+double
+tensorMovementMultiplier(const Chain &chain, const OpDecl &op,
+                         const TensorDecl &tensor,
+                         const std::vector<AxisId> &activePerm,
+                         const std::vector<std::int64_t> &tiles)
+{
+    double multiplier = 1.0;
+    bool keepReuse = true;
+    for (auto it = activePerm.rbegin(); it != activePerm.rend(); ++it) {
+        const AxisId axis = *it;
+        if (!op.usesLoop(axis)) {
+            continue;
+        }
+        const std::int64_t blocks = blockCount(chain, tiles, axis);
+        if (blocks == 1) {
+            continue; // single block: never replaces the tensor's tile
+        }
+        if (tensor.usesAxis(axis)) {
+            keepReuse = false;
+        }
+        if (!keepReuse) {
+            multiplier *= static_cast<double>(blocks);
+        }
+    }
+    return multiplier;
+}
+
+} // namespace
+
+DataMovement
+computeDataMovement(const Chain &chain, const std::vector<AxisId> &perm,
+                    const std::vector<std::int64_t> &tiles,
+                    const ModelOptions &options)
+{
+    validatePermutation(chain, perm);
+    validateTiles(chain, tiles);
+
+    DataMovement result;
+    result.perTensorBytes.assign(chain.tensors().size(), 0.0);
+
+    std::vector<AxisId> activePerm = perm;
+    for (std::size_t opIdx = 0; opIdx < chain.ops().size(); ++opIdx) {
+        const OpDecl &op = chain.ops()[opIdx];
+        std::int64_t totalFootprintBytes = 0;
+        for (int t : op.tensorIds) {
+            const TensorDecl &tensor =
+                chain.tensors()[static_cast<std::size_t>(t)];
+            const std::int64_t footprintBytes =
+                tensor.footprintElems(tiles) * tensor.elementSize;
+            totalFootprintBytes += footprintBytes;
+
+            const bool counted = options.intermediatesAreIO ||
+                                 tensor.kind != TensorKind::Intermediate;
+            if (!counted) {
+                continue;
+            }
+            const double movement =
+                static_cast<double>(footprintBytes) *
+                tensorMovementMultiplier(chain, op, tensor, activePerm,
+                                         tiles);
+            result.volumeBytes += movement;
+            result.perTensorBytes[static_cast<std::size_t>(t)] += movement;
+        }
+
+        // Remove loops private to this producer before visiting consumers
+        // (Algorithm 1 lines 17-19, observation 3).
+        for (AxisId axis : chain.privateAxesOf(static_cast<int>(opIdx))) {
+            activePerm.erase(
+                std::remove(activePerm.begin(), activePerm.end(), axis),
+                activePerm.end());
+        }
+        result.memUsageBytes =
+            std::max(result.memUsageBytes, totalFootprintBytes);
+    }
+    return result;
+}
+
+bool
+isExecutableOrder(const Chain &chain, const std::vector<AxisId> &perm)
+{
+    // Conservative: every reorderable multi-extent axis is assumed to
+    // be blocked (tile < extent).
+    std::vector<std::int64_t> ones(static_cast<std::size_t>(
+                                       chain.numAxes()),
+                                   1);
+    return isExecutableOrder(chain, perm, ones);
+}
+
+bool
+isExecutableOrder(const Chain &chain, const std::vector<AxisId> &perm,
+                  const std::vector<std::int64_t> &tiles)
+{
+    validatePermutation(chain, perm);
+    validateTiles(chain, tiles);
+    std::vector<int> position(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        position[static_cast<std::size_t>(perm[i])] = static_cast<int>(i);
+    }
+    auto isFreeAxis = [&](AxisId axis) {
+        const ir::Axis &a = chain.axes()[static_cast<std::size_t>(axis)];
+        return a.reorderable && a.extent > 1 &&
+               blockCount(chain, tiles, axis) > 1;
+    };
+
+    for (std::size_t t = 0; t < chain.tensors().size(); ++t) {
+        const TensorDecl &tensor = chain.tensors()[t];
+        if (tensor.kind != TensorKind::Intermediate) {
+            continue;
+        }
+        // Region axes index the intermediate; user axes belong to its
+        // producer or consumer nests.
+        std::vector<AxisId> regionAxes;
+        std::vector<AxisId> otherAxes;
+        for (const OpDecl &op : chain.ops()) {
+            const bool touches =
+                std::find(op.tensorIds.begin(), op.tensorIds.end(),
+                          static_cast<int>(t)) != op.tensorIds.end();
+            if (!touches) {
+                continue;
+            }
+            for (AxisId axis : op.loops) {
+                if (!isFreeAxis(axis)) {
+                    continue;
+                }
+                auto &dst =
+                    tensor.usesAxis(axis) ? regionAxes : otherAxes;
+                if (std::find(dst.begin(), dst.end(), axis) == dst.end()) {
+                    dst.push_back(axis);
+                }
+            }
+        }
+        for (AxisId region : regionAxes) {
+            for (AxisId other : otherAxes) {
+                if (position[static_cast<std::size_t>(other)] <
+                    position[static_cast<std::size_t>(region)]) {
+                    return false; // region revisited by an outer loop
+                }
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<std::vector<std::string>>
+reuseAxesPerTensor(const Chain &chain, const std::vector<AxisId> &perm,
+                   const std::vector<std::int64_t> &tiles)
+{
+    validatePermutation(chain, perm);
+    validateTiles(chain, tiles);
+
+    std::vector<std::vector<std::string>> reuse(chain.tensors().size());
+    std::vector<AxisId> activePerm = perm;
+    std::vector<AxisId> removedPrivate;
+    for (std::size_t opIdx = 0; opIdx < chain.ops().size(); ++opIdx) {
+        const OpDecl &op = chain.ops()[opIdx];
+        for (int t : op.tensorIds) {
+            const TensorDecl &tensor =
+                chain.tensors()[static_cast<std::size_t>(t)];
+            if (tensor.kind == TensorKind::Intermediate) {
+                continue;
+            }
+            // Loops private to earlier producers never iterate over a
+            // consumer's tensors (observation 3): the paper reports them
+            // as reuse dimensions ("D and E are always reused along k").
+            for (AxisId axis : removedPrivate) {
+                if (blockCount(chain, tiles, axis) > 1) {
+                    reuse[static_cast<std::size_t>(t)].push_back(
+                        chain.axes()[static_cast<std::size_t>(axis)].name);
+                }
+            }
+            bool keepReuse = true;
+            for (auto it = activePerm.rbegin(); it != activePerm.rend();
+                 ++it) {
+                const AxisId axis = *it;
+                if (!op.usesLoop(axis)) {
+                    // Loops of other operators never move this tensor.
+                    continue;
+                }
+                if (blockCount(chain, tiles, axis) == 1) {
+                    continue;
+                }
+                if (tensor.usesAxis(axis)) {
+                    keepReuse = false;
+                }
+                if (keepReuse) {
+                    reuse[static_cast<std::size_t>(t)].push_back(
+                        chain.axes()[static_cast<std::size_t>(axis)].name);
+                }
+            }
+        }
+        for (ir::AxisId axis : chain.privateAxesOf(static_cast<int>(opIdx))) {
+            activePerm.erase(
+                std::remove(activePerm.begin(), activePerm.end(), axis),
+                activePerm.end());
+            removedPrivate.push_back(axis);
+        }
+    }
+    return reuse;
+}
+
+} // namespace chimera::model

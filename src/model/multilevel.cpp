@@ -1,0 +1,69 @@
+#include "model/multilevel.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace chimera::model {
+
+MultiLevelCost
+evaluateMultiLevel(const ir::Chain &chain, const MachineModel &machine,
+                   const std::vector<LevelSchedule> &schedules,
+                   const ModelOptions &options)
+{
+    CHIMERA_CHECK(!machine.levels.empty(), "machine has no memory levels");
+    CHIMERA_CHECK(schedules.size() == machine.levels.size(),
+                  "one schedule per memory level is required");
+
+    MultiLevelCost cost;
+    cost.feasible = true;
+
+    for (std::size_t d = 0; d < schedules.size(); ++d) {
+        const DataMovement dm = computeDataMovement(
+            chain, schedules[d].perm, schedules[d].tiles, options);
+        const MemoryLevel &level = machine.levels[d];
+        cost.volumeBytes.push_back(dm.volumeBytes);
+        cost.memUsageBytes.push_back(dm.memUsageBytes);
+        CHIMERA_CHECK(level.bandwidthBytesPerSec > 0.0,
+                      "memory level bandwidth must be positive");
+        // The per-core link bandwidth fills one core's working set; with
+        // multiple cores each core moves its own share of the blocks.
+        cost.stageSeconds.push_back(
+            dm.volumeBytes /
+            (level.bandwidthBytesPerSec *
+             static_cast<double>(std::max(1, machine.cores))));
+        if (static_cast<double>(dm.memUsageBytes) > level.capacityBytes) {
+            cost.feasible = false;
+        }
+    }
+
+    // Compute stage: effective FLOPs (including halo re-computation at
+    // the innermost tiling) over sustained throughput.
+    const std::vector<std::int64_t> extents = chain.fullExtents();
+    double iters = 0.0;
+    for (const ir::OpDecl &op : chain.ops()) {
+        iters += op.effectiveIters(extents, schedules.front().tiles);
+    }
+    const double sustained =
+        machine.peakFlops * std::max(1e-6, machine.computeEfficiency);
+    cost.computeSeconds = 2.0 * iters / sustained;
+
+    cost.boundSeconds = cost.computeSeconds;
+    for (double stage : cost.stageSeconds) {
+        cost.boundSeconds = std::max(cost.boundSeconds, stage);
+    }
+    return cost;
+}
+
+double
+arithmeticIntensity(const ir::Chain &chain, const MultiLevelCost &cost)
+{
+    CHIMERA_CHECK(!cost.volumeBytes.empty(), "cost has no levels");
+    const double dramBytes = cost.volumeBytes.back();
+    if (dramBytes <= 0.0) {
+        return 0.0;
+    }
+    return chain.totalFlops() / dramBytes;
+}
+
+} // namespace chimera::model

@@ -1,0 +1,109 @@
+#pragma once
+
+/**
+ * @file
+ * Multi-level memory-hierarchy cost model (§IV-C, Equations 2 and 3).
+ *
+ * A machine is described as D levels of on-chip memory between the
+ * compute units and off-chip DRAM. Level 0 is the innermost (registers /
+ * L0 buffers); each level d has a capacity and the bandwidth of the link
+ * that fills it from level d+1 (the link above level D-1 is DRAM).
+ *
+ * For a candidate schedule the planner supplies one tile vector per
+ * level (S_0 <= S_1 <= ... elementwise). The data movement into level d
+ * is Algorithm 1 evaluated with S_d; the stage cost is DV_d / bw_d
+ * (Eq. 2) and the pipeline objective is the max over stages and the
+ * compute stage (Eq. 3 with compute included, which is how the simulated
+ * GPU/NPU backends turn the model into an execution-time estimate).
+ */
+
+#include <string>
+#include <vector>
+
+#include "model/data_movement.hpp"
+
+namespace chimera::model {
+
+/** One on-chip memory level. */
+struct MemoryLevel
+{
+    std::string name;
+
+    /** Usable capacity in bytes for the chain's working set. */
+    double capacityBytes = 0.0;
+
+    /** Bandwidth in bytes/second of the link filling this level. */
+    double bandwidthBytesPerSec = 0.0;
+};
+
+/** Machine description consumed by the multi-level model. */
+struct MachineModel
+{
+    std::string name;
+
+    /** Levels ordered innermost (level 0) to outermost. */
+    std::vector<MemoryLevel> levels;
+
+    /** Peak compute throughput in FLOP/s of the dedicated units. */
+    double peakFlops = 0.0;
+
+    /**
+     * Fraction of peakFlops a well-scheduled micro kernel sustains
+     * (pipeline efficiency); used by the execution-time estimate.
+     */
+    double computeEfficiency = 1.0;
+
+    /** Number of independent compute cores executing blocks. */
+    int cores = 1;
+};
+
+/** Per-level schedule of one candidate plan. */
+struct LevelSchedule
+{
+    /** Block execution order for this level, outermost first. */
+    std::vector<ir::AxisId> perm;
+
+    /** Tile sizes for this level, indexed by axis. */
+    std::vector<std::int64_t> tiles;
+};
+
+/** Cost breakdown returned by evaluateMultiLevel. */
+struct MultiLevelCost
+{
+    /** DV_d in bytes for every level, innermost first. */
+    std::vector<double> volumeBytes;
+
+    /** Cost_d = DV_d / bw_d in seconds for every level. */
+    std::vector<double> stageSeconds;
+
+    /** MU_d in bytes for every level. */
+    std::vector<std::int64_t> memUsageBytes;
+
+    /** Compute stage time in seconds (effective FLOPs / peak). */
+    double computeSeconds = 0.0;
+
+    /** max(stageSeconds..., computeSeconds): the Eq.-3 objective. */
+    double boundSeconds = 0.0;
+
+    /** True when every MU_d fits its level's capacity. */
+    bool feasible = false;
+};
+
+/**
+ * Evaluates Equations 2-3 for one candidate schedule.
+ *
+ * @param chain     Operator chain.
+ * @param machine   Machine description (levels innermost first).
+ * @param schedules One LevelSchedule per machine level, innermost first.
+ * @param options   Passed through to Algorithm 1.
+ */
+MultiLevelCost evaluateMultiLevel(const ir::Chain &chain,
+                                  const MachineModel &machine,
+                                  const std::vector<LevelSchedule> &schedules,
+                                  const ModelOptions &options = {});
+
+/** Arithmetic intensity (FLOPs per DRAM byte) of the outermost level. */
+double arithmeticIntensity(const ir::Chain &chain,
+                           const MultiLevelCost &cost);
+
+} // namespace chimera::model

@@ -1,0 +1,189 @@
+#include "model/symbolic.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "model/data_movement.hpp"
+#include "support/error.hpp"
+
+namespace chimera::model {
+
+using ir::AxisId;
+using ir::Chain;
+
+namespace {
+
+/** Upper-cased axis name: the full-extent symbol (m -> M). */
+std::string
+extentSymbol(const Chain &chain, AxisId axis)
+{
+    std::string name = chain.axes()[static_cast<std::size_t>(axis)].name;
+    for (char &c : name) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return name;
+}
+
+/** Tile symbol (m -> T_m). */
+std::string
+tileSymbol(const Chain &chain, AxisId axis)
+{
+    return "T_" + chain.axes()[static_cast<std::size_t>(axis)].name;
+}
+
+bool
+isBlocked(const Chain &chain, AxisId axis)
+{
+    const ir::Axis &a = chain.axes()[static_cast<std::size_t>(axis)];
+    return a.reorderable && a.extent > 1;
+}
+
+/** One symbolic product with T_x * ceil(X/T_x) cancellation. */
+struct Product
+{
+    // Footprint factors: either a plain axis tile (cancellable) or an
+    // opaque affine string.
+    std::vector<AxisId> tileFactors;
+    std::vector<std::string> opaqueFactors;
+    // Trip-count multipliers per axis.
+    std::vector<AxisId> ceilFactors;
+
+    std::string
+    render(const Chain &chain) const
+    {
+        std::vector<AxisId> tiles = tileFactors;
+        std::vector<AxisId> ceils = ceilFactors;
+        std::vector<std::string> parts;
+
+        // Cancel T_x against ceil(X/T_x) -> X (exact when T_x | X; the
+        // paper writes Table III in this divisible form).
+        for (AxisId tile : tileFactors) {
+            auto it = std::find(ceils.begin(), ceils.end(), tile);
+            if (it != ceils.end()) {
+                parts.push_back(extentSymbol(chain, tile));
+                ceils.erase(it);
+                tiles.erase(std::find(tiles.begin(), tiles.end(), tile));
+            }
+        }
+        for (AxisId tile : tiles) {
+            parts.push_back(tileSymbol(chain, tile));
+        }
+        for (const std::string &opaque : opaqueFactors) {
+            parts.push_back(opaque);
+        }
+        for (AxisId axis : ceils) {
+            parts.push_back("ceil(" + extentSymbol(chain, axis) + "/" +
+                            tileSymbol(chain, axis) + ")");
+        }
+        if (parts.empty()) {
+            return "1";
+        }
+        std::ostringstream oss;
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            if (i != 0) {
+                oss << "*";
+            }
+            oss << parts[i];
+        }
+        return oss.str();
+    }
+};
+
+/** Footprint factors of one tensor (tiles or affine strings). */
+void
+footprintFactors(const Chain &chain, int tensorId, Product &product)
+{
+    const ir::TensorDecl &tensor =
+        chain.tensors()[static_cast<std::size_t>(tensorId)];
+    for (const ir::AccessDim &dim : tensor.dims) {
+        if (dim.terms.empty()) {
+            continue; // constant dimension: factor 1
+        }
+        if (dim.terms.size() == 1 && dim.terms[0].coeff == 1) {
+            const AxisId axis = dim.terms[0].axis;
+            if (isBlocked(chain, axis)) {
+                product.tileFactors.push_back(axis);
+            } else {
+                product.opaqueFactors.push_back(
+                    extentSymbol(chain, axis));
+            }
+            continue;
+        }
+        // Affine (halo) dimension: 1 + sum coeff*(T-1) rendered opaque.
+        std::ostringstream oss;
+        oss << "(1";
+        for (const ir::AccessTerm &term : dim.terms) {
+            oss << "+";
+            if (term.coeff != 1) {
+                oss << term.coeff << "*";
+            }
+            oss << "("
+                << (isBlocked(chain, term.axis)
+                        ? tileSymbol(chain, term.axis)
+                        : extentSymbol(chain, term.axis))
+                << "-1)";
+        }
+        oss << ")";
+        product.opaqueFactors.push_back(oss.str());
+    }
+}
+
+} // namespace
+
+std::string
+symbolicFootprint(const Chain &chain, int tensorId)
+{
+    CHIMERA_CHECK(tensorId >= 0 &&
+                      tensorId < static_cast<int>(chain.tensors().size()),
+                  "tensor id out of range");
+    Product product;
+    footprintFactors(chain, tensorId, product);
+    return product.render(chain);
+}
+
+std::vector<std::string>
+symbolicMovement(const Chain &chain, const std::vector<AxisId> &perm)
+{
+    validatePermutation(chain, perm);
+
+    std::vector<std::string> result(chain.tensors().size(),
+                                    "0 (on-chip)");
+    std::vector<AxisId> activePerm = perm;
+    for (std::size_t opIdx = 0; opIdx < chain.ops().size(); ++opIdx) {
+        const ir::OpDecl &op = chain.ops()[opIdx];
+        for (int t : op.tensorIds) {
+            const ir::TensorDecl &tensor =
+                chain.tensors()[static_cast<std::size_t>(t)];
+            if (tensor.kind == ir::TensorKind::Intermediate) {
+                continue;
+            }
+            Product product;
+            footprintFactors(chain, t, product);
+            bool keepReuse = true;
+            for (auto it = activePerm.rbegin(); it != activePerm.rend();
+                 ++it) {
+                const AxisId axis = *it;
+                if (!op.usesLoop(axis) || !isBlocked(chain, axis)) {
+                    continue;
+                }
+                if (tensor.usesAxis(axis)) {
+                    keepReuse = false;
+                }
+                if (!keepReuse) {
+                    product.ceilFactors.push_back(axis);
+                }
+            }
+            result[static_cast<std::size_t>(t)] = product.render(chain);
+        }
+        for (AxisId axis : chain.privateAxesOf(static_cast<int>(opIdx))) {
+            activePerm.erase(
+                std::remove(activePerm.begin(), activePerm.end(), axis),
+                activePerm.end());
+        }
+    }
+    return result;
+}
+
+} // namespace chimera::model

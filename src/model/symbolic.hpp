@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Symbolic data-movement formulas: the closed-form expressions of the
+ * paper's Table III, derived mechanically from Algorithm 1 instead of
+ * evaluated numerically. For each IO tensor under a block order, the
+ * movement is
+ *
+ *     DM = (tile footprint) * prod(ceil(L_i / T_i) over moving loops)
+ *
+ * and whenever a plain footprint factor T_x meets its own trip count
+ * ceil(X/T_x), the product cancels to the full extent X — which is how
+ * the paper writes `DM_A = M*K*ceil(L/T_L)`. Used by the Table III
+ * bench and handy for teaching/debugging the model.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/chain.hpp"
+
+namespace chimera::model {
+
+/**
+ * Per-tensor symbolic movement expressions under @p perm, assuming
+ * every reorderable axis is blocked (tile < extent) and pinned axes run
+ * untiled. Intermediates yield "0 (on-chip)".
+ *
+ * @return One expression per chain tensor, e.g. "M*K*ceil(L/T_l)".
+ */
+std::vector<std::string>
+symbolicMovement(const ir::Chain &chain,
+                 const std::vector<ir::AxisId> &perm);
+
+/** Symbolic tile footprint of one tensor, e.g. "T_m*T_k". */
+std::string symbolicFootprint(const ir::Chain &chain, int tensorId);
+
+} // namespace chimera::model

@@ -1,0 +1,96 @@
+#include "plan/plan_io.hpp"
+
+#include <sstream>
+
+#include "ir/builders.hpp"
+#include "model/data_movement.hpp"
+#include "support/error.hpp"
+
+namespace chimera::plan {
+
+std::string
+serializePlan(const ir::Chain &chain, const ExecutionPlan &plan)
+{
+    model::validatePermutation(chain, plan.perm);
+    model::validateTiles(chain, plan.tiles);
+    std::ostringstream out;
+    out << "chimera-plan v1\n";
+    out << "chain: " << chain.name() << "\n";
+    out << "order: " << orderString(chain, plan.perm) << "\n";
+    out << "tiles:";
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        out << " " << chain.axes()[static_cast<std::size_t>(a)].name << "="
+            << plan.tiles[static_cast<std::size_t>(a)];
+    }
+    out << "\n";
+    out << "volume-bytes: " << static_cast<std::int64_t>(
+                                   plan.predictedVolumeBytes)
+        << "\n";
+    out << "mem-bytes: " << plan.memUsageBytes << "\n";
+    return out.str();
+}
+
+ExecutionPlan
+deserializePlan(const ir::Chain &chain, const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    CHIMERA_CHECK(std::getline(in, line) && line == "chimera-plan v1",
+                  "not a chimera-plan v1 document");
+
+    ExecutionPlan plan;
+    plan.tiles.assign(static_cast<std::size_t>(chain.numAxes()), 0);
+    bool haveOrder = false;
+    bool haveTiles = false;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        const std::size_t colon = line.find(':');
+        CHIMERA_CHECK(colon != std::string::npos,
+                      "malformed plan line: " + line);
+        const std::string key = line.substr(0, colon);
+        std::string value = line.substr(colon + 1);
+        if (!value.empty() && value.front() == ' ') {
+            value.erase(0, 1);
+        }
+        if (key == "chain") {
+            // Informational; the caller supplies the chain to bind to.
+        } else if (key == "order") {
+            plan.perm = permFromOrderString(chain, value);
+            haveOrder = true;
+        } else if (key == "tiles") {
+            std::istringstream ts(value);
+            std::string token;
+            while (ts >> token) {
+                const std::size_t eq = token.find('=');
+                CHIMERA_CHECK(eq != std::string::npos,
+                              "malformed tile token: " + token);
+                const ir::AxisId axis =
+                    ir::axisIdByName(chain, token.substr(0, eq));
+                plan.tiles[static_cast<std::size_t>(axis)] =
+                    std::stoll(token.substr(eq + 1));
+            }
+            haveTiles = true;
+        } else if (key == "volume-bytes") {
+            plan.predictedVolumeBytes = std::stod(value);
+        } else if (key == "mem-bytes") {
+            plan.memUsageBytes = std::stoll(value);
+        } else {
+            throw Error("unknown plan key: " + key);
+        }
+    }
+    CHIMERA_CHECK(haveOrder && haveTiles,
+                  "plan document missing order or tiles");
+    model::validatePermutation(chain, plan.perm);
+    model::validateTiles(chain, plan.tiles);
+
+    // Recompute the predictions so a stale document cannot lie.
+    const model::DataMovement dm =
+        model::computeDataMovement(chain, plan.perm, plan.tiles);
+    plan.predictedVolumeBytes = dm.volumeBytes;
+    plan.memUsageBytes = dm.memUsageBytes;
+    return plan;
+}
+
+} // namespace chimera::plan

@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Plan serialization: a stable, human-readable text format so planned
+ * schedules can be cached across runs (planning is cheap but kernels
+ * may be planned once and deployed many times) and inspected in code
+ * review. Format:
+ *
+ *     chimera-plan v1
+ *     chain: <name>
+ *     order: m,l,k,n
+ *     tiles: m=128 l=64 k=64 n=64
+ *     volume-bytes: 6291456
+ *     mem-bytes: 393216
+ *
+ * Deserialization validates the plan against the chain it is applied
+ * to (axis names, tile ranges, permutation completeness).
+ */
+
+#include <string>
+
+#include "plan/planner.hpp"
+
+namespace chimera::plan {
+
+/** Serializes @p plan for @p chain into the v1 text format. */
+std::string serializePlan(const ir::Chain &chain,
+                          const ExecutionPlan &plan);
+
+/**
+ * Parses a v1 plan and validates it against @p chain.
+ * Throws Error on malformed input or chain mismatch.
+ */
+ExecutionPlan deserializePlan(const ir::Chain &chain,
+                              const std::string &text);
+
+} // namespace chimera::plan

@@ -1,0 +1,289 @@
+#include "plan/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/builders.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/mathutil.hpp"
+#include "support/timer.hpp"
+
+namespace chimera::plan {
+
+using ir::AxisId;
+using ir::Chain;
+
+solver::TileConstraints
+alphaConstraints(const Chain &chain, std::int64_t alpha)
+{
+    solver::TileConstraints constraints;
+    for (AxisId a = 0; a < chain.numAxes(); ++a) {
+        const ir::Axis &axis = chain.axes()[static_cast<std::size_t>(a)];
+        // Batch never needs a width floor: it is an outer dimension of
+        // every tensor, so its tile does not affect line utilization.
+        if (axis.reorderable && axis.name != "b") {
+            constraints.minTile[a] = std::min(alpha, axis.extent);
+        }
+    }
+    return constraints;
+}
+
+solver::TileConstraints
+executabilityPins(const Chain &chain)
+{
+    // Region (R) and user (U) axis sets per intermediate, over free
+    // multi-extent reorderable axes.
+    struct Sets
+    {
+        std::vector<AxisId> region;
+        std::vector<AxisId> users;
+    };
+    std::vector<Sets> sets;
+    for (std::size_t t = 0; t < chain.tensors().size(); ++t) {
+        const ir::TensorDecl &tensor = chain.tensors()[t];
+        if (tensor.kind != ir::TensorKind::Intermediate) {
+            continue;
+        }
+        Sets s;
+        for (const ir::OpDecl &op : chain.ops()) {
+            if (std::find(op.tensorIds.begin(), op.tensorIds.end(),
+                          static_cast<int>(t)) == op.tensorIds.end()) {
+                continue;
+            }
+            for (AxisId axis : op.loops) {
+                const ir::Axis &a =
+                    chain.axes()[static_cast<std::size_t>(axis)];
+                if (!a.reorderable || a.extent <= 1) {
+                    continue;
+                }
+                auto &dst = tensor.usesAxis(axis) ? s.region : s.users;
+                if (std::find(dst.begin(), dst.end(), axis) == dst.end()) {
+                    dst.push_back(axis);
+                }
+            }
+        }
+        sets.push_back(std::move(s));
+    }
+
+    solver::TileConstraints pins;
+    auto contains = [](const std::vector<AxisId> &v, AxisId a) {
+        return std::find(v.begin(), v.end(), a) != v.end();
+    };
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        for (std::size_t j = i + 1; j < sets.size(); ++j) {
+            // Cycle: x in R_i and U_j, y in U_i and R_j. Pinning y to
+            // its extent removes it from both sets and breaks the cycle
+            // (the later intermediate becomes panel-resident along y).
+            for (AxisId x : sets[i].region) {
+                if (!contains(sets[j].users, x)) {
+                    continue;
+                }
+                for (AxisId y : sets[i].users) {
+                    if (contains(sets[j].region, y)) {
+                        pins.fixed[y] =
+                            chain.axes()[static_cast<std::size_t>(y)]
+                                .extent;
+                    }
+                }
+            }
+        }
+    }
+    return pins;
+}
+
+std::string
+orderString(const Chain &chain, const std::vector<AxisId> &perm)
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        if (i != 0) {
+            oss << ",";
+        }
+        oss << chain.axes()[static_cast<std::size_t>(perm[i])].name;
+    }
+    return oss.str();
+}
+
+std::vector<AxisId>
+permFromOrderString(const Chain &chain, const std::string &order)
+{
+    std::vector<AxisId> perm;
+    std::stringstream ss(order);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        perm.push_back(ir::axisIdByName(chain, token));
+    }
+    // Append any axes the string omitted (pinned kernel axes), innermost.
+    for (AxisId a = 0; a < chain.numAxes(); ++a) {
+        if (std::find(perm.begin(), perm.end(), a) == perm.end()) {
+            perm.push_back(a);
+        }
+    }
+    model::validatePermutation(chain, perm);
+    return perm;
+}
+
+namespace {
+
+/** Builds the full permutation: reorderable prefix + pinned innermost. */
+std::vector<AxisId>
+fullPermutation(const Chain &chain, const std::vector<AxisId> &reorderable,
+                const std::vector<int> &orderIdx)
+{
+    std::vector<AxisId> perm;
+    perm.reserve(static_cast<std::size_t>(chain.numAxes()));
+    for (int idx : orderIdx) {
+        perm.push_back(reorderable[static_cast<std::size_t>(idx)]);
+    }
+    for (AxisId pinned : chain.pinnedAxes()) {
+        perm.push_back(pinned);
+    }
+    return perm;
+}
+
+} // namespace
+
+ExecutionPlan
+planChain(const Chain &chain, const PlannerOptions &options)
+{
+    WallTimer timer;
+    const std::vector<AxisId> reorderable = chain.reorderableAxes();
+    CHIMERA_CHECK(reorderable.size() <= 8,
+                  "too many reorderable axes to enumerate");
+
+    solver::TileSolverOptions solverOptions;
+    solverOptions.memCapacityBytes = options.memCapacityBytes;
+    solverOptions.maxSweeps = options.solverSweeps;
+    solverOptions.model = options.model;
+
+    // Pinned kernel axes execute untiled inside the micro/im2col step.
+    solver::TileConstraints constraints = options.constraints;
+    for (AxisId pinned : chain.pinnedAxes()) {
+        constraints.fixed.emplace(
+            pinned, chain.axes()[static_cast<std::size_t>(pinned)].extent);
+    }
+    // Break inter-intermediate ordering cycles (panel residency): with
+    // these axes blocked, no order at all would be executable.
+    if (options.onlyExecutableOrders) {
+        for (const auto &[axis, tile] : executabilityPins(chain).fixed) {
+            constraints.minTile.erase(axis);
+            constraints.multipleOf.erase(axis);
+            constraints.fixed[axis] = tile;
+        }
+    }
+
+    // Axes fixed to their full extent (e.g. a middle-GEMM free dimension
+    // held as a full panel) have one block and relax the executability
+    // filter accordingly.
+    std::vector<std::int64_t> filterTiles(
+        static_cast<std::size_t>(chain.numAxes()), 1);
+    for (const auto &[axis, tile] : constraints.fixed) {
+        filterTiles[static_cast<std::size_t>(axis)] = std::min(
+            tile, chain.axes()[static_cast<std::size_t>(axis)].extent);
+    }
+
+    ExecutionPlan best;
+    bool haveBest = false;
+    int examined = 0;
+    for (const std::vector<int> &orderIdx :
+         allPermutations(static_cast<int>(reorderable.size()))) {
+        if (examined >= options.maxPermutations) {
+            CHIMERA_WARN("permutation cap reached for chain "
+                         << chain.name());
+            break;
+        }
+        ++examined;
+        const std::vector<AxisId> perm =
+            fullPermutation(chain, reorderable, orderIdx);
+        if (options.onlyExecutableOrders &&
+            !model::isExecutableOrder(chain, perm, filterTiles)) {
+            continue;
+        }
+        const solver::TileSolution sol =
+            solver::solveTiles(chain, perm, constraints, solverOptions);
+        if (!sol.feasible) {
+            continue;
+        }
+        const bool better =
+            !haveBest || sol.volumeBytes < best.predictedVolumeBytes - 0.5 ||
+            (sol.volumeBytes < best.predictedVolumeBytes + 0.5 &&
+             sol.memUsageBytes < best.memUsageBytes);
+        if (better) {
+            best.perm = perm;
+            best.tiles = sol.tiles;
+            best.predictedVolumeBytes = sol.volumeBytes;
+            best.memUsageBytes = sol.memUsageBytes;
+            haveBest = true;
+        }
+    }
+    CHIMERA_CHECK(haveBest,
+                  "no feasible schedule for chain " + chain.name() +
+                      " under the given memory capacity");
+    best.candidatesExamined = examined;
+    best.planSeconds = timer.seconds();
+    CHIMERA_DEBUG("planned " << chain.name() << ": order "
+                             << orderString(chain, best.perm) << " volume "
+                             << best.predictedVolumeBytes << "B");
+    return best;
+}
+
+ExecutionPlan
+planFixedOrder(const Chain &chain, const std::vector<AxisId> &perm,
+               const PlannerOptions &options)
+{
+    WallTimer timer;
+    solver::TileSolverOptions solverOptions;
+    solverOptions.memCapacityBytes = options.memCapacityBytes;
+    solverOptions.maxSweeps = options.solverSweeps;
+    solverOptions.model = options.model;
+
+    solver::TileConstraints constraints = options.constraints;
+    for (AxisId pinned : chain.pinnedAxes()) {
+        constraints.fixed.emplace(
+            pinned, chain.axes()[static_cast<std::size_t>(pinned)].extent);
+    }
+    const solver::TileSolution sol =
+        solver::solveTiles(chain, perm, constraints, solverOptions);
+    CHIMERA_CHECK(sol.feasible,
+                  "fixed order infeasible for chain " + chain.name());
+    ExecutionPlan plan;
+    plan.perm = perm;
+    plan.tiles = sol.tiles;
+    plan.predictedVolumeBytes = sol.volumeBytes;
+    plan.memUsageBytes = sol.memUsageBytes;
+    plan.candidatesExamined = 1;
+    plan.planSeconds = timer.seconds();
+    return plan;
+}
+
+MultiLevelPlan
+planChainMultiLevel(const Chain &chain, const model::MachineModel &machine,
+                    const PlannerOptions &baseOptions)
+{
+    CHIMERA_CHECK(!machine.levels.empty(), "machine has no memory levels");
+    WallTimer timer;
+
+    MultiLevelPlan result;
+    result.levels.resize(machine.levels.size());
+
+    // Plan outermost level first; inner tiles nest inside outer tiles.
+    PlannerOptions options = baseOptions;
+    for (std::size_t d = machine.levels.size(); d-- > 0;) {
+        options.memCapacityBytes = machine.levels[d].capacityBytes;
+        const ExecutionPlan levelPlan = planChain(chain, options);
+        result.levels[d].perm = levelPlan.perm;
+        result.levels[d].tiles = levelPlan.tiles;
+        // Constrain the next (inner) level to nest inside this one.
+        for (AxisId a = 0; a < chain.numAxes(); ++a) {
+            options.constraints.maxTile[a] =
+                levelPlan.tiles[static_cast<std::size_t>(a)];
+        }
+    }
+    result.cost = model::evaluateMultiLevel(chain, machine, result.levels,
+                                            baseOptions.model);
+    result.planSeconds = timer.seconds();
+    return result;
+}
+
+} // namespace chimera::plan

@@ -1,0 +1,134 @@
+#pragma once
+
+/**
+ * @file
+ * The inter-block planner (Figure 3: "block decomposition" + "inter-block
+ * reordering").
+ *
+ * For a chain it enumerates the I! block execution orders over the
+ * reorderable axes (pinned kernel axes stay innermost), solves the tile
+ * sizes for each order with the analytical model, and returns the order
+ * with the minimal predicted data movement volume. A multi-level variant
+ * plans one schedule per memory level (§IV-C), constraining inner-level
+ * tiles to nest inside outer-level tiles.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/chain.hpp"
+#include "model/multilevel.hpp"
+#include "solver/tile_solver.hpp"
+
+namespace chimera::plan {
+
+/** A fully decided block schedule for one memory level. */
+struct ExecutionPlan
+{
+    /** Block execution order: all axes, outermost first. */
+    std::vector<ir::AxisId> perm;
+
+    /** Tile size per axis. */
+    std::vector<std::int64_t> tiles;
+
+    /** Algorithm-1 volume prediction for this plan, bytes. */
+    double predictedVolumeBytes = 0.0;
+
+    /** Peak on-chip footprint, bytes. */
+    std::int64_t memUsageBytes = 0;
+
+    /** Number of (permutation, solve) candidates examined. */
+    int candidatesExamined = 0;
+
+    /** Wall time spent planning, seconds (§VI-E overhead experiment). */
+    double planSeconds = 0.0;
+};
+
+/** Planner knobs. */
+struct PlannerOptions
+{
+    /** On-chip capacity in bytes for the single-level constraint. */
+    double memCapacityBytes = 0.0;
+
+    /** Executor tile restrictions (micro-kernel multiples etc.). */
+    solver::TileConstraints constraints;
+
+    /** Hard cap on enumerated permutations (I! can grow quickly). */
+    int maxPermutations = 40320;
+
+    /** Forwarded to Algorithm 1. */
+    model::ModelOptions model;
+
+    /** Forwarded to the tile solver. */
+    int solverSweeps = 6;
+
+    /**
+     * When true (default) only orders executable with single on-chip
+     * intermediate regions are considered (see model::isExecutableOrder).
+     */
+    bool onlyExecutableOrders = true;
+};
+
+/**
+ * Tile constraints applying the paper's alpha lower bound to every
+ * reorderable axis (clamped to each extent): keeps tiles cache-line
+ * friendly so free axes (e.g. T_N, T_K) do not collapse to width 1.
+ */
+solver::TileConstraints alphaConstraints(const ir::Chain &chain,
+                                         std::int64_t alpha);
+
+/**
+ * Pins the axes whose blocking makes *no* order executable: when two
+ * intermediates impose a cyclic ordering (axis x must be inner to axis
+ * y and vice versa — e.g. l and p in a three-GEMM chain), the later
+ * intermediate's region axis is fixed to its full extent so that
+ * intermediate is held as a panel. Chains without cycles get no pins.
+ */
+solver::TileConstraints executabilityPins(const ir::Chain &chain);
+
+/** Human-readable order string, e.g. "m,l,k,n". */
+std::string orderString(const ir::Chain &chain,
+                        const std::vector<ir::AxisId> &perm);
+
+/** Parses "m,l,k,n" into a full permutation (pinned axes appended). */
+std::vector<ir::AxisId> permFromOrderString(const ir::Chain &chain,
+                                            const std::string &order);
+
+/**
+ * Plans the best single-level schedule for @p chain.
+ * Throws Error when no feasible schedule exists under the capacity.
+ */
+ExecutionPlan planChain(const ir::Chain &chain,
+                        const PlannerOptions &options);
+
+/**
+ * Solves tiles for one pinned block order (no enumeration). Used by the
+ * fixed-order (template-library-style) baseline and by sweeps that need
+ * a specific order. Throws when the order is infeasible.
+ */
+ExecutionPlan planFixedOrder(const ir::Chain &chain,
+                             const std::vector<ir::AxisId> &perm,
+                             const PlannerOptions &options);
+
+/** Result of multi-level planning: one schedule per machine level. */
+struct MultiLevelPlan
+{
+    /** Schedules innermost-level first (aligned with MachineModel). */
+    std::vector<model::LevelSchedule> levels;
+
+    /** Eq. 2-3 evaluation of the planned schedules. */
+    model::MultiLevelCost cost;
+
+    double planSeconds = 0.0;
+};
+
+/**
+ * Plans per-level schedules against @p machine (§IV-C). Levels are
+ * planned outermost first; each inner level's tiles are constrained to
+ * nest inside the enclosing level's tiles.
+ */
+MultiLevelPlan planChainMultiLevel(const ir::Chain &chain,
+                                   const model::MachineModel &machine,
+                                   const PlannerOptions &baseOptions);
+
+} // namespace chimera::plan

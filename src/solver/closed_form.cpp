@@ -1,0 +1,64 @@
+#include "solver/closed_form.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/mathutil.hpp"
+
+namespace chimera::solver {
+
+GemmChainClosedForm
+solveGemmChainClosedForm(std::int64_t m, std::int64_t n, std::int64_t k,
+                         std::int64_t l, double memCapacityElems,
+                         std::int64_t alpha)
+{
+    CHIMERA_CHECK(m >= 1 && n >= 1 && k >= 1 && l >= 1,
+                  "extents must be positive");
+    CHIMERA_CHECK(memCapacityElems > 0.0, "capacity must be positive");
+    CHIMERA_CHECK(alpha >= 1, "alpha must be at least 1");
+
+    GemmChainClosedForm result;
+    const double a = static_cast<double>(alpha);
+    const double mc = memCapacityElems;
+
+    // T* = -alpha + sqrt(alpha^2 + MC); the free tiles sit at alpha.
+    const double tStar = -a + std::sqrt(a * a + mc);
+    result.tmStar = tStar;
+    result.tlStar = tStar;
+
+    result.tm = std::min<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(tStar)), m);
+    result.tl = std::min<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(tStar)), l);
+    result.tm = std::max<std::int64_t>(result.tm, 1);
+    result.tl = std::max<std::int64_t>(result.tl, 1);
+    result.tn = std::min<std::int64_t>(alpha, n);
+    result.tk = std::min<std::int64_t>(alpha, k);
+
+    const double mlkn = static_cast<double>(m) * static_cast<double>(l) *
+                        static_cast<double>(k + n);
+    result.dvStarElems = 2.0 * mlkn / tStar;
+
+    // Integer DV with the real ceil factors of the mlkn-order formula:
+    // DV = M*K*ceil(L/T_L) + (K+N)*L*ceil(M/T_M) ... regrouped per tensor.
+    const double cm = static_cast<double>(ceilDiv(m, result.tm));
+    const double cl = static_cast<double>(ceilDiv(l, result.tl));
+    result.dvRoundedElems =
+        static_cast<double>(m) * static_cast<double>(k) * cl +
+        static_cast<double>(k) * static_cast<double>(l) * cm +
+        static_cast<double>(n) * static_cast<double>(l) * cm +
+        static_cast<double>(m) * static_cast<double>(n) * cl;
+
+    // Paper bound: max over X in {M, L} of 1 + sqrt(MC)/X +
+    // 1/min{X, sqrt(MC)} (valid for MC >> alpha).
+    const double sqrtMc = std::sqrt(mc);
+    const double boundM = 1.0 + sqrtMc / static_cast<double>(m) +
+                          1.0 / std::min(static_cast<double>(m), sqrtMc);
+    const double boundL = 1.0 + sqrtMc / static_cast<double>(l) +
+                          1.0 / std::min(static_cast<double>(l), sqrtMc);
+    result.approximationBound = std::max(boundM, boundL);
+    return result;
+}
+
+} // namespace chimera::solver

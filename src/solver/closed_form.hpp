@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * The paper's closed-form Lagrange-multiplier solution for the two-GEMM
+ * chain under block order mlkn (§IV-B).
+ *
+ * Under that order the relaxed objective is
+ *     DV(T_M, T_L) = M*L*(K+N) * (1/T_M + 1/T_L)
+ * with the memory constraint (T_N and T_K pinned to the free-variable
+ * lower bound alpha)
+ *     T_M*T_L + alpha*(T_M + T_L) <= MC.
+ * Symmetry gives T_M* = T_L* = -alpha + sqrt(alpha^2 + MC) and
+ *     DV* = 2*M*L*(K+N) / T_M*.
+ */
+
+#include <cstdint>
+
+namespace chimera::solver {
+
+/** Result of the closed-form GEMM-chain solve. */
+struct GemmChainClosedForm
+{
+    /** Real-valued extrema of the relaxed problem. */
+    double tmStar = 0.0;
+    double tlStar = 0.0;
+
+    /** Integer tiles after T_X = min{floor(T_X*), X} rounding. */
+    std::int64_t tm = 0;
+    std::int64_t tl = 0;
+    std::int64_t tn = 0;
+    std::int64_t tk = 0;
+
+    /** Relaxed optimum DV* in elements. */
+    double dvStarElems = 0.0;
+
+    /** DV of the rounded integer solution in elements (with ceils). */
+    double dvRoundedElems = 0.0;
+
+    /** Paper's a-priori bound on dvRounded/dvStar. */
+    double approximationBound = 0.0;
+};
+
+/**
+ * Solves the relaxed problem and rounds to integers.
+ *
+ * @param m, n, k, l       GEMM-chain extents.
+ * @param memCapacityElems On-chip capacity in *elements*.
+ * @param alpha            Lower bound for the free tiles T_N, T_K.
+ */
+GemmChainClosedForm solveGemmChainClosedForm(std::int64_t m, std::int64_t n,
+                                             std::int64_t k, std::int64_t l,
+                                             double memCapacityElems,
+                                             std::int64_t alpha = 8);
+
+} // namespace chimera::solver

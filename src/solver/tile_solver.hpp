@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * General tile-size optimizer: minimize Algorithm-1 data movement under
+ * the memory-capacity constraint for a fixed block execution order.
+ *
+ * The paper solves the relaxed problem with Lagrange multipliers and
+ * rounds; closed forms exist only per chain/order pair. This module
+ * implements the general path as monotone coordinate descent on the
+ * integer candidate lattice: DV is non-increasing and MU non-decreasing
+ * in every tile size, so sweeping each axis over its candidate sizes and
+ * keeping the best feasible point converges in a handful of passes. On
+ * the GEMM chain this reproduces the paper's closed form (see tests).
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/chain.hpp"
+#include "model/data_movement.hpp"
+
+namespace chimera::solver {
+
+/** Per-axis restrictions imposed by the executor / micro kernel. */
+struct TileConstraints
+{
+    /**
+     * Tile sizes for an axis must be a multiple of this value or the
+     * full extent (the executor peels remainder blocks elsewhere).
+     */
+    std::map<ir::AxisId, std::int64_t> multipleOf;
+
+    /** Fixed tile size for an axis (pinned kernel axes use extent). */
+    std::map<ir::AxisId, std::int64_t> fixed;
+
+    /** Upper bound on the tile of an axis (e.g. nested level tiles). */
+    std::map<ir::AxisId, std::int64_t> maxTile;
+
+    /**
+     * Lower bound on the tile of an axis (clamped to the extent): the
+     * paper's alpha for free variables, which keeps tiles cache-line
+     * friendly.
+     */
+    std::map<ir::AxisId, std::int64_t> minTile;
+};
+
+/** Result of one solve for a fixed permutation. */
+struct TileSolution
+{
+    std::vector<std::int64_t> tiles;
+    double volumeBytes = 0.0;
+    std::int64_t memUsageBytes = 0;
+    bool feasible = false;
+};
+
+/** Options for the solver. */
+struct TileSolverOptions
+{
+    /** Capacity in bytes for the MU <= MC constraint. */
+    double memCapacityBytes = 0.0;
+
+    /** Maximum coordinate-descent sweeps. */
+    int maxSweeps = 6;
+
+    /** Model options forwarded to Algorithm 1. */
+    model::ModelOptions model;
+};
+
+/**
+ * Minimizes DV for a fixed permutation.
+ *
+ * @param chain       Operator chain.
+ * @param perm        Block execution order (all axes, outermost first).
+ * @param constraints Executor tile restrictions.
+ * @param options     Capacity and solver parameters.
+ */
+TileSolution solveTiles(const ir::Chain &chain,
+                        const std::vector<ir::AxisId> &perm,
+                        const TileConstraints &constraints,
+                        const TileSolverOptions &options);
+
+/** Candidate tile sizes for @p axis honoring @p constraints. */
+std::vector<std::int64_t> axisTileCandidates(const ir::Chain &chain,
+                                             ir::AxisId axis,
+                                             const TileConstraints &c);
+
+} // namespace chimera::solver

@@ -1,0 +1,35 @@
+#include "support/aligned.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "support/mathutil.hpp"
+
+namespace chimera {
+namespace detail {
+
+void *
+alignedAllocBytes(std::size_t bytes)
+{
+    if (bytes == 0) {
+        bytes = kBufferAlignment;
+    }
+    // std::aligned_alloc requires the size to be a multiple of alignment.
+    const std::size_t padded = static_cast<std::size_t>(
+        roundUp(static_cast<std::int64_t>(bytes),
+                static_cast<std::int64_t>(kBufferAlignment)));
+    void *p = std::aligned_alloc(kBufferAlignment, padded);
+    if (p == nullptr) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void
+AlignedDeleter::operator()(void *p) const noexcept
+{
+    std::free(p);
+}
+
+} // namespace detail
+} // namespace chimera

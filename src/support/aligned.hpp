@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Cache-line / SIMD aligned heap allocation with RAII ownership.
+ */
+
+#include <cstddef>
+#include <memory>
+
+namespace chimera {
+
+/** Alignment used for all tensor and packing buffers (one AVX-512 lane). */
+inline constexpr std::size_t kBufferAlignment = 64;
+
+namespace detail {
+
+/** Deleter matching alignedAllocBytes. */
+struct AlignedDeleter
+{
+    void operator()(void *p) const noexcept;
+};
+
+/** Allocates @p bytes with kBufferAlignment; throws std::bad_alloc. */
+void *alignedAllocBytes(std::size_t bytes);
+
+} // namespace detail
+
+/** Owning pointer to an aligned, uninitialized array of T. */
+template <typename T>
+using AlignedBuffer = std::unique_ptr<T[], detail::AlignedDeleter>;
+
+/**
+ * Allocates an aligned, uninitialized array of @p count elements of T.
+ * T must be trivially destructible (the deleter only frees memory).
+ */
+template <typename T>
+AlignedBuffer<T>
+allocateAligned(std::size_t count)
+{
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "AlignedBuffer only supports trivially destructible types");
+    return AlignedBuffer<T>(
+        static_cast<T *>(detail::alignedAllocBytes(count * sizeof(T))));
+}
+
+} // namespace chimera

@@ -1,0 +1,43 @@
+#include "support/cpu_features.hpp"
+
+namespace chimera {
+
+SimdTier
+detectSimdTier()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw")) {
+        return SimdTier::Avx512;
+    }
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+        return SimdTier::Avx2Fma;
+    }
+#endif
+    return SimdTier::Scalar;
+}
+
+std::string
+simdTierName(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::Scalar: return "scalar";
+      case SimdTier::Avx2Fma: return "avx2";
+      case SimdTier::Avx512: return "avx512";
+    }
+    return "unknown";
+}
+
+int
+simdLanes(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::Scalar: return 1;
+      case SimdTier::Avx2Fma: return 8;
+      case SimdTier::Avx512: return 16;
+    }
+    return 1;
+}
+
+} // namespace chimera

@@ -1,0 +1,30 @@
+#pragma once
+
+/**
+ * @file
+ * Runtime CPU feature detection used by the replaceable-micro-kernel
+ * registry to pick the widest available implementation.
+ */
+
+#include <string>
+
+namespace chimera {
+
+/** SIMD capability tiers relevant to the CPU micro kernels. */
+enum class SimdTier
+{
+    Scalar = 0, ///< No usable vector FMA; portable C fallback.
+    Avx2Fma = 1, ///< 256-bit FMA (8 fp32 lanes).
+    Avx512 = 2, ///< 512-bit FMA (16 fp32 lanes).
+};
+
+/** Detects the best SIMD tier supported by the running CPU. */
+SimdTier detectSimdTier();
+
+/** Human-readable tier name ("scalar", "avx2", "avx512"). */
+std::string simdTierName(SimdTier tier);
+
+/** fp32 lanes per vector register for @p tier (1, 8, or 16). */
+int simdLanes(SimdTier tier);
+
+} // namespace chimera

@@ -1,0 +1,32 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace chimera {
+namespace detail {
+
+void
+throwCheckFailure(const char *file, int line, const char *expr,
+                  const std::string &message)
+{
+    std::ostringstream oss;
+    oss << "CHIMERA_CHECK failed: " << expr << " at " << file << ":" << line;
+    if (!message.empty()) {
+        oss << " — " << message;
+    }
+    throw Error(oss.str());
+}
+
+void
+assertFailure(const char *file, int line, const char *expr,
+              const std::string &message)
+{
+    std::fprintf(stderr, "CHIMERA_ASSERT failed: %s at %s:%d — %s\n", expr,
+                 file, line, message.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace chimera

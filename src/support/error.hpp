@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Error handling primitives for Chimera.
+ *
+ * Follows the gem5 fatal()/panic() split: Error is thrown for conditions
+ * caused by bad user input (invalid shapes, impossible constraints), while
+ * CHIMERA_ASSERT guards internal invariants that indicate a library bug.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace chimera {
+
+/** Exception thrown for user-facing errors (bad configuration or input). */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+namespace detail {
+
+/** Throws Error with file/line context. Used by CHIMERA_CHECK. */
+[[noreturn]] void throwCheckFailure(const char *file, int line,
+                                    const char *expr,
+                                    const std::string &message);
+
+/** Aborts with file/line context. Used by CHIMERA_ASSERT. */
+[[noreturn]] void assertFailure(const char *file, int line, const char *expr,
+                                const std::string &message);
+
+} // namespace detail
+
+} // namespace chimera
+
+/**
+ * Validates a user-facing precondition; throws chimera::Error on failure.
+ * The message argument is evaluated lazily.
+ */
+#define CHIMERA_CHECK(expr, message)                                         \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::chimera::detail::throwCheckFailure(__FILE__, __LINE__, #expr,  \
+                                                 (message));                 \
+        }                                                                    \
+    } while (false)
+
+/**
+ * Validates an internal invariant; aborts on failure (a Chimera bug).
+ * Active in all build types: the analytical model must never be silently
+ * wrong.
+ */
+#define CHIMERA_ASSERT(expr, message)                                        \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::chimera::detail::assertFailure(__FILE__, __LINE__, #expr,      \
+                                             (message));                     \
+        }                                                                    \
+    } while (false)

@@ -1,0 +1,45 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace chimera {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    std::fprintf(stderr, "[chimera %s] %s\n", levelName(level),
+                 message.c_str());
+}
+
+} // namespace chimera

@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal leveled logger.
+ *
+ * Chimera components log planner decisions at Debug, notable events at
+ * Info, and degraded-but-continuing conditions at Warn (mirroring gem5's
+ * inform()/warn() guidance). The default level is Warn so library users
+ * see nothing unless something is off.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace chimera {
+
+/** Severity levels, in increasing order of importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+/** Returns the current global log threshold. */
+LogLevel logLevel();
+
+/** Sets the global log threshold. Messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Emits one log line to stderr if @p level passes the threshold. */
+void logMessage(LogLevel level, const std::string &message);
+
+} // namespace chimera
+
+#define CHIMERA_LOG_AT(level, streamed)                                      \
+    do {                                                                     \
+        if (static_cast<int>(level) >=                                       \
+            static_cast<int>(::chimera::logLevel())) {                       \
+            std::ostringstream chimera_log_oss_;                             \
+            chimera_log_oss_ << streamed;                                    \
+            ::chimera::logMessage(level, chimera_log_oss_.str());            \
+        }                                                                    \
+    } while (false)
+
+/** Logs planner internals (permutation scores, tile candidates, ...). */
+#define CHIMERA_DEBUG(streamed)                                              \
+    CHIMERA_LOG_AT(::chimera::LogLevel::Debug, streamed)
+
+/** Logs notable but expected events. */
+#define CHIMERA_INFO(streamed)                                               \
+    CHIMERA_LOG_AT(::chimera::LogLevel::Info, streamed)
+
+/** Logs degraded-but-continuing conditions. */
+#define CHIMERA_WARN(streamed)                                               \
+    CHIMERA_LOG_AT(::chimera::LogLevel::Warn, streamed)

@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in Chimera (tensor initialization, the random-sampling
+ * tuner baseline) flows through Rng so that runs are reproducible from a
+ * seed.
+ */
+
+#include <cstdint>
+
+namespace chimera {
+
+/**
+ * SplitMix64-based generator. Small state, excellent statistical quality
+ * for test-data purposes, and trivially seedable.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be positive. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace chimera

@@ -1,0 +1,50 @@
+#include "support/str.hpp"
+
+#include <iomanip>
+
+namespace chimera {
+
+std::string
+joinStrings(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) {
+            out += sep;
+        }
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int unit = 0;
+    while (bytes >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(unit == 0 ? 0 : 2) << bytes << " "
+        << units[unit];
+    return oss.str();
+}
+
+std::string
+formatVector(const std::vector<std::int64_t> &values)
+{
+    std::ostringstream oss;
+    oss << "(";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) {
+            oss << ", ";
+        }
+        oss << values[i];
+    }
+    oss << ")";
+    return oss.str();
+}
+
+} // namespace chimera

@@ -1,0 +1,25 @@
+#pragma once
+
+/**
+ * @file
+ * Small string helpers used across modules.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace chimera {
+
+/** Joins @p parts with @p sep. */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        const std::string &sep);
+
+/** Formats a byte count with a binary-unit suffix (KiB/MiB/GiB). */
+std::string formatBytes(double bytes);
+
+/** Formats a vector of integers as "(a, b, c)". */
+std::string formatVector(const std::vector<std::int64_t> &values);
+
+} // namespace chimera

@@ -1,0 +1,65 @@
+#include "support/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace chimera {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CHIMERA_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    CHIMERA_CHECK(cells.size() == headers_.size(),
+                  "row arity does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+AsciiTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            oss << (c == 0 ? "| " : " | ") << std::left
+                << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        oss << " |\n";
+    };
+
+    emitRow(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        oss << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+    }
+    oss << "-|\n";
+    for (const auto &row : rows_) {
+        emitRow(row);
+    }
+    return oss.str();
+}
+
+} // namespace chimera

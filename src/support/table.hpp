@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * ASCII table printer. Every bench binary reports the rows of its
+ * paper table/figure through this so outputs are uniform and diffable.
+ */
+
+#include <string>
+#include <vector>
+
+namespace chimera {
+
+/** Column-aligned ASCII table builder. */
+class AsciiTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Appends a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with @p precision digits. */
+    static std::string num(double value, int precision = 3);
+
+    /** Renders the table, including a rule under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace chimera

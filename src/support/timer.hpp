@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Wall-clock timing helpers used by benchmarks and the tuner baseline.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace chimera {
+
+/** Monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto delta = Clock::now() - start_;
+        return std::chrono::duration<double>(delta).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /** Elapsed time in microseconds. */
+    double microseconds() const { return seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Runs @p fn repeatedly and returns the best-of-N time in seconds.
+ *
+ * Best-of is the standard estimator for short deterministic kernels: it
+ * filters scheduler noise without averaging in cold-cache outliers.
+ *
+ * @param fn      Callable to measure.
+ * @param repeats Number of timed repetitions (>= 1).
+ * @param warmup  Untimed warmup calls executed first.
+ */
+template <typename Fn>
+double
+bestOfSeconds(Fn &&fn, int repeats, int warmup = 1)
+{
+    for (int i = 0; i < warmup; ++i) {
+        fn();
+    }
+    double best = 1e300;
+    for (int i = 0; i < repeats; ++i) {
+        WallTimer t;
+        fn();
+        const double s = t.seconds();
+        if (s < best) {
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace chimera

@@ -1,0 +1,144 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace chimera {
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape))
+{
+    numel_ = 1;
+    for (std::int64_t dim : shape_) {
+        CHIMERA_CHECK(dim >= 1, "tensor dimensions must be positive");
+        numel_ *= dim;
+    }
+    strides_.resize(shape_.size());
+    std::int64_t stride = 1;
+    for (int d = rank() - 1; d >= 0; --d) {
+        strides_[static_cast<std::size_t>(d)] = stride;
+        stride *= shape_[static_cast<std::size_t>(d)];
+    }
+    data_ = allocateAligned<float>(static_cast<std::size_t>(numel_));
+}
+
+Tensor::Tensor(const Tensor &other)
+    : shape_(other.shape_), strides_(other.strides_), numel_(other.numel_)
+{
+    if (numel_ > 0) {
+        data_ = allocateAligned<float>(static_cast<std::size_t>(numel_));
+        std::memcpy(data_.get(), other.data_.get(),
+                    static_cast<std::size_t>(numel_) * sizeof(float));
+    }
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this != &other) {
+        Tensor copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
+}
+
+std::int64_t
+Tensor::flatIndex(const std::vector<std::int64_t> &index) const
+{
+    CHIMERA_CHECK(static_cast<int>(index.size()) == rank(),
+                  "index rank mismatch");
+    std::int64_t flat = 0;
+    for (std::size_t d = 0; d < index.size(); ++d) {
+        CHIMERA_CHECK(index[d] >= 0 && index[d] < shape_[d],
+                      "index out of bounds");
+        flat += index[d] * strides_[d];
+    }
+    return flat;
+}
+
+float &
+Tensor::at(const std::vector<std::int64_t> &index)
+{
+    return data_[flatIndex(index)];
+}
+
+float
+Tensor::at(const std::vector<std::int64_t> &index) const
+{
+    return data_[flatIndex(index)];
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill_n(data_.get(), numel_, value);
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream oss;
+    for (int d = 0; d < rank(); ++d) {
+        if (d != 0) {
+            oss << "x";
+        }
+        oss << shape_[static_cast<std::size_t>(d)];
+    }
+    return oss.str();
+}
+
+void
+fillUniform(Tensor &t, Rng &rng, float lo, float hi)
+{
+    float *p = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        p[i] = rng.uniform(lo, hi);
+    }
+}
+
+void
+fillPattern(Tensor &t)
+{
+    float *p = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        // Bounded, non-repeating-by-row pattern keeps sums well-conditioned.
+        p[i] = static_cast<float>((i % 13) - 6) * 0.125f;
+    }
+}
+
+bool
+allClose(const Tensor &a, const Tensor &b, float rtol, float atol)
+{
+    if (a.shape() != b.shape()) {
+        return false;
+    }
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        const float tol = atol + rtol * std::fabs(pb[i]);
+        if (std::fabs(pa[i] - pb[i]) > tol) {
+            return false;
+        }
+    }
+    return true;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    CHIMERA_CHECK(a.shape() == b.shape(), "shape mismatch in maxAbsDiff");
+    float maxDiff = 0.0f;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        maxDiff = std::max(maxDiff, std::fabs(pa[i] - pb[i]));
+    }
+    return maxDiff;
+}
+
+} // namespace chimera

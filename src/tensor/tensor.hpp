@@ -1,0 +1,101 @@
+#pragma once
+
+/**
+ * @file
+ * Dense row-major fp32 tensors.
+ *
+ * The paper's accelerators run fp16; our measured substrate is the host
+ * CPU where fp32 FMA is the native wide path, so all executors and micro
+ * kernels operate on fp32 (see DESIGN.md §2). The analytical model is
+ * dtype-agnostic: it counts elements and scales by elementSize.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/aligned.hpp"
+
+namespace chimera {
+
+/** Dense, row-major, 64-byte aligned fp32 tensor with value semantics. */
+class Tensor
+{
+  public:
+    /** Creates an empty (rank-0, zero-element) tensor. */
+    Tensor() = default;
+
+    /** Allocates an uninitialized tensor of the given shape. */
+    explicit Tensor(std::vector<std::int64_t> shape);
+
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&other) noexcept = default;
+    Tensor &operator=(Tensor &&other) noexcept = default;
+
+    /** The tensor's shape; empty for a default-constructed tensor. */
+    const std::vector<std::int64_t> &shape() const { return shape_; }
+
+    /** Row-major strides in elements. */
+    const std::vector<std::int64_t> &strides() const { return strides_; }
+
+    /** Number of dimensions. */
+    int rank() const { return static_cast<int>(shape_.size()); }
+
+    /** Total number of elements. */
+    std::int64_t numel() const { return numel_; }
+
+    /** Size of the tensor payload in bytes. */
+    std::int64_t bytes() const
+    {
+        return numel_ * static_cast<std::int64_t>(sizeof(float));
+    }
+
+    /** Raw data pointer (64-byte aligned). */
+    float *data() { return data_.get(); }
+    const float *data() const { return data_.get(); }
+
+    /** Element access by flat index; bounds-checked in at(). */
+    float &operator[](std::int64_t i) { return data_[i]; }
+    float operator[](std::int64_t i) const { return data_[i]; }
+
+    /** Bounds-checked multi-dimensional access. */
+    float &at(const std::vector<std::int64_t> &index);
+    float at(const std::vector<std::int64_t> &index) const;
+
+    /** Sets every element to @p value. */
+    void fill(float value);
+
+    /** Sets every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /** "2x3x4" style shape string. */
+    std::string shapeString() const;
+
+  private:
+    std::int64_t flatIndex(const std::vector<std::int64_t> &index) const;
+
+    std::vector<std::int64_t> shape_;
+    std::vector<std::int64_t> strides_;
+    std::int64_t numel_ = 0;
+    AlignedBuffer<float> data_;
+};
+
+/** Fills @p t with uniform values in [lo, hi) from @p rng. */
+class Rng;
+void fillUniform(Tensor &t, Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+/** Fills @p t with a deterministic index-derived pattern (no RNG). */
+void fillPattern(Tensor &t);
+
+/**
+ * True when |a[i] - b[i]| <= atol + rtol * |b[i]| for every element.
+ * Shapes must match exactly.
+ */
+bool allClose(const Tensor &a, const Tensor &b, float rtol = 1e-4f,
+              float atol = 1e-5f);
+
+/** Largest absolute elementwise difference; shapes must match. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace chimera

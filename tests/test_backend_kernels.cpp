@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the emulated accelerator micro kernels of §V-B: the NPU
+ * cube-unit mad semantics (fractal packing + six-loop compute) and the
+ * GPU Tensor-Core mma tile kernel (2x2 fragment reuse).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/mma_tile.hpp"
+#include "kernels/npu_mad.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tensor/reference.hpp"
+
+namespace chimera::kernels {
+namespace {
+
+TEST(NpuMad, PackUnpackRoundTrip)
+{
+    MadShape shape;
+    shape.m1 = 2;
+    shape.n1 = 2;
+    shape.k1 = 1;
+    shape.m2 = 4;
+    shape.n2 = 4;
+    shape.k2 = 4;
+
+    Tensor a({8, 4});
+    fillPattern(a);
+    std::vector<float> packed(static_cast<std::size_t>(
+        shape.m1 * shape.k1 * shape.m2 * shape.k2));
+    packMadA(a.data(), 4, 8, 4, shape, packed.data());
+    // Row r, depth d lives at [r/m2][d/k2][r%m2][d%k2].
+    EXPECT_FLOAT_EQ(packed[0], a.at({0, 0}));
+    EXPECT_FLOAT_EQ(
+        packed[static_cast<std::size_t>((1 * shape.k1 + 0) * shape.m2 *
+                                        shape.k2) +
+               2 * static_cast<std::size_t>(shape.k2) + 3],
+        a.at({4 + 2, 3}));
+}
+
+TEST(NpuMad, MadMatmulMatchesReference)
+{
+    for (auto [m, n, k] : {std::tuple<int, int, int>{32, 32, 32},
+                           {24, 20, 12},
+                           {7, 5, 3},
+                           {33, 17, 9}}) {
+        Tensor a({m, k}), b({k, n}), c({m, n}), expected({m, n});
+        Rng rng(11);
+        fillUniform(a, rng);
+        fillUniform(b, rng);
+        ref::gemm(a, b, expected);
+        MadShape shape;
+        shape.m1 = 2;
+        shape.n1 = 2;
+        shape.k1 = 2;
+        shape.m2 = 8;
+        shape.n2 = 8;
+        shape.k2 = 8;
+        madMatmul(a, b, c, shape);
+        EXPECT_TRUE(allClose(c, expected, 1e-4f, 1e-4f))
+            << m << "x" << n << "x" << k << " maxdiff "
+            << maxAbsDiff(c, expected);
+    }
+}
+
+TEST(NpuMad, ArithmeticIntensityFormula)
+{
+    // AI = M1*M2*N1*N2 / (M1*M2 + N1*N2), §V-B.
+    MadShape shape;
+    shape.m1 = 4;
+    shape.n1 = 4;
+    shape.m2 = 16;
+    shape.n2 = 16;
+    EXPECT_DOUBLE_EQ(madArithmeticIntensity(shape),
+                     (4.0 * 16 * 4 * 16) / (4.0 * 16 + 4.0 * 16));
+}
+
+TEST(NpuMad, SelectShapeUsesLanesAndL0)
+{
+    // Ascend 910: 16 lanes, 64 KiB L0A/L0B.
+    const MadShape shape = selectMadShape(16, 64 * 1024, 64 * 1024);
+    EXPECT_EQ(shape.m2, 16);
+    EXPECT_EQ(shape.n2, 16);
+    EXPECT_EQ(shape.m1, shape.n1);
+    // Packed A bytes must fit L0A; the next size up must not.
+    const std::int64_t bytes = std::int64_t{4} * shape.m1 * shape.k1 *
+                               shape.m2 * shape.k2;
+    EXPECT_LE(bytes, 64 * 1024);
+    EXPECT_GT(bytes + std::int64_t{4} * shape.k1 * shape.m2 * shape.k2,
+              64 * 1024);
+    // Larger M1 (with fixed lanes) raises AI toward M2 lanes' bound.
+    MadShape small = shape;
+    small.m1 = 1;
+    small.n1 = 1;
+    EXPECT_GT(madArithmeticIntensity(shape),
+              madArithmeticIntensity(small));
+}
+
+TEST(NpuMad, RejectsBadParameters)
+{
+    EXPECT_THROW(selectMadShape(0, 1024, 1024), Error);
+    EXPECT_THROW(selectMadShape(16, 0, 1024), Error);
+}
+
+TEST(MmaTile, SingleFragmentMatchesReference)
+{
+    Tensor a({16, 16}), b({16, 16}), c({16, 16}), expected({16, 16});
+    Rng rng(5);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    c.zero();
+    ref::gemm(a, b, expected);
+    mmaSync(a.data(), b.data(), c.data());
+    EXPECT_TRUE(allClose(c, expected, 1e-4f, 1e-4f));
+}
+
+TEST(MmaTile, NaiveAndTiledMatchReference)
+{
+    Tensor a({64, 32}), b({32, 64}), cNaive({64, 64}), cTiled({64, 64});
+    Tensor expected({64, 64});
+    Rng rng(6);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    ref::gemm(a, b, expected);
+    mmaMatmulNaive(a, b, cNaive);
+    mmaMatmulTiled(a, b, cTiled);
+    EXPECT_TRUE(allClose(cNaive, expected, 1e-4f, 1e-4f));
+    EXPECT_TRUE(allClose(cTiled, expected, 1e-4f, 1e-4f));
+}
+
+TEST(MmaTile, TilingDoublesFragmentReuse)
+{
+    // The §V-B point: the naive schedule issues 0.5 mma per fragment
+    // load; the 2x2 tile doubles reuse to 1.0.
+    Tensor a({64, 64}), b({64, 64}), c({64, 64});
+    Rng rng(7);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    const MmaStats naive = mmaMatmulNaive(a, b, c);
+    const MmaStats tiled = mmaMatmulTiled(a, b, c);
+    EXPECT_DOUBLE_EQ(naive.opsPerLoad(), 0.5);
+    EXPECT_DOUBLE_EQ(tiled.opsPerLoad(), 1.0);
+    EXPECT_EQ(naive.mmaOps, tiled.mmaOps); // same math, fewer loads
+}
+
+TEST(MmaTile, AlignmentChecked)
+{
+    Tensor a({24, 16}), b({16, 16}), c({24, 16});
+    EXPECT_THROW(mmaMatmulNaive(a, b, c), Error);
+    Tensor a2({32, 16}), b2({16, 32}), c2({32, 32});
+    EXPECT_THROW(mmaMatmulTiled(a2, b2, c2), Error); // needs 32-multiples
+}
+
+} // namespace
+} // namespace chimera::kernels

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the cache simulator and the GEMM-chain trace walkers,
+ * including the model-vs-measurement consistency property behind the
+ * Figure 8 validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/conv_trace.hpp"
+#include "cachesim/gemm_trace.hpp"
+#include "exec/constraints.hpp"
+#include "model/data_movement.hpp"
+#include "plan/planner.hpp"
+#include "support/error.hpp"
+
+namespace chimera::cachesim {
+namespace {
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache cache({"L1", 1024, 2, 64}); // 16 lines, 8 sets x 2 ways
+    EXPECT_FALSE(cache.accessLine(0));
+    EXPECT_TRUE(cache.accessLine(0));
+    EXPECT_EQ(cache.stats().accesses, 2);
+    EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 1 set x 2 ways: lines mapping to the same set compete.
+    Cache cache({"tiny", 128, 2, 64}); // 2 lines total, 1 set
+    EXPECT_FALSE(cache.accessLine(0));
+    EXPECT_FALSE(cache.accessLine(1));
+    EXPECT_TRUE(cache.accessLine(0)); // still resident
+    EXPECT_FALSE(cache.accessLine(2)); // evicts 1 (LRU)
+    EXPECT_TRUE(cache.accessLine(0));
+    EXPECT_FALSE(cache.accessLine(1)); // was evicted
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache({"x", 0, 2, 64}), Error);
+    EXPECT_THROW(Cache({"x", 64, 2, 64}), Error); // one line, 2 ways
+}
+
+TEST(Hierarchy, MissFillsAllLevels)
+{
+    CacheHierarchy caches({{"L1", 1024, 2, 64}, {"L2", 4096, 4, 64}});
+    caches.access(0, 64);
+    EXPECT_EQ(caches.stats(0).misses, 1);
+    EXPECT_EQ(caches.stats(1).misses, 1);
+    caches.access(0, 64); // L1 hit: L2 not probed
+    EXPECT_EQ(caches.stats(0).accesses, 2);
+    EXPECT_EQ(caches.stats(1).accesses, 1);
+    EXPECT_DOUBLE_EQ(caches.dramTrafficBytes(), 64.0);
+}
+
+TEST(Hierarchy, MultiLineAccessTouchesEveryLine)
+{
+    CacheHierarchy caches({{"L1", 4096, 4, 64}});
+    caches.access(10, 200); // spans lines 0..3
+    EXPECT_EQ(caches.stats(0).accesses, 4);
+    EXPECT_EQ(caches.stats(0).misses, 4);
+}
+
+TEST(Hierarchy, WorkingSetLargerThanL1HitsInL2)
+{
+    CacheHierarchy caches({{"L1", 1024, 2, 64}, {"L2", 64 * 1024, 8, 64}});
+    // Stream 8 KiB twice: first pass misses everywhere, second pass
+    // misses L1 (too small) but hits L2 entirely.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::int64_t addr = 0; addr < 8192; addr += 64) {
+            caches.access(addr, 64);
+        }
+    }
+    EXPECT_EQ(caches.stats(0).misses, 256);
+    EXPECT_EQ(caches.stats(1).misses, 128);
+    EXPECT_NEAR(caches.stats(1).hitRate(), 0.5, 1e-9);
+}
+
+TEST(Hierarchy, XeonLikeShape)
+{
+    const auto levels = xeonLikeCaches();
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_EQ(levels[0].name, "L1d");
+    EXPECT_LT(levels[0].sizeBytes, levels[1].sizeBytes);
+    EXPECT_LT(levels[1].sizeBytes, levels[2].sizeBytes);
+}
+
+class GemmTraceTest : public ::testing::Test
+{
+  protected:
+    GemmTraceTest()
+    {
+        cfg_.m = 256;
+        cfg_.n = 64;
+        cfg_.k = 64;
+        cfg_.l = 256;
+        chain_ = std::make_unique<ir::Chain>(ir::makeGemmChain(cfg_));
+        plan::PlannerOptions options;
+        // Tiles sized for L1 with headroom; the paper's alpha keeps the
+        // free tiles cache-line wide so line-granularity waste is small.
+        options.memCapacityBytes = 20.0 * 1024;
+        options.constraints = plan::alphaConstraints(*chain_, 16);
+        plan_ = plan::planChain(*chain_, options);
+    }
+
+    ir::GemmChainConfig cfg_;
+    std::unique_ptr<ir::Chain> chain_;
+    plan::ExecutionPlan plan_;
+};
+
+TEST_F(GemmTraceTest, FusedMeasurementTracksModelPrediction)
+{
+    // The core of Figure 8d: the LRU-measured traffic into L1 should be
+    // close to Algorithm 1's prediction when the tiles fit L1.
+    const auto levels = xeonLikeCaches();
+    const TraceResult trace = traceFusedGemmChain(cfg_, plan_, levels);
+    const model::DataMovement dm =
+        model::computeDataMovement(*chain_, plan_.perm, plan_.tiles);
+    // Within 35% (line granularity, scratch traffic, LRU conflicts).
+    EXPECT_GT(trace.trafficIntoLevelBytes[0], dm.volumeBytes * 0.65);
+    EXPECT_LT(trace.trafficIntoLevelBytes[0], dm.volumeBytes * 1.35);
+}
+
+TEST_F(GemmTraceTest, FusedBeatsUnfusedOnDramTraffic)
+{
+    const auto levels = xeonLikeCaches();
+    const TraceResult fused = traceFusedGemmChain(cfg_, plan_, levels);
+    const TraceResult unfused = traceUnfusedGemmChain(
+        cfg_, exec::GemmTiles{64, 64, 64}, exec::GemmTiles{64, 64, 64},
+        levels);
+    // The unfused path spills and re-reads the intermediate.
+    EXPECT_LT(fused.dramBytes, unfused.dramBytes);
+}
+
+TEST_F(GemmTraceTest, NoReuseVariantMovesMore)
+{
+    // Figure 8f: disabling intermediate reuse increases traffic.
+    const auto levels = xeonLikeCaches();
+    TraceOptions reuse;
+    TraceOptions noReuse;
+    noReuse.reuseIntermediate = false;
+    const TraceResult with = traceFusedGemmChain(cfg_, plan_, levels, reuse);
+    const TraceResult without =
+        traceFusedGemmChain(cfg_, plan_, levels, noReuse);
+    EXPECT_GT(without.trafficIntoLevelBytes[0],
+              with.trafficIntoLevelBytes[0]);
+}
+
+TEST_F(GemmTraceTest, TrafficDecreasesGoingOutward)
+{
+    const auto levels = xeonLikeCaches();
+    const TraceResult trace = traceFusedGemmChain(cfg_, plan_, levels);
+    ASSERT_EQ(trace.trafficIntoLevelBytes.size(), 3u);
+    EXPECT_GE(trace.trafficIntoLevelBytes[0],
+              trace.trafficIntoLevelBytes[1]);
+    EXPECT_GE(trace.trafficIntoLevelBytes[1],
+              trace.trafficIntoLevelBytes[2]);
+    // DRAM traffic can never undercut compulsory IO bytes.
+    EXPECT_GE(trace.dramBytes, static_cast<double>(chain_->ioBytes()));
+}
+
+TEST_F(GemmTraceTest, BatchedTraceScalesTraffic)
+{
+    ir::GemmChainConfig batched = cfg_;
+    batched.batch = 2;
+    const ir::Chain chain = ir::makeGemmChain(batched);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 24.0 * 1024;
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+    const auto levels = xeonLikeCaches();
+    const TraceResult one = traceFusedGemmChain(cfg_, plan_, levels);
+    const TraceResult two = traceFusedGemmChain(batched, plan, levels);
+    EXPECT_GT(two.dramBytes, one.dramBytes * 1.5);
+}
+
+class ConvTraceTest : public ::testing::Test
+{
+  protected:
+    ConvTraceTest()
+    {
+        cfg_.name = "trace";
+        cfg_.batch = 1;
+        cfg_.ic = 32;
+        cfg_.h = 56;
+        cfg_.w = 56;
+        cfg_.oc1 = 48;
+        cfg_.oc2 = 32;
+        cfg_.k1 = 3;
+        cfg_.k2 = 1;
+        cfg_.stride1 = 1;
+        const ir::Chain chain = ir::makeConvChain(cfg_);
+        plan::PlannerOptions options;
+        options.memCapacityBytes = 512.0 * 1024;
+        options.constraints = exec::cpuChainConstraints(
+            chain, kernels::MicroKernelRegistry::instance().select(
+                       detectSimdTier()));
+        plan_ = plan::planChain(chain, options);
+    }
+
+    ir::ConvChainConfig cfg_;
+    plan::ExecutionPlan plan_;
+};
+
+TEST_F(ConvTraceTest, FusedBeatsUnfusedOnDramTraffic)
+{
+    const auto levels = xeonLikeCaches();
+    const TraceResult fused = traceFusedConvChain(cfg_, plan_, levels);
+    const TraceResult unfused = traceUnfusedConvChain(
+        cfg_, exec::ConvTiles{64, 64}, exec::ConvTiles{64, 64}, levels);
+    EXPECT_LT(fused.dramBytes, unfused.dramBytes);
+}
+
+TEST_F(ConvTraceTest, DramAtLeastCompulsoryIo)
+{
+    const auto levels = xeonLikeCaches();
+    const TraceResult fused = traceFusedConvChain(cfg_, plan_, levels);
+    const ir::Chain chain = ir::makeConvChain(cfg_);
+    EXPECT_GE(fused.dramBytes, static_cast<double>(chain.ioBytes()) * 0.9);
+}
+
+TEST_F(ConvTraceTest, TrafficMonotoneAcrossLevels)
+{
+    const auto levels = xeonLikeCaches();
+    const TraceResult fused = traceFusedConvChain(cfg_, plan_, levels);
+    for (std::size_t d = 1; d < fused.trafficIntoLevelBytes.size(); ++d) {
+        EXPECT_GE(fused.trafficIntoLevelBytes[d - 1],
+                  fused.trafficIntoLevelBytes[d] - 0.5);
+    }
+}
+
+TEST_F(ConvTraceTest, SmallerSpatialTilesIncreaseHaloTraffic)
+{
+    // With a 3x3 producer consumed at stride 1, shrinking the oh tile
+    // increases overlapping input rows re-read per region.
+    ir::ConvChainConfig cfg = cfg_;
+    cfg.k1 = 1;
+    cfg.k2 = 3; // halo now on the intermediate/first input
+    const ir::Chain chain = ir::makeConvChain(cfg);
+    auto mkPlan = [&](std::int64_t ohTile) {
+        plan::ExecutionPlan p;
+        p.perm = plan::permFromOrderString(chain, "oh,ow,oc1,oc2,ic");
+        p.tiles = chain.fullExtents();
+        p.tiles[static_cast<std::size_t>(ir::axisIdByName(chain, "oh"))] =
+            ohTile;
+        return p;
+    };
+    const auto levels = xeonLikeCaches();
+    const TraceResult coarse =
+        traceFusedConvChain(cfg, mkPlan(28), levels);
+    const TraceResult fine = traceFusedConvChain(cfg, mkPlan(2), levels);
+    EXPECT_GT(fine.trafficIntoLevelBytes[0],
+              coarse.trafficIntoLevelBytes[0]);
+}
+
+} // namespace
+} // namespace chimera::cachesim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the CNN backbone substrate: fused and unfused stage
+ * execution must agree end to end, shapes must thread correctly, and
+ * the stage chains must match the Table V archetypes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/cnn.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace chimera::graph {
+namespace {
+
+CnnConfig
+tinyCnn()
+{
+    CnnConfig cfg = squeezeNetLike();
+    cfg.name = "tiny";
+    cfg.inChannels = 4;
+    cfg.height = 24;
+    cfg.width = 24;
+    cfg.stages = {
+        {6, 8, 3, 1, 2, 1},
+        {6, 10, 1, 3, 1, 1},
+    };
+    return cfg;
+}
+
+TEST(Cnn, StageChainsThreadShapes)
+{
+    const CnnBackbone cnn(tinyCnn(), 64.0 * 1024);
+    const auto &chains = cnn.stageChains();
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_EQ(chains[0].ic, 4);
+    EXPECT_EQ(chains[0].oh2(), 12); // 24 / stride 2
+    EXPECT_EQ(chains[1].ic, chains[0].oc2);
+    EXPECT_EQ(chains[1].h, chains[0].oh2());
+}
+
+TEST(Cnn, FusedAndUnfusedAgree)
+{
+    const CnnBackbone cnn(tinyCnn(), 64.0 * 1024);
+    Tensor input({1, 4, 24, 24});
+    Rng rng(2);
+    fillUniform(input, rng);
+    const Tensor fused = cnn.forward(input, ConvMode::FusedChimera);
+    const Tensor unfused = cnn.forward(input, ConvMode::Unfused);
+    ASSERT_EQ(fused.shape(), unfused.shape());
+    EXPECT_TRUE(allClose(fused, unfused, 5e-3f, 5e-3f))
+        << "maxdiff " << maxAbsDiff(fused, unfused);
+}
+
+TEST(Cnn, LogitsShapeAndFiniteness)
+{
+    const CnnBackbone cnn(tinyCnn(), 64.0 * 1024);
+    Tensor input({1, 4, 24, 24});
+    Rng rng(3);
+    fillUniform(input, rng);
+    const Tensor logits = cnn.forward(input, ConvMode::FusedChimera);
+    const std::vector<std::int64_t> expected = {1, 10};
+    EXPECT_EQ(logits.shape(), expected);
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        EXPECT_TRUE(std::isfinite(logits[i]));
+    }
+}
+
+TEST(Cnn, DeterministicAcrossConstructions)
+{
+    const CnnBackbone a(tinyCnn(), 64.0 * 1024, 9);
+    const CnnBackbone b(tinyCnn(), 64.0 * 1024, 9);
+    Tensor input({1, 4, 24, 24});
+    Rng rng(4);
+    fillUniform(input, rng);
+    EXPECT_TRUE(allClose(a.forward(input, ConvMode::FusedChimera),
+                         b.forward(input, ConvMode::FusedChimera), 0.0f,
+                         0.0f));
+}
+
+TEST(Cnn, SqueezeNetLikeBuildsAndRuns)
+{
+    const CnnConfig cfg = squeezeNetLike();
+    const CnnBackbone cnn(cfg, 256.0 * 1024);
+    Tensor input({cfg.batch, cfg.inChannels, cfg.height, cfg.width});
+    Rng rng(5);
+    fillUniform(input, rng);
+    const Tensor fused = cnn.forward(input, ConvMode::FusedChimera);
+    const Tensor unfused = cnn.forward(input, ConvMode::Unfused);
+    EXPECT_TRUE(allClose(fused, unfused, 5e-3f, 5e-3f));
+}
+
+TEST(Cnn, RejectsWrongInput)
+{
+    const CnnBackbone cnn(tinyCnn(), 64.0 * 1024);
+    Tensor bad({1, 4, 16, 24});
+    EXPECT_THROW(cnn.forward(bad, ConvMode::FusedChimera), Error);
+}
+
+} // namespace
+} // namespace chimera::graph

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the einsum-style DSL front-end: parsing, axis unification,
+ * tensor-kind inference, equivalence to the structured builders, and
+ * planning of parsed chains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builders.hpp"
+#include "ir/dsl.hpp"
+#include "model/data_movement.hpp"
+#include "plan/planner.hpp"
+#include "support/error.hpp"
+
+namespace chimera::ir {
+namespace {
+
+const std::map<std::string, std::int64_t> kExtents = {
+    {"b", 4}, {"m", 64}, {"n", 32}, {"k", 16}, {"l", 48}, {"p", 24}};
+
+TEST(Dsl, ParsesTheFigureTwoChain)
+{
+    const Chain chain = parseEinsumChain(
+        "C[b,m,l] = A[b,m,k] * B[b,k,l];"
+        "E[b,m,n] = C[b,m,l] * D[b,l,n];",
+        kExtents);
+    EXPECT_EQ(chain.numAxes(), 5);
+    EXPECT_EQ(chain.ops().size(), 2u);
+    ASSERT_EQ(chain.tensors().size(), 5u);
+    // Declaration order: A, B, C (statement 1), D, E (statement 2).
+    EXPECT_EQ(chain.tensors()[0].name, "A");
+    EXPECT_EQ(chain.tensors()[0].kind, TensorKind::Input);
+    EXPECT_EQ(chain.tensors()[2].name, "C");
+    EXPECT_EQ(chain.tensors()[2].kind, TensorKind::Intermediate);
+    EXPECT_EQ(chain.tensors()[4].name, "E");
+    EXPECT_EQ(chain.tensors()[4].kind, TensorKind::Output);
+}
+
+TEST(Dsl, AxisUnificationMatchesStructuredBuilder)
+{
+    // The parsed chain and makeGemmChain must agree on Algorithm 1.
+    const Chain parsed = parseEinsumChain(
+        "C[b,m,l] = A[b,m,k] * B[b,k,l];"
+        "E[b,m,n] = C[b,m,l] * D[b,l,n];",
+        kExtents);
+    GemmChainConfig cfg;
+    cfg.batch = 4;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    const Chain built = makeGemmChain(cfg);
+
+    EXPECT_EQ(parsed.numAxes(), built.numAxes());
+    EXPECT_DOUBLE_EQ(parsed.totalFlops(), built.totalFlops());
+    EXPECT_EQ(parsed.ioBytes(), built.ioBytes());
+
+    // Same DV under the same order and tiles (axis ids may differ, so
+    // go through names).
+    auto tilesFor = [](const Chain &chain) {
+        std::vector<std::int64_t> tiles = chain.fullExtents();
+        for (int a = 0; a < chain.numAxes(); ++a) {
+            const std::string &name =
+                chain.axes()[static_cast<std::size_t>(a)].name;
+            if (name == "m" || name == "l") {
+                tiles[static_cast<std::size_t>(a)] = 16;
+            } else if (name == "k" || name == "n") {
+                tiles[static_cast<std::size_t>(a)] = 8;
+            } else {
+                tiles[static_cast<std::size_t>(a)] = 1;
+            }
+        }
+        return tiles;
+    };
+    const auto dvParsed = model::computeDataMovement(
+        parsed, plan::permFromOrderString(parsed, "b,m,l,k,n"),
+        tilesFor(parsed));
+    const auto dvBuilt = model::computeDataMovement(
+        built, plan::permFromOrderString(built, "b,m,l,k,n"),
+        tilesFor(built));
+    EXPECT_DOUBLE_EQ(dvParsed.volumeBytes, dvBuilt.volumeBytes);
+    EXPECT_EQ(dvParsed.memUsageBytes, dvBuilt.memUsageBytes);
+}
+
+TEST(Dsl, ThreeOperatorChainParses)
+{
+    const Chain chain = parseEinsumChain(
+        "C1[m,l] = A[m,k] * B[k,l];"
+        "C2[m,p] = C1[m,l] * D[l,p];"
+        "E[m,n]  = C2[m,p] * F[p,n];",
+        kExtents, "dsl3");
+    EXPECT_EQ(chain.ops().size(), 3u);
+    EXPECT_EQ(chain.numAxes(), 5); // m,k,l,p,n
+    int intermediates = 0;
+    for (const TensorDecl &t : chain.tensors()) {
+        intermediates += t.kind == TensorKind::Intermediate ? 1 : 0;
+    }
+    EXPECT_EQ(intermediates, 2);
+}
+
+TEST(Dsl, ParsedChainIsPlannable)
+{
+    const Chain chain = parseEinsumChain(
+        "C[m,l] = A[m,k] * B[k,l];"
+        "E[m,n] = C[m,l] * D[l,n];",
+        kExtents);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 16.0 * 1024;
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+    EXPECT_TRUE(model::isExecutableOrder(chain, plan.perm));
+    EXPECT_LE(static_cast<double>(plan.memUsageBytes),
+              options.memCapacityBytes);
+}
+
+TEST(Dsl, SingleStatementIsASingleGemm)
+{
+    const Chain chain =
+        parseEinsumChain("C[m,n] = A[m,k] * B[k,n];", kExtents);
+    EXPECT_EQ(chain.ops().size(), 1u);
+    EXPECT_EQ(chain.ioTensorIds().size(), 3u);
+    EXPECT_DOUBLE_EQ(chain.totalFlops(), 2.0 * 64 * 32 * 16);
+}
+
+TEST(Dsl, WhitespaceAndNewlinesAreTolerated)
+{
+    const Chain chain = parseEinsumChain(
+        "  C[ m , l ] = A[m, k] * B[k, l] ;\n"
+        "  E[m, n]    = C[m, l] * D[l, n] ;\n",
+        kExtents);
+    EXPECT_EQ(chain.ops().size(), 2u);
+}
+
+TEST(Dsl, RejectsSyntaxErrors)
+{
+    EXPECT_THROW(parseEinsumChain("C[m,l] := A[m,k] * B[k,l];", kExtents),
+                 Error);
+    EXPECT_THROW(parseEinsumChain("C[m,l] = A[m,k] + B[k,l];", kExtents),
+                 Error);
+    EXPECT_THROW(parseEinsumChain("Cml = A[m,k] * B[k,l];", kExtents),
+                 Error);
+    EXPECT_THROW(parseEinsumChain("C[] = A[m,k] * B[k,l];", kExtents),
+                 Error);
+    EXPECT_THROW(parseEinsumChain("", kExtents), Error);
+}
+
+TEST(Dsl, RejectsSemanticErrors)
+{
+    // Unknown extent.
+    EXPECT_THROW(parseEinsumChain("C[m,z] = A[m,k] * B[k,z];", kExtents),
+                 Error);
+    // Output index absent from the inputs.
+    EXPECT_THROW(parseEinsumChain("C[m,n] = A[m,k] * B[k,l];", kExtents),
+                 Error);
+    // Inconsistent index lists for one tensor.
+    EXPECT_THROW(parseEinsumChain("C[m,l] = A[m,k] * B[k,l];"
+                                  "E[m,n] = C[l,m] * D[l,n];",
+                                  kExtents),
+                 Error);
+    // Produced twice.
+    EXPECT_THROW(parseEinsumChain("C[m,l] = A[m,k] * B[k,l];"
+                                  "C[m,l] = A[m,k] * B[k,l];",
+                                  kExtents),
+                 Error);
+    // Consumed before produced (non-topological order).
+    EXPECT_THROW(parseEinsumChain("E[m,n] = C[m,l] * D[l,n];"
+                                  "C[m,l] = A[m,k] * B[k,l];",
+                                  kExtents),
+                 Error);
+}
+
+} // namespace
+} // namespace chimera::ir

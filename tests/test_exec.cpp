@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Integration tests for the fused/unfused executors against the naive
+ * reference oracle, across epilogues, block orders, tile shapes, and
+ * engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/conv_chain_exec.hpp"
+#include "exec/gemm_chain_exec.hpp"
+#include "ir/workloads.hpp"
+#include "plan/planner.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tensor/reference.hpp"
+
+namespace chimera::exec {
+namespace {
+
+using ir::ConvChainConfig;
+using ir::Epilogue;
+using ir::GemmChainConfig;
+
+plan::ExecutionPlan
+planFor(const ir::Chain &chain, double capacityBytes)
+{
+    plan::PlannerOptions options;
+    options.memCapacityBytes = capacityBytes;
+    return plan::planChain(chain, options);
+}
+
+/** Hand-built plan pinning a specific order and tiles. */
+plan::ExecutionPlan
+manualPlan(const ir::Chain &chain, const std::string &order,
+           const std::vector<std::pair<std::string, std::int64_t>> &tiles)
+{
+    plan::ExecutionPlan plan;
+    plan.perm = plan::permFromOrderString(chain, order);
+    plan.tiles = chain.fullExtents();
+    for (const auto &[name, size] : tiles) {
+        plan.tiles[static_cast<std::size_t>(ir::axisIdByName(chain, name))] =
+            size;
+    }
+    return plan;
+}
+
+class GemmChainExec
+    : public ::testing::TestWithParam<std::tuple<Epilogue, std::int64_t>>
+{
+};
+
+TEST_P(GemmChainExec, FusedMatchesReferenceAcrossWorkloads)
+{
+    const auto [epilogue, batch] = GetParam();
+    const ComputeEngine engine = ComputeEngine::best();
+    for (auto load : ir::smallGemmWorkloads()) {
+        GemmChainConfig cfg = load.config;
+        cfg.batch = batch;
+        cfg.epilogue = epilogue;
+        const ir::Chain chain = ir::makeGemmChain(cfg);
+        const plan::ExecutionPlan plan = planFor(chain, 16.0 * 1024);
+
+        Tensor a(gemmChainShapeA(cfg));
+        Tensor b(gemmChainShapeB(cfg));
+        Tensor d(gemmChainShapeD(cfg));
+        Tensor e(gemmChainShapeE(cfg));
+        Tensor expected(gemmChainShapeE(cfg));
+        Rng rng(42);
+        fillUniform(a, rng);
+        fillUniform(b, rng);
+        fillUniform(d, rng);
+
+        referenceGemmChain(cfg, a, b, d, expected);
+        runFusedGemmChain(cfg, plan, engine, a, b, d, e);
+        EXPECT_TRUE(allClose(e, expected, 2e-3f, 2e-3f))
+            << cfg.name << " epi " << static_cast<int>(epilogue)
+            << " batch " << batch << " maxdiff "
+            << maxAbsDiff(e, expected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GemmChainExec,
+    ::testing::Combine(::testing::Values(Epilogue::None, Epilogue::Relu,
+                                         Epilogue::Softmax),
+                       ::testing::Values<std::int64_t>(1, 3)));
+
+TEST(GemmChainExecOrders, AllExecutableOrdersProduceSameResult)
+{
+    GemmChainConfig cfg;
+    cfg.m = 48;
+    cfg.n = 24;
+    cfg.k = 16;
+    cfg.l = 40;
+    cfg.epilogue = Epilogue::Softmax;
+    cfg.softmaxScale = 0.25f;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Tensor expected(gemmChainShapeE(cfg));
+    Rng rng(11);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    referenceGemmChain(cfg, a, b, d, expected);
+
+    for (const std::string &order :
+         {"m,l,k,n", "m,l,n,k", "l,m,k,n", "l,m,n,k"}) {
+        const plan::ExecutionPlan plan = manualPlan(
+            chain, order, {{"m", 16}, {"l", 8}, {"k", 8}, {"n", 8}});
+        Tensor e(gemmChainShapeE(cfg));
+        runFusedGemmChain(cfg, plan, engine, a, b, d, e);
+        EXPECT_TRUE(allClose(e, expected, 2e-3f, 2e-3f))
+            << "order " << order << " maxdiff "
+            << maxAbsDiff(e, expected);
+    }
+}
+
+TEST(GemmChainExecOrders, TailTilesHandled)
+{
+    GemmChainConfig cfg;
+    cfg.m = 37;
+    cfg.n = 29;
+    cfg.k = 13;
+    cfg.l = 31;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const plan::ExecutionPlan plan = manualPlan(
+        chain, "m,l,k,n", {{"m", 16}, {"l", 7}, {"k", 5}, {"n", 9}});
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Tensor e(gemmChainShapeE(cfg));
+    Tensor expected(gemmChainShapeE(cfg));
+    Rng rng(17);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    referenceGemmChain(cfg, a, b, d, expected);
+    runFusedGemmChain(cfg, plan, ComputeEngine::best(), a, b, d, e);
+    EXPECT_TRUE(allClose(e, expected, 2e-3f, 2e-3f))
+        << maxAbsDiff(e, expected);
+}
+
+TEST(GemmChainExecEngines, ScalarAndNaiveAgree)
+{
+    GemmChainConfig cfg;
+    cfg.m = 32;
+    cfg.n = 16;
+    cfg.k = 8;
+    cfg.l = 24;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const plan::ExecutionPlan plan = planFor(chain, 8.0 * 1024);
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Tensor expected(gemmChainShapeE(cfg));
+    Rng rng(5);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    referenceGemmChain(cfg, a, b, d, expected);
+
+    for (const ComputeEngine &engine :
+         {ComputeEngine::scalar(), ComputeEngine::naive()}) {
+        Tensor e(gemmChainShapeE(cfg));
+        runFusedGemmChain(cfg, plan, engine, a, b, d, e);
+        EXPECT_TRUE(allClose(e, expected, 2e-3f, 2e-3f)) << engine.name();
+    }
+}
+
+TEST(GemmChainExecEngines, EmulatedAcceleratorBackendsAgree)
+{
+    // The replaceable-micro-kernel claim end to end: the identical fused
+    // executor and plan run on the emulated NPU mad backend and the
+    // emulated GPU mma backend and produce the oracle result.
+    GemmChainConfig cfg;
+    cfg.batch = 2;
+    cfg.m = 40;
+    cfg.n = 24;
+    cfg.k = 16;
+    cfg.l = 36;
+    cfg.epilogue = Epilogue::Softmax;
+    cfg.softmaxScale = 0.25f;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const plan::ExecutionPlan plan = planFor(chain, 16.0 * 1024);
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Tensor expected(gemmChainShapeE(cfg));
+    Rng rng(8);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    referenceGemmChain(cfg, a, b, d, expected);
+
+    for (const ComputeEngine &engine :
+         {ComputeEngine::emulatedNpu(), ComputeEngine::emulatedGpu()}) {
+        Tensor e(gemmChainShapeE(cfg));
+        runFusedGemmChain(cfg, plan, engine, a, b, d, e);
+        EXPECT_TRUE(allClose(e, expected, 2e-3f, 2e-3f))
+            << engine.name() << " maxdiff " << maxAbsDiff(e, expected);
+    }
+}
+
+
+TEST(TiledBatchGemm, MatchesReference)
+{
+    Tensor a({3, 33, 21});
+    Tensor b({3, 21, 27});
+    Tensor c({3, 33, 27});
+    Tensor expected({3, 33, 27});
+    Rng rng(3);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    ref::batchGemm(a, b, expected);
+    runTiledBatchGemm(ComputeEngine::best(), a, b, c,
+                      GemmTiles{16, 8, 8});
+    EXPECT_TRUE(allClose(c, expected, 1e-3f, 1e-3f));
+}
+
+TEST(TiledBatchGemm, Rank2Works)
+{
+    Tensor a({19, 23});
+    Tensor b({23, 17});
+    Tensor c({19, 17});
+    Tensor expected({19, 17});
+    Rng rng(4);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    ref::gemm(a, b, expected);
+    runTiledBatchGemm(ComputeEngine::best(), a, b, c, GemmTiles{8, 8, 8});
+    EXPECT_TRUE(allClose(c, expected, 1e-3f, 1e-3f));
+}
+
+TEST(UnfusedGemmChain, MatchesReference)
+{
+    for (Epilogue epi :
+         {Epilogue::None, Epilogue::Relu, Epilogue::Softmax}) {
+        GemmChainConfig cfg;
+        cfg.batch = 2;
+        cfg.m = 40;
+        cfg.n = 24;
+        cfg.k = 16;
+        cfg.l = 32;
+        cfg.epilogue = epi;
+        cfg.softmaxScale = 0.25f;
+        Tensor a(gemmChainShapeA(cfg));
+        Tensor b(gemmChainShapeB(cfg));
+        Tensor d(gemmChainShapeD(cfg));
+        Tensor e(gemmChainShapeE(cfg));
+        Tensor scratch(gemmChainShapeC(cfg));
+        Tensor expected(gemmChainShapeE(cfg));
+        Rng rng(9);
+        fillUniform(a, rng);
+        fillUniform(b, rng);
+        fillUniform(d, rng);
+        referenceGemmChain(cfg, a, b, d, expected);
+        runUnfusedGemmChain(cfg, ComputeEngine::best(), a, b, d, scratch, e,
+                            GemmTiles{16, 16, 8}, GemmTiles{8, 8, 16});
+        EXPECT_TRUE(allClose(e, expected, 2e-3f, 2e-3f))
+            << "epi " << static_cast<int>(epi);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Convolution chains.
+// ---------------------------------------------------------------------
+
+ConvChainConfig
+smallConv(std::int64_t ic, std::int64_t h, std::int64_t oc1,
+          std::int64_t oc2, int st1, int st2, int k1, int k2)
+{
+    ConvChainConfig cfg;
+    cfg.batch = 2;
+    cfg.ic = ic;
+    cfg.h = h;
+    cfg.w = h;
+    cfg.oc1 = oc1;
+    cfg.oc2 = oc2;
+    cfg.stride1 = st1;
+    cfg.stride2 = st2;
+    cfg.k1 = k1;
+    cfg.k2 = k2;
+    return cfg;
+}
+
+class ConvChainExec
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, bool>>
+{
+};
+
+TEST_P(ConvChainExec, FusedMatchesReference)
+{
+    const auto [k1, k2, st1, st2, relu] = GetParam();
+    ConvChainConfig cfg = smallConv(6, 17, 9, 7, st1, st2, k1, k2);
+    cfg.epilogue = relu ? Epilogue::Relu : Epilogue::None;
+    const ir::Chain chain = ir::makeConvChain(cfg);
+    const plan::ExecutionPlan plan = planFor(chain, 24.0 * 1024);
+
+    Tensor input(convChainShapeI(cfg));
+    Tensor w1(convChainShapeW1(cfg));
+    Tensor w2(convChainShapeW2(cfg));
+    Tensor output(convChainShapeO(cfg));
+    Tensor expected(convChainShapeO(cfg));
+    Rng rng(31);
+    fillUniform(input, rng);
+    fillUniform(w1, rng);
+    fillUniform(w2, rng);
+
+    referenceConvChain(cfg, input, w1, w2, expected);
+    runFusedConvChain(cfg, plan, ComputeEngine::best(), input, w1, w2,
+                      output);
+    EXPECT_TRUE(allClose(output, expected, 2e-3f, 2e-3f))
+        << "k1=" << k1 << " k2=" << k2 << " st1=" << st1 << " st2=" << st2
+        << " maxdiff " << maxAbsDiff(output, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ConvChainExec,
+    ::testing::Values(std::make_tuple(3, 1, 1, 1, false),
+                      std::make_tuple(3, 1, 2, 1, true),
+                      std::make_tuple(1, 3, 1, 1, false),
+                      std::make_tuple(1, 1, 1, 1, true),
+                      std::make_tuple(3, 3, 1, 1, false),
+                      std::make_tuple(3, 1, 2, 2, true),
+                      std::make_tuple(3, 3, 2, 1, true)));
+
+TEST(ConvChainManualOrders, SpatialTilingHandlesHalos)
+{
+    ConvChainConfig cfg = smallConv(4, 15, 6, 5, 1, 1, 3, 3);
+    cfg.epilogue = Epilogue::Relu;
+    const ir::Chain chain = ir::makeConvChain(cfg);
+
+    Tensor input(convChainShapeI(cfg));
+    Tensor w1(convChainShapeW1(cfg));
+    Tensor w2(convChainShapeW2(cfg));
+    Tensor expected(convChainShapeO(cfg));
+    Rng rng(7);
+    fillUniform(input, rng);
+    fillUniform(w1, rng);
+    fillUniform(w2, rng);
+    referenceConvChain(cfg, input, w1, w2, expected);
+
+    for (const std::string &order :
+         {"b,oc1,oh,ow,oc2,ic", "oh,ow,b,oc1,ic,oc2",
+          "b,oh,ow,oc1,oc2,ic"}) {
+        const plan::ExecutionPlan plan =
+            manualPlan(chain, order,
+                       {{"oh", 4}, {"ow", 5}, {"oc1", 3}, {"ic", 2},
+                        {"oc2", 2}, {"b", 1}});
+        Tensor output(convChainShapeO(cfg));
+        runFusedConvChain(cfg, plan, ComputeEngine::best(), input, w1, w2,
+                          output);
+        EXPECT_TRUE(allClose(output, expected, 2e-3f, 2e-3f))
+            << "order " << order << " maxdiff "
+            << maxAbsDiff(output, expected);
+    }
+}
+
+TEST(TiledConv2d, MatchesReferenceAcrossStrides)
+{
+    for (int stride : {1, 2, 4}) {
+        for (int kernel : {1, 3}) {
+            Tensor input({2, 5, 19, 19});
+            Tensor weight({7, 5, kernel, kernel});
+            const int pad = (kernel - 1) / 2;
+            const std::int64_t out =
+                ref::convOutDim(19, kernel, stride, pad);
+            Tensor output({2, 7, out, out});
+            Tensor expected({2, 7, out, out});
+            Rng rng(23);
+            fillUniform(input, rng);
+            fillUniform(weight, rng);
+            ref::conv2d(input, weight, expected, stride, pad);
+            runTiledConv2d(ComputeEngine::best(), input, weight, output,
+                           stride, pad, ConvTiles{4, 3});
+            EXPECT_TRUE(allClose(output, expected, 2e-3f, 2e-3f))
+                << "stride " << stride << " kernel " << kernel;
+        }
+    }
+}
+
+TEST(UnfusedConvChain, MatchesReference)
+{
+    ConvChainConfig cfg = smallConv(5, 13, 7, 6, 2, 1, 3, 1);
+    cfg.epilogue = Epilogue::Relu;
+    Tensor input(convChainShapeI(cfg));
+    Tensor w1(convChainShapeW1(cfg));
+    Tensor w2(convChainShapeW2(cfg));
+    Tensor scratch(convChainShapeT(cfg));
+    Tensor output(convChainShapeO(cfg));
+    Tensor expected(convChainShapeO(cfg));
+    Rng rng(29);
+    fillUniform(input, rng);
+    fillUniform(w1, rng);
+    fillUniform(w2, rng);
+    referenceConvChain(cfg, input, w1, w2, expected);
+    runUnfusedConvChain(cfg, ComputeEngine::best(), input, w1, w2, scratch,
+                        output, ConvTiles{4, 4}, ConvTiles{4, 4});
+    EXPECT_TRUE(allClose(output, expected, 2e-3f, 2e-3f));
+}
+
+TEST(GemmChainCausal, FusedMaskedSoftmaxMatchesReference)
+{
+    GemmChainConfig cfg;
+    cfg.batch = 3;
+    cfg.m = 48;
+    cfg.n = 16;
+    cfg.k = 16;
+    cfg.l = 48;
+    cfg.epilogue = Epilogue::Softmax;
+    cfg.softmaxScale = 0.25f;
+    cfg.causalMask = true;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const plan::ExecutionPlan plan = planFor(chain, 12.0 * 1024);
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Tensor e(gemmChainShapeE(cfg));
+    Tensor expected(gemmChainShapeE(cfg));
+    Rng rng(33);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    referenceGemmChain(cfg, a, b, d, expected);
+    runFusedGemmChain(cfg, plan, ComputeEngine::best(), a, b, d, e);
+    EXPECT_TRUE(allClose(e, expected, 2e-3f, 2e-3f))
+        << "maxdiff " << maxAbsDiff(e, expected);
+}
+
+TEST(GemmChainCausal, UnfusedMaskedSoftmaxMatchesReference)
+{
+    GemmChainConfig cfg;
+    cfg.batch = 2;
+    cfg.m = 32;
+    cfg.n = 8;
+    cfg.k = 8;
+    cfg.l = 32;
+    cfg.epilogue = Epilogue::Softmax;
+    cfg.softmaxScale = 0.3f;
+    cfg.causalMask = true;
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Tensor e(gemmChainShapeE(cfg));
+    Tensor scratch(gemmChainShapeC(cfg));
+    Tensor expected(gemmChainShapeE(cfg));
+    Rng rng(34);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    referenceGemmChain(cfg, a, b, d, expected);
+    runUnfusedGemmChain(cfg, ComputeEngine::best(), a, b, d, scratch, e,
+                        {16, 8, 8}, {8, 8, 16});
+    EXPECT_TRUE(allClose(e, expected, 2e-3f, 2e-3f));
+}
+
+TEST(GemmChainCausal, FirstRowAttendsOnlyToFirstKey)
+{
+    // Row 0 of a causal softmax is one-hot on position 0, so output row
+    // 0 must equal row 0 of V exactly.
+    GemmChainConfig cfg;
+    cfg.m = 16;
+    cfg.n = 8;
+    cfg.k = 8;
+    cfg.l = 16;
+    cfg.epilogue = Epilogue::Softmax;
+    cfg.causalMask = true;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const plan::ExecutionPlan plan = planFor(chain, 8.0 * 1024);
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Tensor e(gemmChainShapeE(cfg));
+    Rng rng(35);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    runFusedGemmChain(cfg, plan, ComputeEngine::best(), a, b, d, e);
+    for (std::int64_t j = 0; j < cfg.n; ++j) {
+        EXPECT_NEAR(e[j], d[j], 1e-4f);
+    }
+}
+
+TEST(GemmChainCausal, RequiresSoftmaxAndSquareScores)
+{
+    GemmChainConfig cfg;
+    cfg.m = 16;
+    cfg.n = 8;
+    cfg.k = 8;
+    cfg.l = 16;
+    cfg.causalMask = true; // epilogue None
+    EXPECT_THROW(ir::makeGemmChain(cfg), Error);
+    cfg.epilogue = Epilogue::Softmax;
+    cfg.l = 8; // not square
+    EXPECT_THROW(ir::makeGemmChain(cfg), Error);
+}
+
+TEST(ConvChainExecEngines, EmulatedNpuBackendRunsConvChains)
+{
+    ConvChainConfig cfg = smallConv(5, 13, 7, 6, 2, 1, 3, 1);
+    cfg.epilogue = Epilogue::Relu;
+    const ir::Chain chain = ir::makeConvChain(cfg);
+    const plan::ExecutionPlan plan = planFor(chain, 24.0 * 1024);
+
+    Tensor input(convChainShapeI(cfg));
+    Tensor w1(convChainShapeW1(cfg));
+    Tensor w2(convChainShapeW2(cfg));
+    Tensor output(convChainShapeO(cfg));
+    Tensor expected(convChainShapeO(cfg));
+    Rng rng(15);
+    fillUniform(input, rng);
+    fillUniform(w1, rng);
+    fillUniform(w2, rng);
+    referenceConvChain(cfg, input, w1, w2, expected);
+    runFusedConvChain(cfg, plan, ComputeEngine::emulatedNpu(), input, w1,
+                      w2, output);
+    EXPECT_TRUE(allClose(output, expected, 2e-3f, 2e-3f))
+        << maxAbsDiff(output, expected);
+}
+
+TEST(ConvChainTableV, PlannedSmallVariantsMatchReference)
+{
+    // Scaled-down versions of the Table V chain archetypes.
+    for (const auto &load : ir::tableVWorkloads()) {
+        ConvChainConfig cfg = load.config;
+        cfg.ic = std::min<std::int64_t>(cfg.ic, 6);
+        cfg.oc1 = std::min<std::int64_t>(cfg.oc1, 8);
+        cfg.oc2 = std::min<std::int64_t>(cfg.oc2, 5);
+        cfg.h = std::min<std::int64_t>(cfg.h, 21);
+        cfg.w = std::min<std::int64_t>(cfg.w, 21);
+        const ir::Chain chain = ir::makeConvChain(cfg);
+        const plan::ExecutionPlan plan = planFor(chain, 16.0 * 1024);
+
+        Tensor input(convChainShapeI(cfg));
+        Tensor w1(convChainShapeW1(cfg));
+        Tensor w2(convChainShapeW2(cfg));
+        Tensor output(convChainShapeO(cfg));
+        Tensor expected(convChainShapeO(cfg));
+        Rng rng(101);
+        fillUniform(input, rng);
+        fillUniform(w1, rng);
+        fillUniform(w2, rng);
+        referenceConvChain(cfg, input, w1, w2, expected);
+        runFusedConvChain(cfg, plan, ComputeEngine::best(), input, w1, w2,
+                          output);
+        EXPECT_TRUE(allClose(output, expected, 2e-3f, 2e-3f))
+            << cfg.name << " maxdiff " << maxAbsDiff(output, expected);
+    }
+}
+
+} // namespace
+} // namespace chimera::exec

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the end-to-end Transformer encoder substrate and the C
+ * code emitter, including compiling and running a generated kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "codegen/c_emitter.hpp"
+#include "graph/transformer.hpp"
+#include "support/cpu_features.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace chimera {
+namespace {
+
+graph::EncoderConfig
+tinyEncoder()
+{
+    graph::EncoderConfig cfg;
+    cfg.name = "tiny";
+    cfg.seqLen = 48;
+    cfg.heads = 2;
+    cfg.headDim = 16;
+    cfg.ffDim = 64;
+    cfg.layers = 2;
+    return cfg;
+}
+
+TEST(Transformer, NamedConfigsMatchPaperShapes)
+{
+    EXPECT_EQ(graph::transformerSmall().heads, 8);
+    EXPECT_EQ(graph::bertBase().modelDim(), 768);
+    EXPECT_EQ(graph::bertLarge().modelDim(), 1024);
+    EXPECT_EQ(graph::vitBase().seqLen, 256);
+    EXPECT_EQ(graph::transformerLarge().seqLen, 512);
+}
+
+TEST(Transformer, FusedAndUnfusedAttentionAgree)
+{
+    const graph::TransformerEncoder encoder(tinyEncoder(), 16.0 * 1024);
+    Tensor input({48, 32});
+    Rng rng(3);
+    fillUniform(input, rng);
+
+    const Tensor fused =
+        encoder.forward(input, graph::AttentionMode::FusedChimera);
+    const Tensor unfused =
+        encoder.forward(input, graph::AttentionMode::Unfused);
+    EXPECT_TRUE(allClose(fused, unfused, 5e-3f, 5e-3f))
+        << "maxdiff " << maxAbsDiff(fused, unfused);
+}
+
+TEST(Transformer, CausalAttentionModesAgree)
+{
+    graph::EncoderConfig cfg = tinyEncoder();
+    cfg.causal = true;
+    const graph::TransformerEncoder encoder(cfg, 16.0 * 1024);
+    Tensor input({48, 32});
+    Rng rng(6);
+    fillUniform(input, rng);
+    const Tensor fused =
+        encoder.forward(input, graph::AttentionMode::FusedChimera);
+    const Tensor unfused =
+        encoder.forward(input, graph::AttentionMode::Unfused);
+    EXPECT_TRUE(allClose(fused, unfused, 5e-3f, 5e-3f))
+        << "maxdiff " << maxAbsDiff(fused, unfused);
+}
+
+TEST(Transformer, CausalAndBidirectionalDiffer)
+{
+    graph::EncoderConfig cfg = tinyEncoder();
+    const graph::TransformerEncoder bidir(cfg, 16.0 * 1024);
+    cfg.causal = true;
+    const graph::TransformerEncoder causal(cfg, 16.0 * 1024);
+    Tensor input({48, 32});
+    Rng rng(7);
+    fillUniform(input, rng);
+    const Tensor a =
+        bidir.forward(input, graph::AttentionMode::FusedChimera);
+    const Tensor b =
+        causal.forward(input, graph::AttentionMode::FusedChimera);
+    EXPECT_GT(maxAbsDiff(a, b), 1e-3f);
+}
+
+TEST(Transformer, OutputIsLayerNormalized)
+{
+    const graph::TransformerEncoder encoder(tinyEncoder(), 16.0 * 1024);
+    Tensor input({48, 32});
+    Rng rng(5);
+    fillUniform(input, rng);
+    const Tensor out =
+        encoder.forward(input, graph::AttentionMode::FusedChimera);
+    // Every row has ~zero mean and ~unit variance after the final norm.
+    for (std::int64_t r = 0; r < 48; ++r) {
+        float mean = 0.0f;
+        for (std::int64_t c = 0; c < 32; ++c) {
+            mean += out[r * 32 + c];
+        }
+        mean /= 32.0f;
+        EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    }
+}
+
+TEST(Transformer, AttentionChainMatchesConfig)
+{
+    const graph::TransformerEncoder encoder(tinyEncoder(), 16.0 * 1024);
+    const ir::GemmChainConfig &chain = encoder.attentionChain();
+    EXPECT_EQ(chain.batch, 2);
+    EXPECT_EQ(chain.m, 48);
+    EXPECT_EQ(chain.l, 48);
+    EXPECT_EQ(chain.k, 16);
+    EXPECT_EQ(chain.epilogue, ir::Epilogue::Softmax);
+    EXPECT_FALSE(encoder.attentionPlan().perm.empty());
+}
+
+TEST(Transformer, RejectsWrongInputShape)
+{
+    const graph::TransformerEncoder encoder(tinyEncoder(), 16.0 * 1024);
+    Tensor bad({10, 32});
+    EXPECT_THROW(
+        encoder.forward(bad, graph::AttentionMode::FusedChimera), Error);
+}
+
+// ---------------------------------------------------------------------
+// Codegen.
+// ---------------------------------------------------------------------
+
+ir::GemmChainConfig
+codegenConfig(ir::Epilogue epilogue)
+{
+    ir::GemmChainConfig cfg;
+    cfg.name = "codegen";
+    cfg.batch = 2;
+    cfg.m = 40;
+    cfg.n = 24;
+    cfg.k = 16;
+    cfg.l = 32;
+    cfg.epilogue = epilogue;
+    cfg.softmaxScale = 0.25f;
+    return cfg;
+}
+
+plan::ExecutionPlan
+codegenPlan(const ir::GemmChainConfig &cfg)
+{
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 8.0 * 1024;
+    return plan::planChain(chain, options);
+}
+
+TEST(Codegen, EmitsStructuredSource)
+{
+    const auto cfg = codegenConfig(ir::Epilogue::Softmax);
+    const std::string source =
+        codegen::emitGemmChainC(cfg, codegenPlan(cfg));
+    EXPECT_NE(source.find("micro_kernel_ref"), std::string::npos);
+    EXPECT_NE(source.find("micro_kernel_avx512"), std::string::npos);
+    EXPECT_NE(source.find("chimera_fused_gemm_chain"), std::string::npos);
+    EXPECT_NE(source.find("g_rowsum"), std::string::npos);
+    EXPECT_NE(source.find("#define TM"), std::string::npos);
+    EXPECT_NE(source.find("Block order:"), std::string::npos);
+}
+
+TEST(Codegen, ReluVariantOmitsSoftmaxState)
+{
+    const auto cfg = codegenConfig(ir::Epilogue::Relu);
+    const std::string source =
+        codegen::emitGemmChainC(cfg, codegenPlan(cfg));
+    EXPECT_EQ(source.find("g_rowsum"), std::string::npos);
+    EXPECT_NE(source.find("> 0.0f"), std::string::npos);
+}
+
+/** Compiles and runs the generated kernel; compares checksums. */
+void
+compileAndCheck(const ir::GemmChainConfig &cfg, const char *extraFlags)
+{
+    const std::string source =
+        codegen::emitGemmChainC(cfg, codegenPlan(cfg));
+    const std::string dir = ::testing::TempDir();
+    const std::string cPath = dir + "/chimera_gen.c";
+    const std::string binPath = dir + "/chimera_gen_bin";
+    {
+        std::ofstream out(cPath);
+        out << source;
+    }
+    const std::string cmd = std::string("cc -O2 -std=c99 ") + extraFlags +
+                            " -o " + binPath + " " + cPath + " -lm";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << "compile failed: " << cmd;
+
+    FILE *pipe = popen(binPath.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    double printed = 0.0;
+    ASSERT_EQ(fscanf(pipe, "checksum %lf", &printed), 1);
+    pclose(pipe);
+
+    const double expected = codegen::selfTestChecksum(cfg);
+    EXPECT_NEAR(printed, expected,
+                std::abs(expected) * 1e-3 + 1e-3)
+        << "flags: " << extraFlags;
+}
+
+TEST(Codegen, GeneratedKernelComputesCorrectResultScalar)
+{
+    compileAndCheck(codegenConfig(ir::Epilogue::None), "");
+    compileAndCheck(codegenConfig(ir::Epilogue::Softmax), "");
+}
+
+TEST(Codegen, GeneratedKernelComputesCorrectResultAvx512)
+{
+    if (detectSimdTier() != SimdTier::Avx512) {
+        GTEST_SKIP() << "host lacks AVX-512";
+    }
+    compileAndCheck(codegenConfig(ir::Epilogue::None), "-march=native");
+    compileAndCheck(codegenConfig(ir::Epilogue::Relu), "-march=native");
+}
+
+TEST(Codegen, ChecksumOracleIsDeterministic)
+{
+    const auto cfg = codegenConfig(ir::Epilogue::None);
+    EXPECT_DOUBLE_EQ(codegen::selfTestChecksum(cfg),
+                     codegen::selfTestChecksum(cfg));
+}
+
+} // namespace
+} // namespace chimera

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the machine models, the simulated accelerator
+ * backends, and the random-search tuner baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_tuner.hpp"
+#include "hw/accelerator_sim.hpp"
+#include "hw/machines.hpp"
+#include "ir/workloads.hpp"
+#include "support/error.hpp"
+
+namespace chimera::hw {
+namespace {
+
+TEST(Machines, TableOneBalances)
+{
+    // Table I: peak/bandwidth = 92, 200, 267 FLOP/byte.
+    EXPECT_NEAR(machineBalance(cascadeLakeCpu()), 92.0, 1.0);
+    EXPECT_NEAR(machineBalance(a100Gpu()), 200.0, 1.0);
+    EXPECT_NEAR(machineBalance(ascend910Npu()), 267.0, 1.0);
+}
+
+TEST(Machines, RooflineClampsAtPeak)
+{
+    const auto gpu = a100Gpu();
+    EXPECT_DOUBLE_EQ(rooflineFlops(gpu, 1e9), gpu.peakFlops);
+    EXPECT_LT(rooflineFlops(gpu, 1.0), gpu.peakFlops);
+    EXPECT_DOUBLE_EQ(rooflineFlops(gpu, 1.0),
+                     gpu.levels.back().bandwidthBytesPerSec);
+}
+
+TEST(Machines, LevelsOrderedInnermostFirst)
+{
+    for (const auto &machine :
+         {cascadeLakeCpu(), a100Gpu(), ascend910Npu()}) {
+        for (std::size_t d = 1; d < machine.levels.size(); ++d) {
+            EXPECT_LE(machine.levels[d - 1].capacityBytes,
+                      machine.levels[d].capacityBytes)
+                << machine.name;
+            EXPECT_GE(machine.levels[d - 1].bandwidthBytesPerSec,
+                      machine.levels[d].bandwidthBytesPerSec)
+                << machine.name;
+        }
+    }
+}
+
+TEST(GpuSim, FusionWinsOnMemoryBoundGemmChain)
+{
+    // G2 (Bert-Base): memory-bound batch GEMMs, the headline case.
+    const auto &load = ir::tableIvWorkloads()[1];
+    const AcceleratorComparison sim =
+        simulateGemmChain(load.config, a100Gpu());
+    EXPECT_LT(sim.chimeraSeconds, sim.unfusedSeconds);
+    EXPECT_LT(sim.chimeraDramBytes, sim.unfusedDramBytes);
+    EXPECT_LE(sim.chimeraSeconds, sim.fixedOrderSeconds + 1e-12);
+}
+
+TEST(GpuSim, DramReductionInPaperRange)
+{
+    // Paper: DRAM access reduced by 9.86%-59.54% vs the unfused path.
+    for (const auto &load : ir::tableIvWorkloads()) {
+        const AcceleratorComparison sim =
+            simulateGemmChain(load.config, a100Gpu());
+        // The model is an idealized cache (perfect reuse), so it sits at
+        // the optimistic end of the paper's measured range.
+        const double reduction =
+            1.0 - sim.chimeraDramBytes / sim.unfusedDramBytes;
+        EXPECT_GT(reduction, 0.05) << load.config.name;
+        EXPECT_LT(reduction, 0.9) << load.config.name;
+    }
+}
+
+TEST(GpuSim, ComputeBoundC6GainsLessThanMemoryBoundC1)
+{
+    // Paper's crossover: C6 (1x1 then compute-bound 3x3) gains little
+    // from fusion while C1 (3x3 s2 then memory-bound 1x1) gains a lot.
+    const auto &c6 = ir::tableVWorkloads()[5];
+    const auto &c7 = ir::tableVWorkloads()[6];
+    ASSERT_EQ(c6.config.name, "C6");
+    ASSERT_EQ(c7.config.name, "C7");
+    const AcceleratorComparison simC6 =
+        simulateConvChain(c6.config, a100Gpu());
+    const AcceleratorComparison simC7 =
+        simulateConvChain(c7.config, a100Gpu());
+    const double gainC6 = simC6.unfusedSeconds / simC6.chimeraSeconds;
+    const double gainC7 = simC7.unfusedSeconds / simC7.chimeraSeconds;
+    // C7's consumer is a memory-bound pointwise conv: fusion pays off.
+    EXPECT_GT(gainC7, 1.5);
+    // C6's consumer is compute-bound: little to gain.
+    EXPECT_LT(gainC6, 1.35);
+    EXPECT_GT(gainC7, gainC6 + 0.3);
+}
+
+TEST(GpuSim, EveryConvChainAtLeastBreaksEven)
+{
+    for (const auto &load : ir::tableVWorkloads()) {
+        const AcceleratorComparison sim =
+            simulateConvChain(load.config, a100Gpu());
+        EXPECT_GE(sim.unfusedSeconds / sim.chimeraSeconds, 0.99)
+            << load.config.name;
+        EXPECT_LT(sim.chimeraDramBytes, sim.unfusedDramBytes)
+            << load.config.name;
+    }
+}
+
+TEST(NpuSim, UnifiedBufferBoundsLargeChains)
+{
+    ir::GemmChainConfig big;
+    big.m = 4096;
+    big.n = 64;
+    big.k = 64;
+    big.l = 4096;
+    big.name = "big";
+    const AcceleratorComparison sim = simulateGemmChain(
+        big, ascend910Npu(), ascend910UnifiedBuffer());
+    EXPECT_GT(sim.unifiedBufferSeconds, 0.0);
+    EXPECT_GE(sim.chimeraSeconds, sim.unifiedBufferSeconds);
+}
+
+TEST(NpuSim, FusionStillWinsOnTableIvShapes)
+{
+    for (std::size_t i : {0u, 3u, 9u}) {
+        ir::GemmChainConfig cfg = ir::tableIvWorkloads()[i].config;
+        cfg.batch = 1; // paper: NPU evaluation uses batch 1
+        const AcceleratorComparison sim = simulateGemmChain(
+            cfg, ascend910Npu(), ascend910UnifiedBuffer());
+        EXPECT_LT(sim.chimeraSeconds, sim.unfusedSeconds)
+            << cfg.name;
+    }
+}
+
+} // namespace
+
+namespace tuner {
+
+using baselines::randomSearchPlan;
+using baselines::TunerOptions;
+using baselines::TunerResult;
+
+TEST(RandomTuner, FindsFeasiblePlanAndMeasuresIt)
+{
+    ir::GemmChainConfig cfg;
+    cfg.m = 128;
+    cfg.n = 32;
+    cfg.k = 32;
+    cfg.l = 128;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+
+    TunerOptions options;
+    options.memCapacityBytes = 32.0 * 1024;
+    options.trials = 60;
+    int calls = 0;
+    const TunerResult result = randomSearchPlan(
+        chain, options, [&](const plan::ExecutionPlan &p) {
+            ++calls;
+            return p.predictedVolumeBytes; // deterministic proxy metric
+        });
+    EXPECT_EQ(result.measuredTrials, calls);
+    EXPECT_GT(calls, 0);
+    EXPECT_LE(static_cast<double>(result.plan.memUsageBytes),
+              options.memCapacityBytes);
+    EXPECT_TRUE(model::isExecutableOrder(chain, result.plan.perm));
+}
+
+TEST(RandomTuner, BestNeverWorseThanAnyMeasured)
+{
+    ir::GemmChainConfig cfg;
+    cfg.m = 64;
+    cfg.n = 16;
+    cfg.k = 16;
+    cfg.l = 64;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    TunerOptions options;
+    options.memCapacityBytes = 16.0 * 1024;
+    options.trials = 40;
+    std::vector<double> seen;
+    const TunerResult result = randomSearchPlan(
+        chain, options, [&](const plan::ExecutionPlan &p) {
+            seen.push_back(p.predictedVolumeBytes);
+            return p.predictedVolumeBytes;
+        });
+    for (double s : seen) {
+        EXPECT_GE(s, result.bestSeconds);
+    }
+}
+
+TEST(RandomTuner, DeterministicUnderSeed)
+{
+    ir::GemmChainConfig cfg;
+    cfg.m = 64;
+    cfg.n = 16;
+    cfg.k = 16;
+    cfg.l = 64;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    TunerOptions options;
+    options.memCapacityBytes = 16.0 * 1024;
+    options.trials = 30;
+    options.seed = 99;
+    auto metric = [](const plan::ExecutionPlan &p) {
+        return p.predictedVolumeBytes;
+    };
+    const TunerResult a = randomSearchPlan(chain, options, metric);
+    const TunerResult b = randomSearchPlan(chain, options, metric);
+    EXPECT_EQ(a.plan.perm, b.plan.perm);
+    EXPECT_EQ(a.plan.tiles, b.plan.tiles);
+}
+
+TEST(RandomTuner, ThrowsWhenNothingFits)
+{
+    const ir::Chain chain = ir::makeSingleGemm(1, 64, 64, 64);
+    TunerOptions options;
+    options.memCapacityBytes = 4.0;
+    options.trials = 10;
+    EXPECT_THROW(randomSearchPlan(
+                     chain, options,
+                     [](const plan::ExecutionPlan &) { return 1.0; }),
+                 Error);
+}
+
+} // namespace tuner
+} // namespace chimera::hw

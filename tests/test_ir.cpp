@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests for the Chain IR, the builders, and the workload tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ir/builders.hpp"
+#include "ir/workloads.hpp"
+#include "support/error.hpp"
+
+namespace chimera::ir {
+namespace {
+
+GemmChainConfig
+smallGemmChain()
+{
+    GemmChainConfig cfg;
+    cfg.batch = 1;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    return cfg;
+}
+
+TEST(AccessDim, FootprintSingleAxis)
+{
+    AccessDim dim{{AccessTerm{0, 1}}};
+    EXPECT_EQ(dim.footprint({8}), 8);
+    EXPECT_EQ(dim.footprint({1}), 1);
+}
+
+TEST(AccessDim, FootprintHalo)
+{
+    // h = oh*2 + kh: footprint = 2*(T_oh-1) + T_kh.
+    AccessDim dim{{AccessTerm{0, 2}, AccessTerm{1, 1}}};
+    EXPECT_EQ(dim.footprint({4, 3}), 2 * 3 + 3);
+    EXPECT_EQ(dim.footprint({1, 1}), 1);
+}
+
+TEST(AccessDim, FootprintConstant)
+{
+    AccessDim dim{};
+    EXPECT_EQ(dim.footprint({5, 5}), 1);
+}
+
+TEST(AccessDim, UsesAxis)
+{
+    AccessDim dim{{AccessTerm{2, 1}}};
+    EXPECT_TRUE(dim.usesAxis(2));
+    EXPECT_FALSE(dim.usesAxis(0));
+}
+
+TEST(GemmChain, FourIndependentAxesWithoutBatch)
+{
+    const Chain chain = makeGemmChain(smallGemmChain());
+    EXPECT_EQ(chain.numAxes(), 4);
+    std::set<std::string> names;
+    for (const Axis &axis : chain.axes()) {
+        names.insert(axis.name);
+    }
+    const std::set<std::string> expected = {"m", "n", "k", "l"};
+    EXPECT_EQ(names, expected);
+    EXPECT_EQ(chain.reorderableAxes().size(), 4u);
+}
+
+TEST(GemmChain, BatchAddsOneAxis)
+{
+    GemmChainConfig cfg = smallGemmChain();
+    cfg.batch = 8;
+    const Chain chain = makeGemmChain(cfg);
+    EXPECT_EQ(chain.numAxes(), 5);
+    EXPECT_EQ(chain.axes()[0].name, "b");
+    EXPECT_EQ(chain.axes()[0].extent, 8);
+}
+
+TEST(GemmChain, TensorsAndKinds)
+{
+    const Chain chain = makeGemmChain(smallGemmChain());
+    ASSERT_EQ(chain.tensors().size(), 5u);
+    EXPECT_EQ(chain.tensors()[0].name, "A");
+    EXPECT_EQ(chain.tensors()[2].name, "C");
+    EXPECT_EQ(chain.tensors()[2].kind, TensorKind::Intermediate);
+    EXPECT_EQ(chain.tensors()[4].kind, TensorKind::Output);
+    EXPECT_EQ(chain.ioTensorIds().size(), 4u);
+}
+
+TEST(GemmChain, PrivateAxes)
+{
+    const Chain chain = makeGemmChain(smallGemmChain());
+    const AxisId k = axisIdByName(chain, "k");
+    const AxisId n = axisIdByName(chain, "n");
+    // k is private to gemm1; everything else of gemm1 is shared.
+    const auto privGemm1 = chain.privateAxesOf(0);
+    ASSERT_EQ(privGemm1.size(), 1u);
+    EXPECT_EQ(privGemm1[0], k);
+    // gemm2 is last: all its loops are private.
+    const auto privGemm2 = chain.privateAxesOf(1);
+    EXPECT_EQ(privGemm2.size(), 3u);
+    EXPECT_TRUE(std::count(privGemm2.begin(), privGemm2.end(), n));
+}
+
+TEST(GemmChain, FootprintsMatchTileProducts)
+{
+    const Chain chain = makeGemmChain(smallGemmChain());
+    std::vector<std::int64_t> tiles(4, 1);
+    tiles[static_cast<std::size_t>(axisIdByName(chain, "m"))] = 8;
+    tiles[static_cast<std::size_t>(axisIdByName(chain, "k"))] = 4;
+    tiles[static_cast<std::size_t>(axisIdByName(chain, "l"))] = 6;
+    tiles[static_cast<std::size_t>(axisIdByName(chain, "n"))] = 5;
+    EXPECT_EQ(chain.tensors()[0].footprintElems(tiles), 8 * 4); // A
+    EXPECT_EQ(chain.tensors()[1].footprintElems(tiles), 4 * 6); // B
+    EXPECT_EQ(chain.tensors()[2].footprintElems(tiles), 8 * 6); // C
+    EXPECT_EQ(chain.tensors()[3].footprintElems(tiles), 6 * 5); // D
+    EXPECT_EQ(chain.tensors()[4].footprintElems(tiles), 8 * 5); // E
+}
+
+TEST(GemmChain, IoBytesAndFlops)
+{
+    const Chain chain = makeGemmChain(smallGemmChain());
+    // A: 64x16, B: 16x48, D: 48x32, E: 64x32 -> fp32 bytes.
+    const std::int64_t elems = 64 * 16 + 16 * 48 + 48 * 32 + 64 * 32;
+    EXPECT_EQ(chain.ioBytes(), elems * 4);
+    const double flops = 2.0 * 64 * 16 * 48 + 2.0 * 64 * 48 * 32;
+    EXPECT_DOUBLE_EQ(chain.totalFlops(), flops);
+}
+
+TEST(GemmChain, RejectsBadExtents)
+{
+    GemmChainConfig cfg = smallGemmChain();
+    cfg.m = 0;
+    EXPECT_THROW(makeGemmChain(cfg), Error);
+}
+
+TEST(ConvChain, TenAxesFor3x3Then3x3)
+{
+    ConvChainConfig cfg;
+    cfg.batch = 2;
+    cfg.ic = 8;
+    cfg.h = 16;
+    cfg.w = 16;
+    cfg.oc1 = 8;
+    cfg.oc2 = 8;
+    cfg.k1 = 3;
+    cfg.k2 = 3;
+    const Chain chain = makeConvChain(cfg);
+    // b, oc2, oh, ow, oc1, ic + kh2, kw2, kh1, kw1.
+    EXPECT_EQ(chain.numAxes(), 10);
+    EXPECT_EQ(chain.pinnedAxes().size(), 4u);
+    EXPECT_EQ(chain.reorderableAxes().size(), 6u);
+}
+
+TEST(ConvChain, PointwiseSkipsKernelAxes)
+{
+    ConvChainConfig cfg;
+    cfg.ic = 8;
+    cfg.h = 16;
+    cfg.w = 16;
+    cfg.oc1 = 8;
+    cfg.oc2 = 8;
+    cfg.k1 = 1;
+    cfg.k2 = 1;
+    const Chain chain = makeConvChain(cfg);
+    EXPECT_EQ(chain.numAxes(), 5); // oc2, oh, ow, oc1, ic
+    EXPECT_TRUE(chain.pinnedAxes().empty());
+}
+
+TEST(ConvChain, OutputDims)
+{
+    ConvChainConfig cfg;
+    cfg.ic = 64;
+    cfg.h = 112;
+    cfg.w = 112;
+    cfg.oc1 = 192;
+    cfg.oc2 = 128;
+    cfg.stride1 = 2;
+    cfg.k1 = 3;
+    cfg.k2 = 1;
+    EXPECT_EQ(cfg.effectivePad1(), 1);
+    EXPECT_EQ(cfg.effectivePad2(), 0);
+    EXPECT_EQ(cfg.oh1(), 56);
+    EXPECT_EQ(cfg.oh2(), 56);
+}
+
+TEST(ConvChain, InputHaloFootprint)
+{
+    // 3x3 s1 conv then 1x1: input h footprint for T_oh rows is T_oh + 2.
+    ConvChainConfig cfg;
+    cfg.ic = 4;
+    cfg.h = 32;
+    cfg.w = 32;
+    cfg.oc1 = 4;
+    cfg.oc2 = 4;
+    cfg.k1 = 3;
+    cfg.k2 = 1;
+    const Chain chain = makeConvChain(cfg);
+    std::vector<std::int64_t> tiles(static_cast<std::size_t>(chain.numAxes()),
+                                    1);
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        tiles[static_cast<std::size_t>(a)] =
+            chain.axes()[static_cast<std::size_t>(a)].extent;
+    }
+    tiles[static_cast<std::size_t>(axisIdByName(chain, "oh"))] = 8;
+    const TensorDecl &input = chain.tensors()[0];
+    // dims: ic, h, w -> 4 * (8 + 2) * (32 + 2).
+    EXPECT_EQ(input.footprintElems(tiles), 4 * 10 * 34);
+}
+
+TEST(ConvChain, EffectiveItersIncludesHaloRecompute)
+{
+    // conv1 of a 1x1 -> 3x3 chain: consumer windows overlap, so small
+    // spatial tiles inflate the producer's iteration count.
+    ConvChainConfig cfg;
+    cfg.ic = 4;
+    cfg.h = 16;
+    cfg.w = 16;
+    cfg.oc1 = 4;
+    cfg.oc2 = 4;
+    cfg.k1 = 1;
+    cfg.k2 = 3;
+    const Chain chain = makeConvChain(cfg);
+    const auto extents = chain.fullExtents();
+    const OpDecl &conv1 = chain.ops()[0];
+
+    const double fullTileIters = conv1.effectiveIters(extents, extents);
+    std::vector<std::int64_t> smallTiles = extents;
+    smallTiles[static_cast<std::size_t>(axisIdByName(chain, "oh"))] = 4;
+    smallTiles[static_cast<std::size_t>(axisIdByName(chain, "ow"))] = 4;
+    const double tiledIters = conv1.effectiveIters(extents, smallTiles);
+    EXPECT_GT(tiledIters, fullTileIters);
+}
+
+TEST(ConvChain, ValidateRejectsCollapsedOutput)
+{
+    ConvChainConfig cfg;
+    cfg.ic = 4;
+    cfg.h = 2;
+    cfg.w = 2;
+    cfg.oc1 = 4;
+    cfg.oc2 = 4;
+    cfg.k1 = 3;
+    cfg.k2 = 3;
+    cfg.pad1 = 0;
+    cfg.pad2 = 0;
+    EXPECT_THROW(makeConvChain(cfg), Error);
+}
+
+TEST(SingleGemm, Structure)
+{
+    const Chain chain = makeSingleGemm(1, 32, 16, 8);
+    EXPECT_EQ(chain.numAxes(), 3);
+    EXPECT_EQ(chain.ops().size(), 1u);
+    EXPECT_EQ(chain.ioTensorIds().size(), 3u);
+    EXPECT_DOUBLE_EQ(chain.totalFlops(), 2.0 * 32 * 16 * 8);
+}
+
+TEST(AxisLookup, ThrowsOnUnknownName)
+{
+    const Chain chain = makeSingleGemm(1, 4, 4, 4);
+    EXPECT_THROW(axisIdByName(chain, "zz"), Error);
+}
+
+TEST(Workloads, TableIvHasTwelveEntries)
+{
+    const auto &loads = tableIvWorkloads();
+    ASSERT_EQ(loads.size(), 12u);
+    EXPECT_EQ(loads[0].config.name, "G1");
+    EXPECT_EQ(loads[0].config.batch, 8);
+    EXPECT_EQ(loads[11].config.name, "G12");
+    EXPECT_EQ(loads[11].config.m, 1024);
+    for (const auto &load : loads) {
+        const Chain chain = makeGemmChain(load.config);
+        EXPECT_NO_THROW(chain.validate());
+    }
+}
+
+TEST(Workloads, TableVHasEightEntries)
+{
+    const auto &loads = tableVWorkloads();
+    ASSERT_EQ(loads.size(), 8u);
+    EXPECT_EQ(loads[0].config.name, "C1");
+    EXPECT_EQ(loads[4].config.stride1, 4);
+    for (const auto &load : loads) {
+        const Chain chain = makeConvChain(load.config);
+        EXPECT_NO_THROW(chain.validate());
+    }
+}
+
+TEST(Workloads, SmallWorkloadsBuild)
+{
+    for (const auto &load : smallGemmWorkloads()) {
+        EXPECT_NO_THROW(makeGemmChain(load.config));
+    }
+}
+
+} // namespace
+} // namespace chimera::ir

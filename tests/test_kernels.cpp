@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the replaceable micro kernels: registry behaviour,
+ * parameter selection (§V-B), packing, and block matmul correctness for
+ * every registered implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/block_matmul.hpp"
+#include "kernels/kernel_params.hpp"
+#include "kernels/micro_kernel.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tensor/reference.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chimera::kernels {
+namespace {
+
+TEST(KernelParams, CascadeLakeChoiceMatchesPaper)
+{
+    // 32 ZMM registers -> (MI, NI, MII) = (6, 4, 2), 30 registers used.
+    const CpuKernelParams params = selectCpuKernelParams(32);
+    EXPECT_EQ(params.mi, 6);
+    EXPECT_EQ(params.ni, 4);
+    EXPECT_EQ(params.mii, 2);
+    EXPECT_EQ(params.registersUsed, 30);
+    EXPECT_NEAR(params.arithmeticIntensity, 2.4, 1e-9);
+}
+
+TEST(KernelParams, Avx2Choice)
+{
+    // 16 YMM registers -> (6, 2, 2): the classic 6x16 fp32 AVX2 tile.
+    const CpuKernelParams params = selectCpuKernelParams(16);
+    EXPECT_EQ(params.mi, 6);
+    EXPECT_EQ(params.ni, 2);
+    EXPECT_EQ(params.mii, 2);
+    EXPECT_LE(params.registersUsed, 16);
+}
+
+TEST(KernelParams, AiFormula)
+{
+    // AI = MI*NI*KI / (KI*(MI+NI) + 2*MI*NI).
+    EXPECT_DOUBLE_EQ(kernelArithmeticIntensity(6, 4, 24),
+                     6.0 * 4 * 24 / (24.0 * 10 + 2 * 24));
+    EXPECT_THROW(kernelArithmeticIntensity(0, 4, 24), Error);
+}
+
+TEST(KernelParams, BudgetAlwaysRespected)
+{
+    for (int regs : {8, 12, 16, 24, 32, 64}) {
+        const CpuKernelParams params = selectCpuKernelParams(regs);
+        EXPECT_LE(params.registersUsed, regs) << "regs " << regs;
+        EXPECT_EQ(params.mi % params.mii, 0);
+        EXPECT_GE(params.mii, 2);
+    }
+}
+
+TEST(Registry, ScalarAlwaysPresent)
+{
+    const MicroKernelRegistry &registry = MicroKernelRegistry::instance();
+    const MicroKernel &scalar = registry.select(SimdTier::Scalar);
+    EXPECT_EQ(scalar.tier, SimdTier::Scalar);
+    EXPECT_EQ(scalar.mr, kScalarMr);
+    EXPECT_EQ(scalar.nr, kScalarNr);
+}
+
+TEST(Registry, SelectPicksWidestAvailable)
+{
+    const MicroKernelRegistry &registry = MicroKernelRegistry::instance();
+    const MicroKernel &best = registry.select(SimdTier::Avx512);
+    // On this build host AVX-512 is compiled in.
+    for (const MicroKernel &kernel : registry.kernels()) {
+        EXPECT_LE(static_cast<int>(kernel.tier),
+                  static_cast<int>(best.tier));
+    }
+}
+
+TEST(Registry, ByNameLookup)
+{
+    const MicroKernelRegistry &registry = MicroKernelRegistry::instance();
+    EXPECT_EQ(registry.byName("scalar_6x16").mr, 6);
+    EXPECT_THROW(registry.byName("nope"), Error);
+}
+
+TEST(Registry, AddRejectsMalformed)
+{
+    MicroKernelRegistry registry;
+    EXPECT_THROW(registry.add(MicroKernel{"bad", SimdTier::Scalar, 0, 8,
+                                          &scalarMicroKernel}),
+                 Error);
+}
+
+TEST(Packing, APanelTransposesAndPads)
+{
+    // A is 2 rows x 3 cols; pack into mr=4 panels of kc=3.
+    const float a[6] = {1, 2, 3, 4, 5, 6};
+    float dst[12];
+    packAPanel(a, 3, 2, 3, 4, dst);
+    // dst[k*mr + m] = a[m*lda + k]
+    EXPECT_FLOAT_EQ(dst[0], 1.0f); // k0 m0
+    EXPECT_FLOAT_EQ(dst[1], 4.0f); // k0 m1
+    EXPECT_FLOAT_EQ(dst[2], 0.0f); // pad
+    EXPECT_FLOAT_EQ(dst[4], 2.0f); // k1 m0
+    EXPECT_FLOAT_EQ(dst[5], 5.0f); // k1 m1
+    EXPECT_FLOAT_EQ(dst[8], 3.0f); // k2 m0
+}
+
+TEST(Packing, BPanelCopiesAndPads)
+{
+    const float b[6] = {1, 2, 3, 4, 5, 6}; // 2 rows x 3 cols, ldb=3
+    float dst[8];
+    packBPanel(b, 3, 2, 3, 4, dst);
+    EXPECT_FLOAT_EQ(dst[0], 1.0f);
+    EXPECT_FLOAT_EQ(dst[2], 3.0f);
+    EXPECT_FLOAT_EQ(dst[3], 0.0f); // pad
+    EXPECT_FLOAT_EQ(dst[4], 4.0f);
+    EXPECT_FLOAT_EQ(dst[7], 0.0f);
+}
+
+/** Parameterized over every registered micro kernel. */
+class MicroKernelCorrectness
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MicroKernelCorrectness, ExactTileMatchesReference)
+{
+    const MicroKernel &kernel =
+        MicroKernelRegistry::instance().byName(GetParam());
+    const int kc = 37;
+    Tensor a({kernel.mr, kc});
+    Tensor b({kc, kernel.nr});
+    Tensor c({kernel.mr, kernel.nr});
+    Tensor expected({kernel.mr, kernel.nr});
+    Rng rng(99);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(c, rng);
+    expected = c;
+
+    // Reference: expected += a * b.
+    Tensor prod({kernel.mr, kernel.nr});
+    ref::gemm(a, b, prod);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        expected[i] += prod[i];
+    }
+
+    std::vector<float> aPack(static_cast<std::size_t>(kc) *
+                             static_cast<std::size_t>(kernel.mr));
+    std::vector<float> bPack(static_cast<std::size_t>(kc) *
+                             static_cast<std::size_t>(kernel.nr));
+    packAPanel(a.data(), kc, kernel.mr, kc, kernel.mr, aPack.data());
+    packBPanel(b.data(), kernel.nr, kc, kernel.nr, kernel.nr, bPack.data());
+    kernel.fn(aPack.data(), bPack.data(), c.data(), kernel.nr, kc);
+
+    EXPECT_TRUE(allClose(c, expected, 1e-4f, 1e-4f))
+        << "kernel " << kernel.name
+        << " maxdiff=" << maxAbsDiff(c, expected);
+}
+
+TEST_P(MicroKernelCorrectness, KcOneWorks)
+{
+    const MicroKernel &kernel =
+        MicroKernelRegistry::instance().byName(GetParam());
+    Tensor a({kernel.mr, 1});
+    Tensor b({1, kernel.nr});
+    Tensor c({kernel.mr, kernel.nr});
+    fillPattern(a);
+    fillPattern(b);
+    c.zero();
+    Tensor expected({kernel.mr, kernel.nr});
+    ref::gemm(a, b, expected);
+
+    std::vector<float> aPack(static_cast<std::size_t>(kernel.mr));
+    std::vector<float> bPack(static_cast<std::size_t>(kernel.nr));
+    packAPanel(a.data(), 1, kernel.mr, 1, kernel.mr, aPack.data());
+    packBPanel(b.data(), kernel.nr, 1, kernel.nr, kernel.nr, bPack.data());
+    kernel.fn(aPack.data(), bPack.data(), c.data(), kernel.nr, 1);
+    EXPECT_TRUE(allClose(c, expected, 1e-5f, 1e-6f));
+}
+
+std::vector<std::string>
+registeredKernelNames()
+{
+    std::vector<std::string> names;
+    for (const MicroKernel &kernel :
+         MicroKernelRegistry::instance().kernels()) {
+        names.push_back(kernel.name);
+    }
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, MicroKernelCorrectness,
+                         ::testing::ValuesIn(registeredKernelNames()));
+
+/** Block matmul across odd shapes, every kernel. */
+class BlockMatmulCorrectness
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::tuple<int, int, int>>>
+{
+};
+
+TEST_P(BlockMatmulCorrectness, MatchesReference)
+{
+    const MicroKernel &kernel = MicroKernelRegistry::instance().byName(
+        std::get<0>(GetParam()));
+    const auto [m, n, k] = std::get<1>(GetParam());
+
+    Tensor a({m, k});
+    Tensor b({k, n});
+    Tensor c({m, n});
+    Tensor expected({m, n});
+    Rng rng(7);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    c.zero();
+    ref::gemm(a, b, expected);
+
+    Workspace workspace;
+    blockMatmul(kernel, a.data(), k, b.data(), n, c.data(), n, m, n, k,
+                workspace);
+    EXPECT_TRUE(allClose(c, expected, 1e-4f, 1e-4f))
+        << "kernel " << kernel.name << " shape " << m << "x" << n << "x"
+        << k << " maxdiff " << maxAbsDiff(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockMatmulCorrectness,
+    ::testing::Combine(::testing::ValuesIn(registeredKernelNames()),
+                       ::testing::Values(std::make_tuple(1, 1, 1),
+                                         std::make_tuple(6, 64, 16),
+                                         std::make_tuple(7, 65, 3),
+                                         std::make_tuple(13, 17, 19),
+                                         std::make_tuple(48, 96, 32),
+                                         std::make_tuple(5, 200, 1),
+                                         std::make_tuple(64, 64, 64))));
+
+TEST(BlockMatmul, AccumulatesIntoExistingC)
+{
+    const MicroKernel &kernel =
+        MicroKernelRegistry::instance().select(detectSimdTier());
+    Tensor a({8, 4});
+    Tensor b({4, 8});
+    Tensor c({8, 8});
+    Rng rng(3);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    c.fill(2.0f);
+
+    Tensor expected({8, 8});
+    ref::gemm(a, b, expected);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        expected[i] += 2.0f;
+    }
+    Workspace workspace;
+    blockMatmul(kernel, a.data(), 4, b.data(), 8, c.data(), 8, 8, 8, 4,
+                workspace);
+    EXPECT_TRUE(allClose(c, expected, 1e-4f, 1e-4f));
+}
+
+TEST(BlockMatmul, StridedViews)
+{
+    // Operate on the top-left 5x6x7 sub-blocks of larger tensors.
+    const MicroKernel &kernel =
+        MicroKernelRegistry::instance().select(detectSimdTier());
+    Tensor a({10, 20});
+    Tensor b({20, 30});
+    Tensor c({10, 30});
+    Rng rng(5);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    c.zero();
+
+    Workspace workspace;
+    blockMatmul(kernel, a.data(), 20, b.data(), 30, c.data(), 30, 5, 6, 7,
+                workspace);
+
+    for (int i = 0; i < 5; ++i) {
+        for (int j = 0; j < 6; ++j) {
+            float acc = 0.0f;
+            for (int p = 0; p < 7; ++p) {
+                acc += a.at({i, p}) * b.at({p, j});
+            }
+            EXPECT_NEAR(c.at({i, j}), acc, 1e-4f);
+        }
+    }
+    // Outside the sub-block C stays zero.
+    EXPECT_FLOAT_EQ(c.at({6, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(c.at({0, 7}), 0.0f);
+}
+
+TEST(NaiveBlockMatmul, MatchesReference)
+{
+    Tensor a({9, 11});
+    Tensor b({11, 13});
+    Tensor c({9, 13});
+    Tensor expected({9, 13});
+    Rng rng(13);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    c.zero();
+    ref::gemm(a, b, expected);
+    naiveBlockMatmul(a.data(), 11, b.data(), 13, c.data(), 13, 9, 13, 11);
+    EXPECT_TRUE(allClose(c, expected, 1e-4f, 1e-4f));
+}
+
+} // namespace
+} // namespace chimera::kernels

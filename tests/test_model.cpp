@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the analytical data-movement model (Algorithm 1) and
+ * the multi-level cost model. The central fixtures assert the paper's
+ * Table III symbolic values for the GEMM chain under order mlkn.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/builders.hpp"
+#include "model/data_movement.hpp"
+#include "model/multilevel.hpp"
+#include "support/error.hpp"
+#include "support/mathutil.hpp"
+
+namespace chimera::model {
+namespace {
+
+using ir::AxisId;
+using ir::Chain;
+using ir::GemmChainConfig;
+using ir::axisIdByName;
+using ir::makeGemmChain;
+
+/** Permutation from axis names, outermost first. */
+std::vector<AxisId>
+permOf(const Chain &chain, const std::vector<std::string> &names)
+{
+    std::vector<AxisId> perm;
+    for (const auto &name : names) {
+        perm.push_back(axisIdByName(chain, name));
+    }
+    return perm;
+}
+
+/** Tile vector from name->size pairs; all other axes get full extent. */
+std::vector<std::int64_t>
+tilesOf(const Chain &chain,
+        const std::vector<std::pair<std::string, std::int64_t>> &sizes)
+{
+    std::vector<std::int64_t> tiles = chain.fullExtents();
+    for (const auto &[name, size] : sizes) {
+        tiles[static_cast<std::size_t>(axisIdByName(chain, name))] = size;
+    }
+    return tiles;
+}
+
+class GemmChainModel : public ::testing::Test
+{
+  protected:
+    GemmChainModel()
+    {
+        GemmChainConfig cfg;
+        cfg.batch = 1;
+        cfg.m = 64;
+        cfg.n = 32;
+        cfg.k = 16;
+        cfg.l = 48;
+        chain_ = std::make_unique<Chain>(makeGemmChain(cfg));
+    }
+
+    const Chain &chain() const { return *chain_; }
+
+    std::unique_ptr<Chain> chain_;
+};
+
+TEST_F(GemmChainModel, TableThreeDataMovementUnderMlkn)
+{
+    // Paper Table III: order mlkn with tiles (T_M, T_N, T_K, T_L).
+    //   DM_A = M*K*ceil(L/T_L), DM_B = K*L*ceil(M/T_M), DM_C = 0,
+    //   DM_D = N*L*ceil(M/T_M), DM_E = M*N*ceil(L/T_L).
+    const auto perm = permOf(chain(), {"m", "l", "k", "n"});
+    const auto tiles =
+        tilesOf(chain(), {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+    const DataMovement dm = computeDataMovement(chain(), perm, tiles);
+
+    const double M = 64, N = 32, K = 16, L = 48;
+    const double cm = 64.0 / 8.0; // ceil(M/T_M)
+    const double cl = 48.0 / 6.0; // ceil(L/T_L)
+    EXPECT_DOUBLE_EQ(dm.perTensorBytes[0], M * K * cl * 4); // A
+    EXPECT_DOUBLE_EQ(dm.perTensorBytes[1], K * L * cm * 4); // B
+    EXPECT_DOUBLE_EQ(dm.perTensorBytes[2], 0.0); // C on chip
+    EXPECT_DOUBLE_EQ(dm.perTensorBytes[3], N * L * cm * 4); // D
+    EXPECT_DOUBLE_EQ(dm.perTensorBytes[4], M * N * cl * 4); // E
+    EXPECT_DOUBLE_EQ(dm.volumeBytes,
+                     (M * K * cl + K * L * cm + N * L * cm + M * N * cl) * 4);
+}
+
+TEST_F(GemmChainModel, TableThreeMemoryUsageUnderMlkn)
+{
+    // GEMM1_MU = T_M*T_K + T_K*T_L + T_M*T_L,
+    // GEMM2_MU = T_M*T_L + T_L*T_N + T_M*T_N; MU = max of the two.
+    const auto perm = permOf(chain(), {"m", "l", "k", "n"});
+    const auto tiles =
+        tilesOf(chain(), {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+    const DataMovement dm = computeDataMovement(chain(), perm, tiles);
+    const std::int64_t mu1 = (8 * 4 + 4 * 6 + 8 * 6) * 4;
+    const std::int64_t mu2 = (8 * 6 + 6 * 8 + 8 * 8) * 4;
+    EXPECT_EQ(dm.memUsageBytes, std::max(mu1, mu2));
+}
+
+TEST_F(GemmChainModel, InnermostReuseUnderMknl)
+{
+    // Under m,k,n,l... use m,n,k,l from Figure 2: A is reused along l
+    // (the innermost loop does not touch A), so A moves only M*K once
+    // per ceil(M/T_M)*ceil(K/T_K) block walk: DM_A = M*K.
+    const auto perm = permOf(chain(), {"m", "n", "k", "l"});
+    const auto tiles =
+        tilesOf(chain(), {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+    const DataMovement dm = computeDataMovement(chain(), perm, tiles);
+    EXPECT_DOUBLE_EQ(dm.perTensorBytes[0], 64.0 * 16.0 * 4); // A reused on l
+    // B is touched by l innermost: every block loop of gemm1 multiplies.
+    EXPECT_DOUBLE_EQ(dm.perTensorBytes[1],
+                     16.0 * 48.0 * (64.0 / 8.0) * 4); // K*L*ceil(M/T_M)
+}
+
+TEST_F(GemmChainModel, PrivateLoopDoesNotMoveConsumerTensors)
+{
+    // k is private to gemm1: D and E movement must be independent of T_K.
+    const auto perm = permOf(chain(), {"k", "m", "l", "n"});
+    const auto tilesA =
+        tilesOf(chain(), {{"m", 8}, {"n", 8}, {"k", 2}, {"l", 6}});
+    const auto tilesB =
+        tilesOf(chain(), {{"m", 8}, {"n", 8}, {"k", 8}, {"l", 6}});
+    const DataMovement dmA = computeDataMovement(chain(), perm, tilesA);
+    const DataMovement dmB = computeDataMovement(chain(), perm, tilesB);
+    EXPECT_DOUBLE_EQ(dmA.perTensorBytes[3], dmB.perTensorBytes[3]);
+    EXPECT_DOUBLE_EQ(dmA.perTensorBytes[4], dmB.perTensorBytes[4]);
+}
+
+TEST_F(GemmChainModel, FullExtentTilesMoveEachTensorOnce)
+{
+    const auto perm = permOf(chain(), {"m", "l", "k", "n"});
+    const auto tiles = chain().fullExtents();
+    const DataMovement dm = computeDataMovement(chain(), perm, tiles);
+    EXPECT_DOUBLE_EQ(dm.volumeBytes,
+                     static_cast<double>(chain().ioBytes()));
+}
+
+TEST_F(GemmChainModel, IntermediatesAsIOAddsProducerAndConsumerTraffic)
+{
+    const auto perm = permOf(chain(), {"m", "l", "k", "n"});
+    const auto tiles =
+        tilesOf(chain(), {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+    ModelOptions opts;
+    opts.intermediatesAreIO = true;
+    const DataMovement dm = computeDataMovement(chain(), perm, tiles, opts);
+    const DataMovement base = computeDataMovement(chain(), perm, tiles);
+    EXPECT_GT(dm.perTensorBytes[2], 0.0);
+    EXPECT_GT(dm.volumeBytes, base.volumeBytes);
+    // Non-intermediate tensors are unaffected by the flag.
+    EXPECT_DOUBLE_EQ(dm.perTensorBytes[0], base.perTensorBytes[0]);
+}
+
+TEST_F(GemmChainModel, DataVolumeLowerBoundIsIoBytes)
+{
+    // No permutation/tiling can move less than each IO tensor once.
+    const auto perms = allPermutations(4);
+    const auto tiles =
+        tilesOf(chain(), {{"m", 16}, {"n", 16}, {"k", 8}, {"l", 12}});
+    for (const auto &p : perms) {
+        std::vector<AxisId> perm(p.begin(), p.end());
+        const DataMovement dm = computeDataMovement(chain(), perm, tiles);
+        EXPECT_GE(dm.volumeBytes,
+                  static_cast<double>(chain().ioBytes()) - 0.5);
+    }
+}
+
+TEST_F(GemmChainModel, LargerTilesNeverIncreaseVolume)
+{
+    // Property: growing one tile (with the rest fixed) cannot increase
+    // DV under the same order, since every ceil factor is non-increasing.
+    const auto perm = permOf(chain(), {"m", "l", "k", "n"});
+    for (std::int64_t tm : {2, 4, 8, 16, 32, 64}) {
+        const auto small =
+            tilesOf(chain(), {{"m", tm}, {"n", 8}, {"k", 4}, {"l", 6}});
+        const auto large =
+            tilesOf(chain(), {{"m", tm * 1}, {"n", 8}, {"k", 4}, {"l", 12}});
+        const DataMovement a = computeDataMovement(chain(), perm, small);
+        const DataMovement b = computeDataMovement(chain(), perm, large);
+        EXPECT_LE(b.volumeBytes, a.volumeBytes + 0.5);
+    }
+}
+
+TEST_F(GemmChainModel, ReuseAxesMatchFigureTwo)
+{
+    // Order mnkl (Figure 2 row 1): A reused along l, B not reused,
+    // D and E reused along the producer-private k.
+    const auto perm = permOf(chain(), {"m", "n", "k", "l"});
+    const auto tiles =
+        tilesOf(chain(), {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+    const auto reuse = reuseAxesPerTensor(chain(), perm, tiles);
+    ASSERT_EQ(reuse.size(), 5u);
+    EXPECT_EQ(reuse[0], std::vector<std::string>{"l"}); // A
+    EXPECT_TRUE(reuse[1].empty()); // B
+    EXPECT_TRUE(reuse[2].empty()); // C intermediate: not reported
+    ASSERT_FALSE(reuse[3].empty()); // D
+    EXPECT_EQ(reuse[3][0], "k");
+    EXPECT_EQ(std::count(reuse[4].begin(), reuse[4].end(), "k"), 1); // E
+}
+
+TEST_F(GemmChainModel, PermutationValidationRejectsBadInput)
+{
+    const auto tiles = chain().fullExtents();
+    EXPECT_THROW(computeDataMovement(chain(), {0, 1, 2}, tiles), Error);
+    EXPECT_THROW(computeDataMovement(chain(), {0, 1, 2, 2}, tiles), Error);
+    EXPECT_THROW(computeDataMovement(chain(), {0, 1, 2, 9}, tiles), Error);
+}
+
+TEST_F(GemmChainModel, TileValidationRejectsBadInput)
+{
+    const auto perm = permOf(chain(), {"m", "l", "k", "n"});
+    auto tiles = chain().fullExtents();
+    tiles[0] = 0;
+    EXPECT_THROW(computeDataMovement(chain(), perm, tiles), Error);
+    tiles = chain().fullExtents();
+    tiles[1] += 1;
+    EXPECT_THROW(computeDataMovement(chain(), perm, tiles), Error);
+}
+
+TEST(GemmChainModelBatch, BatchAxisScalesVolume)
+{
+    GemmChainConfig cfg;
+    cfg.batch = 4;
+    cfg.m = 32;
+    cfg.n = 16;
+    cfg.k = 8;
+    cfg.l = 24;
+    const Chain chain = makeGemmChain(cfg);
+    // Batch outermost with tile 1: whole-chain volume = 4x the b=1 case.
+    std::vector<AxisId> perm = permOf(
+        chain, {"b", "m", "l", "k", "n"});
+    auto tiles = tilesOf(chain, {{"b", 1},
+                                 {"m", 8},
+                                 {"n", 8},
+                                 {"k", 4},
+                                 {"l", 6}});
+    const DataMovement dm = computeDataMovement(chain, perm, tiles);
+
+    GemmChainConfig single = cfg;
+    single.batch = 1;
+    const Chain chain1 = makeGemmChain(single);
+    const DataMovement dm1 = computeDataMovement(
+        chain1, permOf(chain1, {"m", "l", "k", "n"}),
+        tilesOf(chain1, {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}}));
+    EXPECT_DOUBLE_EQ(dm.volumeBytes, 4.0 * dm1.volumeBytes);
+}
+
+TEST(MultiLevel, CostsAndFeasibility)
+{
+    GemmChainConfig cfg;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    const Chain chain = makeGemmChain(cfg);
+
+    MachineModel machine;
+    machine.name = "toy";
+    machine.levels = {
+        {"L1", 16.0 * 1024, 100e9},
+        {"L2", 512.0 * 1024, 50e9},
+    };
+    machine.peakFlops = 1e12;
+
+    LevelSchedule inner;
+    inner.perm = permOf(chain, {"m", "l", "k", "n"});
+    inner.tiles = tilesOf(chain, {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+    LevelSchedule outer;
+    outer.perm = inner.perm;
+    outer.tiles = tilesOf(chain, {{"m", 32}, {"n", 32}, {"k", 16}, {"l", 24}});
+
+    const MultiLevelCost cost =
+        evaluateMultiLevel(chain, machine, {inner, outer});
+    ASSERT_EQ(cost.stageSeconds.size(), 2u);
+    EXPECT_TRUE(cost.feasible);
+    EXPECT_GT(cost.volumeBytes[0], cost.volumeBytes[1]);
+    EXPECT_GT(cost.computeSeconds, 0.0);
+    EXPECT_GE(cost.boundSeconds, cost.computeSeconds);
+    for (double stage : cost.stageSeconds) {
+        EXPECT_LE(stage, cost.boundSeconds);
+    }
+    EXPECT_GT(arithmeticIntensity(chain, cost), 0.0);
+}
+
+TEST(MultiLevel, InfeasibleWhenTilesExceedCapacity)
+{
+    GemmChainConfig cfg;
+    cfg.m = 64;
+    cfg.n = 64;
+    cfg.k = 64;
+    cfg.l = 64;
+    const Chain chain = makeGemmChain(cfg);
+    MachineModel machine;
+    machine.levels = {{"L1", 64.0, 100e9}}; // 64 bytes: nothing fits
+    machine.peakFlops = 1e12;
+    LevelSchedule sched;
+    sched.perm = permOf(chain, {"m", "l", "k", "n"});
+    sched.tiles = chain.fullExtents();
+    const MultiLevelCost cost = evaluateMultiLevel(chain, machine, {sched});
+    EXPECT_FALSE(cost.feasible);
+}
+
+TEST(MultiLevel, MoreCoresReduceStageTime)
+{
+    GemmChainConfig cfg;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    const Chain chain = makeGemmChain(cfg);
+    MachineModel machine;
+    machine.levels = {{"L1", 1e9, 100e9}};
+    machine.peakFlops = 1e12;
+    LevelSchedule sched;
+    sched.perm = permOf(chain, {"m", "l", "k", "n"});
+    sched.tiles = tilesOf(chain, {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+    machine.cores = 1;
+    const double t1 =
+        evaluateMultiLevel(chain, machine, {sched}).stageSeconds[0];
+    machine.cores = 4;
+    const double t4 =
+        evaluateMultiLevel(chain, machine, {sched}).stageSeconds[0];
+    EXPECT_NEAR(t4, t1 / 4.0, 1e-12);
+}
+
+TEST(MultiLevel, SchedulesMustMatchLevels)
+{
+    const Chain chain = ir::makeSingleGemm(1, 8, 8, 8);
+    MachineModel machine;
+    machine.levels = {{"L1", 1e6, 1e9}, {"L2", 1e7, 1e9}};
+    machine.peakFlops = 1e12;
+    LevelSchedule sched;
+    sched.perm = {0, 1, 2};
+    sched.tiles = chain.fullExtents();
+    EXPECT_THROW(evaluateMultiLevel(chain, machine, {sched}), Error);
+}
+
+} // namespace
+} // namespace chimera::model

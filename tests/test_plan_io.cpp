@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for plan serialization: round trips, validation against the
+ * binding chain, and rejection of malformed/stale documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builders.hpp"
+#include "plan/plan_io.hpp"
+#include "support/error.hpp"
+
+namespace chimera::plan {
+namespace {
+
+ir::Chain
+chainUnderTest()
+{
+    ir::GemmChainConfig cfg;
+    cfg.batch = 4;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    cfg.name = "io-test";
+    return ir::makeGemmChain(cfg);
+}
+
+ExecutionPlan
+planUnderTest(const ir::Chain &chain)
+{
+    PlannerOptions options;
+    options.memCapacityBytes = 32.0 * 1024;
+    return planChain(chain, options);
+}
+
+TEST(PlanIo, RoundTripPreservesScheduleExactly)
+{
+    const ir::Chain chain = chainUnderTest();
+    const ExecutionPlan plan = planUnderTest(chain);
+    const std::string text = serializePlan(chain, plan);
+    const ExecutionPlan restored = deserializePlan(chain, text);
+    EXPECT_EQ(restored.perm, plan.perm);
+    EXPECT_EQ(restored.tiles, plan.tiles);
+    EXPECT_DOUBLE_EQ(restored.predictedVolumeBytes,
+                     plan.predictedVolumeBytes);
+    EXPECT_EQ(restored.memUsageBytes, plan.memUsageBytes);
+}
+
+TEST(PlanIo, DocumentIsHumanReadable)
+{
+    const ir::Chain chain = chainUnderTest();
+    const std::string text = serializePlan(chain, planUnderTest(chain));
+    EXPECT_NE(text.find("chimera-plan v1"), std::string::npos);
+    EXPECT_NE(text.find("order:"), std::string::npos);
+    EXPECT_NE(text.find("tiles:"), std::string::npos);
+    EXPECT_NE(text.find("io-test"), std::string::npos);
+}
+
+TEST(PlanIo, StalePredictionsAreRecomputed)
+{
+    // Tamper with the volume field: deserialization must not trust it.
+    const ir::Chain chain = chainUnderTest();
+    const ExecutionPlan plan = planUnderTest(chain);
+    std::string text = serializePlan(chain, plan);
+    const std::size_t pos = text.find("volume-bytes:");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, text.find('\n', pos) - pos, "volume-bytes: 1");
+    const ExecutionPlan restored = deserializePlan(chain, text);
+    EXPECT_DOUBLE_EQ(restored.predictedVolumeBytes,
+                     plan.predictedVolumeBytes);
+}
+
+TEST(PlanIo, RejectsWrongHeader)
+{
+    const ir::Chain chain = chainUnderTest();
+    EXPECT_THROW(deserializePlan(chain, "not-a-plan\norder: m"), Error);
+}
+
+TEST(PlanIo, RejectsMissingFields)
+{
+    const ir::Chain chain = chainUnderTest();
+    EXPECT_THROW(deserializePlan(chain, "chimera-plan v1\norder: "
+                                        "b,m,l,k,n\n"),
+                 Error);
+    EXPECT_THROW(
+        deserializePlan(chain,
+                        "chimera-plan v1\ntiles: b=1 m=8 n=8 k=8 l=8\n"),
+        Error);
+}
+
+TEST(PlanIo, RejectsForeignAxes)
+{
+    const ir::Chain chain = chainUnderTest();
+    EXPECT_THROW(deserializePlan(chain,
+                                 "chimera-plan v1\norder: x,y\ntiles: "
+                                 "x=1 y=1\n"),
+                 Error);
+}
+
+TEST(PlanIo, RejectsOutOfRangeTiles)
+{
+    const ir::Chain chain = chainUnderTest();
+    const ExecutionPlan plan = planUnderTest(chain);
+    std::string text = serializePlan(chain, plan);
+    const std::size_t pos = text.find("m=");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 4, "m=9999");
+    EXPECT_THROW(deserializePlan(chain, text), Error);
+}
+
+TEST(PlanIo, RejectsUnknownKeys)
+{
+    const ir::Chain chain = chainUnderTest();
+    std::string text = serializePlan(chain, planUnderTest(chain));
+    text += "mystery: 1\n";
+    EXPECT_THROW(deserializePlan(chain, text), Error);
+}
+
+} // namespace
+} // namespace chimera::plan

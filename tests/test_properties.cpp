@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Property-based tests: randomized sweeps asserting the structural
+ * invariants of the analytical model, the solver, the executors, and
+ * the cache simulator. Each property runs across a parameterized set of
+ * seeds/shapes so regressions surface on inputs nobody hand-picked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_tuner.hpp"
+#include "cachesim/gemm_trace.hpp"
+#include "exec/gemm_chain_exec.hpp"
+#include "model/data_movement.hpp"
+#include "plan/planner.hpp"
+#include "solver/tile_solver.hpp"
+#include "support/mathutil.hpp"
+#include "support/rng.hpp"
+
+namespace chimera {
+namespace {
+
+/** Random GEMM-chain config with extents in [4, 96]. */
+ir::GemmChainConfig
+randomChainConfig(Rng &rng)
+{
+    auto dim = [&] {
+        return static_cast<std::int64_t>(4 + rng.below(93));
+    };
+    ir::GemmChainConfig cfg;
+    cfg.batch = static_cast<std::int64_t>(1 + rng.below(3));
+    cfg.m = dim();
+    cfg.n = dim();
+    cfg.k = dim();
+    cfg.l = dim();
+    cfg.name = "prop";
+    return cfg;
+}
+
+/** Random permutation of all chain axes. */
+std::vector<ir::AxisId>
+randomPerm(const ir::Chain &chain, Rng &rng)
+{
+    std::vector<ir::AxisId> perm;
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        perm.push_back(a);
+    }
+    for (std::size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[static_cast<std::size_t>(rng.below(i))]);
+    }
+    return perm;
+}
+
+/** Random tile vector of divisors (so block grids have no ragged tails). */
+std::vector<std::int64_t>
+randomDivisorTiles(const ir::Chain &chain, Rng &rng)
+{
+    std::vector<std::int64_t> tiles;
+    for (const ir::Axis &axis : chain.axes()) {
+        const auto divs = divisorsOf(axis.extent);
+        tiles.push_back(divs[static_cast<std::size_t>(
+            rng.below(divs.size()))]);
+    }
+    return tiles;
+}
+
+class ModelProperties : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ModelProperties, VolumeNeverBelowCompulsoryIo)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 20; ++trial) {
+        const ir::Chain chain = ir::makeGemmChain(randomChainConfig(rng));
+        const auto perm = randomPerm(chain, rng);
+        const auto tiles = randomDivisorTiles(chain, rng);
+        const auto dm = model::computeDataMovement(chain, perm, tiles);
+        EXPECT_GE(dm.volumeBytes,
+                  static_cast<double>(chain.ioBytes()) - 0.5);
+    }
+}
+
+TEST_P(ModelProperties, GrowingADividingTileNeverIncreasesVolume)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 20; ++trial) {
+        const ir::Chain chain = ir::makeGemmChain(randomChainConfig(rng));
+        const auto perm = randomPerm(chain, rng);
+        auto tiles = randomDivisorTiles(chain, rng);
+        const auto before = model::computeDataMovement(chain, perm, tiles);
+
+        // Grow one random axis to a larger divisor.
+        const int axis = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(chain.numAxes())));
+        const auto divs = divisorsOf(
+            chain.axes()[static_cast<std::size_t>(axis)].extent);
+        std::vector<std::int64_t> larger;
+        for (std::int64_t d : divs) {
+            if (d > tiles[static_cast<std::size_t>(axis)]) {
+                larger.push_back(d);
+            }
+        }
+        if (larger.empty()) {
+            continue;
+        }
+        tiles[static_cast<std::size_t>(axis)] =
+            larger[static_cast<std::size_t>(rng.below(larger.size()))];
+        const auto after = model::computeDataMovement(chain, perm, tiles);
+        EXPECT_LE(after.volumeBytes, before.volumeBytes + 0.5);
+        EXPECT_GE(after.memUsageBytes, before.memUsageBytes);
+    }
+}
+
+TEST_P(ModelProperties, SpilledIntermediatesNeverCheaper)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 20; ++trial) {
+        const ir::Chain chain = ir::makeGemmChain(randomChainConfig(rng));
+        const auto perm = randomPerm(chain, rng);
+        const auto tiles = randomDivisorTiles(chain, rng);
+        const auto fused = model::computeDataMovement(chain, perm, tiles);
+        model::ModelOptions spilled;
+        spilled.intermediatesAreIO = true;
+        const auto unfused =
+            model::computeDataMovement(chain, perm, tiles, spilled);
+        EXPECT_GE(unfused.volumeBytes, fused.volumeBytes - 0.5);
+        EXPECT_EQ(unfused.memUsageBytes, fused.memUsageBytes);
+    }
+}
+
+TEST_P(ModelProperties, ReuseAxesNeverAccessTheTensor)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 10; ++trial) {
+        const ir::Chain chain = ir::makeGemmChain(randomChainConfig(rng));
+        const auto perm = randomPerm(chain, rng);
+        const auto tiles = randomDivisorTiles(chain, rng);
+        const auto reuse = model::reuseAxesPerTensor(chain, perm, tiles);
+        for (std::size_t t = 0; t < reuse.size(); ++t) {
+            for (const std::string &axisName : reuse[t]) {
+                const ir::AxisId axis = ir::axisIdByName(chain, axisName);
+                EXPECT_FALSE(chain.tensors()[t].usesAxis(axis))
+                    << chain.tensors()[t].name << " reused along "
+                    << axisName;
+            }
+        }
+    }
+}
+
+TEST_P(ModelProperties, DeterministicEvaluation)
+{
+    Rng rng(GetParam());
+    const ir::Chain chain = ir::makeGemmChain(randomChainConfig(rng));
+    const auto perm = randomPerm(chain, rng);
+    const auto tiles = randomDivisorTiles(chain, rng);
+    const auto a = model::computeDataMovement(chain, perm, tiles);
+    const auto b = model::computeDataMovement(chain, perm, tiles);
+    EXPECT_DOUBLE_EQ(a.volumeBytes, b.volumeBytes);
+    EXPECT_EQ(a.memUsageBytes, b.memUsageBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperties,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+class SolverProperties : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SolverProperties, SolutionFeasibleAndNoWorseThanMinimalTiles)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 5; ++trial) {
+        const ir::Chain chain = ir::makeGemmChain(randomChainConfig(rng));
+        const auto perm = randomPerm(chain, rng);
+        solver::TileSolverOptions options;
+        options.memCapacityBytes = 16.0 * 1024;
+        const auto sol = solver::solveTiles(chain, perm, {}, options);
+        ASSERT_TRUE(sol.feasible);
+        EXPECT_LE(static_cast<double>(sol.memUsageBytes),
+                  options.memCapacityBytes);
+
+        std::vector<std::int64_t> ones(
+            static_cast<std::size_t>(chain.numAxes()), 1);
+        const auto minimal = model::computeDataMovement(chain, perm, ones);
+        EXPECT_LE(sol.volumeBytes, minimal.volumeBytes + 0.5);
+    }
+}
+
+TEST_P(SolverProperties, PlannerBeatsRandomSearchOnPredictedVolume)
+{
+    // The planner's analytical optimum must dominate what the tuner
+    // finds when both optimize the same objective (predicted volume).
+    Rng rng(GetParam());
+    const ir::Chain chain = ir::makeGemmChain(randomChainConfig(rng));
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 24.0 * 1024;
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+
+    baselines::TunerOptions tunerOptions;
+    tunerOptions.memCapacityBytes = options.memCapacityBytes;
+    tunerOptions.trials = 50;
+    tunerOptions.seed = GetParam() * 17 + 1;
+    const baselines::TunerResult tuned = baselines::randomSearchPlan(
+        chain, tunerOptions, [](const plan::ExecutionPlan &p) {
+            return p.predictedVolumeBytes;
+        });
+    EXPECT_LE(plan.predictedVolumeBytes,
+              tuned.plan.predictedVolumeBytes + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperties,
+                         ::testing::Values(21u, 34u, 55u));
+
+class ExecutorProperties : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ExecutorProperties, RandomPlansAllProduceTheOracleResult)
+{
+    Rng rng(GetParam());
+    const ir::GemmChainConfig cfg = randomChainConfig(rng);
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+
+    Tensor a(exec::gemmChainShapeA(cfg));
+    Tensor b(exec::gemmChainShapeB(cfg));
+    Tensor d(exec::gemmChainShapeD(cfg));
+    Tensor expected(exec::gemmChainShapeE(cfg));
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    exec::referenceGemmChain(cfg, a, b, d, expected);
+
+    baselines::TunerOptions tunerOptions;
+    tunerOptions.memCapacityBytes = 64.0 * 1024;
+    tunerOptions.trials = 12;
+    tunerOptions.seed = GetParam();
+    const exec::ComputeEngine engine = exec::ComputeEngine::best();
+    int validated = 0;
+    (void)baselines::randomSearchPlan(
+        chain, tunerOptions, [&](const plan::ExecutionPlan &p) {
+            Tensor e(exec::gemmChainShapeE(cfg));
+            exec::runFusedGemmChain(cfg, p, engine, a, b, d, e);
+            EXPECT_TRUE(allClose(e, expected, 5e-3f, 5e-3f))
+                << "order " << plan::orderString(chain, p.perm);
+            ++validated;
+            return 1.0;
+        });
+    EXPECT_GT(validated, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorProperties,
+                         ::testing::Values(3u, 7u, 11u, 19u));
+
+TEST(CacheProperties, InclusiveHierarchyTrafficIsMonotone)
+{
+    // Inclusive fills: a miss at level d+1 implies a miss at level d,
+    // so traffic into inner levels dominates traffic into outer ones.
+    Rng rng(23);
+    const ir::GemmChainConfig cfg = randomChainConfig(rng);
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 16.0 * 1024;
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+    const auto trace = cachesim::traceFusedGemmChain(
+        cfg, plan, cachesim::xeonLikeCaches());
+    for (std::size_t d = 1; d < trace.trafficIntoLevelBytes.size(); ++d) {
+        EXPECT_GE(trace.trafficIntoLevelBytes[d - 1],
+                  trace.trafficIntoLevelBytes[d] - 0.5);
+    }
+}
+
+TEST(CacheProperties, BiggerCacheNeverMissesMore)
+{
+    Rng rng(29);
+    const ir::GemmChainConfig cfg = randomChainConfig(rng);
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 16.0 * 1024;
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+
+    double previous = 1e300;
+    for (std::int64_t kib : {16, 64, 256, 1024}) {
+        const std::vector<cachesim::CacheConfig> levels = {
+            {"L", kib * 1024, 16, 64}};
+        const auto trace =
+            cachesim::traceFusedGemmChain(cfg, plan, levels);
+        EXPECT_LE(trace.trafficIntoLevelBytes[0], previous + 0.5)
+            << kib << " KiB";
+        previous = trace.trafficIntoLevelBytes[0];
+    }
+}
+
+} // namespace
+} // namespace chimera

