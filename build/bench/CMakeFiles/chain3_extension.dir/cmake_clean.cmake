@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain3_extension.dir/chain3_extension.cpp.o"
+  "CMakeFiles/chain3_extension.dir/chain3_extension.cpp.o.d"
+  "chain3_extension"
+  "chain3_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain3_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chain3_extension.
+# This may be replaced when dependencies are built.

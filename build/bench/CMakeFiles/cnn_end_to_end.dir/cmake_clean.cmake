@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_end_to_end.dir/cnn_end_to_end.cpp.o"
+  "CMakeFiles/cnn_end_to_end.dir/cnn_end_to_end.cpp.o.d"
+  "cnn_end_to_end"
+  "cnn_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

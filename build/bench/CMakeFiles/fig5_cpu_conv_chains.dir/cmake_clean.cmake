@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cpu_conv_chains.dir/fig5_cpu_conv_chains.cpp.o"
+  "CMakeFiles/fig5_cpu_conv_chains.dir/fig5_cpu_conv_chains.cpp.o.d"
+  "fig5_cpu_conv_chains"
+  "fig5_cpu_conv_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cpu_conv_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

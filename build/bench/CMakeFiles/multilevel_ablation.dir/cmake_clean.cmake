@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_ablation.dir/multilevel_ablation.cpp.o"
+  "CMakeFiles/multilevel_ablation.dir/multilevel_ablation.cpp.o.d"
+  "multilevel_ablation"
+  "multilevel_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_optimization.dir/overhead_optimization.cpp.o"
+  "CMakeFiles/overhead_optimization.dir/overhead_optimization.cpp.o.d"
+  "overhead_optimization"
+  "overhead_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dv_orders.dir/table3_dv_orders.cpp.o"
+  "CMakeFiles/table3_dv_orders.dir/table3_dv_orders.cpp.o.d"
+  "table3_dv_orders"
+  "table3_dv_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dv_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

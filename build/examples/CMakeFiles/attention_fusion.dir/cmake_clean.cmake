@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_fusion.dir/attention_fusion.cpp.o"
+  "CMakeFiles/attention_fusion.dir/attention_fusion.cpp.o.d"
+  "attention_fusion"
+  "attention_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_chain_fusion.dir/conv_chain_fusion.cpp.o"
+  "CMakeFiles/conv_chain_fusion.dir/conv_chain_fusion.cpp.o.d"
+  "conv_chain_fusion"
+  "conv_chain_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_chain_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

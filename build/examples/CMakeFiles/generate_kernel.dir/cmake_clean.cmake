@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_kernel.dir/generate_kernel.cpp.o"
+  "CMakeFiles/generate_kernel.dir/generate_kernel.cpp.o.d"
+  "generate_kernel"
+  "generate_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/random_tuner.cpp" "src/CMakeFiles/chimera.dir/baselines/random_tuner.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/baselines/random_tuner.cpp.o.d"
+  "/root/repo/src/cachesim/cache.cpp" "src/CMakeFiles/chimera.dir/cachesim/cache.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/cachesim/cache.cpp.o.d"
+  "/root/repo/src/cachesim/conv_trace.cpp" "src/CMakeFiles/chimera.dir/cachesim/conv_trace.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/cachesim/conv_trace.cpp.o.d"
+  "/root/repo/src/cachesim/gemm_trace.cpp" "src/CMakeFiles/chimera.dir/cachesim/gemm_trace.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/cachesim/gemm_trace.cpp.o.d"
+  "/root/repo/src/codegen/c_emitter.cpp" "src/CMakeFiles/chimera.dir/codegen/c_emitter.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/codegen/c_emitter.cpp.o.d"
+  "/root/repo/src/codegen/conv_emitter.cpp" "src/CMakeFiles/chimera.dir/codegen/conv_emitter.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/codegen/conv_emitter.cpp.o.d"
+  "/root/repo/src/exec/compute_engine.cpp" "src/CMakeFiles/chimera.dir/exec/compute_engine.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/exec/compute_engine.cpp.o.d"
+  "/root/repo/src/exec/constraints.cpp" "src/CMakeFiles/chimera.dir/exec/constraints.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/exec/constraints.cpp.o.d"
+  "/root/repo/src/exec/conv_chain_exec.cpp" "src/CMakeFiles/chimera.dir/exec/conv_chain_exec.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/exec/conv_chain_exec.cpp.o.d"
+  "/root/repo/src/exec/gemm_chain3_exec.cpp" "src/CMakeFiles/chimera.dir/exec/gemm_chain3_exec.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/exec/gemm_chain3_exec.cpp.o.d"
+  "/root/repo/src/exec/gemm_chain_exec.cpp" "src/CMakeFiles/chimera.dir/exec/gemm_chain_exec.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/exec/gemm_chain_exec.cpp.o.d"
+  "/root/repo/src/graph/cnn.cpp" "src/CMakeFiles/chimera.dir/graph/cnn.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/graph/cnn.cpp.o.d"
+  "/root/repo/src/graph/transformer.cpp" "src/CMakeFiles/chimera.dir/graph/transformer.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/graph/transformer.cpp.o.d"
+  "/root/repo/src/hw/accelerator_sim.cpp" "src/CMakeFiles/chimera.dir/hw/accelerator_sim.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/hw/accelerator_sim.cpp.o.d"
+  "/root/repo/src/hw/machines.cpp" "src/CMakeFiles/chimera.dir/hw/machines.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/hw/machines.cpp.o.d"
+  "/root/repo/src/ir/axis.cpp" "src/CMakeFiles/chimera.dir/ir/axis.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/ir/axis.cpp.o.d"
+  "/root/repo/src/ir/builders.cpp" "src/CMakeFiles/chimera.dir/ir/builders.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/ir/builders.cpp.o.d"
+  "/root/repo/src/ir/chain.cpp" "src/CMakeFiles/chimera.dir/ir/chain.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/ir/chain.cpp.o.d"
+  "/root/repo/src/ir/dsl.cpp" "src/CMakeFiles/chimera.dir/ir/dsl.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/ir/dsl.cpp.o.d"
+  "/root/repo/src/ir/workloads.cpp" "src/CMakeFiles/chimera.dir/ir/workloads.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/ir/workloads.cpp.o.d"
+  "/root/repo/src/kernels/block_matmul.cpp" "src/CMakeFiles/chimera.dir/kernels/block_matmul.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/kernels/block_matmul.cpp.o.d"
+  "/root/repo/src/kernels/kernel_params.cpp" "src/CMakeFiles/chimera.dir/kernels/kernel_params.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/kernels/kernel_params.cpp.o.d"
+  "/root/repo/src/kernels/micro_kernel.cpp" "src/CMakeFiles/chimera.dir/kernels/micro_kernel.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/kernels/micro_kernel.cpp.o.d"
+  "/root/repo/src/kernels/mma_tile.cpp" "src/CMakeFiles/chimera.dir/kernels/mma_tile.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/kernels/mma_tile.cpp.o.d"
+  "/root/repo/src/kernels/npu_mad.cpp" "src/CMakeFiles/chimera.dir/kernels/npu_mad.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/kernels/npu_mad.cpp.o.d"
+  "/root/repo/src/model/data_movement.cpp" "src/CMakeFiles/chimera.dir/model/data_movement.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/model/data_movement.cpp.o.d"
+  "/root/repo/src/model/multilevel.cpp" "src/CMakeFiles/chimera.dir/model/multilevel.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/model/multilevel.cpp.o.d"
+  "/root/repo/src/model/symbolic.cpp" "src/CMakeFiles/chimera.dir/model/symbolic.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/model/symbolic.cpp.o.d"
+  "/root/repo/src/plan/plan_io.cpp" "src/CMakeFiles/chimera.dir/plan/plan_io.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/plan/plan_io.cpp.o.d"
+  "/root/repo/src/plan/planner.cpp" "src/CMakeFiles/chimera.dir/plan/planner.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/plan/planner.cpp.o.d"
+  "/root/repo/src/solver/closed_form.cpp" "src/CMakeFiles/chimera.dir/solver/closed_form.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/solver/closed_form.cpp.o.d"
+  "/root/repo/src/solver/tile_solver.cpp" "src/CMakeFiles/chimera.dir/solver/tile_solver.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/solver/tile_solver.cpp.o.d"
+  "/root/repo/src/support/aligned.cpp" "src/CMakeFiles/chimera.dir/support/aligned.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/support/aligned.cpp.o.d"
+  "/root/repo/src/support/cpu_features.cpp" "src/CMakeFiles/chimera.dir/support/cpu_features.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/support/cpu_features.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/chimera.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/logging.cpp" "src/CMakeFiles/chimera.dir/support/logging.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/support/logging.cpp.o.d"
+  "/root/repo/src/support/mathutil.cpp" "src/CMakeFiles/chimera.dir/support/mathutil.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/support/mathutil.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/CMakeFiles/chimera.dir/support/str.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/support/str.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/chimera.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/support/table.cpp.o.d"
+  "/root/repo/src/tensor/reference.cpp" "src/CMakeFiles/chimera.dir/tensor/reference.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/tensor/reference.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/chimera.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/chimera.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_kernels.dir/test_backend_kernels.cpp.o"
+  "CMakeFiles/test_backend_kernels.dir/test_backend_kernels.cpp.o.d"
+  "test_backend_kernels"
+  "test_backend_kernels.pdb"
+  "test_backend_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain3.dir/test_chain3.cpp.o"
+  "CMakeFiles/test_chain3.dir/test_chain3.cpp.o.d"
+  "test_chain3"
+  "test_chain3.pdb"
+  "test_chain3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

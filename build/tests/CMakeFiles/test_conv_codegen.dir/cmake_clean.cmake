@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_codegen.dir/test_conv_codegen.cpp.o"
+  "CMakeFiles/test_conv_codegen.dir/test_conv_codegen.cpp.o.d"
+  "test_conv_codegen"
+  "test_conv_codegen.pdb"
+  "test_conv_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_codegen.dir/test_graph_codegen.cpp.o"
+  "CMakeFiles/test_graph_codegen.dir/test_graph_codegen.cpp.o.d"
+  "test_graph_codegen"
+  "test_graph_codegen.pdb"
+  "test_graph_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

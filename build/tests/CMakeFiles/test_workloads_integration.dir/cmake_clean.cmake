@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_integration.dir/test_workloads_integration.cpp.o"
+  "CMakeFiles/test_workloads_integration.dir/test_workloads_integration.cpp.o.d"
+  "test_workloads_integration"
+  "test_workloads_integration.pdb"
+  "test_workloads_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera-plan.dir/chimera_plan.cpp.o"
+  "CMakeFiles/chimera-plan.dir/chimera_plan.cpp.o.d"
+  "chimera-plan"
+  "chimera-plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera-plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
