@@ -9,10 +9,13 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "exec/constraints.hpp"
 #include "exec/conv_chain_exec.hpp"
+#include "exec/exec_options.hpp"
 #include "exec/gemm_chain_exec.hpp"
 #include "ir/workloads.hpp"
 #include "plan/planner.hpp"
@@ -27,6 +30,21 @@ inline constexpr double kCpuCapacityBytes = 768.0 * 1024;
 
 /** Timed repetitions per measurement (best-of). */
 inline constexpr int kRepeats = 3;
+
+/**
+ * Parses `--threads N` from the command line. Returns 0 (defer to
+ * CHIMERA_THREADS / the hardware count) when the flag is absent.
+ */
+inline int
+threadsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            return std::atoi(argv[i + 1]);
+        }
+    }
+    return 0;
+}
 
 /** Widest micro kernel available on this host. */
 inline const kernels::MicroKernel &
@@ -89,12 +107,13 @@ inline double
 timeFusedGemmChain(const ir::GemmChainConfig &cfg,
                    const plan::ExecutionPlan &plan,
                    const exec::ComputeEngine &engine, GemmChainData &data,
-                   int repeats = kRepeats)
+                   int repeats = kRepeats,
+                   const exec::ExecOptions &options = {})
 {
     return bestOfSeconds(
         [&] {
             exec::runFusedGemmChain(cfg, plan, engine, data.a, data.b,
-                                    data.d, data.e);
+                                    data.d, data.e, options);
         },
         repeats);
 }
@@ -104,13 +123,14 @@ inline double
 timeUnfusedGemmChain(const ir::GemmChainConfig &cfg,
                      const exec::ComputeEngine &engine, GemmChainData &data,
                      const exec::GemmTiles &tiles1,
-                     const exec::GemmTiles &tiles2, int repeats = kRepeats)
+                     const exec::GemmTiles &tiles2, int repeats = kRepeats,
+                     const exec::ExecOptions &options = {})
 {
     return bestOfSeconds(
         [&] {
             exec::runUnfusedGemmChain(cfg, engine, data.a, data.b, data.d,
                                       data.scratchC, data.e, tiles1,
-                                      tiles2);
+                                      tiles2, options);
         },
         repeats);
 }

@@ -17,23 +17,30 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hpp"
 #include "support/mathutil.hpp"
+#include "support/thread_pool.hpp"
 
 namespace chimera::bench {
 namespace {
 
 void
-runFamily(ir::Epilogue epilogue, const char *title)
+runFamily(ir::Epilogue epilogue, const char *title, int threads)
 {
     const exec::ComputeEngine best = exec::ComputeEngine::best();
     const exec::ComputeEngine scalar = exec::ComputeEngine::scalar();
+    const exec::ExecOptions parOptions{threads, nullptr};
+    const int workers = resolveThreadCount(threads);
 
     AsciiTable table({"Chain", "Relay (ms)", "PyTorch (ms)", "Ansor (ms)",
-                      "Chimera (ms)", "order", "vs PyTorch", "vs Ansor"});
+                      "Chimera 1T (ms)",
+                      "Chimera " + std::to_string(workers) + "T (ms)",
+                      "order", "vs PyTorch", "vs Ansor", "scaling"});
     std::vector<double> speedupsPt;
     std::vector<double> speedupsAnsor;
+    std::vector<double> scalings;
     for (const auto &load : ir::tableIvWorkloads()) {
         ir::GemmChainConfig cfg = load.config;
         cfg.epilogue = epilogue;
@@ -41,13 +48,24 @@ runFamily(ir::Epilogue epilogue, const char *title)
         const plan::ExecutionPlan plan = planCpu(chain);
         GemmChainData data(cfg);
 
-        // Correctness gate: fused output must match the oracle.
+        // Correctness gate: fused output must match the oracle, and the
+        // parallel fused run must match the serial one bitwise.
         Tensor expected(exec::gemmChainShapeE(cfg));
         exec::referenceGemmChain(cfg, data.a, data.b, data.d, expected);
         exec::runFusedGemmChain(cfg, plan, best, data.a, data.b, data.d,
                                 data.e);
         if (!allClose(data.e, expected, 5e-3f, 5e-3f)) {
             std::printf("VALIDATION FAILED for %s\n", cfg.name.c_str());
+            return;
+        }
+        Tensor serialOut = data.e;
+        exec::runFusedGemmChain(cfg, plan, best, data.a, data.b, data.d,
+                                data.e, parOptions);
+        if (std::memcmp(serialOut.data(), data.e.data(),
+                        static_cast<std::size_t>(serialOut.numel()) *
+                            sizeof(float)) != 0) {
+            std::printf("PARALLEL DETERMINISM FAILED for %s\n",
+                        cfg.name.c_str());
             return;
         }
 
@@ -64,40 +82,50 @@ runFamily(ir::Epilogue epilogue, const char *title)
         const double tAnsor =
             timeUnfusedGemmChain(cfg, best, data, tuned1, tuned2);
         const double tChimera =
-            timeFusedGemmChain(cfg, plan, best, data);
+            timeFusedGemmChain(cfg, plan, best, data, kRepeats,
+                               exec::ExecOptions{1, nullptr});
+        const double tChimeraPar =
+            timeFusedGemmChain(cfg, plan, best, data, kRepeats,
+                               parOptions);
 
-        speedupsPt.push_back(tPytorch / tChimera);
-        speedupsAnsor.push_back(tAnsor / tChimera);
+        speedupsPt.push_back(tPytorch / tChimeraPar);
+        speedupsAnsor.push_back(tAnsor / tChimeraPar);
+        scalings.push_back(tChimera / tChimeraPar);
         table.addRow({cfg.name, AsciiTable::num(tRelay * 1e3, 2),
                       AsciiTable::num(tPytorch * 1e3, 2),
                       AsciiTable::num(tAnsor * 1e3, 2),
                       AsciiTable::num(tChimera * 1e3, 2),
+                      AsciiTable::num(tChimeraPar * 1e3, 2),
                       plan::orderString(chain, plan.perm),
-                      AsciiTable::num(tPytorch / tChimera, 2) + "x",
-                      AsciiTable::num(tAnsor / tChimera, 2) + "x"});
+                      AsciiTable::num(tPytorch / tChimeraPar, 2) + "x",
+                      AsciiTable::num(tAnsor / tChimeraPar, 2) + "x",
+                      AsciiTable::num(tChimera / tChimeraPar, 2) + "x"});
     }
     std::printf("--- %s ---\n%s", title, table.render().c_str());
     std::printf("geomean speedup vs PyTorch proxy: %.2fx, vs Ansor proxy:"
-                " %.2fx\n\n",
-                geometricMean(speedupsPt), geometricMean(speedupsAnsor));
+                " %.2fx, serial->%dT scaling: %.2fx\n\n",
+                geometricMean(speedupsPt), geometricMean(speedupsAnsor),
+                workers, geometricMean(scalings));
 }
 
 } // namespace
 } // namespace chimera::bench
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chimera;
+    const int threads = bench::threadsFromArgs(argc, argv);
     bench::printHeader(
         "Figure 5a/5b — CPU batch GEMM chain fusion (measured)",
-        "Single-core AVX-512 fp32; note the substrate's compute/bandwidth"
-        " balance (~6 Flop/byte) is far below the paper's 18-core fp16"
-        " Xeon (92 Flop/byte), which compresses memory-bound gaps"
-        " (see EXPERIMENTS.md).");
+        "AVX-512 fp32 (--threads N or CHIMERA_THREADS selects the worker"
+        " count; Chimera timed serial and parallel); note the substrate's"
+        " compute/bandwidth balance (~6 Flop/byte) is far below the"
+        " paper's 18-core fp16 Xeon (92 Flop/byte), which compresses"
+        " memory-bound gaps (see EXPERIMENTS.md).");
     bench::runFamily(ir::Epilogue::None,
-                     "Figure 5a: BGEMM + BGEMM");
+                     "Figure 5a: BGEMM + BGEMM", threads);
     bench::runFamily(ir::Epilogue::Softmax,
-                     "Figure 5b: BGEMM + softmax + BGEMM");
+                     "Figure 5b: BGEMM + softmax + BGEMM", threads);
     return 0;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Thread-scaling sweep: runs the GEMM-chain bench (fig5) at 1/2/4/8
+# worker threads and prints the per-count geomean lines as a speedup
+# table. Output is also captured to scaling_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=build/bench/fig5_cpu_gemm_chains
+if [ ! -x "$BENCH" ]; then
+    echo "error: $BENCH not built (run: cmake -B build && cmake --build build)" >&2
+    exit 1
+fi
+
+: > scaling_output.txt
+declare -a counts=(1 2 4 8)
+declare -a geomeans=()
+for t in "${counts[@]}"; do
+    echo "##### --threads $t" | tee -a scaling_output.txt
+    out="$("$BENCH" --threads "$t")"
+    echo "$out" >> scaling_output.txt
+    # Average the per-family serial->NT scaling geomeans for this count.
+    gm="$(echo "$out" |
+        sed -n 's/.*scaling: \([0-9.]*\)x.*/\1/p' |
+        awk '{ s += $1; n += 1 } END { if (n) printf "%.2f", s / n }')"
+    geomeans+=("${gm:-n/a}")
+    echo "  geomean serial->${t}T scaling: ${gm:-n/a}x"
+done
+
+echo
+echo "Thread scaling (fused GEMM chains, geomean over Table IV, vs 1T):"
+printf '%10s %10s\n' "threads" "speedup"
+for i in "${!counts[@]}"; do
+    printf '%10s %10s\n' "${counts[$i]}" "${geomeans[$i]}x"
+done
+echo "(full bench tables captured in scaling_output.txt)"

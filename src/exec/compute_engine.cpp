@@ -13,6 +13,21 @@ namespace chimera::exec {
 namespace {
 
 /**
+ * Per-thread packing workspace. The engine used to hold one shared
+ * `mutable Workspace`, which made even a `const ComputeEngine &` unsafe
+ * to share across threads (concurrent matmul calls raced on the packing
+ * buffers). Buffers grow monotonically and live for the thread's
+ * lifetime, so pool workers pay the allocation once and reuse it across
+ * every engine and every block.
+ */
+kernels::Workspace &
+threadWorkspace()
+{
+    static thread_local kernels::Workspace workspace;
+    return workspace;
+}
+
+/**
  * Strided, accumulating matmul through the emulated NPU mad kernel:
  * per (rows x cols x depth) block, operands are packed into the fractal
  * layout, the six-loop mad computation runs, and the packed result is
@@ -151,7 +166,7 @@ ComputeEngine::matmul(const float *a, std::int64_t lda, const float *b,
     switch (backend_) {
       case Backend::MicroKernel:
         kernels::blockMatmul(*kernel_, a, lda, b, ldb, c, ldc, m, n, k,
-                             workspace_);
+                             threadWorkspace());
         return;
       case Backend::Naive:
         kernels::naiveBlockMatmul(a, lda, b, ldb, c, ldc, m, n, k);

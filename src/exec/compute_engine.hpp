@@ -43,16 +43,19 @@ class ComputeEngine
     /** Engine pinned to a specific registered kernel. */
     explicit ComputeEngine(const kernels::MicroKernel &kernel);
 
-    /** C[m x n] += A[m x k] * B[k x n] on strided fp32 buffers. */
+    /**
+     * C[m x n] += A[m x k] * B[k x n] on strided fp32 buffers.
+     *
+     * Thread-safe on a shared const engine: packing buffers come from a
+     * per-thread workspace, so concurrent matmul calls from pool
+     * workers never race (each worker reuses its own buffers).
+     */
     void matmul(const float *a, std::int64_t lda, const float *b,
                 std::int64_t ldb, float *c, std::int64_t ldc,
                 std::int64_t m, std::int64_t n, std::int64_t k) const;
 
     /** Name for reports ("avx512_6x64", "naive", ...). */
     const char *name() const;
-
-    /** The workspace shared by matmul calls (packing buffers). */
-    kernels::Workspace &workspace() const { return workspace_; }
 
   private:
     enum class Backend
@@ -67,7 +70,6 @@ class ComputeEngine
 
     Backend backend_ = Backend::Naive;
     const kernels::MicroKernel *kernel_ = nullptr;
-    mutable kernels::Workspace workspace_;
 };
 
 } // namespace chimera::exec

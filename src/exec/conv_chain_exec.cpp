@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "support/error.hpp"
+#include "support/mathutil.hpp"
 #include "tensor/reference.hpp"
 
 namespace chimera::exec {
@@ -115,7 +116,8 @@ void
 runFusedConvChain(const ConvChainConfig &config,
                   const plan::ExecutionPlan &plan,
                   const ComputeEngine &engine, const Tensor &input,
-                  const Tensor &w1, const Tensor &w2, Tensor &output)
+                  const Tensor &w1, const Tensor &w2, Tensor &output,
+                  const ExecOptions &options)
 {
     checkShape(input, convChainShapeI(config), "I");
     checkShape(w1, convChainShapeW1(config), "W1");
@@ -163,16 +165,46 @@ runFusedConvChain(const ConvChainConfig &config,
     }
     CHIMERA_ASSERT(loops.size() == 4, "missing conv region loop");
 
-    // On-chip intermediate region (maximal size over regions).
+    // The b/oh/ow region loops are dependence-free (disjoint output
+    // windows) and form the parallel space, kept in plan order. The oc1
+    // block loop is the reduction dimension of conv2 — every oc1 block
+    // accumulates into the same output elements — so it runs serially
+    // ascending inside each region, which keeps the per-element
+    // accumulation order (and the output bits) identical to the serial
+    // executor at every thread count.
+    std::vector<RegionLoop> par;
+    RegionLoop cLoop{'c', config.oc1, toc1};
+    for (const RegionLoop &loop : loops) {
+        if (loop.name == 'c') {
+            cLoop = loop;
+        } else {
+            par.push_back(loop);
+        }
+    }
+    CHIMERA_ASSERT(par.size() == 3, "missing parallel conv region loop");
+    const std::int64_t n0 = ceilDiv(par[0].extent, par[0].tile);
+    const std::int64_t n1 = ceilDiv(par[1].extent, par[1].tile);
+    const std::int64_t n2 = ceilDiv(par[2].extent, par[2].tile);
+
+    ThreadPool *pool = execPool(options);
+    const int workers = execWorkerCount(pool);
+
+    // Per-worker on-chip intermediate region (maximal size over
+    // regions) and im2col patch buffers for conv1 and conv2.
     const std::int64_t midHMax = st2 * (toh - 1) + k2;
     const std::int64_t midWMax = st2 * (tow - 1) + k2;
-    auto tRegion = allocateAligned<float>(static_cast<std::size_t>(
-        tb * toc1 * midHMax * midWMax));
-    // im2col patch buffers for conv1 and conv2.
-    auto patch1 = allocateAligned<float>(static_cast<std::size_t>(
-        tic * k1 * k1 * midWMax));
-    auto patch2 = allocateAligned<float>(static_cast<std::size_t>(
-        toc1 * k2 * k2 * tow));
+    std::vector<AlignedBuffer<float>> tRegions, patch1s, patch2s;
+    tRegions.reserve(static_cast<std::size_t>(workers));
+    patch1s.reserve(static_cast<std::size_t>(workers));
+    patch2s.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        tRegions.push_back(allocateAligned<float>(static_cast<std::size_t>(
+            tb * toc1 * midHMax * midWMax)));
+        patch1s.push_back(allocateAligned<float>(static_cast<std::size_t>(
+            tic * k1 * k1 * midWMax)));
+        patch2s.push_back(allocateAligned<float>(static_cast<std::size_t>(
+            toc1 * k2 * k2 * tow)));
+    }
 
     output.zero();
 
@@ -183,30 +215,34 @@ runFusedConvChain(const ConvChainConfig &config,
     const std::int64_t outChanStride = oh2 * ow2;
     const std::int64_t outBatchStride = config.oc2 * outChanStride;
 
-    // Four nested region loops in plan order.
-    std::int64_t starts[4];
-    for (starts[0] = 0; starts[0] < loops[0].extent;
-         starts[0] += loops[0].tile) {
-    for (starts[1] = 0; starts[1] < loops[1].extent;
-         starts[1] += loops[1].tile) {
-    for (starts[2] = 0; starts[2] < loops[2].extent;
-         starts[2] += loops[2].tile) {
-    for (starts[3] = 0; starts[3] < loops[3].extent;
-         starts[3] += loops[3].tile) {
-        std::int64_t b0 = 0, c0 = 0, h0 = 0, w0 = 0;
-        std::int64_t bb = 1, cc = 1, hh = 1, ww = 1;
-        for (int i = 0; i < 4; ++i) {
-            const RegionLoop &loop = loops[static_cast<std::size_t>(i)];
+    // Parallel (b, oh, ow) region blocks; serial ascending oc1 loop
+    // inside each.
+    parallelFor(pool, 0, n0 * n1 * n2, [&](std::int64_t task,
+                                           int worker) {
+        std::int64_t b0 = 0, h0 = 0, w0 = 0;
+        std::int64_t bb = 1, hh = 1, ww = 1;
+        const std::int64_t starts[3] = {
+            (task / (n1 * n2)) * par[0].tile,
+            ((task / n2) % n1) * par[1].tile,
+            (task % n2) * par[2].tile};
+        for (int i = 0; i < 3; ++i) {
+            const RegionLoop &loop = par[static_cast<std::size_t>(i)];
             const std::int64_t size =
                 std::min<std::int64_t>(loop.tile, loop.extent - starts[i]);
             switch (loop.name) {
               case 'b': b0 = starts[i]; bb = size; break;
-              case 'c': c0 = starts[i]; cc = size; break;
               case 'h': h0 = starts[i]; hh = size; break;
               case 'w': w0 = starts[i]; ww = size; break;
               default: break;
             }
         }
+        float *tRegion = tRegions[static_cast<std::size_t>(worker)].get();
+        float *patch1 = patch1s[static_cast<std::size_t>(worker)].get();
+        float *patch2 = patch2s[static_cast<std::size_t>(worker)].get();
+
+        for (std::int64_t c0 = 0; c0 < cLoop.extent; c0 += cLoop.tile) {
+        const std::int64_t cc =
+            std::min<std::int64_t>(cLoop.tile, cLoop.extent - c0);
 
         // Halo-inflated intermediate slice covered by this region.
         const std::int64_t midH = st2 * (hh - 1) + k2;
@@ -216,7 +252,7 @@ runFusedConvChain(const ConvChainConfig &config,
         const std::int64_t ldRow = midW;
         const std::int64_t ldChan = midH * midW;
         const std::int64_t ldBatch = cc * ldChan;
-        std::memset(tRegion.get(), 0,
+        std::memset(tRegion, 0,
                     static_cast<std::size_t>(bb * ldBatch) * sizeof(float));
 
         // conv1: fill the valid part of the region via implicit GEMM.
@@ -236,16 +272,16 @@ runFusedConvChain(const ConvChainConfig &config,
                     continue;
                 }
                 const std::int64_t cols = colHiValid - colLoValid;
-                float *cBase = tRegion.get() + bi * ldBatch + r * ldRow +
+                float *cBase = tRegion + bi * ldBatch + r * ldRow +
                                colLoValid;
                 for (std::int64_t ic0 = 0; ic0 < config.ic; ic0 += tic) {
                     const std::int64_t icc =
                         std::min<std::int64_t>(tic, config.ic - ic0);
                     packPatchRow(inBase, inChanStride, config.h, config.w,
                                  ic0, icc, tRow, tColLo + colLoValid, cols,
-                                 k1, st1, pad1, patch1.get());
+                                 k1, st1, pad1, patch1);
                     engine.matmul(w1.data() + c0 * w1Ld + ic0 * k1 * k1,
-                                  w1Ld, patch1.get(), cols, cBase, ldChan,
+                                  w1Ld, patch1, cols, cBase, ldChan,
                                   cc, cols, icc * k1 * k1);
                 }
             }
@@ -254,9 +290,8 @@ runFusedConvChain(const ConvChainConfig &config,
         // Fused epilogue on the on-chip region (relu(0) == 0, so the
         // zero-padded border stays consistent with reference padding).
         if (config.epilogue == Epilogue::Relu) {
-            float *p = tRegion.get();
             for (std::int64_t i = 0; i < bb * ldBatch; ++i) {
-                p[i] = std::max(p[i], 0.0f);
+                tRegion[i] = std::max(tRegion[i], 0.0f);
             }
         }
 
@@ -265,9 +300,9 @@ runFusedConvChain(const ConvChainConfig &config,
             for (std::int64_t rr = 0; rr < hh; ++rr) {
                 // Patch over the region buffer: padding is materialized,
                 // so pad = 0 and coordinates are region-local.
-                packPatchRow(tRegion.get() + bi * ldBatch, ldChan, midH,
+                packPatchRow(tRegion + bi * ldBatch, ldChan, midH,
                              midW, 0, cc, rr, 0, ww, k2, st2, 0,
-                             patch2.get());
+                             patch2);
                 for (std::int64_t oc0 = 0; oc0 < config.oc2; oc0 += toc2) {
                     const std::int64_t occ =
                         std::min<std::int64_t>(toc2, config.oc2 - oc0);
@@ -276,21 +311,19 @@ runFusedConvChain(const ConvChainConfig &config,
                                    oc0 * outChanStride + (h0 + rr) * ow2 +
                                    w0;
                     engine.matmul(w2.data() + oc0 * w2Ld + c0 * k2 * k2,
-                                  w2Ld, patch2.get(), ww, oBase,
+                                  w2Ld, patch2, ww, oBase,
                                   outChanStride, occ, ww, cc * k2 * k2);
                 }
             }
         }
-    }
-    }
-    }
-    }
+        }
+    });
 }
 
 void
 runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
                const Tensor &weight, Tensor &output, int stride, int pad,
-               const ConvTiles &tiles)
+               const ConvTiles &tiles, const ExecOptions &options)
 {
     CHIMERA_CHECK(input.rank() == 4 && weight.rank() == 4 &&
                       output.rank() == 4,
@@ -308,30 +341,41 @@ runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
 
     output.zero();
     const std::int64_t wLd = ic * kernel * kernel;
-    auto patch = allocateAligned<float>(static_cast<std::size_t>(
-        std::min(tiles.tic, ic) * kernel * kernel * ow));
 
-    for (std::int64_t bi = 0; bi < batch; ++bi) {
+    // Each (batch, output-row) pair writes a disjoint output row slice;
+    // the ic reduction stays serial ascending inside it, so the output
+    // is bitwise-identical at every thread count.
+    ThreadPool *pool = execPool(options);
+    const int workers = execWorkerCount(pool);
+    std::vector<AlignedBuffer<float>> patches;
+    patches.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+        patches.push_back(allocateAligned<float>(static_cast<std::size_t>(
+            std::min(tiles.tic, ic) * kernel * kernel * ow)));
+    }
+
+    parallelFor(pool, 0, batch * oh, [&](std::int64_t task, int worker) {
+        const std::int64_t bi = task / oh;
+        const std::int64_t r = task % oh;
         const float *inBase = input.data() + bi * ic * h * w;
         float *outBase = output.data() + bi * oc * oh * ow;
-        for (std::int64_t r = 0; r < oh; ++r) {
-            for (std::int64_t ic0 = 0; ic0 < ic; ic0 += tiles.tic) {
-                const std::int64_t icc =
-                    std::min<std::int64_t>(tiles.tic, ic - ic0);
-                packPatchRow(inBase, h * w, h, w, ic0, icc, r, 0, ow,
-                             kernel, stride, pad, patch.get());
-                for (std::int64_t oc0 = 0; oc0 < oc; oc0 += tiles.toc) {
-                    const std::int64_t occ =
-                        std::min<std::int64_t>(tiles.toc, oc - oc0);
-                    engine.matmul(
-                        weight.data() + oc0 * wLd + ic0 * kernel * kernel,
-                        wLd, patch.get(), ow,
-                        outBase + oc0 * oh * ow + r * ow, oh * ow, occ, ow,
-                        icc * kernel * kernel);
-                }
+        float *patch = patches[static_cast<std::size_t>(worker)].get();
+        for (std::int64_t ic0 = 0; ic0 < ic; ic0 += tiles.tic) {
+            const std::int64_t icc =
+                std::min<std::int64_t>(tiles.tic, ic - ic0);
+            packPatchRow(inBase, h * w, h, w, ic0, icc, r, 0, ow,
+                         kernel, stride, pad, patch);
+            for (std::int64_t oc0 = 0; oc0 < oc; oc0 += tiles.toc) {
+                const std::int64_t occ =
+                    std::min<std::int64_t>(tiles.toc, oc - oc0);
+                engine.matmul(
+                    weight.data() + oc0 * wLd + ic0 * kernel * kernel,
+                    wLd, patch, ow,
+                    outBase + oc0 * oh * ow + r * ow, oh * ow, occ, ow,
+                    icc * kernel * kernel);
             }
         }
-    }
+    });
 }
 
 void
@@ -339,16 +383,16 @@ runUnfusedConvChain(const ConvChainConfig &config,
                     const ComputeEngine &engine, const Tensor &input,
                     const Tensor &w1, const Tensor &w2, Tensor &scratchT,
                     Tensor &output, const ConvTiles &tiles1,
-                    const ConvTiles &tiles2)
+                    const ConvTiles &tiles2, const ExecOptions &options)
 {
     checkShape(scratchT, convChainShapeT(config), "T scratch");
     runTiledConv2d(engine, input, w1, scratchT, config.stride1,
-                   config.effectivePad1(), tiles1);
+                   config.effectivePad1(), tiles1, options);
     if (config.epilogue == Epilogue::Relu) {
         ref::reluInPlace(scratchT);
     }
     runTiledConv2d(engine, scratchT, w2, output, config.stride2,
-                   config.effectivePad2(), tiles2);
+                   config.effectivePad2(), tiles2, options);
 }
 
 void

@@ -18,6 +18,7 @@
  */
 
 #include "exec/compute_engine.hpp"
+#include "exec/exec_options.hpp"
 #include "ir/builders.hpp"
 #include "plan/planner.hpp"
 #include "tensor/tensor.hpp"
@@ -34,11 +35,17 @@ std::vector<std::int64_t> convChainShapeO(const ir::ConvChainConfig &c);
 /**
  * Runs the fused chain O = conv2(epilogue(conv1(I, W1)), W2) under
  * @p plan (produced for the chain built by makeConvChain).
+ *
+ * The batch/oh/ow region blocks write disjoint output windows and are
+ * distributed across @p options threads; the oc1 block loop is conv2's
+ * reduction dimension and runs serially ascending inside each region,
+ * so the output is bitwise-identical at every thread count.
  */
 void runFusedConvChain(const ir::ConvChainConfig &config,
                        const plan::ExecutionPlan &plan,
                        const ComputeEngine &engine, const Tensor &input,
-                       const Tensor &w1, const Tensor &w2, Tensor &output);
+                       const Tensor &w1, const Tensor &w2, Tensor &output,
+                       const ExecOptions &options = {});
 
 /** Channel tiles for the unfused per-conv executor. */
 struct ConvTiles
@@ -49,11 +56,13 @@ struct ConvTiles
 
 /**
  * Single tiled NCHW convolution via implicit GEMM (zero-pads like
- * ref::conv2d). Output is overwritten.
+ * ref::conv2d). Output is overwritten. Independent (batch, output-row)
+ * pairs are split across threads.
  */
 void runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
                     const Tensor &weight, Tensor &output, int stride,
-                    int pad, const ConvTiles &tiles);
+                    int pad, const ConvTiles &tiles,
+                    const ExecOptions &options = {});
 
 /**
  * Unfused chain: conv1 -> DRAM intermediate -> epilogue -> conv2.
@@ -64,7 +73,8 @@ void runUnfusedConvChain(const ir::ConvChainConfig &config,
                          const ComputeEngine &engine, const Tensor &input,
                          const Tensor &w1, const Tensor &w2,
                          Tensor &scratchT, Tensor &output,
-                         const ConvTiles &tiles1, const ConvTiles &tiles2);
+                         const ConvTiles &tiles1, const ConvTiles &tiles2,
+                         const ExecOptions &options = {});
 
 /** Whole-chain oracle built on ref::conv2d. */
 void referenceConvChain(const ir::ConvChainConfig &config,

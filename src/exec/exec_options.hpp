@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Runtime knobs shared by the fused/unfused executors. Today that is
+ * the worker-thread policy for the independent block loops; the plan
+ * itself (order + tiles) stays a planner concern.
+ */
+
+#include "support/thread_pool.hpp"
+
+namespace chimera::exec {
+
+/** Execution-time options accepted by every executor entry point. */
+struct ExecOptions
+{
+    /**
+     * Worker threads for the independent block loops: >= 1 is an exact
+     * count (1 = serial), <= 0 defers to CHIMERA_THREADS and then
+     * hardware_concurrency. Outputs are bitwise-identical at every
+     * thread count: only dependence-free block loops are split across
+     * workers and reduction loops keep their serial ascending order.
+     */
+    int threads = 0;
+
+    /** Explicit pool override; wins over @ref threads when non-null. */
+    ThreadPool *pool = nullptr;
+};
+
+/** Pool an executor should run on; nullptr means run serially. */
+inline ThreadPool *
+execPool(const ExecOptions &options)
+{
+    return options.pool != nullptr ? options.pool
+                                   : poolForThreads(options.threads);
+}
+
+/** Per-thread scratch-buffer count for a resolved pool. */
+inline int
+execWorkerCount(const ThreadPool *pool)
+{
+    return pool == nullptr ? 1 : pool->size();
+}
+
+} // namespace chimera::exec

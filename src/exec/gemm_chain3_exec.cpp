@@ -5,6 +5,7 @@
 
 #include "exec/constraints.hpp"
 #include "support/error.hpp"
+#include "support/mathutil.hpp"
 #include "tensor/reference.hpp"
 
 namespace chimera::exec {
@@ -84,7 +85,7 @@ runFusedGemmChain3(const GemmChain3Config &config,
                    const plan::ExecutionPlan &plan,
                    const ComputeEngine &engine, const Tensor &a,
                    const Tensor &b, const Tensor &d, const Tensor &f,
-                   Tensor &e)
+                   Tensor &e, const ExecOptions &options)
 {
     CHIMERA_CHECK(a.shape() == gemmChain3ShapeA(config) &&
                       b.shape() == gemmChain3ShapeB(config) &&
@@ -127,16 +128,31 @@ runFusedGemmChain3(const GemmChain3Config &config,
     }
     CHIMERA_ASSERT(loops.size() == 2, "missing 3-chain region loop");
 
-    auto c1Tile = allocateAligned<float>(
-        static_cast<std::size_t>(tb * tm * tl));
-    auto c2Panel = allocateAligned<float>(
-        static_cast<std::size_t>(tb * tm * P));
+    // Every (b, m) region is independent: it owns its C1 tile and C2
+    // panel and writes disjoint E rows, so the flattened (b, m) block
+    // space splits across workers. The l and k reduction loops stay
+    // serial ascending inside a region, keeping the output bits
+    // identical to the serial executor at every thread count.
+    ThreadPool *pool = execPool(options);
+    const int workers = execWorkerCount(pool);
+    std::vector<AlignedBuffer<float>> c1Tiles, c2Panels;
+    c1Tiles.reserve(static_cast<std::size_t>(workers));
+    c2Panels.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        c1Tiles.push_back(allocateAligned<float>(
+            static_cast<std::size_t>(tb * tm * tl)));
+        c2Panels.push_back(allocateAligned<float>(
+            static_cast<std::size_t>(tb * tm * P)));
+    }
     e.zero();
 
-    for (std::int64_t i0 = 0; i0 < loops[0].extent; i0 += loops[0].tile) {
-    for (std::int64_t i1 = 0; i1 < loops[1].extent; i1 += loops[1].tile) {
+    const std::int64_t nOuter = ceilDiv(loops[0].extent, loops[0].tile);
+    const std::int64_t nInner = ceilDiv(loops[1].extent, loops[1].tile);
+    parallelFor(pool, 0, nOuter * nInner, [&](std::int64_t task,
+                                              int worker) {
         std::int64_t b0 = 0, m0 = 0, bb = 1, mm = 1;
-        const std::int64_t starts[2] = {i0, i1};
+        const std::int64_t starts[2] = {(task / nInner) * loops[0].tile,
+                                        (task % nInner) * loops[1].tile};
         for (int i = 0; i < 2; ++i) {
             const std::int64_t size = std::min<std::int64_t>(
                 loops[i].tile, loops[i].extent - starts[i]);
@@ -148,12 +164,14 @@ runFusedGemmChain3(const GemmChain3Config &config,
                 mm = size;
             }
         }
+        float *c1Tile = c1Tiles[static_cast<std::size_t>(worker)].get();
+        float *c2Panel = c2Panels[static_cast<std::size_t>(worker)].get();
 
-        std::memset(c2Panel.get(), 0,
+        std::memset(c2Panel, 0,
                     static_cast<std::size_t>(bb * mm * P) * sizeof(float));
         for (std::int64_t l0 = 0; l0 < L; l0 += tl) {
             const std::int64_t ll = std::min<std::int64_t>(tl, L - l0);
-            std::memset(c1Tile.get(), 0,
+            std::memset(c1Tile, 0,
                         static_cast<std::size_t>(bb * mm * ll) *
                             sizeof(float));
             for (std::int64_t k0 = 0; k0 < K; k0 += tk) {
@@ -162,32 +180,30 @@ runFusedGemmChain3(const GemmChain3Config &config,
                     engine.matmul(
                         a.data() + ((b0 + bi) * M + m0) * K + k0, K,
                         b.data() + ((b0 + bi) * K + k0) * L + l0, L,
-                        c1Tile.get() + bi * mm * ll, ll, mm, ll, kk);
+                        c1Tile + bi * mm * ll, ll, mm, ll, kk);
                 }
             }
             if (config.epilogue == Epilogue::Relu) {
-                float *p = c1Tile.get();
                 for (std::int64_t i = 0; i < bb * mm * ll; ++i) {
-                    p[i] = std::max(p[i], 0.0f);
+                    c1Tile[i] = std::max(c1Tile[i], 0.0f);
                 }
             }
             for (std::int64_t bi = 0; bi < bb; ++bi) {
-                engine.matmul(c1Tile.get() + bi * mm * ll, ll,
+                engine.matmul(c1Tile + bi * mm * ll, ll,
                               d.data() + ((b0 + bi) * L + l0) * P, P,
-                              c2Panel.get() + bi * mm * P, P, mm, P, ll);
+                              c2Panel + bi * mm * P, P, mm, P, ll);
             }
         }
         for (std::int64_t n0 = 0; n0 < N; n0 += tn) {
             const std::int64_t nn = std::min<std::int64_t>(tn, N - n0);
             for (std::int64_t bi = 0; bi < bb; ++bi) {
-                engine.matmul(c2Panel.get() + bi * mm * P, P,
+                engine.matmul(c2Panel + bi * mm * P, P,
                               f.data() + (b0 + bi) * P * N + n0, N,
                               e.data() + ((b0 + bi) * M + m0) * N + n0, N,
                               mm, nn, P);
             }
         }
-    }
-    }
+    });
 }
 
 void
@@ -195,18 +211,18 @@ runUnfusedGemmChain3(const GemmChain3Config &config,
                      const ComputeEngine &engine, const Tensor &a,
                      const Tensor &b, const Tensor &d, const Tensor &f,
                      Tensor &scratchC1, Tensor &scratchC2, Tensor &e,
-                     const GemmTiles &tiles)
+                     const GemmTiles &tiles, const ExecOptions &options)
 {
     CHIMERA_CHECK(scratchC1.shape() == shapeOf(config, config.m, config.l),
                   "C1 scratch shape mismatch");
     CHIMERA_CHECK(scratchC2.shape() == shapeOf(config, config.m, config.p),
                   "C2 scratch shape mismatch");
-    runTiledBatchGemm(engine, a, b, scratchC1, tiles);
+    runTiledBatchGemm(engine, a, b, scratchC1, tiles, options);
     if (config.epilogue == Epilogue::Relu) {
         ref::reluInPlace(scratchC1);
     }
-    runTiledBatchGemm(engine, scratchC1, d, scratchC2, tiles);
-    runTiledBatchGemm(engine, scratchC2, f, e, tiles);
+    runTiledBatchGemm(engine, scratchC1, d, scratchC2, tiles, options);
+    runTiledBatchGemm(engine, scratchC2, f, e, tiles, options);
 }
 
 void

@@ -37,12 +37,19 @@ solver::TileConstraints
 gemmChain3Constraints(const ir::Chain &chain,
                       const kernels::MicroKernel &kernel);
 
-/** Runs the fused chain under @p plan (plan must pin T_P = P). */
+/**
+ * Runs the fused chain under @p plan (plan must pin T_P = P).
+ *
+ * The (b, m) regions are independent — each owns its C1/C2 buffers and
+ * disjoint E rows — and are distributed across @p options threads with
+ * bitwise-identical output at every thread count (the l/k reductions
+ * stay serial ascending inside each region).
+ */
 void runFusedGemmChain3(const ir::GemmChain3Config &config,
                         const plan::ExecutionPlan &plan,
                         const ComputeEngine &engine, const Tensor &a,
                         const Tensor &b, const Tensor &d, const Tensor &f,
-                        Tensor &e);
+                        Tensor &e, const ExecOptions &options = {});
 
 /** Unfused baseline: three tiled batch GEMMs with DRAM intermediates. */
 void runUnfusedGemmChain3(const ir::GemmChain3Config &config,
@@ -50,7 +57,8 @@ void runUnfusedGemmChain3(const ir::GemmChain3Config &config,
                           const Tensor &b, const Tensor &d,
                           const Tensor &f, Tensor &scratchC1,
                           Tensor &scratchC2, Tensor &e,
-                          const GemmTiles &tiles);
+                          const GemmTiles &tiles,
+                          const ExecOptions &options = {});
 
 /** Naive oracle for the whole chain. */
 void referenceGemmChain3(const ir::GemmChain3Config &config,

@@ -104,7 +104,8 @@ void
 runFusedGemmChain(const GemmChainConfig &config,
                   const plan::ExecutionPlan &plan,
                   const ComputeEngine &engine, const Tensor &a,
-                  const Tensor &b, const Tensor &d, Tensor &e)
+                  const Tensor &b, const Tensor &d, Tensor &e,
+                  const ExecOptions &options)
 {
     checkShape(a, gemmChainShapeA(config), "A");
     checkShape(b, gemmChainShapeB(config), "B");
@@ -145,9 +146,38 @@ runFusedGemmChain(const GemmChainConfig &config,
     const std::int64_t bigK = config.k;
     const std::int64_t bigL = config.l;
 
-    // On-chip region buffer for C and the softmax row-sum side buffer.
-    auto cRegion = allocateAligned<float>(
-        static_cast<std::size_t>(tb * tm * tl));
+    // The b and m region loops carry no dependence: distinct (b, m)
+    // blocks write disjoint E rows and disjoint softmax row sums. They
+    // form the parallel iteration space (kept in plan order). The l
+    // loop accumulates into E (GEMM2) and into rowSum, so it runs
+    // serially ascending inside each block — the per-element
+    // floating-point accumulation order is then identical to the serial
+    // executor's at every thread count, making the output bitwise
+    // reproducible.
+    std::vector<BlockedAxis> par;
+    BlockedAxis lLoop{'l', bigL, tl};
+    for (const BlockedAxis &loop : regionLoops) {
+        if (loop.name == 'l') {
+            lLoop = loop;
+        } else {
+            par.push_back(loop);
+        }
+    }
+    CHIMERA_ASSERT(par.size() == 2, "missing parallel region loop");
+    const std::int64_t nOuter = ceilDiv(par[0].extent, par[0].tile);
+    const std::int64_t nInner = ceilDiv(par[1].extent, par[1].tile);
+
+    ThreadPool *pool = execPool(options);
+    const int workers = execWorkerCount(pool);
+
+    // On-chip region buffer for C (one per worker) and the softmax
+    // row-sum side buffer (shared; blocks write disjoint rows).
+    std::vector<AlignedBuffer<float>> cRegions;
+    cRegions.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        cRegions.push_back(allocateAligned<float>(
+            static_cast<std::size_t>(tb * tm * tl)));
+    }
     std::vector<float> rowSum;
     if (config.epilogue == Epilogue::Softmax) {
         rowSum.assign(static_cast<std::size_t>(config.batch * bigM), 0.0f);
@@ -159,120 +189,117 @@ runFusedGemmChain(const GemmChainConfig &config,
     const std::int64_t perBatchD = bigL * bigN;
     const std::int64_t perBatchE = bigM * bigN;
 
-    // Walk regions in plan order (three nested blocked loops).
-    for (std::int64_t i0 = 0; i0 < regionLoops[0].extent;
-         i0 += regionLoops[0].tile) {
-        for (std::int64_t i1 = 0; i1 < regionLoops[1].extent;
-             i1 += regionLoops[1].tile) {
-            for (std::int64_t i2 = 0; i2 < regionLoops[2].extent;
-                 i2 += regionLoops[2].tile) {
-                std::int64_t b0 = 0, m0 = 0, l0 = 0;
-                std::int64_t bb = 1, mm = 1, ll = 1;
-                const std::int64_t starts[3] = {i0, i1, i2};
-                for (int i = 0; i < 3; ++i) {
-                    const BlockedAxis &loop =
-                        regionLoops[static_cast<std::size_t>(i)];
-                    const std::int64_t start = starts[i];
-                    const std::int64_t size = std::min<std::int64_t>(
-                        loop.tile, loop.extent - start);
-                    switch (loop.name) {
-                      case 'b': b0 = start; bb = size; break;
-                      case 'm': m0 = start; mm = size; break;
-                      case 'l': l0 = start; ll = size; break;
-                      default: break;
-                    }
+    parallelFor(pool, 0, nOuter * nInner, [&](std::int64_t task,
+                                              int worker) {
+        std::int64_t b0 = 0, m0 = 0;
+        std::int64_t bb = 1, mm = 1;
+        const std::int64_t starts[2] = {(task / nInner) * par[0].tile,
+                                        (task % nInner) * par[1].tile};
+        for (int i = 0; i < 2; ++i) {
+            const BlockedAxis &loop = par[static_cast<std::size_t>(i)];
+            const std::int64_t size = std::min<std::int64_t>(
+                loop.tile, loop.extent - starts[i]);
+            if (loop.name == 'b') {
+                b0 = starts[i];
+                bb = size;
+            } else {
+                m0 = starts[i];
+                mm = size;
+            }
+        }
+        float *cBase = cRegions[static_cast<std::size_t>(worker)].get();
+
+        for (std::int64_t l0 = 0; l0 < lLoop.extent; l0 += lLoop.tile) {
+            const std::int64_t ll =
+                std::min<std::int64_t>(lLoop.tile, lLoop.extent - l0);
+            std::memset(cBase, 0,
+                        static_cast<std::size_t>(bb * mm * ll) *
+                            sizeof(float));
+
+            // GEMM1: accumulate all k blocks into the region.
+            for (std::int64_t k0 = 0; k0 < bigK; k0 += tk) {
+                const std::int64_t kk =
+                    std::min<std::int64_t>(tk, bigK - k0);
+                for (std::int64_t bi = 0; bi < bb; ++bi) {
+                    const float *aBlk = a.data() +
+                                        (b0 + bi) * perBatchA +
+                                        m0 * bigK + k0;
+                    const float *bBlk = b.data() +
+                                        (b0 + bi) * perBatchB +
+                                        k0 * bigL + l0;
+                    engine.matmul(aBlk, bigK, bBlk, bigL,
+                                  cBase + bi * mm * ll, ll, mm, ll, kk);
                 }
+            }
 
-                float *cBase = cRegion.get();
-                std::memset(cBase, 0,
-                            static_cast<std::size_t>(bb * mm * ll) *
-                                sizeof(float));
-
-                // GEMM1: accumulate all k blocks into the region.
-                for (std::int64_t k0 = 0; k0 < bigK; k0 += tk) {
-                    const std::int64_t kk =
-                        std::min<std::int64_t>(tk, bigK - k0);
-                    for (std::int64_t bi = 0; bi < bb; ++bi) {
-                        const float *aBlk = a.data() +
-                                            (b0 + bi) * perBatchA +
-                                            m0 * bigK + k0;
-                        const float *bBlk = b.data() +
-                                            (b0 + bi) * perBatchB +
-                                            k0 * bigL + l0;
-                        engine.matmul(aBlk, bigK, bBlk, bigL,
-                                      cBase + bi * mm * ll, ll, mm, ll, kk);
-                    }
+            // Fused epilogue on the on-chip region.
+            if (config.epilogue == Epilogue::Relu) {
+                for (std::int64_t i = 0; i < bb * mm * ll; ++i) {
+                    cBase[i] = std::max(cBase[i], 0.0f);
                 }
-
-                // Fused epilogue on the on-chip region.
-                if (config.epilogue == Epilogue::Relu) {
-                    for (std::int64_t i = 0; i < bb * mm * ll; ++i) {
-                        cBase[i] = std::max(cBase[i], 0.0f);
-                    }
-                } else if (config.epilogue == Epilogue::Softmax) {
-                    // exp now; sum rides along; division deferred (§VI-B).
-                    // Causal masking zeroes future positions (global
-                    // column l0+j beyond global row m0+r) on chip, so
-                    // the deferred normalization stays exact.
-                    for (std::int64_t bi = 0; bi < bb; ++bi) {
-                        for (std::int64_t r = 0; r < mm; ++r) {
-                            float *row = cBase + (bi * mm + r) * ll;
-                            float sum = 0.0f;
-                            const std::int64_t lastValid =
-                                config.causalMask ? (m0 + r) - l0
-                                                  : ll - 1;
-                            for (std::int64_t j = 0; j < ll; ++j) {
-                                if (j > lastValid) {
-                                    row[j] = 0.0f;
-                                    continue;
-                                }
-                                row[j] = std::exp(config.softmaxScale *
-                                                  row[j]);
-                                sum += row[j];
+            } else if (config.epilogue == Epilogue::Softmax) {
+                // exp now; sum rides along; division deferred (§VI-B).
+                // Causal masking zeroes future positions (global
+                // column l0+j beyond global row m0+r) on chip, so
+                // the deferred normalization stays exact.
+                for (std::int64_t bi = 0; bi < bb; ++bi) {
+                    for (std::int64_t r = 0; r < mm; ++r) {
+                        float *row = cBase + (bi * mm + r) * ll;
+                        float sum = 0.0f;
+                        const std::int64_t lastValid =
+                            config.causalMask ? (m0 + r) - l0
+                                              : ll - 1;
+                        for (std::int64_t j = 0; j < ll; ++j) {
+                            if (j > lastValid) {
+                                row[j] = 0.0f;
+                                continue;
                             }
-                            rowSum[static_cast<std::size_t>(
-                                (b0 + bi) * bigM + m0 + r)] += sum;
+                            row[j] = std::exp(config.softmaxScale *
+                                              row[j]);
+                            sum += row[j];
                         }
-                    }
-                }
-
-                // GEMM2: consume the region across all n blocks.
-                for (std::int64_t n0 = 0; n0 < bigN; n0 += tn) {
-                    const std::int64_t nn =
-                        std::min<std::int64_t>(tn, bigN - n0);
-                    for (std::int64_t bi = 0; bi < bb; ++bi) {
-                        const float *dBlk = d.data() +
-                                            (b0 + bi) * perBatchD +
-                                            l0 * bigN + n0;
-                        float *eBlk = e.data() + (b0 + bi) * perBatchE +
-                                      m0 * bigN + n0;
-                        engine.matmul(cBase + bi * mm * ll, ll, dBlk, bigN,
-                                      eBlk, bigN, mm, nn, ll);
+                        rowSum[static_cast<std::size_t>(
+                            (b0 + bi) * bigM + m0 + r)] += sum;
                     }
                 }
             }
-        }
-    }
 
-    // Deferred softmax division over the finished output.
+            // GEMM2: consume the region across all n blocks.
+            for (std::int64_t n0 = 0; n0 < bigN; n0 += tn) {
+                const std::int64_t nn =
+                    std::min<std::int64_t>(tn, bigN - n0);
+                for (std::int64_t bi = 0; bi < bb; ++bi) {
+                    const float *dBlk = d.data() +
+                                        (b0 + bi) * perBatchD +
+                                        l0 * bigN + n0;
+                    float *eBlk = e.data() + (b0 + bi) * perBatchE +
+                                  m0 * bigN + n0;
+                    engine.matmul(cBase + bi * mm * ll, ll, dBlk, bigN,
+                                  eBlk, bigN, mm, nn, ll);
+                }
+            }
+        }
+    });
+
+    // Deferred softmax division over the finished output; rows are
+    // independent, so they split freely across workers.
     if (config.epilogue == Epilogue::Softmax) {
-        for (std::int64_t bi = 0; bi < config.batch; ++bi) {
-            for (std::int64_t r = 0; r < bigM; ++r) {
-                const float inv =
-                    1.0f /
-                    rowSum[static_cast<std::size_t>(bi * bigM + r)];
-                float *row = e.data() + (bi * bigM + r) * bigN;
-                for (std::int64_t j = 0; j < bigN; ++j) {
-                    row[j] *= inv;
-                }
-            }
-        }
+        parallelFor(pool, 0, config.batch * bigM,
+                    [&](std::int64_t row, int) {
+                        const float inv =
+                            1.0f / rowSum[static_cast<std::size_t>(row)];
+                        float *p = e.data() + row * bigN;
+                        for (std::int64_t j = 0; j < bigN; ++j) {
+                            p[j] *= inv;
+                        }
+                    });
     }
 }
 
 void
 runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
-                  const Tensor &b, Tensor &c, const GemmTiles &tiles)
+                  const Tensor &b, Tensor &c, const GemmTiles &tiles,
+                  const ExecOptions &options)
 {
     const bool batched = a.rank() == 3;
     CHIMERA_CHECK(a.rank() == b.rank() && a.rank() == c.rank() &&
@@ -288,25 +315,30 @@ runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
                   "tiled GEMM shape mismatch");
 
     c.zero();
-    for (std::int64_t bi = 0; bi < batch; ++bi) {
+    // (batch, m-tile) blocks own disjoint C rows; the k loop accumulates
+    // and stays serial ascending inside each block (bitwise-reproducible
+    // across thread counts).
+    const std::int64_t mTiles = ceilDiv(m, tiles.tm);
+    parallelFor(execPool(options), 0, batch * mTiles,
+                [&](std::int64_t task, int) {
+        const std::int64_t bi = task / mTiles;
+        const std::int64_t m0 = (task % mTiles) * tiles.tm;
         const float *aBase = a.data() + bi * m * k;
         const float *bBase = b.data() + bi * k * n;
         float *cBase = c.data() + bi * m * n;
-        for (std::int64_t m0 = 0; m0 < m; m0 += tiles.tm) {
-            const std::int64_t mm = std::min<std::int64_t>(tiles.tm, m - m0);
-            for (std::int64_t k0 = 0; k0 < k; k0 += tiles.tk) {
-                const std::int64_t kk =
-                    std::min<std::int64_t>(tiles.tk, k - k0);
-                for (std::int64_t n0 = 0; n0 < n; n0 += tiles.tn) {
-                    const std::int64_t nn =
-                        std::min<std::int64_t>(tiles.tn, n - n0);
-                    engine.matmul(aBase + m0 * k + k0, k,
-                                  bBase + k0 * n + n0, n,
-                                  cBase + m0 * n + n0, n, mm, nn, kk);
-                }
+        const std::int64_t mm = std::min<std::int64_t>(tiles.tm, m - m0);
+        for (std::int64_t k0 = 0; k0 < k; k0 += tiles.tk) {
+            const std::int64_t kk =
+                std::min<std::int64_t>(tiles.tk, k - k0);
+            for (std::int64_t n0 = 0; n0 < n; n0 += tiles.tn) {
+                const std::int64_t nn =
+                    std::min<std::int64_t>(tiles.tn, n - n0);
+                engine.matmul(aBase + m0 * k + k0, k,
+                              bBase + k0 * n + n0, n,
+                              cBase + m0 * n + n0, n, mm, nn, kk);
             }
         }
-    }
+    });
 }
 
 void
@@ -314,10 +346,10 @@ runUnfusedGemmChain(const GemmChainConfig &config,
                     const ComputeEngine &engine, const Tensor &a,
                     const Tensor &b, const Tensor &d, Tensor &scratchC,
                     Tensor &e, const GemmTiles &tiles1,
-                    const GemmTiles &tiles2)
+                    const GemmTiles &tiles2, const ExecOptions &options)
 {
     checkShape(scratchC, gemmChainShapeC(config), "C scratch");
-    runTiledBatchGemm(engine, a, b, scratchC, tiles1);
+    runTiledBatchGemm(engine, a, b, scratchC, tiles1, options);
     if (config.epilogue == Epilogue::Relu) {
         ref::reluInPlace(scratchC);
     } else if (config.epilogue == Epilogue::Softmax) {
@@ -330,7 +362,7 @@ runUnfusedGemmChain(const GemmChainConfig &config,
         }
         ref::softmaxLastDim(scratchC);
     }
-    runTiledBatchGemm(engine, scratchC, d, e, tiles2);
+    runTiledBatchGemm(engine, scratchC, d, e, tiles2, options);
 }
 
 void

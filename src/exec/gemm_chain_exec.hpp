@@ -18,6 +18,7 @@
  */
 
 #include "exec/compute_engine.hpp"
+#include "exec/exec_options.hpp"
 #include "ir/builders.hpp"
 #include "plan/planner.hpp"
 #include "tensor/tensor.hpp"
@@ -27,18 +28,25 @@ namespace chimera::exec {
 /**
  * Runs the fused chain E = epilogue(A x B) x D under @p plan.
  *
- * @param config Chain shapes and epilogue.
- * @param plan   Planner output for the chain built by makeGemmChain.
- * @param engine Block compute engine.
- * @param a      [batch?, M, K] input (batch dim only when batch > 1).
- * @param b      [batch?, K, L] input.
- * @param d      [batch?, L, N] input.
- * @param e      [batch?, M, N] output (overwritten).
+ * The batch/m region blocks are independent (disjoint E rows and
+ * softmax row sums) and are distributed across @p options threads; the
+ * l region loop accumulates and runs serially ascending inside each
+ * block, so the output is bitwise-identical at every thread count.
+ *
+ * @param config  Chain shapes and epilogue.
+ * @param plan    Planner output for the chain built by makeGemmChain.
+ * @param engine  Block compute engine.
+ * @param a       [batch?, M, K] input (batch dim only when batch > 1).
+ * @param b       [batch?, K, L] input.
+ * @param d       [batch?, L, N] input.
+ * @param e       [batch?, M, N] output (overwritten).
+ * @param options Threading knobs (default: CHIMERA_THREADS/hardware).
  */
 void runFusedGemmChain(const ir::GemmChainConfig &config,
                        const plan::ExecutionPlan &plan,
                        const ComputeEngine &engine, const Tensor &a,
-                       const Tensor &b, const Tensor &d, Tensor &e);
+                       const Tensor &b, const Tensor &d, Tensor &e,
+                       const ExecOptions &options = {});
 
 /** Per-GEMM cache tiles for the unfused baseline. */
 struct GemmTiles
@@ -50,10 +58,12 @@ struct GemmTiles
 
 /**
  * Tiled batch GEMM c = a x b (c overwritten), the building block of the
- * unfused baseline. Loops blocks in m-k-n order with the given tiles.
+ * unfused baseline. Loops blocks in m-k-n order with the given tiles;
+ * the independent (batch, m-tile) blocks are split across threads.
  */
 void runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
-                       const Tensor &b, Tensor &c, const GemmTiles &tiles);
+                       const Tensor &b, Tensor &c, const GemmTiles &tiles,
+                       const ExecOptions &options = {});
 
 /**
  * Unfused chain: GEMM1 -> DRAM intermediate -> epilogue -> GEMM2.
@@ -64,7 +74,8 @@ void runUnfusedGemmChain(const ir::GemmChainConfig &config,
                          const ComputeEngine &engine, const Tensor &a,
                          const Tensor &b, const Tensor &d, Tensor &scratchC,
                          Tensor &e, const GemmTiles &tiles1,
-                         const GemmTiles &tiles2);
+                         const GemmTiles &tiles2,
+                         const ExecOptions &options = {});
 
 /** Expected tensor shapes for a chain config (batch dim iff batch>1). */
 std::vector<std::int64_t> gemmChainShapeA(const ir::GemmChainConfig &c);

@@ -83,7 +83,8 @@ CnnBackbone::CnnBackbone(const CnnConfig &config, double cacheCapacityBytes,
 }
 
 Tensor
-CnnBackbone::forward(const Tensor &input, ConvMode mode) const
+CnnBackbone::forward(const Tensor &input, ConvMode mode,
+                     const exec::ExecOptions &options) const
 {
     CHIMERA_CHECK(input.shape() ==
                       std::vector<std::int64_t>({config_.batch,
@@ -98,12 +99,12 @@ CnnBackbone::forward(const Tensor &input, ConvMode mode) const
         Tensor next(exec::convChainShapeO(chain));
         if (mode == ConvMode::FusedChimera) {
             exec::runFusedConvChain(chain, plans_[s], engine_, activation,
-                                    w1_[s], w2_[s], next);
+                                    w1_[s], w2_[s], next, options);
         } else {
             Tensor scratch(exec::convChainShapeT(chain));
             exec::runUnfusedConvChain(chain, engine_, activation, w1_[s],
                                       w2_[s], scratch, next, {64, 64},
-                                      {64, 64});
+                                      {64, 64}, options);
         }
         // Inter-stage ReLU (the chains fuse only the internal one).
         float *p = next.data();
@@ -132,7 +133,7 @@ CnnBackbone::forward(const Tensor &input, ConvMode mode) const
 
     Tensor logits({config_.batch, config_.classes});
     exec::runTiledBatchGemm(engine_, pooled, classifier_, logits,
-                            {64, 64, 64});
+                            {64, 64, 64}, options);
     return logits;
 }
 

@@ -60,8 +60,14 @@ class CnnBackbone
     CnnBackbone(const CnnConfig &config, double cacheCapacityBytes,
                 std::uint64_t seed = 5);
 
-    /** Runs the stack on [batch, C, H, W]; returns [batch, classes]. */
-    Tensor forward(const Tensor &input, ConvMode mode) const;
+    /**
+     * Runs the stack on [batch, C, H, W]; returns [batch, classes].
+     * @p options distributes each stage's region blocks (and the
+     * classifier GEMM) across threads; the output is bitwise-identical
+     * at every thread count.
+     */
+    Tensor forward(const Tensor &input, ConvMode mode,
+                   const exec::ExecOptions &options = {}) const;
 
     /** Resolved chain configs, one per stage. */
     const std::vector<ir::ConvChainConfig> &stageChains() const

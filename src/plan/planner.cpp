@@ -7,6 +7,7 @@
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/mathutil.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace chimera::plan {
@@ -183,25 +184,45 @@ planChain(const Chain &chain, const PlannerOptions &options)
             tile, chain.axes()[static_cast<std::size_t>(axis)].extent);
     }
 
-    ExecutionPlan best;
-    bool haveBest = false;
-    int examined = 0;
+    // Materialize the candidate orders (respecting the cap) so the
+    // independent (permutation -> tile solve) steps can be distributed
+    // across threads.
+    std::vector<std::vector<AxisId>> candidates;
     for (const std::vector<int> &orderIdx :
          allPermutations(static_cast<int>(reorderable.size()))) {
-        if (examined >= options.maxPermutations) {
+        if (static_cast<int>(candidates.size()) >=
+            options.maxPermutations) {
             CHIMERA_WARN("permutation cap reached for chain "
                          << chain.name());
             break;
         }
-        ++examined;
-        const std::vector<AxisId> perm =
-            fullPermutation(chain, reorderable, orderIdx);
-        if (options.onlyExecutableOrders &&
-            !model::isExecutableOrder(chain, perm, filterTiles)) {
-            continue;
-        }
-        const solver::TileSolution sol =
-            solver::solveTiles(chain, perm, constraints, solverOptions);
+        candidates.push_back(
+            fullPermutation(chain, reorderable, orderIdx));
+    }
+
+    std::vector<solver::TileSolution> outcomes(candidates.size());
+    parallelFor(poolForThreads(options.threads), 0,
+                static_cast<std::int64_t>(candidates.size()),
+                [&](std::int64_t i, int) {
+                    const std::vector<AxisId> &perm =
+                        candidates[static_cast<std::size_t>(i)];
+                    if (options.onlyExecutableOrders &&
+                        !model::isExecutableOrder(chain, perm,
+                                                  filterTiles)) {
+                        return; // default-constructed: infeasible
+                    }
+                    outcomes[static_cast<std::size_t>(i)] =
+                        solver::solveTiles(chain, perm, constraints,
+                                           solverOptions);
+                });
+
+    // Deterministic argmin: reduce in enumeration order with the exact
+    // serial better-than predicate, so ties (and the +-0.5 volume
+    // slack) resolve to the same permutation at every thread count.
+    ExecutionPlan best;
+    bool haveBest = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const solver::TileSolution &sol = outcomes[i];
         if (!sol.feasible) {
             continue;
         }
@@ -210,7 +231,7 @@ planChain(const Chain &chain, const PlannerOptions &options)
             (sol.volumeBytes < best.predictedVolumeBytes + 0.5 &&
              sol.memUsageBytes < best.memUsageBytes);
         if (better) {
-            best.perm = perm;
+            best.perm = candidates[i];
             best.tiles = sol.tiles;
             best.predictedVolumeBytes = sol.volumeBytes;
             best.memUsageBytes = sol.memUsageBytes;
@@ -220,7 +241,7 @@ planChain(const Chain &chain, const PlannerOptions &options)
     CHIMERA_CHECK(haveBest,
                   "no feasible schedule for chain " + chain.name() +
                       " under the given memory capacity");
-    best.candidatesExamined = examined;
+    best.candidatesExamined = static_cast<int>(candidates.size());
     best.planSeconds = timer.seconds();
     CHIMERA_DEBUG("planned " << chain.name() << ": order "
                              << orderString(chain, best.perm) << " volume "

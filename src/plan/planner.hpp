@@ -67,6 +67,16 @@ struct PlannerOptions
      * intermediate regions are considered (see model::isExecutableOrder).
      */
     bool onlyExecutableOrders = true;
+
+    /**
+     * Threads for the (permutation -> tile solve) candidate loop:
+     * >= 1 is exact, <= 0 defers to CHIMERA_THREADS / the hardware
+     * count. The winner is reduced serially in enumeration order with
+     * the same better-than predicate as the serial loop (ties break on
+     * the earlier permutation), so the chosen plan is identical at
+     * every thread count.
+     */
+    int threads = 0;
 };
 
 /**

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Determinism tests for the parallel executors: every fused/tiled
+ * executor must produce bitwise-identical outputs at 1, 2, and 8
+ * threads, because only dependence-free block loops are distributed and
+ * every floating-point reduction keeps its serial ascending order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "exec/conv_chain_exec.hpp"
+#include "exec/gemm_chain3_exec.hpp"
+#include "exec/gemm_chain_exec.hpp"
+#include "plan/planner.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace chimera::exec {
+namespace {
+
+using ir::ConvChainConfig;
+using ir::Epilogue;
+using ir::GemmChainConfig;
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.numel()) *
+                           sizeof(float)) == 0;
+}
+
+plan::ExecutionPlan
+planFor(const ir::Chain &chain, double capacityBytes)
+{
+    plan::PlannerOptions options;
+    options.memCapacityBytes = capacityBytes;
+    return plan::planChain(chain, options);
+}
+
+TEST(ParallelExec, FusedGemmChainBitwiseIdenticalAcrossThreadCounts)
+{
+    for (Epilogue epi :
+         {Epilogue::None, Epilogue::Relu, Epilogue::Softmax}) {
+        GemmChainConfig cfg;
+        cfg.batch = 3;
+        cfg.m = 48;
+        cfg.n = 24;
+        cfg.k = 16;
+        cfg.l = 40;
+        cfg.epilogue = epi;
+        cfg.softmaxScale = 0.25f;
+        const ir::Chain chain = ir::makeGemmChain(cfg);
+        const plan::ExecutionPlan plan = planFor(chain, 16.0 * 1024);
+        const ComputeEngine engine = ComputeEngine::best();
+
+        Tensor a(gemmChainShapeA(cfg));
+        Tensor b(gemmChainShapeB(cfg));
+        Tensor d(gemmChainShapeD(cfg));
+        Rng rng(42);
+        fillUniform(a, rng);
+        fillUniform(b, rng);
+        fillUniform(d, rng);
+
+        Tensor serial(gemmChainShapeE(cfg));
+        runFusedGemmChain(cfg, plan, engine, a, b, d, serial);
+        for (int threads : kThreadCounts) {
+            Tensor e(gemmChainShapeE(cfg));
+            runFusedGemmChain(cfg, plan, engine, a, b, d, e,
+                              ExecOptions{threads, nullptr});
+            EXPECT_TRUE(bitwiseEqual(e, serial))
+                << "epilogue " << static_cast<int>(epi) << " threads "
+                << threads;
+        }
+    }
+}
+
+TEST(ParallelExec, TiledBatchGemmBitwiseIdenticalAcrossThreadCounts)
+{
+    Tensor a({3, 37, 29});
+    Tensor b({3, 29, 23});
+    Rng rng(7);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor serial({3, 37, 23});
+    runTiledBatchGemm(engine, a, b, serial, GemmTiles{16, 8, 8});
+    for (int threads : kThreadCounts) {
+        Tensor c({3, 37, 23});
+        runTiledBatchGemm(engine, a, b, c, GemmTiles{16, 8, 8},
+                          ExecOptions{threads, nullptr});
+        EXPECT_TRUE(bitwiseEqual(c, serial)) << "threads " << threads;
+    }
+}
+
+TEST(ParallelExec, FusedGemmChain3BitwiseIdenticalAcrossThreadCounts)
+{
+    ir::GemmChain3Config cfg;
+    cfg.batch = 2;
+    cfg.m = 48;
+    cfg.n = 24;
+    cfg.k = 16;
+    cfg.l = 40;
+    cfg.p = 20;
+    cfg.epilogue = Epilogue::Relu;
+    const ir::Chain chain = ir::makeGemmChain3(cfg);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 48.0 * 1024;
+    options.constraints = gemmChain3Constraints(
+        chain,
+        kernels::MicroKernelRegistry::instance().select(detectSimdTier()));
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor a(gemmChain3ShapeA(cfg));
+    Tensor b(gemmChain3ShapeB(cfg));
+    Tensor d(gemmChain3ShapeD(cfg));
+    Tensor f(gemmChain3ShapeF(cfg));
+    Rng rng(5);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    fillUniform(f, rng);
+
+    Tensor serial(gemmChain3ShapeE(cfg));
+    runFusedGemmChain3(cfg, plan, engine, a, b, d, f, serial);
+    for (int threads : kThreadCounts) {
+        Tensor e(gemmChain3ShapeE(cfg));
+        runFusedGemmChain3(cfg, plan, engine, a, b, d, f, e,
+                           ExecOptions{threads, nullptr});
+        EXPECT_TRUE(bitwiseEqual(e, serial)) << "threads " << threads;
+    }
+}
+
+TEST(ParallelExec, FusedConvChainBitwiseIdenticalAcrossThreadCounts)
+{
+    ConvChainConfig cfg;
+    cfg.batch = 2;
+    cfg.ic = 6;
+    cfg.h = 17;
+    cfg.w = 17;
+    cfg.oc1 = 9;
+    cfg.oc2 = 7;
+    cfg.k1 = 3;
+    cfg.k2 = 3;
+    cfg.stride1 = 1;
+    cfg.stride2 = 2;
+    cfg.epilogue = Epilogue::Relu;
+    const ir::Chain chain = ir::makeConvChain(cfg);
+    const plan::ExecutionPlan plan = planFor(chain, 24.0 * 1024);
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor input(convChainShapeI(cfg));
+    Tensor w1(convChainShapeW1(cfg));
+    Tensor w2(convChainShapeW2(cfg));
+    Rng rng(31);
+    fillUniform(input, rng);
+    fillUniform(w1, rng);
+    fillUniform(w2, rng);
+
+    Tensor serial(convChainShapeO(cfg));
+    runFusedConvChain(cfg, plan, engine, input, w1, w2, serial);
+    for (int threads : kThreadCounts) {
+        Tensor output(convChainShapeO(cfg));
+        runFusedConvChain(cfg, plan, engine, input, w1, w2, output,
+                          ExecOptions{threads, nullptr});
+        EXPECT_TRUE(bitwiseEqual(output, serial)) << "threads " << threads;
+    }
+}
+
+TEST(ParallelExec, UnfusedConvChainBitwiseIdenticalAcrossThreadCounts)
+{
+    ConvChainConfig cfg;
+    cfg.batch = 2;
+    cfg.ic = 5;
+    cfg.h = 13;
+    cfg.w = 13;
+    cfg.oc1 = 8;
+    cfg.oc2 = 6;
+    cfg.k1 = 3;
+    cfg.k2 = 1;
+    cfg.epilogue = Epilogue::Relu;
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor input(convChainShapeI(cfg));
+    Tensor w1(convChainShapeW1(cfg));
+    Tensor w2(convChainShapeW2(cfg));
+    Rng rng(17);
+    fillUniform(input, rng);
+    fillUniform(w1, rng);
+    fillUniform(w2, rng);
+
+    Tensor serialScratch(convChainShapeT(cfg));
+    Tensor serial(convChainShapeO(cfg));
+    runUnfusedConvChain(cfg, engine, input, w1, w2, serialScratch, serial,
+                        {4, 4}, {4, 4});
+    for (int threads : kThreadCounts) {
+        Tensor scratch(convChainShapeT(cfg));
+        Tensor output(convChainShapeO(cfg));
+        runUnfusedConvChain(cfg, engine, input, w1, w2, scratch, output,
+                            {4, 4}, {4, 4},
+                            ExecOptions{threads, nullptr});
+        EXPECT_TRUE(bitwiseEqual(output, serial)) << "threads " << threads;
+    }
+}
+
+TEST(ParallelExec, ExplicitPoolOverrideIsUsed)
+{
+    // Passing a pool directly (ignoring the thread count) must work and
+    // stay bitwise-deterministic.
+    Tensor a({2, 33, 21});
+    Tensor b({2, 21, 19});
+    Rng rng(3);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor serial({2, 33, 19});
+    runTiledBatchGemm(engine, a, b, serial, GemmTiles{8, 8, 8});
+
+    ThreadPool pool(3);
+    ExecOptions options;
+    options.pool = &pool;
+    Tensor c({2, 33, 19});
+    runTiledBatchGemm(engine, a, b, c, GemmTiles{8, 8, 8}, options);
+    EXPECT_TRUE(bitwiseEqual(c, serial));
+}
+
+} // namespace
+} // namespace chimera::exec

@@ -219,6 +219,68 @@ TEST(Planner, RespectsPermutationCap)
     EXPECT_EQ(plan.candidatesExamined, 5);
 }
 
+TEST(Planner, ParallelPlanningMatchesSerialOnGemmChain)
+{
+    const Chain chain = makeGemmChain(squareChain(128));
+    PlannerOptions serialOptions;
+    serialOptions.memCapacityBytes = 32.0 * 1024;
+    serialOptions.threads = 1;
+    const ExecutionPlan serial = planChain(chain, serialOptions);
+
+    for (int threads : {2, 4, 8}) {
+        PlannerOptions options = serialOptions;
+        options.threads = threads;
+        const ExecutionPlan parallel = planChain(chain, options);
+        EXPECT_EQ(parallel.perm, serial.perm) << "threads " << threads;
+        EXPECT_EQ(parallel.tiles, serial.tiles) << "threads " << threads;
+        EXPECT_DOUBLE_EQ(parallel.predictedVolumeBytes,
+                         serial.predictedVolumeBytes)
+            << "threads " << threads;
+        EXPECT_EQ(parallel.memUsageBytes, serial.memUsageBytes)
+            << "threads " << threads;
+        EXPECT_EQ(parallel.candidatesExamined, serial.candidatesExamined)
+            << "threads " << threads;
+    }
+}
+
+TEST(Planner, ParallelPlanningMatchesSerialOnConvChain)
+{
+    ir::ConvChainConfig cfg;
+    cfg.ic = 32;
+    cfg.h = 56;
+    cfg.w = 56;
+    cfg.oc1 = 32;
+    cfg.oc2 = 32;
+    cfg.k1 = 3;
+    cfg.k2 = 1;
+    const Chain chain = ir::makeConvChain(cfg);
+    PlannerOptions serialOptions;
+    serialOptions.memCapacityBytes = 256.0 * 1024;
+    serialOptions.threads = 1;
+    const ExecutionPlan serial = planChain(chain, serialOptions);
+
+    PlannerOptions options = serialOptions;
+    options.threads = 4;
+    const ExecutionPlan parallel = planChain(chain, options);
+    EXPECT_EQ(parallel.perm, serial.perm);
+    EXPECT_EQ(parallel.tiles, serial.tiles);
+    EXPECT_DOUBLE_EQ(parallel.predictedVolumeBytes,
+                     serial.predictedVolumeBytes);
+    EXPECT_EQ(parallel.memUsageBytes, serial.memUsageBytes);
+    EXPECT_EQ(parallel.candidatesExamined, serial.candidatesExamined);
+}
+
+TEST(Planner, ParallelPlanningRespectsPermutationCap)
+{
+    const Chain chain = makeGemmChain(squareChain(64));
+    PlannerOptions options;
+    options.memCapacityBytes = 32.0 * 1024;
+    options.maxPermutations = 5;
+    options.threads = 4;
+    const ExecutionPlan plan = planChain(chain, options);
+    EXPECT_EQ(plan.candidatesExamined, 5);
+}
+
 TEST(MultiLevelPlanner, TilesNestAcrossLevels)
 {
     const Chain chain = makeGemmChain(squareChain(256));

@@ -12,6 +12,7 @@
  * Options:
  *   --softmax | --relu      fuse that epilogue on the intermediate
  *   --capacity <bytes>      on-chip memory budget (default 786432)
+ *   --threads <N>           planner threads (0 = CHIMERA_THREADS/auto)
  *   --emit-c                print the generated C kernel (GEMM chains)
  *   --emit-plan             print the serialized plan document
  */
@@ -43,6 +44,7 @@ struct CliOptions
 {
     double capacityBytes = 768.0 * 1024;
     ir::Epilogue epilogue = ir::Epilogue::None;
+    int threads = 0;
     bool emitC = false;
     bool emitPlan = false;
 };
@@ -57,8 +59,8 @@ usage()
         " <k1> <k2> <st1> <st2> [options]\n"
         "       chimera-plan dsl '<einsum statements>' idx=extent..."
         " [options]\n"
-        "options: --softmax --relu --capacity <bytes> --emit-c"
-        " --emit-plan\n");
+        "options: --softmax --relu --capacity <bytes> --threads <N>"
+        " --emit-c --emit-plan\n");
     std::exit(2);
 }
 
@@ -74,6 +76,8 @@ parseOptions(int argc, char **argv, int firstOption)
             options.epilogue = ir::Epilogue::Relu;
         } else if (arg == "--capacity" && i + 1 < argc) {
             options.capacityBytes = std::atof(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            options.threads = std::atoi(argv[++i]);
         } else if (arg == "--emit-c") {
             options.emitC = true;
         } else if (arg == "--emit-plan") {
@@ -156,6 +160,7 @@ main(int argc, char **argv)
             plan::PlannerOptions po;
             po.memCapacityBytes = options.capacityBytes;
             po.constraints = exec::cpuChainConstraints(chain, kernel);
+            po.threads = options.threads;
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
             if (options.emitPlan) {
@@ -185,6 +190,7 @@ main(int argc, char **argv)
             plan::PlannerOptions po;
             po.memCapacityBytes = options.capacityBytes;
             po.constraints = exec::cpuChainConstraints(chain, kernel);
+            po.threads = options.threads;
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
             if (options.emitPlan) {
@@ -218,6 +224,7 @@ main(int argc, char **argv)
             plan::PlannerOptions po;
             po.memCapacityBytes = options.capacityBytes;
             po.constraints = plan::alphaConstraints(chain, 16);
+            po.threads = options.threads;
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
             if (options.emitPlan) {
