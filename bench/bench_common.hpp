@@ -18,6 +18,7 @@
 #include "exec/exec_options.hpp"
 #include "exec/gemm_chain_exec.hpp"
 #include "ir/workloads.hpp"
+#include "plan/plan_cache.hpp"
 #include "plan/planner.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -62,6 +63,22 @@ planCpu(const ir::Chain &chain,
     plan::PlannerOptions options;
     options.memCapacityBytes = capacityBytes;
     options.constraints = exec::cpuChainConstraints(chain, hostKernel());
+    return plan::planChain(chain, options);
+}
+
+/**
+ * planCpu variant consulting @p cache: the first call per chain is a
+ * cold miss (plans and stores), repeated calls are warm hits with
+ * candidatesExamined == 0. Used by the cache-aware bench columns.
+ */
+inline plan::ExecutionPlan
+planCpuCached(const ir::Chain &chain, plan::PlanCache &cache,
+              double capacityBytes = kCpuCapacityBytes)
+{
+    plan::PlannerOptions options;
+    options.memCapacityBytes = capacityBytes;
+    options.constraints = exec::cpuChainConstraints(chain, hostKernel());
+    options.cache = &cache;
     return plan::planChain(chain, options);
 }
 

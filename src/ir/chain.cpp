@@ -246,4 +246,52 @@ Chain::validate() const
                   "last operator must produce the chain output tensor");
 }
 
+std::string
+chainSignature(const Chain &chain)
+{
+    // Plain string appends, no ostringstream: this sits on the plan
+    // cache's warm lookup path, where the first stream construction in
+    // a fresh process costs ~100us of locale initialization alone.
+    std::string out;
+    auto emitAccessDims = [&out](const std::vector<AccessDim> &dims) {
+        for (const AccessDim &dim : dims) {
+            out += "[";
+            for (const AccessTerm &term : dim.terms) {
+                out += std::to_string(term.coeff) + "*a" +
+                       std::to_string(term.axis) + ";";
+            }
+            out += "]";
+        }
+    };
+    out += "axes:";
+    for (const Axis &axis : chain.axes()) {
+        out += axis.name + "," + std::to_string(axis.extent) + "," +
+               (axis.reorderable ? "1" : "0") + ";";
+    }
+    out += "|tensors:";
+    for (const TensorDecl &tensor : chain.tensors()) {
+        out += std::to_string(static_cast<int>(tensor.kind)) + "," +
+               std::to_string(tensor.elementSize) + ",";
+        emitAccessDims(tensor.dims);
+        out += ";";
+    }
+    out += "|ops:";
+    for (const OpDecl &op : chain.ops()) {
+        out += std::to_string(static_cast<int>(op.kind)) + ",loops=";
+        for (AxisId axis : op.loops) {
+            out += std::to_string(axis) + ".";
+        }
+        out += ",tensors=";
+        for (int t : op.tensorIds) {
+            out += std::to_string(t) + ".";
+        }
+        out += ",out=" + std::to_string(op.outputTensorId) + ",iter=";
+        emitAccessDims(op.iterDims);
+        out += ";";
+    }
+    out += "|epilogue:" +
+           std::to_string(static_cast<int>(chain.intermediateEpilogue()));
+    return out;
+}
+
 } // namespace chimera::ir

@@ -171,4 +171,14 @@ class Chain
     Epilogue intermediateEpilogue_ = Epilogue::None;
 };
 
+/**
+ * Canonical textual signature of everything that affects planning:
+ * axes (name, extent, reorderability), tensor declarations (kind,
+ * element size, access maps), operators (kind, loops, operands,
+ * iteration dims) and the epilogue. The display name is deliberately
+ * excluded — two chains with identical structure share every valid
+ * plan. The plan cache hashes this string into its lookup key.
+ */
+std::string chainSignature(const Chain &chain);
+
 } // namespace chimera::ir

@@ -1,0 +1,216 @@
+#include "plan/plan_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "plan/plan_io.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/str.hpp"
+#include "support/timer.hpp"
+
+namespace chimera::plan {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/**
+ * Canonical text for every plan-affecting planner option. Doubles are
+ * printed as hexfloat so the key never depends on decimal rounding.
+ * String appends, not ostringstream: warm lookup path.
+ */
+std::string
+optionsSignature(const PlannerOptions &options)
+{
+    char cap[64];
+    std::snprintf(cap, sizeof cap, "%a", options.memCapacityBytes);
+    std::string out;
+    out += std::string("cap=") + cap;
+    out += ";maxperm=" + std::to_string(options.maxPermutations);
+    out += ";sweeps=" + std::to_string(options.solverSweeps);
+    out += ";execonly=";
+    out += options.onlyExecutableOrders ? "1" : "0";
+    out += ";interio=";
+    out += options.model.intermediatesAreIO ? "1" : "0";
+    auto emitMap =
+        [&out](const char *name,
+               const std::map<ir::AxisId, std::int64_t> &entries) {
+            out += ";";
+            out += name;
+            out += "=";
+            for (const auto &[axis, value] : entries) {
+                out += std::to_string(axis) + ":" +
+                       std::to_string(value) + ",";
+            }
+        };
+    emitMap("mult", options.constraints.multipleOf);
+    emitMap("fixed", options.constraints.fixed);
+    emitMap("max", options.constraints.maxTile);
+    emitMap("min", options.constraints.minTile);
+    return out;
+}
+
+/**
+ * Best-effort whole-file read; nullopt when unreadable/absent. C stdio,
+ * not ifstream — the first stream construction in a fresh process costs
+ * far more than reading a plan-sized file.
+ */
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        return std::nullopt;
+    }
+    std::string contents;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+        contents.append(buffer, n);
+    }
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!ok) {
+        return std::nullopt;
+    }
+    return contents;
+}
+
+} // namespace
+
+std::string
+planFingerprint(const ir::Chain &chain, const PlannerOptions &options)
+{
+    return fnv1a64Hex(ir::chainSignature(chain) + "|" +
+                      optionsSignature(options));
+}
+
+PlanCache::PlanCache(std::string directory)
+    : directory_(std::move(directory))
+{
+}
+
+std::string
+PlanCache::defaultDirectory()
+{
+    if (const char *env = std::getenv("CHIMERA_PLAN_CACHE")) {
+        return env; // empty value = explicitly memory-only
+    }
+    if (const char *home = std::getenv("HOME");
+        home != nullptr && *home != '\0') {
+        return std::string(home) + "/.cache/chimera";
+    }
+    return "";
+}
+
+PlanCache &
+PlanCache::global()
+{
+    static PlanCache cache(defaultDirectory());
+    return cache;
+}
+
+std::string
+PlanCache::entryPath(const std::string &fingerprint) const
+{
+    return directory_ + "/" + fingerprint + ".plan";
+}
+
+std::optional<ExecutionPlan>
+PlanCache::lookup(const ir::Chain &chain, const PlannerOptions &options)
+{
+    const WallTimer timer;
+    const std::string fingerprint = planFingerprint(chain, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = memory_.find(fingerprint);
+        if (it != memory_.end()) {
+            ++stats_.memoryHits;
+            ExecutionPlan plan = it->second;
+            plan.candidatesExamined = 0;
+            plan.planSeconds = timer.seconds();
+            return plan;
+        }
+    }
+    if (!directory_.empty()) {
+        if (const std::optional<std::string> text =
+                readFile(entryPath(fingerprint))) {
+            try {
+                ExecutionPlan plan =
+                    deserializePlan(chain, *text, fingerprint);
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.diskHits;
+                memory_[fingerprint] = plan;
+                plan.candidatesExamined = 0;
+                plan.planSeconds = timer.seconds();
+                return plan;
+            } catch (const Error &e) {
+                // Stale/corrupt entry: replan silently; the store after
+                // planning overwrites it with a valid document.
+                CHIMERA_INFO("ignoring bad plan cache entry "
+                             << entryPath(fingerprint) << ": "
+                             << e.what());
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.corruptEntries;
+            }
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+PlanCache::store(const ir::Chain &chain, const PlannerOptions &options,
+                 const ExecutionPlan &plan)
+{
+    const std::string fingerprint = planFingerprint(chain, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        memory_[fingerprint] = plan;
+        ++stats_.stores;
+    }
+    if (directory_.empty()) {
+        return;
+    }
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    if (ec) {
+        CHIMERA_WARN("plan cache degraded to memory-only: cannot create "
+                     << directory_ << " (" << ec.message() << ")");
+        return;
+    }
+    // Write-then-rename keeps concurrent readers off half-written files.
+    const std::string path = entryPath(fingerprint);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            CHIMERA_WARN("plan cache cannot write " << tmp);
+            return;
+        }
+        out << serializePlan(chain, plan, fingerprint);
+        if (!out.flush()) {
+            CHIMERA_WARN("plan cache write failed for " << tmp);
+            return;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        CHIMERA_WARN("plan cache cannot rename " << tmp << " to " << path
+                                                 << ": " << ec.message());
+        fs::remove(tmp, ec);
+    }
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace chimera::plan

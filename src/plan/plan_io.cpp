@@ -1,20 +1,37 @@
 #include "plan/plan_io.hpp"
 
+#include <set>
 #include <sstream>
 
 #include "ir/builders.hpp"
 #include "model/data_movement.hpp"
 #include "support/error.hpp"
+#include "support/str.hpp"
 
 namespace chimera::plan {
 
+namespace {
+
 std::string
-serializePlan(const ir::Chain &chain, const ExecutionPlan &plan)
+lineContext(int lineNumber, const std::string &line)
+{
+    return "plan document line " + std::to_string(lineNumber) + " (\"" +
+           line + "\")";
+}
+
+} // namespace
+
+std::string
+serializePlan(const ir::Chain &chain, const ExecutionPlan &plan,
+              const std::string &fingerprint)
 {
     model::validatePermutation(chain, plan.perm);
     model::validateTiles(chain, plan.tiles);
     std::ostringstream out;
-    out << "chimera-plan v1\n";
+    out << "chimera-plan v2\n";
+    if (!fingerprint.empty()) {
+        out << "fingerprint: " << fingerprint << "\n";
+    }
     out << "chain: " << chain.name() << "\n";
     out << "order: " << orderString(chain, plan.perm) << "\n";
     out << "tiles:";
@@ -31,57 +48,116 @@ serializePlan(const ir::Chain &chain, const ExecutionPlan &plan)
 }
 
 ExecutionPlan
-deserializePlan(const ir::Chain &chain, const std::string &text)
+deserializePlan(const ir::Chain &chain, const std::string &text,
+                const std::string &expectedFingerprint)
 {
-    std::istringstream in(text);
+    // Manual line iteration (no istringstream): this runs on the plan
+    // cache's warm lookup path, where a fresh process pays ~100us for
+    // its first stream construction alone.
+    std::size_t cursor = 0;
+    auto nextLine = [&text, &cursor](std::string &out) {
+        if (cursor >= text.size()) {
+            return false;
+        }
+        std::size_t nl = text.find('\n', cursor);
+        if (nl == std::string::npos) {
+            nl = text.size();
+        }
+        out = text.substr(cursor, nl - cursor);
+        cursor = nl + 1;
+        if (!out.empty() && out.back() == '\r') {
+            out.pop_back();
+        }
+        return true;
+    };
+
     std::string line;
-    CHIMERA_CHECK(std::getline(in, line) && line == "chimera-plan v1",
-                  "not a chimera-plan v1 document");
+    CHIMERA_CHECK(nextLine(line), "empty plan document");
+    CHIMERA_CHECK(line == "chimera-plan v1" || line == "chimera-plan v2",
+                  "plan document line 1: not a chimera-plan v1/v2 header"
+                  " (\"" +
+                      line + "\")");
 
     ExecutionPlan plan;
     plan.tiles.assign(static_cast<std::size_t>(chain.numAxes()), 0);
+    std::string fingerprint;
+    std::set<std::string> seenKeys;
     bool haveOrder = false;
     bool haveTiles = false;
-    while (std::getline(in, line)) {
+    int lineNumber = 1;
+    while (nextLine(line)) {
+        ++lineNumber;
         if (line.empty()) {
             continue;
         }
+        const std::string context = lineContext(lineNumber, line);
         const std::size_t colon = line.find(':');
-        CHIMERA_CHECK(colon != std::string::npos,
-                      "malformed plan line: " + line);
+        if (colon == std::string::npos) {
+            throw Error(context + ": expected \"key: value\"");
+        }
         const std::string key = line.substr(0, colon);
         std::string value = line.substr(colon + 1);
         if (!value.empty() && value.front() == ' ') {
             value.erase(0, 1);
         }
+        if (!seenKeys.insert(key).second) {
+            throw Error(context + ": duplicate key \"" + key + "\"");
+        }
         if (key == "chain") {
             // Informational; the caller supplies the chain to bind to.
+        } else if (key == "fingerprint") {
+            fingerprint = value;
         } else if (key == "order") {
             plan.perm = permFromOrderString(chain, value);
             haveOrder = true;
         } else if (key == "tiles") {
-            std::istringstream ts(value);
-            std::string token;
-            while (ts >> token) {
+            std::set<ir::AxisId> seenAxes;
+            std::size_t tokenStart = 0;
+            while (tokenStart < value.size()) {
+                tokenStart = value.find_first_not_of(" \t", tokenStart);
+                if (tokenStart == std::string::npos) {
+                    break;
+                }
+                std::size_t tokenEnd =
+                    value.find_first_of(" \t", tokenStart);
+                if (tokenEnd == std::string::npos) {
+                    tokenEnd = value.size();
+                }
+                const std::string token =
+                    value.substr(tokenStart, tokenEnd - tokenStart);
+                tokenStart = tokenEnd;
                 const std::size_t eq = token.find('=');
-                CHIMERA_CHECK(eq != std::string::npos,
-                              "malformed tile token: " + token);
+                if (eq == std::string::npos) {
+                    throw Error(context + ": malformed tile token \"" +
+                                token + "\"");
+                }
                 const ir::AxisId axis =
                     ir::axisIdByName(chain, token.substr(0, eq));
+                if (!seenAxes.insert(axis).second) {
+                    throw Error(context + ": duplicate tile for axis \"" +
+                                token.substr(0, eq) + "\"");
+                }
                 plan.tiles[static_cast<std::size_t>(axis)] =
-                    std::stoll(token.substr(eq + 1));
+                    parseInt64Strict(token.substr(eq + 1), context);
             }
             haveTiles = true;
         } else if (key == "volume-bytes") {
-            plan.predictedVolumeBytes = std::stod(value);
+            plan.predictedVolumeBytes = parseDoubleStrict(value, context);
         } else if (key == "mem-bytes") {
-            plan.memUsageBytes = std::stoll(value);
+            plan.memUsageBytes = parseInt64Strict(value, context);
         } else {
-            throw Error("unknown plan key: " + key);
+            throw Error(context + ": unknown plan key \"" + key + "\"");
         }
     }
     CHIMERA_CHECK(haveOrder && haveTiles,
                   "plan document missing order or tiles");
+    if (!expectedFingerprint.empty() &&
+        fingerprint != expectedFingerprint) {
+        throw Error("plan fingerprint mismatch: expected " +
+                    expectedFingerprint + ", document carries " +
+                    (fingerprint.empty() ? std::string("none")
+                                         : fingerprint));
+    }
     model::validatePermutation(chain, plan.perm);
     model::validateTiles(chain, plan.tiles);
 

@@ -5,17 +5,30 @@
  * Plan serialization: a stable, human-readable text format so planned
  * schedules can be cached across runs (planning is cheap but kernels
  * may be planned once and deployed many times) and inspected in code
- * review. Format:
+ * review. Current format:
  *
- *     chimera-plan v1
+ *     chimera-plan v2
+ *     fingerprint: 1f0c64d2a9b3e781
  *     chain: <name>
  *     order: m,l,k,n
  *     tiles: m=128 l=64 k=64 n=64
  *     volume-bytes: 6291456
  *     mem-bytes: 393216
  *
- * Deserialization validates the plan against the chain it is applied
- * to (axis names, tile ranges, permutation completeness).
+ * The fingerprint line is optional in hand-written documents and
+ * mandatory for plan-cache entries: it hashes the chain structure plus
+ * the planner options that produced the plan (see plan_cache.hpp), so a
+ * cache entry can never be applied to the wrong key. v1 documents (no
+ * fingerprint, same remaining keys) are still read.
+ *
+ * Deserialization is strict: every numeric field must parse as a full
+ * token (trailing garbage such as "m=64abc" is rejected, not truncated),
+ * duplicate keys and duplicate tile axes are rejected, and every failure
+ * is reported as chimera::Error naming the offending line — malformed
+ * input never escapes as a raw std:: exception. The parsed plan is then
+ * validated against the chain it is applied to (axis names, tile ranges,
+ * permutation completeness) and its predictions are recomputed, so a
+ * stale or tampered document cannot lie.
  */
 
 #include <string>
@@ -24,15 +37,26 @@
 
 namespace chimera::plan {
 
-/** Serializes @p plan for @p chain into the v1 text format. */
-std::string serializePlan(const ir::Chain &chain,
-                          const ExecutionPlan &plan);
+/**
+ * Serializes @p plan for @p chain into the v2 text format. A non-empty
+ * @p fingerprint is embedded as the "fingerprint:" line (the plan cache
+ * passes its lookup key; ad-hoc serialization may leave it out).
+ */
+std::string serializePlan(const ir::Chain &chain, const ExecutionPlan &plan,
+                          const std::string &fingerprint = "");
 
 /**
- * Parses a v1 plan and validates it against @p chain.
- * Throws Error on malformed input or chain mismatch.
+ * Parses a v1 or v2 plan document and validates it against @p chain.
+ *
+ * When @p expectedFingerprint is non-empty the document must carry a
+ * matching "fingerprint:" line; a missing or different value throws
+ * (the plan cache turns that into a silent replan).
+ *
+ * Throws chimera::Error — with the offending line quoted — on malformed
+ * input, and on chain mismatch after parsing.
  */
 ExecutionPlan deserializePlan(const ir::Chain &chain,
-                              const std::string &text);
+                              const std::string &text,
+                              const std::string &expectedFingerprint = "");
 
 } // namespace chimera::plan

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "ir/builders.hpp"
+#include "plan/plan_cache.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/mathutil.hpp"
@@ -109,11 +110,18 @@ orderString(const Chain &chain, const std::vector<AxisId> &perm)
 std::vector<AxisId>
 permFromOrderString(const Chain &chain, const std::string &order)
 {
+    // Manual split (no stringstream): runs during warm plan-cache
+    // lookups, where first-stream construction cost matters.
     std::vector<AxisId> perm;
-    std::stringstream ss(order);
-    std::string token;
-    while (std::getline(ss, token, ',')) {
-        perm.push_back(ir::axisIdByName(chain, token));
+    std::size_t start = 0;
+    while (start < order.size()) {
+        std::size_t comma = order.find(',', start);
+        if (comma == std::string::npos) {
+            comma = order.size();
+        }
+        perm.push_back(ir::axisIdByName(
+            chain, order.substr(start, comma - start)));
+        start = comma + 1;
     }
     // Append any axes the string omitted (pinned kernel axes), innermost.
     for (AxisId a = 0; a < chain.numAxes(); ++a) {
@@ -143,10 +151,9 @@ fullPermutation(const Chain &chain, const std::vector<AxisId> &reorderable,
     return perm;
 }
 
-} // namespace
-
+/** The enumeration + solve path behind planChain (cache misses). */
 ExecutionPlan
-planChain(const Chain &chain, const PlannerOptions &options)
+planChainUncached(const Chain &chain, const PlannerOptions &options)
 {
     WallTimer timer;
     const std::vector<AxisId> reorderable = chain.reorderableAxes();
@@ -201,6 +208,7 @@ planChain(const Chain &chain, const PlannerOptions &options)
     }
 
     std::vector<solver::TileSolution> outcomes(candidates.size());
+    std::vector<char> filtered(candidates.size(), 0);
     parallelFor(poolForThreads(options.threads), 0,
                 static_cast<std::int64_t>(candidates.size()),
                 [&](std::int64_t i, int) {
@@ -209,7 +217,9 @@ planChain(const Chain &chain, const PlannerOptions &options)
                     if (options.onlyExecutableOrders &&
                         !model::isExecutableOrder(chain, perm,
                                                   filterTiles)) {
-                        return; // default-constructed: infeasible
+                        // default-constructed outcome: infeasible
+                        filtered[static_cast<std::size_t>(i)] = 1;
+                        return;
                     }
                     outcomes[static_cast<std::size_t>(i)] =
                         solver::solveTiles(chain, perm, constraints,
@@ -241,11 +251,36 @@ planChain(const Chain &chain, const PlannerOptions &options)
     CHIMERA_CHECK(haveBest,
                   "no feasible schedule for chain " + chain.name() +
                       " under the given memory capacity");
-    best.candidatesExamined = static_cast<int>(candidates.size());
+    const int filteredCount = static_cast<int>(
+        std::count(filtered.begin(), filtered.end(), char(1)));
+    best.candidatesExamined =
+        static_cast<int>(candidates.size()) - filteredCount;
     best.planSeconds = timer.seconds();
     CHIMERA_DEBUG("planned " << chain.name() << ": order "
                              << orderString(chain, best.perm) << " volume "
-                             << best.predictedVolumeBytes << "B");
+                             << best.predictedVolumeBytes << "B ("
+                             << best.candidatesExamined << " solved, "
+                             << filteredCount
+                             << " filtered as non-executable)");
+    return best;
+}
+
+} // namespace
+
+ExecutionPlan
+planChain(const Chain &chain, const PlannerOptions &options)
+{
+    if (options.cache != nullptr) {
+        if (std::optional<ExecutionPlan> cached =
+                options.cache->lookup(chain, options)) {
+            CHIMERA_DEBUG("plan cache hit for " << chain.name());
+            return *cached;
+        }
+    }
+    const ExecutionPlan best = planChainUncached(chain, options);
+    if (options.cache != nullptr) {
+        options.cache->store(chain, options, best);
+    }
     return best;
 }
 

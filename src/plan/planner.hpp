@@ -22,6 +22,8 @@
 
 namespace chimera::plan {
 
+class PlanCache;
+
 /** A fully decided block schedule for one memory level. */
 struct ExecutionPlan
 {
@@ -37,7 +39,11 @@ struct ExecutionPlan
     /** Peak on-chip footprint, bytes. */
     std::int64_t memUsageBytes = 0;
 
-    /** Number of (permutation, solve) candidates examined. */
+    /**
+     * Number of candidates actually solved (executable-order filtering
+     * happens before solving and is excluded; the debug log reports the
+     * filtered count). 0 means the plan was served from the plan cache.
+     */
     int candidatesExamined = 0;
 
     /** Wall time spent planning, seconds (§VI-E overhead experiment). */
@@ -77,6 +83,15 @@ struct PlannerOptions
      * every thread count.
      */
     int threads = 0;
+
+    /**
+     * Optional plan cache consulted before enumeration and updated with
+     * the winning plan after (see plan_cache.hpp). The cache key covers
+     * the chain structure and every plan-affecting option above except
+     * threads (planning is deterministic at any thread count). nullptr
+     * plans from scratch every call.
+     */
+    PlanCache *cache = nullptr;
 };
 
 /**

@@ -1,6 +1,11 @@
 #include "support/str.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <iomanip>
+
+#include "support/error.hpp"
 
 namespace chimera {
 
@@ -45,6 +50,50 @@ formatVector(const std::vector<std::int64_t> &values)
     }
     oss << ")";
     return oss.str();
+}
+
+std::int64_t
+parseInt64Strict(const std::string &token, const std::string &context)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    const bool consumed =
+        !token.empty() && end == token.c_str() + token.size();
+    if (!consumed || errno == ERANGE) {
+        throw Error(context + ": invalid integer \"" + token + "\"");
+    }
+    return static_cast<std::int64_t>(value);
+}
+
+double
+parseDoubleStrict(const std::string &token, const std::string &context)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    const bool consumed =
+        !token.empty() && end == token.c_str() + token.size();
+    if (!consumed || errno == ERANGE) {
+        throw Error(context + ": invalid number \"" + token + "\"");
+    }
+    return value;
+}
+
+std::string
+fnv1a64Hex(const std::string &data)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    // snprintf, not ostringstream: callers sit on the plan cache's warm
+    // lookup path where stream construction dominates.
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return hex;
 }
 
 } // namespace chimera

@@ -22,4 +22,21 @@ std::string formatBytes(double bytes);
 /** Formats a vector of integers as "(a, b, c)". */
 std::string formatVector(const std::vector<std::int64_t> &values);
 
+/**
+ * Parses @p token as a complete decimal integer: the whole token must be
+ * consumed (no trailing garbage, no empty token) and the value must fit
+ * in int64. Throws Error prefixed with @p context otherwise — unlike
+ * std::stoll, which both accepts "64abc" and escapes as
+ * std::invalid_argument.
+ */
+std::int64_t parseInt64Strict(const std::string &token,
+                              const std::string &context);
+
+/** Full-token floating-point counterpart of parseInt64Strict. */
+double parseDoubleStrict(const std::string &token,
+                         const std::string &context);
+
+/** 64-bit FNV-1a hash of @p data, formatted as 16 lowercase hex chars. */
+std::string fnv1a64Hex(const std::string &data);
+
 } // namespace chimera

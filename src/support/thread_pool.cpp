@@ -1,12 +1,15 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/logging.hpp"
 
 namespace chimera {
 
@@ -36,11 +39,23 @@ defaultThreadCount()
 {
     const char *env = std::getenv("CHIMERA_THREADS");
     if (env != nullptr && *env != '\0') {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1) {
+        errno = 0;
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        const bool fullToken = *end == '\0';
+        if (fullToken && errno == 0 && v >= 1) {
             return static_cast<int>(
                 std::min<long>(v, static_cast<long>(kMaxThreads)));
         }
+        // "4abc" must not silently run with 4 threads, nor "abc" with
+        // a silent fallback: reject the whole token, warn once.
+        static std::once_flag warned;
+        std::call_once(warned, [env] {
+            CHIMERA_WARN("ignoring invalid CHIMERA_THREADS value \""
+                         << env
+                         << "\" (expected an integer >= 1); using the "
+                            "hardware thread count");
+        });
     }
     return hardwareThreadCount();
 }

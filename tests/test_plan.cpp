@@ -71,9 +71,23 @@ TEST(Planner, ExaminesAllTwentyFourOrders)
     const Chain chain = makeGemmChain(squareChain(128));
     PlannerOptions options;
     options.memCapacityBytes = 32.0 * 1024;
+    // Without the executability filter every enumerated order is solved.
+    options.onlyExecutableOrders = false;
     const ExecutionPlan plan = planChain(chain, options);
     EXPECT_EQ(plan.candidatesExamined, 24);
     EXPECT_GT(plan.planSeconds, 0.0);
+}
+
+TEST(Planner, CandidatesExaminedCountsOnlySolvedOrders)
+{
+    const Chain chain = makeGemmChain(squareChain(128));
+    PlannerOptions options;
+    options.memCapacityBytes = 32.0 * 1024;
+    const ExecutionPlan plan = planChain(chain, options);
+    // The executable-order filter skips some of the 4! = 24 orders
+    // before the solver runs; those are no longer reported as examined.
+    EXPECT_GT(plan.candidatesExamined, 0);
+    EXPECT_LT(plan.candidatesExamined, 24);
 }
 
 TEST(Planner, PlanBeatsEveryOtherOrderItExamined)
@@ -215,6 +229,7 @@ TEST(Planner, RespectsPermutationCap)
     PlannerOptions options;
     options.memCapacityBytes = 32.0 * 1024;
     options.maxPermutations = 5;
+    options.onlyExecutableOrders = false; // solve all capped candidates
     const ExecutionPlan plan = planChain(chain, options);
     EXPECT_EQ(plan.candidatesExamined, 5);
 }
@@ -276,6 +291,7 @@ TEST(Planner, ParallelPlanningRespectsPermutationCap)
     PlannerOptions options;
     options.memCapacityBytes = 32.0 * 1024;
     options.maxPermutations = 5;
+    options.onlyExecutableOrders = false; // solve all capped candidates
     options.threads = 4;
     const ExecutionPlan plan = planChain(chain, options);
     EXPECT_EQ(plan.candidatesExamined, 5);

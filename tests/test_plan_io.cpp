@@ -1,7 +1,9 @@
 /**
  * @file
  * Tests for plan serialization: round trips, validation against the
- * binding chain, and rejection of malformed/stale documents.
+ * binding chain, v1 compatibility, and rejection of malformed,
+ * truncated, duplicated or stale documents — always as chimera::Error,
+ * never as a raw std:: exception.
  */
 
 #include <gtest/gtest.h>
@@ -34,6 +36,17 @@ planUnderTest(const ir::Chain &chain)
     return planChain(chain, options);
 }
 
+/** Serialized document with the "tiles:" line's value replaced. */
+std::string
+documentWithTiles(const ir::Chain &chain, const std::string &tilesValue)
+{
+    std::string text = serializePlan(chain, planUnderTest(chain));
+    const std::size_t pos = text.find("tiles:");
+    const std::size_t eol = text.find('\n', pos);
+    text.replace(pos, eol - pos, "tiles: " + tilesValue);
+    return text;
+}
+
 TEST(PlanIo, RoundTripPreservesScheduleExactly)
 {
     const ir::Chain chain = chainUnderTest();
@@ -51,10 +64,47 @@ TEST(PlanIo, DocumentIsHumanReadable)
 {
     const ir::Chain chain = chainUnderTest();
     const std::string text = serializePlan(chain, planUnderTest(chain));
-    EXPECT_NE(text.find("chimera-plan v1"), std::string::npos);
+    EXPECT_NE(text.find("chimera-plan v2"), std::string::npos);
     EXPECT_NE(text.find("order:"), std::string::npos);
     EXPECT_NE(text.find("tiles:"), std::string::npos);
     EXPECT_NE(text.find("io-test"), std::string::npos);
+}
+
+TEST(PlanIo, ReadsV1Documents)
+{
+    const ir::Chain chain = chainUnderTest();
+    const ExecutionPlan plan = planUnderTest(chain);
+    // Rebuild the plan as a seed-era v1 document (no fingerprint key,
+    // no volume/mem lines — both were always recomputed).
+    std::string v1 = "chimera-plan v1\nchain: io-test\norder: " +
+                     orderString(chain, plan.perm) + "\ntiles:";
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        v1 += " " + chain.axes()[static_cast<std::size_t>(a)].name + "=" +
+              std::to_string(plan.tiles[static_cast<std::size_t>(a)]);
+    }
+    v1 += "\n";
+    const ExecutionPlan restored = deserializePlan(chain, v1);
+    EXPECT_EQ(restored.perm, plan.perm);
+    EXPECT_EQ(restored.tiles, plan.tiles);
+    EXPECT_DOUBLE_EQ(restored.predictedVolumeBytes,
+                     plan.predictedVolumeBytes);
+}
+
+TEST(PlanIo, FingerprintRoundTripAndMismatch)
+{
+    const ir::Chain chain = chainUnderTest();
+    const ExecutionPlan plan = planUnderTest(chain);
+    const std::string text = serializePlan(chain, plan, "deadbeef01234567");
+    EXPECT_NE(text.find("fingerprint: deadbeef01234567"),
+              std::string::npos);
+    // Matching expectation parses; a different or absent fingerprint
+    // must throw so the cache replans instead of trusting the entry.
+    EXPECT_NO_THROW(deserializePlan(chain, text, "deadbeef01234567"));
+    EXPECT_THROW(deserializePlan(chain, text, "0000000000000000"), Error);
+    const std::string noFp = serializePlan(chain, plan);
+    EXPECT_THROW(deserializePlan(chain, noFp, "deadbeef01234567"), Error);
+    // Without an expectation, any embedded fingerprint is accepted.
+    EXPECT_NO_THROW(deserializePlan(chain, text));
 }
 
 TEST(PlanIo, StalePredictionsAreRecomputed)
@@ -75,27 +125,100 @@ TEST(PlanIo, RejectsWrongHeader)
 {
     const ir::Chain chain = chainUnderTest();
     EXPECT_THROW(deserializePlan(chain, "not-a-plan\norder: m"), Error);
+    EXPECT_THROW(deserializePlan(chain, "chimera-plan v3\norder: m"),
+                 Error);
+    EXPECT_THROW(deserializePlan(chain, ""), Error);
 }
 
-TEST(PlanIo, RejectsMissingFields)
+TEST(PlanIo, RejectsTruncatedDocuments)
 {
     const ir::Chain chain = chainUnderTest();
-    EXPECT_THROW(deserializePlan(chain, "chimera-plan v1\norder: "
+    // Header only, then order without tiles, then a cut-off tile token.
+    EXPECT_THROW(deserializePlan(chain, "chimera-plan v2\n"), Error);
+    EXPECT_THROW(deserializePlan(chain, "chimera-plan v2\norder: "
                                         "b,m,l,k,n\n"),
                  Error);
     EXPECT_THROW(
         deserializePlan(chain,
-                        "chimera-plan v1\ntiles: b=1 m=8 n=8 k=8 l=8\n"),
+                        "chimera-plan v2\ntiles: b=1 m=8 n=8 k=8 l=8\n"),
         Error);
+    EXPECT_THROW(deserializePlan(
+                     chain, "chimera-plan v2\norder: b,m,l,k,n\ntiles: m="),
+                 Error);
+}
+
+TEST(PlanIo, RejectsMalformedNumericsAsChimeraError)
+{
+    const ir::Chain chain = chainUnderTest();
+    // Each of these once escaped as std::invalid_argument from stoll, or
+    // was silently truncated ("m=64abc" -> 64). All must throw Error.
+    EXPECT_THROW(deserializePlan(chain, documentWithTiles(chain, "m=")),
+                 Error);
+    EXPECT_THROW(deserializePlan(chain, documentWithTiles(chain, "m=x")),
+                 Error);
+    EXPECT_THROW(
+        deserializePlan(chain, documentWithTiles(chain, "m=64abc")),
+        Error);
+    EXPECT_THROW(deserializePlan(
+                     chain, documentWithTiles(
+                                chain, "m=99999999999999999999999999")),
+                 Error);
+
+    std::string text = serializePlan(chain, planUnderTest(chain));
+    std::string bad = text;
+    bad.replace(bad.find("volume-bytes:"),
+                bad.find('\n', bad.find("volume-bytes:")) -
+                    bad.find("volume-bytes:"),
+                "volume-bytes: abc");
+    EXPECT_THROW(deserializePlan(chain, bad), Error);
+    bad = text;
+    bad.replace(bad.find("mem-bytes:"),
+                bad.find('\n', bad.find("mem-bytes:")) -
+                    bad.find("mem-bytes:"),
+                "mem-bytes: 64abc");
+    EXPECT_THROW(deserializePlan(chain, bad), Error);
+}
+
+TEST(PlanIo, MalformedNumericErrorsNameTheLine)
+{
+    const ir::Chain chain = chainUnderTest();
+    try {
+        deserializePlan(chain, documentWithTiles(chain, "m=64abc"));
+        FAIL() << "expected chimera::Error";
+    } catch (const Error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line"), std::string::npos) << what;
+        EXPECT_NE(what.find("64abc"), std::string::npos) << what;
+    }
+}
+
+TEST(PlanIo, RejectsDuplicateTileTokens)
+{
+    const ir::Chain chain = chainUnderTest();
+    EXPECT_THROW(deserializePlan(chain, documentWithTiles(
+                                            chain, "b=1 m=8 m=8 n=8 "
+                                                   "k=8 l=8")),
+                 Error);
+}
+
+TEST(PlanIo, RejectsDuplicateKeys)
+{
+    const ir::Chain chain = chainUnderTest();
+    std::string text = serializePlan(chain, planUnderTest(chain));
+    text += "mem-bytes: 1\n";
+    EXPECT_THROW(deserializePlan(chain, text), Error);
 }
 
 TEST(PlanIo, RejectsForeignAxes)
 {
     const ir::Chain chain = chainUnderTest();
     EXPECT_THROW(deserializePlan(chain,
-                                 "chimera-plan v1\norder: x,y\ntiles: "
+                                 "chimera-plan v2\norder: x,y\ntiles: "
                                  "x=1 y=1\n"),
                  Error);
+    EXPECT_THROW(
+        deserializePlan(chain, documentWithTiles(chain, "q=4")),
+        Error);
 }
 
 TEST(PlanIo, RejectsOutOfRangeTiles)
@@ -114,6 +237,14 @@ TEST(PlanIo, RejectsUnknownKeys)
     const ir::Chain chain = chainUnderTest();
     std::string text = serializePlan(chain, planUnderTest(chain));
     text += "mystery: 1\n";
+    EXPECT_THROW(deserializePlan(chain, text), Error);
+}
+
+TEST(PlanIo, RejectsKeylessLines)
+{
+    const ir::Chain chain = chainUnderTest();
+    std::string text = serializePlan(chain, planUnderTest(chain));
+    text += "no colon here\n";
     EXPECT_THROW(deserializePlan(chain, text), Error);
 }
 

@@ -194,6 +194,26 @@ TEST(ThreadCount, MalformedEnvFallsBackToHardware)
     EXPECT_EQ(defaultThreadCount(), hardwareThreadCount());
 }
 
+TEST(ThreadCount, PartiallyNumericEnvIsRejectedWhole)
+{
+    // "4abc" used to be silently truncated to 4 threads by strtol; the
+    // whole token must now be rejected, like any other malformed value.
+    ScopedThreadsEnv env("4abc");
+    EXPECT_EQ(defaultThreadCount(), hardwareThreadCount());
+}
+
+TEST(ThreadCount, NonPositiveEnvIsRejected)
+{
+    {
+        ScopedThreadsEnv env("0");
+        EXPECT_EQ(defaultThreadCount(), hardwareThreadCount());
+    }
+    {
+        ScopedThreadsEnv env("-3");
+        EXPECT_EQ(defaultThreadCount(), hardwareThreadCount());
+    }
+}
+
 TEST(ThreadCount, SharedPoolsArePersistentPerSize)
 {
     ThreadPool *a = poolForThreads(2);

@@ -15,6 +15,10 @@
  *   --threads <N>           planner threads (0 = CHIMERA_THREADS/auto)
  *   --emit-c                print the generated C kernel (GEMM chains)
  *   --emit-plan             print the serialized plan document
+ *   --cache | --no-cache    use/skip the persistent plan cache (on by
+ *                           default; a warm entry skips enumeration)
+ *   --cache-dir <dir>       cache location (default CHIMERA_PLAN_CACHE
+ *                           or ~/.cache/chimera)
  */
 
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +35,7 @@
 #include "codegen/conv_emitter.hpp"
 #include "exec/constraints.hpp"
 #include "model/data_movement.hpp"
+#include "plan/plan_cache.hpp"
 #include "plan/plan_io.hpp"
 #include "plan/planner.hpp"
 #include "support/error.hpp"
@@ -47,6 +53,8 @@ struct CliOptions
     int threads = 0;
     bool emitC = false;
     bool emitPlan = false;
+    bool useCache = true;
+    std::string cacheDir; // empty = PlanCache::defaultDirectory()
 };
 
 [[noreturn]] void
@@ -60,7 +68,7 @@ usage()
         "       chimera-plan dsl '<einsum statements>' idx=extent..."
         " [options]\n"
         "options: --softmax --relu --capacity <bytes> --threads <N>"
-        " --emit-c --emit-plan\n");
+        " --emit-c --emit-plan --cache --no-cache --cache-dir <dir>\n");
     std::exit(2);
 }
 
@@ -82,11 +90,31 @@ parseOptions(int argc, char **argv, int firstOption)
             options.emitC = true;
         } else if (arg == "--emit-plan") {
             options.emitPlan = true;
+        } else if (arg == "--cache") {
+            options.useCache = true;
+        } else if (arg == "--no-cache") {
+            options.useCache = false;
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            options.cacheDir = argv[++i];
         } else {
             usage();
         }
     }
     return options;
+}
+
+/** Instantiates the plan cache the CLI flags ask for (or none). */
+plan::PlanCache *
+makeCache(const CliOptions &options,
+          std::unique_ptr<plan::PlanCache> &holder)
+{
+    if (!options.useCache) {
+        return nullptr;
+    }
+    holder = std::make_unique<plan::PlanCache>(
+        options.cacheDir.empty() ? plan::PlanCache::defaultDirectory()
+                                 : options.cacheDir);
+    return holder.get();
 }
 
 void
@@ -106,12 +134,17 @@ printPlanReport(const ir::Chain &chain, const plan::ExecutionPlan &plan)
                     static_cast<long>(
                         plan.tiles[static_cast<std::size_t>(a)]));
     }
+    const std::string provenance =
+        plan.candidatesExamined == 0
+            ? "warm plan cache hit"
+            : std::to_string(plan.candidatesExamined) +
+                  " candidates solved";
     std::printf("\npredicted movement: %s  on-chip: %s  "
-                "(%d candidates, %.1f ms)\n",
+                "(%s, %.3f ms)\n",
                 formatBytes(plan.predictedVolumeBytes).c_str(),
                 formatBytes(static_cast<double>(plan.memUsageBytes))
                     .c_str(),
-                plan.candidatesExamined, plan.planSeconds * 1e3);
+                provenance.c_str(), plan.planSeconds * 1e3);
 
     const model::DataMovement dm =
         model::computeDataMovement(chain, plan.perm, plan.tiles);
@@ -161,6 +194,8 @@ main(int argc, char **argv)
             po.memCapacityBytes = options.capacityBytes;
             po.constraints = exec::cpuChainConstraints(chain, kernel);
             po.threads = options.threads;
+            std::unique_ptr<plan::PlanCache> cache;
+            po.cache = makeCache(options, cache);
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
             if (options.emitPlan) {
@@ -191,6 +226,8 @@ main(int argc, char **argv)
             po.memCapacityBytes = options.capacityBytes;
             po.constraints = exec::cpuChainConstraints(chain, kernel);
             po.threads = options.threads;
+            std::unique_ptr<plan::PlanCache> cache;
+            po.cache = makeCache(options, cache);
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
             if (options.emitPlan) {
@@ -225,6 +262,8 @@ main(int argc, char **argv)
             po.memCapacityBytes = options.capacityBytes;
             po.constraints = plan::alphaConstraints(chain, 16);
             po.threads = options.threads;
+            std::unique_ptr<plan::PlanCache> cache;
+            po.cache = makeCache(options, cache);
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
             if (options.emitPlan) {
