@@ -10,6 +10,7 @@
 #include "support/logging.hpp"
 #include "support/str.hpp"
 #include "support/timer.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace chimera::plan {
 
@@ -141,6 +142,26 @@ PlanCache::lookup(const ir::Chain &chain, const PlannerOptions &options)
             try {
                 ExecutionPlan plan =
                     deserializePlan(chain, *text, fingerprint);
+                // The document parsed and binds to the chain, but its
+                // schedule may still be illegal under the *current*
+                // options (e.g. a tampered entry whose footprint blows
+                // the capacity, or a non-executable order written when
+                // the filter was off). Audit before serving; predictions
+                // were just recomputed, so the recount adds nothing.
+                verify::PlanVerifyOptions vo =
+                    verify::planVerifyOptions(options);
+                vo.recount = false;
+                const verify::Report audit =
+                    verify::verifyExecutionPlan(chain, plan, vo);
+                if (audit.hasErrors()) {
+                    CHIMERA_INFO("rejecting illegal plan cache entry "
+                                 << entryPath(fingerprint) << ":\n"
+                                 << audit.render());
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.rejectedPlans;
+                    ++stats_.misses;
+                    return std::nullopt;
+                }
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.diskHits;
                 memory_[fingerprint] = plan;

@@ -25,9 +25,13 @@
  * Cache entries are never trusted: a loaded document goes through the
  * strict deserializer, is validated against the chain, must carry the
  * matching fingerprint, and has its predictions recomputed from the
- * model. Any failure counts as a miss and the chain is silently
- * replanned (the fresh plan then overwrites the bad entry). Disk I/O
- * failures degrade to memory-only operation, never to an error.
+ * model. The deserialized plan is then audited with the plan verifier
+ * (executability of the order, re-derived memory usage against the
+ * capacity) — a syntactically perfect document whose schedule is illegal
+ * under the *current* options is rejected, not served. Any failure
+ * counts as a miss and the chain is silently replanned (the fresh plan
+ * then overwrites the bad entry). Disk I/O failures degrade to
+ * memory-only operation, never to an error.
  */
 
 #include <map>
@@ -47,6 +51,7 @@ struct PlanCacheStats
     int misses = 0; ///< no (valid) entry; caller plans from scratch
     int stores = 0; ///< plans recorded after a miss
     int corruptEntries = 0; ///< unreadable/mismatched files ignored
+    int rejectedPlans = 0; ///< parsed fine but failed plan verification
 
     int hits() const { return memoryHits + diskHits; }
 };

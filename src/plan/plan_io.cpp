@@ -47,9 +47,8 @@ serializePlan(const ir::Chain &chain, const ExecutionPlan &plan,
     return out.str();
 }
 
-ExecutionPlan
-deserializePlan(const ir::Chain &chain, const std::string &text,
-                const std::string &expectedFingerprint)
+ParsedPlanDoc
+parsePlanDocument(const std::string &text)
 {
     // Manual line iteration (no istringstream): this runs on the plan
     // cache's warm lookup path, where a fresh process pays ~100us for
@@ -78,12 +77,9 @@ deserializePlan(const ir::Chain &chain, const std::string &text,
                   " (\"" +
                       line + "\")");
 
-    ExecutionPlan plan;
-    plan.tiles.assign(static_cast<std::size_t>(chain.numAxes()), 0);
-    std::string fingerprint;
+    ParsedPlanDoc doc;
+    doc.version = line.back() == '1' ? 1 : 2;
     std::set<std::string> seenKeys;
-    bool haveOrder = false;
-    bool haveTiles = false;
     int lineNumber = 1;
     while (nextLine(line)) {
         ++lineNumber;
@@ -104,14 +100,14 @@ deserializePlan(const ir::Chain &chain, const std::string &text,
             throw Error(context + ": duplicate key \"" + key + "\"");
         }
         if (key == "chain") {
-            // Informational; the caller supplies the chain to bind to.
+            doc.chainName = value;
         } else if (key == "fingerprint") {
-            fingerprint = value;
+            doc.fingerprint = value;
         } else if (key == "order") {
-            plan.perm = permFromOrderString(chain, value);
-            haveOrder = true;
+            doc.order = value;
+            doc.haveOrder = true;
         } else if (key == "tiles") {
-            std::set<ir::AxisId> seenAxes;
+            std::set<std::string> seenAxes;
             std::size_t tokenStart = 0;
             while (tokenStart < value.size()) {
                 tokenStart = value.find_first_not_of(" \t", tokenStart);
@@ -131,32 +127,50 @@ deserializePlan(const ir::Chain &chain, const std::string &text,
                     throw Error(context + ": malformed tile token \"" +
                                 token + "\"");
                 }
-                const ir::AxisId axis =
-                    ir::axisIdByName(chain, token.substr(0, eq));
-                if (!seenAxes.insert(axis).second) {
+                const std::string axisName = token.substr(0, eq);
+                if (!seenAxes.insert(axisName).second) {
                     throw Error(context + ": duplicate tile for axis \"" +
-                                token.substr(0, eq) + "\"");
+                                axisName + "\"");
                 }
-                plan.tiles[static_cast<std::size_t>(axis)] =
-                    parseInt64Strict(token.substr(eq + 1), context);
+                doc.tiles.emplace_back(
+                    axisName, parseInt64Strict(token.substr(eq + 1),
+                                               context));
             }
-            haveTiles = true;
+            doc.haveTiles = true;
         } else if (key == "volume-bytes") {
-            plan.predictedVolumeBytes = parseDoubleStrict(value, context);
+            doc.declaredVolumeBytes = parseDoubleStrict(value, context);
+            doc.haveVolume = true;
         } else if (key == "mem-bytes") {
-            plan.memUsageBytes = parseInt64Strict(value, context);
+            doc.declaredMemBytes = parseInt64Strict(value, context);
+            doc.haveMem = true;
         } else {
             throw Error(context + ": unknown plan key \"" + key + "\"");
         }
     }
-    CHIMERA_CHECK(haveOrder && haveTiles,
+    return doc;
+}
+
+ExecutionPlan
+deserializePlan(const ir::Chain &chain, const std::string &text,
+                const std::string &expectedFingerprint)
+{
+    const ParsedPlanDoc doc = parsePlanDocument(text);
+    CHIMERA_CHECK(doc.haveOrder && doc.haveTiles,
                   "plan document missing order or tiles");
     if (!expectedFingerprint.empty() &&
-        fingerprint != expectedFingerprint) {
+        doc.fingerprint != expectedFingerprint) {
         throw Error("plan fingerprint mismatch: expected " +
                     expectedFingerprint + ", document carries " +
-                    (fingerprint.empty() ? std::string("none")
-                                         : fingerprint));
+                    (doc.fingerprint.empty() ? std::string("none")
+                                             : doc.fingerprint));
+    }
+
+    ExecutionPlan plan;
+    plan.perm = permFromOrderString(chain, doc.order);
+    plan.tiles.assign(static_cast<std::size_t>(chain.numAxes()), 0);
+    for (const auto &[axisName, tile] : doc.tiles) {
+        plan.tiles[static_cast<std::size_t>(
+            ir::axisIdByName(chain, axisName))] = tile;
     }
     model::validatePermutation(chain, plan.perm);
     model::validateTiles(chain, plan.tiles);

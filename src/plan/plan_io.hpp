@@ -31,11 +31,56 @@
  * stale or tampered document cannot lie.
  */
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "plan/planner.hpp"
 
 namespace chimera::plan {
+
+/**
+ * Raw fields of a plan document after the syntax pass, before binding
+ * to a chain. parsePlanDocument fills this; deserializePlan binds it
+ * (axis lookup, permutation/tile validation, prediction recompute) and
+ * verify::verifyPlanDocument audits it without throwing so chimera-check
+ * can report every defect of an adversarial document.
+ */
+struct ParsedPlanDoc
+{
+    /** Format version from the header line (1 or 2). */
+    int version = 0;
+
+    /** Value of the "fingerprint:" line; empty when absent. */
+    std::string fingerprint;
+
+    /** Value of the "chain:" line (informational). */
+    std::string chainName;
+
+    /** Raw "order:" value, e.g. "m,l,k,n". */
+    std::string order;
+
+    /** (axis name, tile size) pairs from the "tiles:" line, in order. */
+    std::vector<std::pair<std::string, std::int64_t>> tiles;
+
+    double declaredVolumeBytes = 0.0;
+    std::int64_t declaredMemBytes = 0;
+
+    bool haveOrder = false;
+    bool haveTiles = false;
+    bool haveVolume = false;
+    bool haveMem = false;
+};
+
+/**
+ * Syntax pass: parses a v1/v2 document into its raw fields without any
+ * chain in hand. Throws chimera::Error — naming the offending line — on
+ * malformed input (bad header, keyless lines, duplicate keys or tile
+ * axes, non-numeric values); axis names and value ranges are *not*
+ * checked here, that is the binding/verification layer's job.
+ */
+ParsedPlanDoc parsePlanDocument(const std::string &text);
 
 /**
  * Serializes @p plan for @p chain into the v2 text format. A non-empty

@@ -10,6 +10,7 @@
 #include "support/mathutil.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace chimera::plan {
 
@@ -134,6 +135,25 @@ permFromOrderString(const Chain &chain, const std::string &order)
 }
 
 namespace {
+
+/**
+ * PlannerOptions::verify self-check: re-derives every claim of a freshly
+ * planned schedule and throws with the findings when any fail (a planner
+ * or solver bug, never a user error).
+ */
+void
+selfCheck(const Chain &chain, const ExecutionPlan &plan,
+          const PlannerOptions &options, bool requireExecutableOrder,
+          const char *what)
+{
+    verify::PlanVerifyOptions vo = verify::planVerifyOptions(options);
+    vo.requireExecutableOrder = requireExecutableOrder;
+    const verify::Report report =
+        verify::verifyExecutionPlan(chain, plan, vo);
+    CHIMERA_CHECK(!report.hasErrors(),
+                  std::string(what) + " self-check failed for chain " +
+                      chain.name() + ":\n" + report.render());
+}
 
 /** Builds the full permutation: reorderable prefix + pinned innermost. */
 std::vector<AxisId>
@@ -262,6 +282,10 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
                              << best.candidatesExamined << " solved, "
                              << filteredCount
                              << " filtered as non-executable)");
+    if (options.verify) {
+        selfCheck(chain, best, options, options.onlyExecutableOrders,
+                  "planner");
+    }
     return best;
 }
 
@@ -310,6 +334,12 @@ planFixedOrder(const Chain &chain, const std::vector<AxisId> &perm,
     plan.memUsageBytes = sol.memUsageBytes;
     plan.candidatesExamined = 1;
     plan.planSeconds = timer.seconds();
+    if (options.verify) {
+        // Baselines pin deliberately non-executable orders; only the
+        // model-level claims are checked here.
+        selfCheck(chain, plan, options, /*requireExecutableOrder=*/false,
+                  "fixed-order planner");
+    }
     return plan;
 }
 
@@ -339,6 +369,19 @@ planChainMultiLevel(const Chain &chain, const model::MachineModel &machine,
     result.cost = model::evaluateMultiLevel(chain, machine, result.levels,
                                             baseOptions.model);
     result.planSeconds = timer.seconds();
+    if (baseOptions.verify) {
+        // Each level already self-checked through planChain; this pass
+        // adds the cross-level nesting audit (PL11), so skip the
+        // per-level recount rerun.
+        verify::PlanVerifyOptions vo =
+            verify::planVerifyOptions(baseOptions);
+        vo.recount = false;
+        const verify::Report report = verify::verifyMultiLevelPlan(
+            chain, machine, result.levels, vo);
+        CHIMERA_CHECK(!report.hasErrors(),
+                      "multi-level planner self-check failed for chain " +
+                          chain.name() + ":\n" + report.render());
+    }
     return result;
 }
 

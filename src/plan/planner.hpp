@@ -92,6 +92,20 @@ struct PlannerOptions
      * plans from scratch every call.
      */
     PlanCache *cache = nullptr;
+
+    /**
+     * Self-check every winning plan with verify::verifyExecutionPlan
+     * before returning it (tile ranges, executability, capacity, and the
+     * brute-force Algorithm-1 recount on small shapes); a failure throws
+     * with the findings report. On by default in debug builds, off in
+     * release (the checks cost one extra model evaluation per plan plus
+     * the recount walk). Does not affect the cache key.
+     */
+#ifdef NDEBUG
+    bool verify = false;
+#else
+    bool verify = true;
+#endif
 };
 
 /**

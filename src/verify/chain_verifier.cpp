@@ -1,0 +1,375 @@
+#include "verify/chain_verifier.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace chimera::verify {
+
+using ir::AccessDim;
+using ir::AccessTerm;
+using ir::Axis;
+using ir::AxisId;
+using ir::Chain;
+using ir::OpDecl;
+using ir::TensorDecl;
+using ir::TensorKind;
+
+namespace {
+
+std::string
+opLabel(const Chain &chain, std::size_t opIdx)
+{
+    const std::string &name = chain.ops()[opIdx].name;
+    std::string label = "op ";
+    if (name.empty()) {
+        label += "#";
+        label += std::to_string(opIdx);
+    } else {
+        label += name;
+    }
+    return label;
+}
+
+std::string
+tensorLabel(const Chain &chain, int tensorId)
+{
+    const std::string &name =
+        chain.tensors()[static_cast<std::size_t>(tensorId)].name;
+    std::string label = "tensor ";
+    if (name.empty()) {
+        label += "#";
+        label += std::to_string(tensorId);
+    } else {
+        label += name;
+    }
+    return label;
+}
+
+std::string
+axisLabel(const Chain &chain, AxisId axis)
+{
+    const std::string &name =
+        chain.axes()[static_cast<std::size_t>(axis)].name;
+    std::string label = "axis ";
+    if (name.empty()) {
+        label += "#";
+        label += std::to_string(axis);
+    } else {
+        label += name;
+    }
+    return label;
+}
+
+bool
+validAxis(const Chain &chain, AxisId axis)
+{
+    return axis >= 0 && axis < chain.numAxes();
+}
+
+bool
+validTensor(const Chain &chain, int tensorId)
+{
+    return tensorId >= 0 &&
+           tensorId < static_cast<int>(chain.tensors().size());
+}
+
+/** CH02: axis declarations. */
+void
+checkAxes(const Chain &chain, Report &report)
+{
+    std::set<std::string> seenNames;
+    for (AxisId a = 0; a < chain.numAxes(); ++a) {
+        const Axis &axis = chain.axes()[static_cast<std::size_t>(a)];
+        const std::string where = "axis #" + std::to_string(a);
+        if (axis.name.empty()) {
+            report.error("CH02", where, "axis has an empty name");
+        } else if (!seenNames.insert(axis.name).second) {
+            report.error("CH02", where,
+                         "duplicate axis name \"" + axis.name +
+                             "\" (order strings would be ambiguous)");
+        }
+        if (axis.extent < 1) {
+            report.error("CH02", where,
+                         "axis extent " + std::to_string(axis.extent) +
+                             " is not positive");
+        }
+    }
+}
+
+/**
+ * CH03: every id the ops and tensors carry must resolve. Returns false
+ * when a dangling reference was found (later passes are skipped).
+ */
+bool
+checkReferences(const Chain &chain, Report &report)
+{
+    bool clean = true;
+    for (std::size_t t = 0; t < chain.tensors().size(); ++t) {
+        const TensorDecl &tensor = chain.tensors()[t];
+        for (const AccessDim &dim : tensor.dims) {
+            for (const AccessTerm &term : dim.terms) {
+                if (!validAxis(chain, term.axis)) {
+                    report.error(
+                        "CH03",
+                        tensorLabel(chain, static_cast<int>(t)),
+                        "access term references unknown axis id " +
+                            std::to_string(term.axis));
+                    clean = false;
+                }
+            }
+        }
+    }
+    for (std::size_t o = 0; o < chain.ops().size(); ++o) {
+        const OpDecl &op = chain.ops()[o];
+        for (AxisId axis : op.loops) {
+            if (!validAxis(chain, axis)) {
+                report.error("CH03", opLabel(chain, o),
+                             "loop references unknown axis id " +
+                                 std::to_string(axis));
+                clean = false;
+            }
+        }
+        for (int t : op.tensorIds) {
+            if (!validTensor(chain, t)) {
+                report.error("CH03", opLabel(chain, o),
+                             "operand references unknown tensor id " +
+                                 std::to_string(t));
+                clean = false;
+            }
+        }
+        if (!validTensor(chain, op.outputTensorId)) {
+            report.error("CH03", opLabel(chain, o),
+                         "output tensor id " +
+                             std::to_string(op.outputTensorId) +
+                             " is out of range");
+            clean = false;
+        } else if (std::find(op.tensorIds.begin(), op.tensorIds.end(),
+                             op.outputTensorId) == op.tensorIds.end()) {
+            report.error("CH03", opLabel(chain, o),
+                         "output " +
+                             tensorLabel(chain, op.outputTensorId) +
+                             " is not among the operator's operands");
+            clean = false;
+        }
+        for (const AccessDim &dim : op.iterDims) {
+            for (const AccessTerm &term : dim.terms) {
+                if (!validAxis(chain, term.axis)) {
+                    report.error(
+                        "CH03", opLabel(chain, o),
+                        "iteration dim references unknown axis id " +
+                            std::to_string(term.axis));
+                    clean = false;
+                }
+            }
+        }
+    }
+    return clean;
+}
+
+/** CH04: access maps. */
+void
+checkAccessMaps(const Chain &chain, Report &report)
+{
+    for (std::size_t t = 0; t < chain.tensors().size(); ++t) {
+        const TensorDecl &tensor = chain.tensors()[t];
+        const std::string where = tensorLabel(chain, static_cast<int>(t));
+        if (tensor.dims.empty()) {
+            report.error("CH04", where, "tensor has no dimensions");
+        }
+        if (tensor.elementSize < 1) {
+            report.error("CH04", where,
+                         "element size " +
+                             std::to_string(tensor.elementSize) +
+                             " is not positive");
+        }
+        for (const AccessDim &dim : tensor.dims) {
+            for (const AccessTerm &term : dim.terms) {
+                if (term.coeff < 1) {
+                    report.error(
+                        "CH04", where,
+                        "access coefficient " +
+                            std::to_string(term.coeff) + " on " +
+                            axisLabel(chain, term.axis) +
+                            " is not positive (footprints would shrink"
+                            " below one element)");
+                }
+            }
+        }
+    }
+}
+
+/**
+ * CH05: producer/consumer shape compatibility. Every axis a tensor is
+ * indexed by must be a loop of every operator touching it — otherwise
+ * the producer's written region and a consumer's read region disagree
+ * (the operator could not even iterate that dimension). The footprint
+ * and data-movement analyses silently mis-model such chains, which is
+ * exactly why this is a verifier rule.
+ */
+void
+checkShapeCompatibility(const Chain &chain, Report &report)
+{
+    for (std::size_t o = 0; o < chain.ops().size(); ++o) {
+        const OpDecl &op = chain.ops()[o];
+        for (int t : op.tensorIds) {
+            const TensorDecl &tensor =
+                chain.tensors()[static_cast<std::size_t>(t)];
+            for (AxisId a = 0; a < chain.numAxes(); ++a) {
+                if (tensor.usesAxis(a) && !op.usesLoop(a)) {
+                    report.error(
+                        "CH05",
+                        opLabel(chain, o) + " / " + tensorLabel(chain, t),
+                        "tensor is indexed by " + axisLabel(chain, a) +
+                            " which is not a loop of this operator"
+                            " (producer/consumer shapes disagree)");
+                }
+            }
+        }
+    }
+}
+
+/** CH06: dataflow order and tensor roles. */
+void
+checkDataflow(const Chain &chain, Report &report)
+{
+    std::vector<int> producedAt(chain.tensors().size(), -1);
+    for (std::size_t o = 0; o < chain.ops().size(); ++o) {
+        const OpDecl &op = chain.ops()[o];
+        const auto out = static_cast<std::size_t>(op.outputTensorId);
+        if (producedAt[out] >= 0) {
+            report.error("CH06", opLabel(chain, o),
+                         tensorLabel(chain, op.outputTensorId) +
+                             " is produced twice (first by " +
+                             opLabel(chain,
+                                     static_cast<std::size_t>(
+                                         producedAt[out])) +
+                             ")");
+        } else {
+            producedAt[out] = static_cast<int>(o);
+        }
+        if (chain.tensors()[out].kind == TensorKind::Input) {
+            report.error("CH06", opLabel(chain, o),
+                         "operator writes " +
+                             tensorLabel(chain, op.outputTensorId) +
+                             " which is declared as a chain input");
+        }
+        for (int t : op.tensorIds) {
+            if (t == op.outputTensorId) {
+                continue;
+            }
+            const TensorDecl &tensor =
+                chain.tensors()[static_cast<std::size_t>(t)];
+            if (tensor.kind == TensorKind::Intermediate &&
+                (producedAt[static_cast<std::size_t>(t)] < 0 ||
+                 producedAt[static_cast<std::size_t>(t)] ==
+                     static_cast<int>(o))) {
+                report.error("CH06", opLabel(chain, o),
+                             "intermediate " + tensorLabel(chain, t) +
+                                 " is consumed before any earlier"
+                                 " operator produced it");
+            }
+        }
+    }
+    if (!chain.ops().empty()) {
+        const OpDecl &last = chain.ops().back();
+        if (validTensor(chain, last.outputTensorId) &&
+            chain.tensors()[static_cast<std::size_t>(last.outputTensorId)]
+                    .kind != TensorKind::Output) {
+            report.error("CH06", opLabel(chain, chain.ops().size() - 1),
+                         "last operator must produce the chain output"
+                         " tensor, but " +
+                             tensorLabel(chain, last.outputTensorId) +
+                             " is not declared Output");
+        }
+    }
+    for (std::size_t t = 0; t < chain.tensors().size(); ++t) {
+        const TensorDecl &tensor = chain.tensors()[t];
+        if (tensor.kind == TensorKind::Intermediate &&
+            producedAt[t] < 0) {
+            report.error("CH06", tensorLabel(chain, static_cast<int>(t)),
+                         "intermediate tensor is never produced");
+        }
+        const bool touched = std::any_of(
+            chain.ops().begin(), chain.ops().end(),
+            [&t](const OpDecl &op) {
+                return std::find(op.tensorIds.begin(), op.tensorIds.end(),
+                                 static_cast<int>(t)) !=
+                       op.tensorIds.end();
+            });
+        if (!touched) {
+            report.warning("CH06",
+                           tensorLabel(chain, static_cast<int>(t)),
+                           "tensor is not touched by any operator");
+        }
+    }
+}
+
+/**
+ * CH07: the independent-axis set the planner permutes must be derivable
+ * from the chain: every axis has to appear in some operator's loop nest
+ * and in some tensor's access map (an axis indexing nothing cannot be
+ * recovered from the operators, so an enumerated order over it is
+ * meaningless). The reorderable subset must also stay enumerable.
+ */
+void
+checkAxisDerivability(const Chain &chain, Report &report)
+{
+    for (AxisId a = 0; a < chain.numAxes(); ++a) {
+        const bool inLoops = std::any_of(
+            chain.ops().begin(), chain.ops().end(),
+            [a](const OpDecl &op) { return op.usesLoop(a); });
+        const bool inAccess = std::any_of(
+            chain.tensors().begin(), chain.tensors().end(),
+            [a](const TensorDecl &tensor) { return tensor.usesAxis(a); });
+        if (!inLoops) {
+            report.error("CH07", axisLabel(chain, a),
+                         "axis is not a loop of any operator; the"
+                         " independent-axis set is not derivable from"
+                         " the chain");
+        } else if (!inAccess) {
+            report.error("CH07", axisLabel(chain, a),
+                         "axis indexes no tensor; blocking it cannot"
+                         " change any footprint or data movement");
+        }
+    }
+    const std::size_t reorderable = chain.reorderableAxes().size();
+    if (reorderable > 8) {
+        report.error("CH07", "chain " + chain.name(),
+                     std::to_string(reorderable) +
+                         " reorderable axes exceed the planner's"
+                         " enumeration cap of 8");
+    }
+}
+
+} // namespace
+
+Report
+verifyChain(const Chain &chain)
+{
+    Report report;
+    if (chain.ops().empty()) {
+        report.error("CH01", "chain " + chain.name(),
+                     "chain has no operators");
+    }
+    if (chain.tensors().empty()) {
+        report.error("CH01", "chain " + chain.name(),
+                     "chain has no tensors");
+    }
+    checkAxes(chain, report);
+    if (chain.ops().empty() || chain.tensors().empty()) {
+        return report;
+    }
+    if (!checkReferences(chain, report)) {
+        // Dangling ids: the deeper passes cannot index safely.
+        return report;
+    }
+    checkAccessMaps(chain, report);
+    checkShapeCompatibility(chain, report);
+    checkDataflow(chain, report);
+    checkAxisDerivability(chain, report);
+    return report;
+}
+
+} // namespace chimera::verify

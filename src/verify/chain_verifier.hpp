@@ -1,0 +1,44 @@
+#pragma once
+
+/**
+ * @file
+ * Chain IR well-formedness analysis.
+ *
+ * Chain::validate() throws on the first structural defect; this pass
+ * instead audits the whole IR and reports every problem as a structured
+ * finding, including legality conditions validate() does not cover:
+ * producer/consumer shape compatibility (an operator must loop over
+ * every axis its tensors are indexed by), dataflow order (intermediates
+ * produced before consumed), and derivability of the independent-axis
+ * set the planner enumerates block orders over.
+ *
+ * Rules:
+ *  - CH01  chain structure: no operators / no tensors
+ *  - CH02  axis declaration: empty or duplicate name, extent < 1
+ *  - CH03  dangling reference: op -> axis, op -> tensor, output tensor
+ *          id, access-term axis out of range
+ *  - CH04  access map: tensor without dimensions, coefficient < 1
+ *  - CH05  shape compatibility: a tensor accessed by an operator is
+ *          indexed by an axis outside that operator's loop nest
+ *          (producer and consumer disagree about the tensor's shape)
+ *  - CH06  dataflow: intermediate consumed before produced or never
+ *          produced, input tensors written, last operator's output not
+ *          the chain output, tensors no operator touches (warning)
+ *  - CH07  independent-axis derivability: an axis no operator loops
+ *          over, an axis no tensor access can derive, or a reorderable
+ *          set too large to enumerate (> 8, the planner's hard cap)
+ *
+ * Reference-validity (CH03) gates the later passes: a chain with
+ * dangling ids is only reported at that level, since the deeper checks
+ * could not index safely.
+ */
+
+#include "ir/chain.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace chimera::verify {
+
+/** Audits @p chain and returns every CH* finding. Never throws. */
+Report verifyChain(const ir::Chain &chain);
+
+} // namespace chimera::verify

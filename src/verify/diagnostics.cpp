@@ -1,0 +1,104 @@
+#include "verify/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace chimera::verify {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+    case Severity::Note:
+        return "note";
+    case Severity::Warning:
+        return "warning";
+    case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+void
+Report::add(Finding finding)
+{
+    findings_.push_back(std::move(finding));
+}
+
+void
+Report::error(std::string ruleId, std::string location, std::string message)
+{
+    add(Finding{std::move(ruleId), Severity::Error, std::move(location),
+                std::move(message)});
+}
+
+void
+Report::warning(std::string ruleId, std::string location,
+                std::string message)
+{
+    add(Finding{std::move(ruleId), Severity::Warning, std::move(location),
+                std::move(message)});
+}
+
+void
+Report::note(std::string ruleId, std::string location, std::string message)
+{
+    add(Finding{std::move(ruleId), Severity::Note, std::move(location),
+                std::move(message)});
+}
+
+void
+Report::merge(const Report &other)
+{
+    findings_.insert(findings_.end(), other.findings_.begin(),
+                     other.findings_.end());
+}
+
+int
+Report::errorCount() const
+{
+    return static_cast<int>(
+        std::count_if(findings_.begin(), findings_.end(),
+                      [](const Finding &f) {
+                          return f.severity == Severity::Error;
+                      }));
+}
+
+int
+Report::warningCount() const
+{
+    return static_cast<int>(
+        std::count_if(findings_.begin(), findings_.end(),
+                      [](const Finding &f) {
+                          return f.severity == Severity::Warning;
+                      }));
+}
+
+bool
+Report::hasRule(const std::string &ruleId) const
+{
+    return std::any_of(findings_.begin(), findings_.end(),
+                       [&ruleId](const Finding &f) {
+                           return f.ruleId == ruleId;
+                       });
+}
+
+std::string
+Report::render() const
+{
+    std::string out;
+    for (const Finding &finding : findings_) {
+        if (!out.empty()) {
+            out += "\n";
+        }
+        out += severityName(finding.severity);
+        out += ": [";
+        out += finding.ruleId;
+        out += "] ";
+        out += finding.location;
+        out += ": ";
+        out += finding.message;
+    }
+    return out;
+}
+
+} // namespace chimera::verify

@@ -108,7 +108,7 @@ TEST(GemmChainExecOrders, AllExecutableOrdersProduceSameResult)
     fillUniform(d, rng);
     referenceGemmChain(cfg, a, b, d, expected);
 
-    for (const std::string &order :
+    for (const char *order :
          {"m,l,k,n", "m,l,n,k", "l,m,k,n", "l,m,n,k"}) {
         const plan::ExecutionPlan plan = manualPlan(
             chain, order, {{"m", 16}, {"l", 8}, {"k", 8}, {"n", 8}});
@@ -348,7 +348,7 @@ TEST(ConvChainManualOrders, SpatialTilingHandlesHalos)
     fillUniform(w2, rng);
     referenceConvChain(cfg, input, w1, w2, expected);
 
-    for (const std::string &order :
+    for (const char *order :
          {"b,oc1,oh,ow,oc2,ic", "oh,ow,b,oc1,ic,oc2",
           "b,oh,ow,oc1,oc2,ic"}) {
         const plan::ExecutionPlan plan =

@@ -97,7 +97,7 @@ TEST(Symbolic, ConsistentWithAlgorithmOneOnDivisibleTiles)
     const auto dm = computeDataMovement(chain, perm, tiles);
 
     // Hand-evaluate the expected symbolic values (elements).
-    const double M = 64, N = 32, K = 16, L = 48;
+    const double M = 64, K = 16, L = 48;
     const double cm = M / 16, cl = L / 12;
     struct Case
     {

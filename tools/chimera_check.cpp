@@ -1,0 +1,300 @@
+/**
+ * @file
+ * chimera-check: static legality verifier for chains and plan documents.
+ *
+ * Describes a chain the same way chimera-plan does, audits the chain IR
+ * (rules CH01-CH07), then audits either a plan document supplied with
+ * --plan or the planner's own winning schedule (rules PL01-PL11), and
+ * optionally the micro-kernel register tile (KP01-KP03). Prints every
+ * finding as "severity: [rule] location: message" and exits non-zero
+ * when any error-severity finding was reported.
+ *
+ * Usage:
+ *   chimera-check gemm <batch> <M> <N> <K> <L> [options]
+ *   chimera-check conv <batch> <IC> <H> <W> <OC1> <OC2> <k1> <k2> \
+ *                      <stride1> <stride2> [options]
+ *   chimera-check dsl '<einsum statements>' idx=extent... [options]
+ * Options:
+ *   --plan <file>        verify the plan document instead of planning
+ *   --fingerprint <hex>  expected fingerprint for --plan (rule PL10)
+ *   --capacity <bytes>   on-chip budget for PL07 (default 786432)
+ *   --softmax | --relu   fuse that epilogue on the intermediate
+ *   --registers <N>      also audit the selected micro-kernel params
+ *   --no-recount         skip the brute-force Algorithm-1 recount (PL09)
+ *   --threads <N>        planner threads when planning fresh
+ *
+ * Exit status: 0 clean (warnings allowed), 1 errors found, 2 bad usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "exec/constraints.hpp"
+#include "ir/builders.hpp"
+#include "ir/dsl.hpp"
+#include "kernels/kernel_params.hpp"
+#include "plan/plan_io.hpp"
+#include "plan/planner.hpp"
+#include "support/error.hpp"
+#include "verify/chain_verifier.hpp"
+#include "verify/plan_verifier.hpp"
+
+namespace {
+
+using namespace chimera;
+
+struct CliOptions
+{
+    double capacityBytes = 768.0 * 1024;
+    ir::Epilogue epilogue = ir::Epilogue::None;
+    std::string planFile;
+    std::string fingerprint;
+    int registers = 0; // 0 = skip the kernel-params audit
+    bool recount = true;
+    int threads = 0;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: chimera-check gemm <batch> <M> <N> <K> <L> [options]\n"
+        "       chimera-check conv <batch> <IC> <H> <W> <OC1> <OC2>"
+        " <k1> <k2> <st1> <st2> [options]\n"
+        "       chimera-check dsl '<einsum statements>' idx=extent..."
+        " [options]\n"
+        "options: --plan <file> --fingerprint <hex> --capacity <bytes>"
+        " --softmax --relu --registers <N> --no-recount --threads <N>\n");
+    std::exit(2);
+}
+
+CliOptions
+parseOptions(int argc, char **argv, int firstOption)
+{
+    CliOptions options;
+    for (int i = firstOption; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--plan" && i + 1 < argc) {
+            options.planFile = argv[++i];
+        } else if (arg == "--fingerprint" && i + 1 < argc) {
+            options.fingerprint = argv[++i];
+        } else if (arg == "--capacity" && i + 1 < argc) {
+            options.capacityBytes = std::atof(argv[++i]);
+        } else if (arg == "--softmax") {
+            options.epilogue = ir::Epilogue::Softmax;
+        } else if (arg == "--relu") {
+            options.epilogue = ir::Epilogue::Relu;
+        } else if (arg == "--registers" && i + 1 < argc) {
+            options.registers = std::atoi(argv[++i]);
+        } else if (arg == "--no-recount") {
+            options.recount = false;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            options.threads = std::atoi(argv[++i]);
+        } else {
+            usage();
+        }
+    }
+    return options;
+}
+
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        return std::nullopt;
+    }
+    std::string contents;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+        contents.append(buffer, n);
+    }
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!ok) {
+        return std::nullopt;
+    }
+    return contents;
+}
+
+verify::PlanVerifyOptions
+verifyOptions(const CliOptions &options)
+{
+    verify::PlanVerifyOptions vo;
+    vo.memCapacityBytes = options.capacityBytes;
+    vo.recount = options.recount;
+    return vo;
+}
+
+/** Audits the --plan document (or PL01 when it does not even parse). */
+verify::Report
+checkPlanFile(const ir::Chain &chain, const CliOptions &options)
+{
+    verify::Report report;
+    const std::optional<std::string> text = readFile(options.planFile);
+    if (!text) {
+        report.error("PL01", options.planFile, "cannot read plan file");
+        return report;
+    }
+    try {
+        const plan::ParsedPlanDoc doc = plan::parsePlanDocument(*text);
+        report.merge(verify::verifyPlanDocument(
+            chain, doc, options.fingerprint, verifyOptions(options)));
+    } catch (const Error &e) {
+        report.error("PL01", options.planFile, e.what());
+    }
+    return report;
+}
+
+/** Plans the chain fresh and audits the winner. */
+verify::Report
+checkFreshPlan(const ir::Chain &chain,
+               const solver::TileConstraints &constraints,
+               const CliOptions &options)
+{
+    verify::Report report;
+    plan::PlannerOptions po;
+    po.memCapacityBytes = options.capacityBytes;
+    po.constraints = constraints;
+    po.threads = options.threads;
+    po.verify = false; // we are the verifier; report, don't throw
+    try {
+        const plan::ExecutionPlan plan = plan::planChain(chain, po);
+        std::printf("plan:  order %s, %d candidates solved\n",
+                    plan::orderString(chain, plan.perm).c_str(),
+                    plan.candidatesExamined);
+        report.merge(verify::verifyExecutionPlan(chain, plan,
+                                                 verifyOptions(options)));
+    } catch (const Error &e) {
+        report.error("PL05", "planner",
+                     std::string("planning failed: ") + e.what());
+    }
+    return report;
+}
+
+int
+run(const ir::Chain &chain, const solver::TileConstraints &constraints,
+    const CliOptions &options)
+{
+    std::printf("chain: %s (%d axes, %zu ops, %zu tensors)\n",
+                chain.name().c_str(), chain.numAxes(), chain.ops().size(),
+                chain.tensors().size());
+
+    verify::Report report = verify::verifyChain(chain);
+    const bool chainBroken = report.hasErrors();
+    if (chainBroken) {
+        std::printf("chain IR is ill-formed; skipping plan checks\n");
+    } else if (!options.planFile.empty()) {
+        report.merge(checkPlanFile(chain, options));
+    } else {
+        report.merge(checkFreshPlan(chain, constraints, options));
+    }
+
+    if (options.registers > 0) {
+        report.merge(verify::verifyKernelParams(
+            kernels::selectCpuKernelParams(options.registers),
+            options.registers));
+    }
+
+    const std::string rendered = report.render();
+    if (!rendered.empty()) {
+        std::printf("%s\n", rendered.c_str());
+    }
+    if (report.hasErrors()) {
+        std::printf("chimera-check: %d error(s), %d warning(s)\n",
+                    report.errorCount(), report.warningCount());
+        return 1;
+    }
+    if (report.warningCount() > 0) {
+        std::printf("chimera-check: clean (%d warning(s))\n",
+                    report.warningCount());
+    } else {
+        std::printf("chimera-check: clean\n");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+    }
+    const std::string mode = argv[1];
+    const auto &kernel =
+        kernels::MicroKernelRegistry::instance().select(detectSimdTier());
+
+    try {
+        if (mode == "gemm" && argc >= 7) {
+            const CliOptions options = parseOptions(argc, argv, 7);
+            ir::GemmChainConfig cfg;
+            cfg.name = "check-gemm-chain";
+            cfg.batch = std::atoll(argv[2]);
+            cfg.m = std::atoll(argv[3]);
+            cfg.n = std::atoll(argv[4]);
+            cfg.k = std::atoll(argv[5]);
+            cfg.l = std::atoll(argv[6]);
+            cfg.epilogue = options.epilogue;
+            if (cfg.epilogue == ir::Epilogue::Softmax) {
+                cfg.softmaxScale =
+                    1.0f / std::sqrt(static_cast<float>(cfg.k));
+            }
+            const ir::Chain chain = ir::makeGemmChain(cfg);
+            return run(chain, exec::cpuChainConstraints(chain, kernel),
+                       options);
+        }
+        if (mode == "conv" && argc >= 12) {
+            const CliOptions options = parseOptions(argc, argv, 12);
+            ir::ConvChainConfig cfg;
+            cfg.name = "check-conv-chain";
+            cfg.batch = std::atoll(argv[2]);
+            cfg.ic = std::atoll(argv[3]);
+            cfg.h = std::atoll(argv[4]);
+            cfg.w = std::atoll(argv[5]);
+            cfg.oc1 = std::atoll(argv[6]);
+            cfg.oc2 = std::atoll(argv[7]);
+            cfg.k1 = std::atoi(argv[8]);
+            cfg.k2 = std::atoi(argv[9]);
+            cfg.stride1 = std::atoi(argv[10]);
+            cfg.stride2 = std::atoi(argv[11]);
+            cfg.epilogue = options.epilogue;
+            const ir::Chain chain = ir::makeConvChain(cfg);
+            return run(chain, exec::cpuChainConstraints(chain, kernel),
+                       options);
+        }
+        if (mode == "dsl" && argc >= 3) {
+            std::map<std::string, std::int64_t> extents;
+            int firstOption = argc;
+            for (int i = 3; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (arg.rfind("--", 0) == 0) {
+                    firstOption = i;
+                    break;
+                }
+                const std::size_t eq = arg.find('=');
+                if (eq == std::string::npos) {
+                    usage();
+                }
+                extents[arg.substr(0, eq)] =
+                    std::atoll(arg.c_str() + eq + 1);
+            }
+            const CliOptions options =
+                parseOptions(argc, argv, firstOption);
+            const ir::Chain chain =
+                ir::parseEinsumChain(argv[2], extents, "check-dsl-chain");
+            return run(chain, plan::alphaConstraints(chain, 16), options);
+        }
+        usage();
+    } catch (const chimera::Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

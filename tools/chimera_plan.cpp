@@ -19,6 +19,9 @@
  *                           default; a warm entry skips enumeration)
  *   --cache-dir <dir>       cache location (default CHIMERA_PLAN_CACHE
  *                           or ~/.cache/chimera)
+ *   --verify                audit the winning plan with the legality
+ *                           verifier (see chimera-check); exit 1 on
+ *                           any error finding
  */
 
 #include <cstdio>
@@ -41,6 +44,7 @@
 #include "support/error.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace {
 
@@ -54,6 +58,7 @@ struct CliOptions
     bool emitC = false;
     bool emitPlan = false;
     bool useCache = true;
+    bool verify = false;
     std::string cacheDir; // empty = PlanCache::defaultDirectory()
 };
 
@@ -68,7 +73,8 @@ usage()
         "       chimera-plan dsl '<einsum statements>' idx=extent..."
         " [options]\n"
         "options: --softmax --relu --capacity <bytes> --threads <N>"
-        " --emit-c --emit-plan --cache --no-cache --cache-dir <dir>\n");
+        " --emit-c --emit-plan --cache --no-cache --cache-dir <dir>"
+        " --verify\n");
     std::exit(2);
 }
 
@@ -96,6 +102,8 @@ parseOptions(int argc, char **argv, int firstOption)
             options.useCache = false;
         } else if (arg == "--cache-dir" && i + 1 < argc) {
             options.cacheDir = argv[++i];
+        } else if (arg == "--verify") {
+            options.verify = true;
         } else {
             usage();
         }
@@ -162,6 +170,27 @@ printPlanReport(const ir::Chain &chain, const plan::ExecutionPlan &plan)
     std::printf("%s", table.render().c_str());
 }
 
+/** --verify: audits the winner; returns the process exit code. */
+int
+auditPlan(const ir::Chain &chain, const plan::ExecutionPlan &plan,
+          double capacityBytes)
+{
+    verify::PlanVerifyOptions vo;
+    vo.memCapacityBytes = capacityBytes;
+    const verify::Report report =
+        verify::verifyExecutionPlan(chain, plan, vo);
+    const std::string rendered = report.render();
+    if (!rendered.empty()) {
+        std::printf("%s\n", rendered.c_str());
+    }
+    if (report.hasErrors()) {
+        std::printf("verify: %d error(s)\n", report.errorCount());
+        return 1;
+    }
+    std::printf("verify: clean\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -174,6 +203,7 @@ main(int argc, char **argv)
     const auto &kernel =
         kernels::MicroKernelRegistry::instance().select(detectSimdTier());
 
+    int rc = 0;
     try {
         if (mode == "gemm" && argc >= 7) {
             const CliOptions options = parseOptions(argc, argv, 7);
@@ -198,6 +228,9 @@ main(int argc, char **argv)
             po.cache = makeCache(options, cache);
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
+            if (options.verify) {
+                rc = auditPlan(chain, plan, options.capacityBytes);
+            }
             if (options.emitPlan) {
                 std::printf("\n%s",
                             plan::serializePlan(chain, plan).c_str());
@@ -230,6 +263,9 @@ main(int argc, char **argv)
             po.cache = makeCache(options, cache);
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
+            if (options.verify) {
+                rc = auditPlan(chain, plan, options.capacityBytes);
+            }
             if (options.emitPlan) {
                 std::printf("\n%s",
                             plan::serializePlan(chain, plan).c_str());
@@ -266,6 +302,9 @@ main(int argc, char **argv)
             po.cache = makeCache(options, cache);
             const plan::ExecutionPlan plan = plan::planChain(chain, po);
             printPlanReport(chain, plan);
+            if (options.verify) {
+                rc = auditPlan(chain, plan, options.capacityBytes);
+            }
             if (options.emitPlan) {
                 std::printf("\n%s",
                             plan::serializePlan(chain, plan).c_str());
@@ -277,5 +316,5 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    return 0;
+    return rc;
 }
