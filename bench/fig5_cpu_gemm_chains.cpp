@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "analysis/dependence.hpp"
 #include "bench_common.hpp"
 #include "support/mathutil.hpp"
 #include "support/thread_pool.hpp"
@@ -108,6 +109,33 @@ runFamily(ir::Epilogue epilogue, const char *title, int threads)
                 workers, geometricMean(scalings));
 }
 
+/**
+ * Planner-cost split over the Table IV workloads: time of the
+ * dependence analysis (which the planner runs once per finished plan to
+ * attach the axis-concurrency table) against the full planning cost.
+ * The line is machine-parseable; scripts/bench_scaling.sh lifts it into
+ * BENCH_scaling.json.
+ */
+void
+reportAnalysisOverhead()
+{
+    double planMs = 0.0;
+    double analysisMs = 0.0;
+    for (const auto &load : ir::tableIvWorkloads()) {
+        const ir::Chain chain = ir::makeGemmChain(load.config);
+        const WallTimer planTimer;
+        const plan::ExecutionPlan plan = planCpu(chain);
+        planMs += planTimer.milliseconds();
+        const WallTimer analysisTimer;
+        (void)analysis::analyzeConcurrency(chain, plan.tiles);
+        analysisMs += analysisTimer.milliseconds();
+    }
+    std::printf("analysis overhead: dependence analysis %.3f ms vs"
+                " planning %.3f ms (%.2f%% of planning)\n\n",
+                analysisMs, planMs,
+                planMs > 0.0 ? 100.0 * analysisMs / planMs : 0.0);
+}
+
 } // namespace
 } // namespace chimera::bench
 
@@ -127,5 +155,6 @@ main(int argc, char **argv)
                      "Figure 5a: BGEMM + BGEMM", threads);
     bench::runFamily(ir::Epilogue::Softmax,
                      "Figure 5b: BGEMM + softmax + BGEMM", threads);
+    bench::reportAnalysisOverhead();
     return 0;
 }

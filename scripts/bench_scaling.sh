@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Thread-scaling sweep: runs the GEMM-chain bench (fig5) at 1/2/4/8
 # worker threads and prints the per-count geomean lines as a speedup
-# table. Output is also captured to scaling_output.txt.
+# table. Output is also captured to scaling_output.txt, and the table —
+# plus the bench's dependence-analysis overhead line — is emitted as
+# machine-readable BENCH_scaling.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +16,7 @@ fi
 : > scaling_output.txt
 declare -a counts=(1 2 4 8)
 declare -a geomeans=()
+overhead_pct="null"
 for t in "${counts[@]}"; do
     echo "##### --threads $t" | tee -a scaling_output.txt
     out="$("$BENCH" --threads "$t")"
@@ -24,6 +27,11 @@ for t in "${counts[@]}"; do
         awk '{ s += $1; n += 1 } END { if (n) printf "%.2f", s / n }')"
     geomeans+=("${gm:-n/a}")
     echo "  geomean serial->${t}T scaling: ${gm:-n/a}x"
+    # The analysis-overhead split is thread-independent; keep the last.
+    pct="$(echo "$out" |
+        sed -n 's/.*analysis overhead.*(\([0-9.]*\)% of planning).*/\1/p' |
+        tail -1)"
+    [ -n "$pct" ] && overhead_pct="$pct"
 done
 
 echo
@@ -33,3 +41,21 @@ for i in "${!counts[@]}"; do
     printf '%10s %10s\n' "${counts[$i]}" "${geomeans[$i]}x"
 done
 echo "(full bench tables captured in scaling_output.txt)"
+
+{
+    echo '{'
+    echo '  "bench": "fig5_cpu_gemm_chains",'
+    echo '  "metric": "geomean serial->NT speedup over Table IV",'
+    echo '  "scaling": ['
+    for i in "${!counts[@]}"; do
+        sep=','
+        [ "$i" -eq $((${#counts[@]} - 1)) ] && sep=''
+        gm="${geomeans[$i]}"
+        [ "$gm" = "n/a" ] && gm="null"
+        echo "    {\"threads\": ${counts[$i]}, \"speedup\": ${gm}}${sep}"
+    done
+    echo '  ],'
+    echo "  \"analysis_overhead_pct_of_planning\": ${overhead_pct}"
+    echo '}'
+} > BENCH_scaling.json
+echo "wrote BENCH_scaling.json"

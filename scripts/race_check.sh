@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Dynamic race sweep: runs chimera-check --race (shadow-memory write
+# tracking, see src/analysis/race_checker.hpp) over example-sized chain
+# shapes — which must come back clean — and over the seeded-race
+# fixtures, which mis-declare a reduction axis as parallel and must be
+# flagged with RC01.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=build/tools/chimera-check
+if [ ! -x "$CHECK" ]; then
+    echo "error: $CHECK not built (run: cmake -B build && cmake --build build)" >&2
+    exit 1
+fi
+
+echo "== planner schedules must race-check clean =="
+"$CHECK" gemm 1 64 64 64 64 --race
+"$CHECK" gemm 1 64 64 64 64 --softmax --race
+"$CHECK" gemm 4 128 64 64 128 --softmax --race # attention-shaped
+"$CHECK" conv 1 16 16 16 16 16 3 3 1 1 --race
+"$CHECK" conv 1 8 28 28 16 32 3 1 2 1 --race # squeezenet-stem-shaped
+
+echo "== seeded-race fixtures must be flagged =="
+expect_race() {
+    local out
+    if out="$("$@" 2>&1)"; then
+        echo "error: expected '$*' to exit non-zero" >&2
+        exit 1
+    fi
+    if ! grep -q "\[RC01\]" <<<"$out"; then
+        echo "error: '$*' failed without an RC01 finding:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "flagged as expected: $*"
+}
+expect_race "$CHECK" gemm 1 64 64 64 64 --race \
+    --plan tests/fixtures/race_parallel_l.plan
+expect_race "$CHECK" conv 1 16 16 16 16 16 3 3 1 1 --race \
+    --plan tests/fixtures/race_parallel_oc1.plan
+
+echo "race check sweep: OK"

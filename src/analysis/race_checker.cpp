@@ -1,0 +1,85 @@
+#include "analysis/race_checker.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace chimera::analysis {
+
+RaceChecker::RaceChecker(std::int64_t numElements)
+    : numElements_(numElements)
+{
+    CHIMERA_CHECK(numElements > 0,
+                  "race checker needs a positive element count");
+    owner_ = std::make_unique<std::atomic<std::int64_t>[]>(
+        static_cast<std::size_t>(numElements));
+    for (std::int64_t i = 0; i < numElements_; ++i) {
+        owner_[static_cast<std::size_t>(i)].store(
+            0, std::memory_order_relaxed);
+    }
+}
+
+void
+RaceChecker::beginPhase(std::string label)
+{
+    for (std::int64_t i = 0; i < numElements_; ++i) {
+        owner_[static_cast<std::size_t>(i)].store(
+            0, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_ = std::move(label);
+}
+
+void
+RaceChecker::claimRange(std::int64_t task, std::int64_t begin,
+                        std::int64_t end)
+{
+    CHIMERA_CHECK(begin >= 0 && end <= numElements_ && begin <= end,
+                  "race checker claim outside the shadowed output");
+    const std::int64_t tag = task + 1;
+    for (std::int64_t i = begin; i < end; ++i) {
+        std::int64_t expected = 0;
+        auto &owner = owner_[static_cast<std::size_t>(i)];
+        if (owner.compare_exchange_strong(expected, tag,
+                                          std::memory_order_relaxed) ||
+            expected == tag) {
+            continue;
+        }
+        conflictCount_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (recorded_.size() < kMaxRecorded) {
+            recorded_.push_back(
+                RaceConflict{phase_, i, expected - 1, task});
+        }
+    }
+}
+
+std::vector<RaceConflict>
+RaceChecker::conflicts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+std::string
+RaceChecker::report() const
+{
+    const std::int64_t total = conflictCount();
+    if (total == 0) {
+        return "";
+    }
+    std::ostringstream out;
+    out << total << " element(s) written by conflicting parallel tasks";
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const RaceConflict &c : recorded_) {
+        out << "\n  phase " << c.phase << ": element " << c.element
+            << " claimed by task " << c.firstTask << " and task "
+            << c.secondTask;
+    }
+    if (static_cast<std::size_t>(total) > recorded_.size()) {
+        out << "\n  (first " << recorded_.size() << " shown)";
+    }
+    return out.str();
+}
+
+} // namespace chimera::analysis

@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * Block-level dynamic race checker: shadow memory over one output
+ * tensor that tags every element with the parallel task (block) that
+ * first claimed it and reports conflicting claimants.
+ *
+ * The executors claim the element ranges each parallel task writes
+ * (ExecOptions::raceCheck); two claims of the same element by distinct
+ * tasks within one parallel phase are a conflict — a plan whose
+ * declared-parallel axes carry a dependence. Detection is keyed by the
+ * deterministic task index, not by thread identity or interleaving, so
+ * a mis-declared plan is caught even when the executor runs on a
+ * single thread (which is how chimera-check --race runs it: a truly
+ * racy schedule must not be executed multithreaded just to prove it
+ * races).
+ *
+ * A phase is one parallelFor region; beginPhase() resets the shadow
+ * between phases (they are separated by a barrier, so cross-phase
+ * writes to the same element are ordered, not racing). Conflicts
+ * accumulate across phases. beginPhase must not run concurrently with
+ * claims; claims from concurrent workers are safe (atomic CAS per
+ * element).
+ *
+ * This is a validation tool: claiming is O(elements written), so keep
+ * it off hot paths and on test- or check-sized workloads.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chimera::analysis {
+
+/** One recorded write-write conflict. */
+struct RaceConflict
+{
+    std::string phase; ///< label of the parallel phase
+    std::int64_t element = 0; ///< flat element index in the output
+    std::int64_t firstTask = 0; ///< task that claimed the element first
+    std::int64_t secondTask = 0; ///< conflicting later claimant
+};
+
+/** Shadow-memory conflict detector for one output tensor. */
+class RaceChecker
+{
+  public:
+    /** Detail cap: counting is exact, recording stops here. */
+    static constexpr std::size_t kMaxRecorded = 16;
+
+    explicit RaceChecker(std::int64_t numElements);
+
+    /** Starts a new parallel phase: resets the shadow, keeps conflicts. */
+    void beginPhase(std::string label);
+
+    /**
+     * Marks elements [begin, end) as written by @p task. Any element
+     * already owned by a different task in this phase counts (and is
+     * recorded, up to the cap) as a conflict. Thread-safe.
+     */
+    void claimRange(std::int64_t task, std::int64_t begin,
+                    std::int64_t end);
+
+    std::int64_t numElements() const { return numElements_; }
+
+    /** Exact total conflicting-element count across all phases. */
+    std::int64_t conflictCount() const
+    {
+        return conflictCount_.load(std::memory_order_relaxed);
+    }
+
+    bool hasConflicts() const { return conflictCount() > 0; }
+
+    /** Recorded conflict details (capped at kMaxRecorded). */
+    std::vector<RaceConflict> conflicts() const;
+
+    /** Multi-line human-readable conflict report; "" when clean. */
+    std::string report() const;
+
+  private:
+    std::int64_t numElements_;
+    /** Owner per element: task index + 1; 0 = unclaimed this phase. */
+    std::unique_ptr<std::atomic<std::int64_t>[]> owner_;
+    std::atomic<std::int64_t> conflictCount_{0};
+    mutable std::mutex mutex_;
+    std::string phase_ = "<unnamed>";
+    std::vector<RaceConflict> recorded_;
+};
+
+} // namespace chimera::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "exec/region_schedule.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
 #include "tensor/reference.hpp"
@@ -72,13 +73,40 @@ tileByName(const ir::Chain &chain, const plan::ExecutionPlan &plan,
     return fallback;
 }
 
-/** One blocked region loop. */
-struct RegionLoop
+/**
+ * Region loops of the fused conv-chain walk in plan order: 'b', 'c'
+ * (the oc1 block loop), 'h' (oh) and 'w' (ow), each tagged with its
+ * AxisId for the concurrency-table split. A unit batch loop (axis -1)
+ * is synthesized when batch == 1.
+ */
+std::vector<RegionLoop>
+convRegionLoops(const ir::Chain &chain, const ir::ConvChainConfig &config,
+                const plan::ExecutionPlan &plan)
 {
-    char name = '?'; ///< 'b', 'c' (oc1), 'h' (oh), 'w' (ow).
-    std::int64_t extent = 1;
-    std::int64_t tile = 1;
-};
+    const std::int64_t tb = tileByName(chain, plan, "b", 1);
+    const std::int64_t toh = tileByName(chain, plan, "oh", config.oh2());
+    const std::int64_t tow = tileByName(chain, plan, "ow", config.ow2());
+    const std::int64_t toc1 = tileByName(chain, plan, "oc1", config.oc1);
+    std::vector<RegionLoop> loops;
+    for (ir::AxisId axis : plan.perm) {
+        const std::string &name =
+            chain.axes()[static_cast<std::size_t>(axis)].name;
+        if (name == "b") {
+            loops.push_back(RegionLoop{'b', config.batch, tb, axis});
+        } else if (name == "oc1") {
+            loops.push_back(RegionLoop{'c', config.oc1, toc1, axis});
+        } else if (name == "oh") {
+            loops.push_back(RegionLoop{'h', config.oh2(), toh, axis});
+        } else if (name == "ow") {
+            loops.push_back(RegionLoop{'w', config.ow2(), tow, axis});
+        }
+    }
+    if (config.batch == 1) {
+        loops.insert(loops.begin(), RegionLoop{'b', 1, 1, -1});
+    }
+    CHIMERA_ASSERT(loops.size() == 4, "missing conv region loop");
+    return loops;
+}
 
 } // namespace
 
@@ -145,49 +173,29 @@ runFusedConvChain(const ConvChainConfig &config,
     const int pad1 = config.effectivePad1();
     const int pad2 = config.effectivePad2();
 
-    // Region loops ordered by the plan; kernel axes stay internal.
-    std::vector<RegionLoop> loops;
-    for (ir::AxisId axis : plan.perm) {
-        const std::string &name =
-            chain.axes()[static_cast<std::size_t>(axis)].name;
-        if (name == "b") {
-            loops.push_back({'b', config.batch, tb});
-        } else if (name == "oc1") {
-            loops.push_back({'c', config.oc1, toc1});
-        } else if (name == "oh") {
-            loops.push_back({'h', oh2, toh});
-        } else if (name == "ow") {
-            loops.push_back({'w', ow2, tow});
-        }
-    }
-    if (config.batch == 1) {
-        loops.insert(loops.begin(), {'b', 1, 1});
-    }
-    CHIMERA_ASSERT(loops.size() == 4, "missing conv region loop");
-
-    // The b/oh/ow region loops are dependence-free (disjoint output
-    // windows) and form the parallel space, kept in plan order. The oc1
-    // block loop is the reduction dimension of conv2 — every oc1 block
-    // accumulates into the same output elements — so it runs serially
+    // Split the region loops into the parallel task space and the serial
+    // nest by the plan's concurrency table (dependence-analysis output;
+    // kernel axes stay internal and never reach the region walk). Under
+    // a sound table the b/oh/ow blocks are dependence-free (disjoint
+    // output windows) and run in parallel, while the oc1 block loop —
+    // the reduction dimension of conv2, every one of whose blocks
+    // accumulates into the same output elements — runs serially
     // ascending inside each region, which keeps the per-element
     // accumulation order (and the output bits) identical to the serial
     // executor at every thread count.
-    std::vector<RegionLoop> par;
-    RegionLoop cLoop{'c', config.oc1, toc1};
-    for (const RegionLoop &loop : loops) {
-        if (loop.name == 'c') {
-            cLoop = loop;
-        } else {
-            par.push_back(loop);
-        }
-    }
-    CHIMERA_ASSERT(par.size() == 3, "missing parallel conv region loop");
-    const std::int64_t n0 = ceilDiv(par[0].extent, par[0].tile);
-    const std::int64_t n1 = ceilDiv(par[1].extent, par[1].tile);
-    const std::int64_t n2 = ceilDiv(par[2].extent, par[2].tile);
+    const RegionSchedule sched =
+        partitionRegionLoops(convRegionLoops(chain, config, plan),
+                             plan::effectiveConcurrency(chain, plan));
 
     ThreadPool *pool = execPool(options);
     const int workers = execWorkerCount(pool);
+
+    analysis::RaceChecker *race = options.raceCheck;
+    if (race != nullptr) {
+        CHIMERA_CHECK(race->numElements() == output.numel(),
+                      "race checker must be sized to the conv output");
+        race->beginPhase(chain.name() + " fused blocks");
+    }
 
     // Per-worker on-chip intermediate region (maximal size over
     // regions) and im2col patch buffers for conv1 and conv2.
@@ -215,34 +223,45 @@ runFusedConvChain(const ConvChainConfig &config,
     const std::int64_t outChanStride = oh2 * ow2;
     const std::int64_t outBatchStride = config.oc2 * outChanStride;
 
-    // Parallel (b, oh, ow) region blocks; serial ascending oc1 loop
-    // inside each.
-    parallelFor(pool, 0, n0 * n1 * n2, [&](std::int64_t task,
-                                           int worker) {
-        std::int64_t b0 = 0, h0 = 0, w0 = 0;
-        std::int64_t bb = 1, hh = 1, ww = 1;
-        const std::int64_t starts[3] = {
-            (task / (n1 * n2)) * par[0].tile,
-            ((task / n2) % n1) * par[1].tile,
-            (task % n2) * par[2].tile};
-        for (int i = 0; i < 3; ++i) {
-            const RegionLoop &loop = par[static_cast<std::size_t>(i)];
-            const std::int64_t size =
-                std::min<std::int64_t>(loop.tile, loop.extent - starts[i]);
-            switch (loop.name) {
-              case 'b': b0 = starts[i]; bb = size; break;
-              case 'h': h0 = starts[i]; hh = size; break;
-              case 'w': w0 = starts[i]; ww = size; break;
-              default: break;
-            }
-        }
+    // Parallel region blocks from the blessed loops; every unblessed
+    // region loop (normally just oc1) runs serially ascending inside.
+    parallelFor(pool, 0, sched.parallelTasks(), [&](std::int64_t task,
+                                                    int worker) {
+        const std::vector<BlockRange> parBlocks =
+            decodeBlocks(sched.parallel, task);
         float *tRegion = tRegions[static_cast<std::size_t>(worker)].get();
         float *patch1 = patch1s[static_cast<std::size_t>(worker)].get();
         float *patch2 = patch2s[static_cast<std::size_t>(worker)].get();
 
-        for (std::int64_t c0 = 0; c0 < cLoop.extent; c0 += cLoop.tile) {
-        const std::int64_t cc =
-            std::min<std::int64_t>(cLoop.tile, cLoop.extent - c0);
+        const std::int64_t steps = sched.serialSteps();
+        for (std::int64_t s = 0; s < steps; ++s) {
+        const std::vector<BlockRange> serBlocks =
+            decodeBlocks(sched.serial, s);
+        const BlockRange bBlk =
+            findBlock(parBlocks, serBlocks, 'b', config.batch);
+        const BlockRange hBlk = findBlock(parBlocks, serBlocks, 'h', oh2);
+        const BlockRange wBlk = findBlock(parBlocks, serBlocks, 'w', ow2);
+        const BlockRange cBlk =
+            findBlock(parBlocks, serBlocks, 'c', config.oc1);
+        const std::int64_t b0 = bBlk.start, bb = bBlk.size;
+        const std::int64_t h0 = hBlk.start, hh = hBlk.size;
+        const std::int64_t w0 = wBlk.start, ww = wBlk.size;
+        const std::int64_t c0 = cBlk.start, cc = cBlk.size;
+
+        // Shadow-memory claim: this task owns the output window
+        // (all oc2 channels of rows h0..h0+hh, cols w0..w0+ww).
+        if (race != nullptr) {
+            for (std::int64_t bi = 0; bi < bb; ++bi) {
+                for (std::int64_t oc = 0; oc < config.oc2; ++oc) {
+                    for (std::int64_t rr = 0; rr < hh; ++rr) {
+                        const std::int64_t at =
+                            (b0 + bi) * outBatchStride +
+                            oc * outChanStride + (h0 + rr) * ow2 + w0;
+                        race->claimRange(task, at, at + ww);
+                    }
+                }
+            }
+        }
 
         // Halo-inflated intermediate slice covered by this region.
         const std::int64_t midH = st2 * (hh - 1) + k2;
@@ -320,6 +339,26 @@ runFusedConvChain(const ConvChainConfig &config,
     });
 }
 
+std::vector<std::string>
+fusedConvChainParallelAxes(const ConvChainConfig &config,
+                           const plan::ExecutionPlan &plan)
+{
+    const ir::Chain chain = ir::makeConvChain(config);
+    CHIMERA_CHECK(static_cast<int>(plan.tiles.size()) == chain.numAxes(),
+                  "plan does not match the chain configuration");
+    const RegionSchedule sched =
+        partitionRegionLoops(convRegionLoops(chain, config, plan),
+                             plan::effectiveConcurrency(chain, plan));
+    std::vector<std::string> names;
+    for (const RegionLoop &loop : sched.parallel) {
+        if (loop.axis >= 0) {
+            names.push_back(
+                chain.axes()[static_cast<std::size_t>(loop.axis)].name);
+        }
+    }
+    return names;
+}
+
 void
 runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
                const Tensor &weight, Tensor &output, int stride, int pad,
@@ -342,6 +381,13 @@ runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
     output.zero();
     const std::int64_t wLd = ic * kernel * kernel;
 
+    analysis::RaceChecker *race = options.raceCheck;
+    if (race != nullptr) {
+        CHIMERA_CHECK(race->numElements() == output.numel(),
+                      "race checker must be sized to the conv output");
+        race->beginPhase("tiled conv2d");
+    }
+
     // Each (batch, output-row) pair writes a disjoint output row slice;
     // the ic reduction stays serial ascending inside it, so the output
     // is bitwise-identical at every thread count.
@@ -360,6 +406,13 @@ runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
         const float *inBase = input.data() + bi * ic * h * w;
         float *outBase = output.data() + bi * oc * oh * ow;
         float *patch = patches[static_cast<std::size_t>(worker)].get();
+        if (race != nullptr) {
+            for (std::int64_t oc0 = 0; oc0 < oc; ++oc0) {
+                const std::int64_t at =
+                    bi * oc * oh * ow + oc0 * oh * ow + r * ow;
+                race->claimRange(task, at, at + ow);
+            }
+        }
         for (std::int64_t ic0 = 0; ic0 < ic; ic0 += tiles.tic) {
             const std::int64_t icc =
                 std::min<std::int64_t>(tiles.tic, ic - ic0);
@@ -386,8 +439,12 @@ runUnfusedConvChain(const ConvChainConfig &config,
                     const ConvTiles &tiles2, const ExecOptions &options)
 {
     checkShape(scratchT, convChainShapeT(config), "T scratch");
+    // A race checker passed here is sized to the final output; the first
+    // conv writes the differently-shaped scratch, so it runs unchecked.
+    ExecOptions firstOptions = options;
+    firstOptions.raceCheck = nullptr;
     runTiledConv2d(engine, input, w1, scratchT, config.stride1,
-                   config.effectivePad1(), tiles1, options);
+                   config.effectivePad1(), tiles1, firstOptions);
     if (config.epilogue == Epilogue::Relu) {
         ref::reluInPlace(scratchT);
     }

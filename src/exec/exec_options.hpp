@@ -7,6 +7,7 @@
  * itself (order + tiles) stays a planner concern.
  */
 
+#include "analysis/race_checker.hpp"
 #include "support/thread_pool.hpp"
 
 namespace chimera::exec {
@@ -25,6 +26,17 @@ struct ExecOptions
 
     /** Explicit pool override; wins over @ref threads when non-null. */
     ThreadPool *pool = nullptr;
+
+    /**
+     * Optional shadow-memory race checker (see analysis/race_checker.hpp).
+     * When non-null every parallel task tags the output elements it
+     * writes; two distinct tasks claiming the same element is recorded
+     * as a conflict. The checker must be sized to the executor's output
+     * element count. Detection is keyed on the deterministic block-task
+     * index, so it works — and is typically run — with a serial
+     * execution of the suspect plan.
+     */
+    analysis::RaceChecker *raceCheck = nullptr;
 };
 
 /** Pool an executor should run on; nullptr means run serially. */

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "exec/constraints.hpp"
+#include "exec/region_schedule.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
 #include "tensor/reference.hpp"
@@ -32,6 +33,35 @@ tileOf(const ir::Chain &chain, const plan::ExecutionPlan &plan,
         }
     }
     return fallback;
+}
+
+/**
+ * Region loops of the three-GEMM walk: only b and m reach the region
+ * level (l/k are reduction loops inside a region, p is pinned to its
+ * full extent, n is consumed innermost). A unit batch loop (axis -1) is
+ * synthesized when batch == 1.
+ */
+std::vector<RegionLoop>
+chain3RegionLoops(const ir::Chain &chain, const GemmChain3Config &config,
+                  const plan::ExecutionPlan &plan)
+{
+    const std::int64_t tb = tileOf(chain, plan, "b", 1);
+    const std::int64_t tm = tileOf(chain, plan, "m", config.m);
+    std::vector<RegionLoop> loops;
+    for (ir::AxisId axis : plan.perm) {
+        const std::string &name =
+            chain.axes()[static_cast<std::size_t>(axis)].name;
+        if (name == "b") {
+            loops.push_back(RegionLoop{'b', config.batch, tb, axis});
+        } else if (name == "m") {
+            loops.push_back(RegionLoop{'m', config.m, tm, axis});
+        }
+    }
+    if (config.batch == 1) {
+        loops.insert(loops.begin(), RegionLoop{'b', 1, 1, -1});
+    }
+    CHIMERA_ASSERT(loops.size() == 2, "missing 3-chain region loop");
+    return loops;
 }
 
 } // namespace
@@ -107,34 +137,27 @@ runFusedGemmChain3(const GemmChain3Config &config,
 
     const std::int64_t M = config.m, N = config.n, K = config.k,
                        L = config.l, P = config.p;
-    struct Loop
-    {
-        char name;
-        std::int64_t extent;
-        std::int64_t tile;
-    };
-    std::vector<Loop> loops;
-    for (ir::AxisId axis : plan.perm) {
-        const std::string &name =
-            chain.axes()[static_cast<std::size_t>(axis)].name;
-        if (name == "b") {
-            loops.push_back({'b', config.batch, tb});
-        } else if (name == "m") {
-            loops.push_back({'m', M, tm});
-        }
-    }
-    if (config.batch == 1) {
-        loops.insert(loops.begin(), {'b', 1, 1});
-    }
-    CHIMERA_ASSERT(loops.size() == 2, "missing 3-chain region loop");
 
-    // Every (b, m) region is independent: it owns its C1 tile and C2
-    // panel and writes disjoint E rows, so the flattened (b, m) block
-    // space splits across workers. The l and k reduction loops stay
-    // serial ascending inside a region, keeping the output bits
-    // identical to the serial executor at every thread count.
+    // Split the b/m region loops by the plan's concurrency table
+    // (dependence-analysis output). Under a sound table every (b, m)
+    // region is independent — it owns its C1 tile and C2 panel and
+    // writes disjoint E rows — and splits across workers; the l and k
+    // reduction loops stay serial ascending inside a region, keeping
+    // the output bits identical to the serial executor at every thread
+    // count.
+    const RegionSchedule sched =
+        partitionRegionLoops(chain3RegionLoops(chain, config, plan),
+                             plan::effectiveConcurrency(chain, plan));
+
     ThreadPool *pool = execPool(options);
     const int workers = execWorkerCount(pool);
+
+    analysis::RaceChecker *race = options.raceCheck;
+    if (race != nullptr) {
+        CHIMERA_CHECK(race->numElements() == e.numel(),
+                      "race checker must be sized to the E output");
+        race->beginPhase(chain.name() + " fused blocks");
+    }
     std::vector<AlignedBuffer<float>> c1Tiles, c2Panels;
     c1Tiles.reserve(static_cast<std::size_t>(workers));
     c2Panels.reserve(static_cast<std::size_t>(workers));
@@ -146,26 +169,30 @@ runFusedGemmChain3(const GemmChain3Config &config,
     }
     e.zero();
 
-    const std::int64_t nOuter = ceilDiv(loops[0].extent, loops[0].tile);
-    const std::int64_t nInner = ceilDiv(loops[1].extent, loops[1].tile);
-    parallelFor(pool, 0, nOuter * nInner, [&](std::int64_t task,
-                                              int worker) {
-        std::int64_t b0 = 0, m0 = 0, bb = 1, mm = 1;
-        const std::int64_t starts[2] = {(task / nInner) * loops[0].tile,
-                                        (task % nInner) * loops[1].tile};
-        for (int i = 0; i < 2; ++i) {
-            const std::int64_t size = std::min<std::int64_t>(
-                loops[i].tile, loops[i].extent - starts[i]);
-            if (loops[i].name == 'b') {
-                b0 = starts[i];
-                bb = size;
-            } else {
-                m0 = starts[i];
-                mm = size;
-            }
-        }
+    parallelFor(pool, 0, sched.parallelTasks(), [&](std::int64_t task,
+                                                    int worker) {
+        const std::vector<BlockRange> parBlocks =
+            decodeBlocks(sched.parallel, task);
         float *c1Tile = c1Tiles[static_cast<std::size_t>(worker)].get();
         float *c2Panel = c2Panels[static_cast<std::size_t>(worker)].get();
+
+        const std::int64_t steps = sched.serialSteps();
+        for (std::int64_t step = 0; step < steps; ++step) {
+        const std::vector<BlockRange> serBlocks =
+            decodeBlocks(sched.serial, step);
+        const BlockRange bBlk =
+            findBlock(parBlocks, serBlocks, 'b', config.batch);
+        const BlockRange mBlk = findBlock(parBlocks, serBlocks, 'm', M);
+        const std::int64_t b0 = bBlk.start, bb = bBlk.size;
+        const std::int64_t m0 = mBlk.start, mm = mBlk.size;
+
+        // Shadow-memory claim: this task owns the E rows of its region.
+        if (race != nullptr) {
+            for (std::int64_t bi = 0; bi < bb; ++bi) {
+                race->claimRange(task, ((b0 + bi) * M + m0) * N,
+                                 ((b0 + bi) * M + m0 + mm) * N);
+            }
+        }
 
         std::memset(c2Panel, 0,
                     static_cast<std::size_t>(bb * mm * P) * sizeof(float));
@@ -203,7 +230,28 @@ runFusedGemmChain3(const GemmChain3Config &config,
                               mm, nn, P);
             }
         }
+        }
     });
+}
+
+std::vector<std::string>
+fusedGemmChain3ParallelAxes(const GemmChain3Config &config,
+                            const plan::ExecutionPlan &plan)
+{
+    const ir::Chain chain = ir::makeGemmChain3(config);
+    CHIMERA_CHECK(static_cast<int>(plan.tiles.size()) == chain.numAxes(),
+                  "plan does not match the chain configuration");
+    const RegionSchedule sched =
+        partitionRegionLoops(chain3RegionLoops(chain, config, plan),
+                             plan::effectiveConcurrency(chain, plan));
+    std::vector<std::string> names;
+    for (const RegionLoop &loop : sched.parallel) {
+        if (loop.axis >= 0) {
+            names.push_back(
+                chain.axes()[static_cast<std::size_t>(loop.axis)].name);
+        }
+    }
+    return names;
 }
 
 void
@@ -217,11 +265,16 @@ runUnfusedGemmChain3(const GemmChain3Config &config,
                   "C1 scratch shape mismatch");
     CHIMERA_CHECK(scratchC2.shape() == shapeOf(config, config.m, config.p),
                   "C2 scratch shape mismatch");
-    runTiledBatchGemm(engine, a, b, scratchC1, tiles, options);
+    // A race checker passed here is sized to the final E output; the
+    // scratch-writing GEMMs run unchecked.
+    ExecOptions scratchOptions = options;
+    scratchOptions.raceCheck = nullptr;
+    runTiledBatchGemm(engine, a, b, scratchC1, tiles, scratchOptions);
     if (config.epilogue == Epilogue::Relu) {
         ref::reluInPlace(scratchC1);
     }
-    runTiledBatchGemm(engine, scratchC1, d, scratchC2, tiles, options);
+    runTiledBatchGemm(engine, scratchC1, d, scratchC2, tiles,
+                      scratchOptions);
     runTiledBatchGemm(engine, scratchC2, f, e, tiles, options);
 }
 

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "exec/region_schedule.hpp"
 #include "ir/builders.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
@@ -16,14 +17,6 @@ using ir::Epilogue;
 using ir::GemmChainConfig;
 
 namespace {
-
-/** One blocked loop of the region walk. */
-struct BlockedAxis
-{
-    char name = '?'; ///< 'b', 'm' or 'l'.
-    std::int64_t extent = 1;
-    std::int64_t tile = 1;
-};
 
 std::int64_t
 tileOf(const ir::Chain &chain, const plan::ExecutionPlan &plan,
@@ -44,6 +37,38 @@ checkShape(const Tensor &t, const std::vector<std::int64_t> &expected,
     CHIMERA_CHECK(t.shape() == expected,
                   std::string("unexpected shape for ") + what + ": got " +
                       t.shapeString());
+}
+
+/**
+ * Region loops of the fused gemm-chain walk — the b/m/l blocks the plan
+ * decomposed the chain into, in plan order, each carrying its AxisId so
+ * the concurrency table can bless or refuse it. A unit batch loop is
+ * synthesized (axis -1, trivially parallel) when the chain has no b axis.
+ */
+std::vector<RegionLoop>
+gemmRegionLoops(const ir::Chain &chain, const GemmChainConfig &config,
+                const plan::ExecutionPlan &plan)
+{
+    const std::int64_t tb = tileOf(chain, plan, "b", 1);
+    const std::int64_t tm = tileOf(chain, plan, "m", config.m);
+    const std::int64_t tl = tileOf(chain, plan, "l", config.l);
+    std::vector<RegionLoop> loops;
+    for (ir::AxisId axis : plan.perm) {
+        const std::string &name =
+            chain.axes()[static_cast<std::size_t>(axis)].name;
+        if (name == "b") {
+            loops.push_back(RegionLoop{'b', config.batch, tb, axis});
+        } else if (name == "m") {
+            loops.push_back(RegionLoop{'m', config.m, tm, axis});
+        } else if (name == "l") {
+            loops.push_back(RegionLoop{'l', config.l, tl, axis});
+        }
+    }
+    if (config.batch == 1) {
+        loops.insert(loops.begin(), RegionLoop{'b', 1, 1, -1});
+    }
+    CHIMERA_ASSERT(loops.size() == 3, "missing region loop");
+    return loops;
 }
 
 /** Sets future positions of the scores tensor to -inf before softmax. */
@@ -123,52 +148,32 @@ runFusedGemmChain(const GemmChainConfig &config,
     const std::int64_t tk = tileOf(chain, plan, "k", config.k);
     const std::int64_t tl = tileOf(chain, plan, "l", config.l);
 
-    // Region loops (b, m, l) ordered by their position in the plan.
-    std::vector<BlockedAxis> regionLoops;
-    for (ir::AxisId axis : plan.perm) {
-        const std::string &name =
-            chain.axes()[static_cast<std::size_t>(axis)].name;
-        if (name == "b") {
-            regionLoops.push_back({'b', config.batch, tb});
-        } else if (name == "m") {
-            regionLoops.push_back({'m', config.m, tm});
-        } else if (name == "l") {
-            regionLoops.push_back({'l', config.l, tl});
-        }
-    }
-    if (config.batch == 1) {
-        regionLoops.insert(regionLoops.begin(), {'b', 1, 1});
-    }
-    CHIMERA_ASSERT(regionLoops.size() == 3, "missing region loop");
-
     const std::int64_t bigM = config.m;
     const std::int64_t bigN = config.n;
     const std::int64_t bigK = config.k;
     const std::int64_t bigL = config.l;
 
-    // The b and m region loops carry no dependence: distinct (b, m)
-    // blocks write disjoint E rows and disjoint softmax row sums. They
-    // form the parallel iteration space (kept in plan order). The l
-    // loop accumulates into E (GEMM2) and into rowSum, so it runs
-    // serially ascending inside each block — the per-element
-    // floating-point accumulation order is then identical to the serial
-    // executor's at every thread count, making the output bitwise
-    // reproducible.
-    std::vector<BlockedAxis> par;
-    BlockedAxis lLoop{'l', bigL, tl};
-    for (const BlockedAxis &loop : regionLoops) {
-        if (loop.name == 'l') {
-            lLoop = loop;
-        } else {
-            par.push_back(loop);
-        }
-    }
-    CHIMERA_ASSERT(par.size() == 2, "missing parallel region loop");
-    const std::int64_t nOuter = ceilDiv(par[0].extent, par[0].tile);
-    const std::int64_t nInner = ceilDiv(par[1].extent, par[1].tile);
+    // Split the region loops into the parallel task space and the serial
+    // nest by the plan's concurrency table (dependence analysis output —
+    // this executor holds no axis-level opinion of its own). Under a
+    // sound table b/m are parallel (distinct blocks write disjoint E
+    // rows and softmax row sums) while l — which accumulates into E via
+    // GEMM2 and into rowSum — stays serial ascending inside each task,
+    // so the per-element accumulation order and the output bits match
+    // the serial executor at every thread count.
+    const RegionSchedule sched =
+        partitionRegionLoops(gemmRegionLoops(chain, config, plan),
+                             plan::effectiveConcurrency(chain, plan));
 
     ThreadPool *pool = execPool(options);
     const int workers = execWorkerCount(pool);
+
+    analysis::RaceChecker *race = options.raceCheck;
+    if (race != nullptr) {
+        CHIMERA_CHECK(race->numElements() == e.numel(),
+                      "race checker must be sized to the E output");
+        race->beginPhase(chain.name() + " fused blocks");
+    }
 
     // On-chip region buffer for C (one per worker) and the softmax
     // row-sum side buffer (shared; blocks write disjoint rows).
@@ -189,29 +194,35 @@ runFusedGemmChain(const GemmChainConfig &config,
     const std::int64_t perBatchD = bigL * bigN;
     const std::int64_t perBatchE = bigM * bigN;
 
-    parallelFor(pool, 0, nOuter * nInner, [&](std::int64_t task,
-                                              int worker) {
-        std::int64_t b0 = 0, m0 = 0;
-        std::int64_t bb = 1, mm = 1;
-        const std::int64_t starts[2] = {(task / nInner) * par[0].tile,
-                                        (task % nInner) * par[1].tile};
-        for (int i = 0; i < 2; ++i) {
-            const BlockedAxis &loop = par[static_cast<std::size_t>(i)];
-            const std::int64_t size = std::min<std::int64_t>(
-                loop.tile, loop.extent - starts[i]);
-            if (loop.name == 'b') {
-                b0 = starts[i];
-                bb = size;
-            } else {
-                m0 = starts[i];
-                mm = size;
-            }
-        }
+    parallelFor(pool, 0, sched.parallelTasks(), [&](std::int64_t task,
+                                                    int worker) {
+        const std::vector<BlockRange> parBlocks =
+            decodeBlocks(sched.parallel, task);
         float *cBase = cRegions[static_cast<std::size_t>(worker)].get();
 
-        for (std::int64_t l0 = 0; l0 < lLoop.extent; l0 += lLoop.tile) {
-            const std::int64_t ll =
-                std::min<std::int64_t>(lLoop.tile, lLoop.extent - l0);
+        const std::int64_t steps = sched.serialSteps();
+        for (std::int64_t s = 0; s < steps; ++s) {
+            const std::vector<BlockRange> serBlocks =
+                decodeBlocks(sched.serial, s);
+            const BlockRange bBlk =
+                findBlock(parBlocks, serBlocks, 'b', config.batch);
+            const BlockRange mBlk =
+                findBlock(parBlocks, serBlocks, 'm', bigM);
+            const BlockRange lBlk =
+                findBlock(parBlocks, serBlocks, 'l', bigL);
+            const std::int64_t b0 = bBlk.start, bb = bBlk.size;
+            const std::int64_t m0 = mBlk.start, mm = mBlk.size;
+            const std::int64_t l0 = lBlk.start, ll = lBlk.size;
+
+            // Shadow-memory claim: this task owns the E rows the block
+            // writes; two tasks claiming a row is a detected race.
+            if (race != nullptr) {
+                for (std::int64_t bi = 0; bi < bb; ++bi) {
+                    race->claimRange(task,
+                                     ((b0 + bi) * bigM + m0) * bigN,
+                                     ((b0 + bi) * bigM + m0 + mm) * bigN);
+                }
+            }
             std::memset(cBase, 0,
                         static_cast<std::size_t>(bb * mm * ll) *
                             sizeof(float));
@@ -284,8 +295,15 @@ runFusedGemmChain(const GemmChainConfig &config,
     // Deferred softmax division over the finished output; rows are
     // independent, so they split freely across workers.
     if (config.epilogue == Epilogue::Softmax) {
+        if (race != nullptr) {
+            race->beginPhase(chain.name() + " softmax normalize");
+        }
         parallelFor(pool, 0, config.batch * bigM,
                     [&](std::int64_t row, int) {
+                        if (race != nullptr) {
+                            race->claimRange(row, row * bigN,
+                                             (row + 1) * bigN);
+                        }
                         const float inv =
                             1.0f / rowSum[static_cast<std::size_t>(row)];
                         float *p = e.data() + row * bigN;
@@ -294,6 +312,26 @@ runFusedGemmChain(const GemmChainConfig &config,
                         }
                     });
     }
+}
+
+std::vector<std::string>
+fusedGemmChainParallelAxes(const GemmChainConfig &config,
+                           const plan::ExecutionPlan &plan)
+{
+    const ir::Chain chain = ir::makeGemmChain(config);
+    CHIMERA_CHECK(static_cast<int>(plan.tiles.size()) == chain.numAxes(),
+                  "plan does not match the chain configuration");
+    const RegionSchedule sched =
+        partitionRegionLoops(gemmRegionLoops(chain, config, plan),
+                             plan::effectiveConcurrency(chain, plan));
+    std::vector<std::string> names;
+    for (const RegionLoop &loop : sched.parallel) {
+        if (loop.axis >= 0) {
+            names.push_back(
+                chain.axes()[static_cast<std::size_t>(loop.axis)].name);
+        }
+    }
+    return names;
 }
 
 void
@@ -315,6 +353,12 @@ runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
                   "tiled GEMM shape mismatch");
 
     c.zero();
+    analysis::RaceChecker *race = options.raceCheck;
+    if (race != nullptr) {
+        CHIMERA_CHECK(race->numElements() == c.numel(),
+                      "race checker must be sized to the GEMM output");
+        race->beginPhase("tiled batch gemm");
+    }
     // (batch, m-tile) blocks own disjoint C rows; the k loop accumulates
     // and stays serial ascending inside each block (bitwise-reproducible
     // across thread counts).
@@ -327,6 +371,10 @@ runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
         const float *bBase = b.data() + bi * k * n;
         float *cBase = c.data() + bi * m * n;
         const std::int64_t mm = std::min<std::int64_t>(tiles.tm, m - m0);
+        if (race != nullptr) {
+            race->claimRange(task, bi * m * n + m0 * n,
+                             bi * m * n + (m0 + mm) * n);
+        }
         for (std::int64_t k0 = 0; k0 < k; k0 += tiles.tk) {
             const std::int64_t kk =
                 std::min<std::int64_t>(tiles.tk, k - k0);
@@ -349,7 +397,12 @@ runUnfusedGemmChain(const GemmChainConfig &config,
                     const GemmTiles &tiles2, const ExecOptions &options)
 {
     checkShape(scratchC, gemmChainShapeC(config), "C scratch");
-    runTiledBatchGemm(engine, a, b, scratchC, tiles1, options);
+    // A race checker passed here is sized to the final E output; the
+    // first GEMM writes the differently-shaped scratch, so it runs
+    // unchecked.
+    ExecOptions firstOptions = options;
+    firstOptions.raceCheck = nullptr;
+    runTiledBatchGemm(engine, a, b, scratchC, tiles1, firstOptions);
     if (config.epilogue == Epilogue::Relu) {
         ref::reluInPlace(scratchC);
     } else if (config.epilogue == Epilogue::Softmax) {

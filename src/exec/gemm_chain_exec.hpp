@@ -28,10 +28,14 @@ namespace chimera::exec {
 /**
  * Runs the fused chain E = epilogue(A x B) x D under @p plan.
  *
- * The batch/m region blocks are independent (disjoint E rows and
- * softmax row sums) and are distributed across @p options threads; the
- * l region loop accumulates and runs serially ascending inside each
- * block, so the output is bitwise-identical at every thread count.
+ * Which region loops are distributed across @p options threads is
+ * decided by the plan's concurrency table (see analysis/dependence.hpp
+ * and plan::effectiveConcurrency), not hardcoded here: under a sound
+ * table the batch/m blocks are independent (disjoint E rows and softmax
+ * row sums) and run in parallel, while the accumulating l loop runs
+ * serially ascending inside each task, so the output is
+ * bitwise-identical at every thread count. Axes the analysis does not
+ * bless as parallel are refused (executed serially).
  *
  * @param config  Chain shapes and epilogue.
  * @param plan    Planner output for the chain built by makeGemmChain.
@@ -47,6 +51,16 @@ void runFusedGemmChain(const ir::GemmChainConfig &config,
                        const ComputeEngine &engine, const Tensor &a,
                        const Tensor &b, const Tensor &d, Tensor &e,
                        const ExecOptions &options = {});
+
+/**
+ * Names of the chain axes runFusedGemmChain would distribute across
+ * workers for @p plan — exactly the region loops the concurrency table
+ * blesses as parallel (the synthesized unit batch loop is excluded).
+ * Lets tests cross-check executor behavior against the analysis.
+ */
+std::vector<std::string>
+fusedGemmChainParallelAxes(const ir::GemmChainConfig &config,
+                           const plan::ExecutionPlan &plan);
 
 /** Per-GEMM cache tiles for the unfused baseline. */
 struct GemmTiles

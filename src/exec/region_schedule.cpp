@@ -1,0 +1,85 @@
+#include "exec/region_schedule.hpp"
+
+#include <algorithm>
+
+#include "support/mathutil.hpp"
+
+namespace chimera::exec {
+
+namespace {
+
+std::int64_t
+blockCount(const std::vector<RegionLoop> &loops)
+{
+    std::int64_t total = 1;
+    for (const RegionLoop &loop : loops) {
+        total *= ceilDiv(loop.extent, loop.tile);
+    }
+    return total;
+}
+
+} // namespace
+
+std::int64_t
+RegionSchedule::parallelTasks() const
+{
+    return blockCount(parallel);
+}
+
+std::int64_t
+RegionSchedule::serialSteps() const
+{
+    return blockCount(serial);
+}
+
+RegionSchedule
+partitionRegionLoops(const std::vector<RegionLoop> &loops,
+                     const std::vector<analysis::AxisConcurrency> &table)
+{
+    RegionSchedule schedule;
+    for (const RegionLoop &loop : loops) {
+        const bool blessed =
+            loop.axis < 0 ||
+            (loop.axis < static_cast<ir::AxisId>(table.size()) &&
+             table[static_cast<std::size_t>(loop.axis)] ==
+                 analysis::AxisConcurrency::Parallel);
+        (blessed ? schedule.parallel : schedule.serial).push_back(loop);
+    }
+    return schedule;
+}
+
+std::vector<BlockRange>
+decodeBlocks(const std::vector<RegionLoop> &loops, std::int64_t flat)
+{
+    std::vector<BlockRange> blocks(loops.size());
+    for (std::size_t i = loops.size(); i-- > 0;) {
+        const RegionLoop &loop = loops[i];
+        const std::int64_t n = ceilDiv(loop.extent, loop.tile);
+        const std::int64_t start = (flat % n) * loop.tile;
+        flat /= n;
+        blocks[i] = BlockRange{
+            loop.tag, start,
+            std::min<std::int64_t>(loop.tile, loop.extent - start)};
+    }
+    return blocks;
+}
+
+BlockRange
+findBlock(const std::vector<BlockRange> &parallel,
+          const std::vector<BlockRange> &serial, char tag,
+          std::int64_t fullExtent)
+{
+    for (const BlockRange &block : parallel) {
+        if (block.tag == tag) {
+            return block;
+        }
+    }
+    for (const BlockRange &block : serial) {
+        if (block.tag == tag) {
+            return block;
+        }
+    }
+    return BlockRange{tag, 0, fullExtent};
+}
+
+} // namespace chimera::exec

@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Table-driven region-loop scheduling for the fused executors.
+ *
+ * Every fused executor walks a handful of blocked "region" loops (the
+ * chain axes its on-chip regions are blocked over, in plan order) and
+ * distributes some of them across workers. Which ones used to be
+ * hardcoded; now the split is decided by the plan's AxisConcurrency
+ * table: a region loop joins the parallel task space iff its axis is
+ * classified Parallel, every other loop runs serially ascending inside
+ * each task. An executor therefore *refuses* to parallelize an axis
+ * the dependence analysis (or the plan document) did not bless — and,
+ * conversely, honors a plan that mis-declares a reduction axis as
+ * parallel, which is exactly what lets the dynamic race checker catch
+ * such plans (see analysis/race_checker.hpp).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "ir/axis.hpp"
+
+namespace chimera::exec {
+
+/** One blocked region loop of a fused executor's outer walk. */
+struct RegionLoop
+{
+    char tag = '?'; ///< executor-local label ('b', 'm', 'l', ...)
+    std::int64_t extent = 1;
+    std::int64_t tile = 1;
+    ir::AxisId axis = -1; ///< -1 = synthesized (e.g. unit batch loop)
+};
+
+/** One decoded block of a region loop. */
+struct BlockRange
+{
+    char tag = '?';
+    std::int64_t start = 0;
+    std::int64_t size = 1;
+};
+
+/** Region loops split into a parallel task space and serial loops. */
+struct RegionSchedule
+{
+    /** Loops whose blocks split across workers, in plan order. */
+    std::vector<RegionLoop> parallel;
+
+    /** Loops run serially ascending inside each task, in plan order. */
+    std::vector<RegionLoop> serial;
+
+    /** Flattened parallel task count (1 when nothing is parallel). */
+    std::int64_t parallelTasks() const;
+
+    /** Serial block combinations per task. */
+    std::int64_t serialSteps() const;
+};
+
+/**
+ * Splits @p loops by the per-axis concurrency @p table (indexed by
+ * AxisId): Parallel axes and synthesized loops go to the task space,
+ * everything else stays serial. Relative order is preserved.
+ */
+RegionSchedule
+partitionRegionLoops(const std::vector<RegionLoop> &loops,
+                     const std::vector<analysis::AxisConcurrency> &table);
+
+/**
+ * Decodes flat index @p flat over @p loops (mixed radix, first loop
+ * outermost / slowest) into one block per loop. Iterating flat indices
+ * ascending therefore reproduces the nested ascending loop order.
+ */
+std::vector<BlockRange>
+decodeBlocks(const std::vector<RegionLoop> &loops, std::int64_t flat);
+
+/**
+ * Finds the block for @p tag in either decoded list; falls back to
+ * [0, fullExtent) when the tag is not a region loop of this plan.
+ */
+BlockRange findBlock(const std::vector<BlockRange> &parallel,
+                     const std::vector<BlockRange> &serial, char tag,
+                     std::int64_t fullExtent);
+
+} // namespace chimera::exec

@@ -129,7 +129,7 @@ PlanCache::lookup(const ir::Chain &chain, const PlannerOptions &options)
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = memory_.find(fingerprint);
         if (it != memory_.end()) {
-            ++stats_.memoryHits;
+            memoryHits_.fetch_add(1, std::memory_order_relaxed);
             ExecutionPlan plan = it->second;
             plan.candidatesExamined = 0;
             plan.planSeconds = timer.seconds();
@@ -157,13 +157,13 @@ PlanCache::lookup(const ir::Chain &chain, const PlannerOptions &options)
                     CHIMERA_INFO("rejecting illegal plan cache entry "
                                  << entryPath(fingerprint) << ":\n"
                                  << audit.render());
-                    std::lock_guard<std::mutex> lock(mutex_);
-                    ++stats_.rejectedPlans;
-                    ++stats_.misses;
+                    rejectedPlans_.fetch_add(1,
+                                             std::memory_order_relaxed);
+                    misses_.fetch_add(1, std::memory_order_relaxed);
                     return std::nullopt;
                 }
+                diskHits_.fetch_add(1, std::memory_order_relaxed);
                 std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.diskHits;
                 memory_[fingerprint] = plan;
                 plan.candidatesExamined = 0;
                 plan.planSeconds = timer.seconds();
@@ -174,13 +174,11 @@ PlanCache::lookup(const ir::Chain &chain, const PlannerOptions &options)
                 CHIMERA_INFO("ignoring bad plan cache entry "
                              << entryPath(fingerprint) << ": "
                              << e.what());
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.corruptEntries;
+                corruptEntries_.fetch_add(1, std::memory_order_relaxed);
             }
         }
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
 }
 
@@ -192,8 +190,8 @@ PlanCache::store(const ir::Chain &chain, const PlannerOptions &options,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         memory_[fingerprint] = plan;
-        ++stats_.stores;
     }
+    stores_.fetch_add(1, std::memory_order_relaxed);
     if (directory_.empty()) {
         return;
     }
@@ -230,8 +228,14 @@ PlanCache::store(const ir::Chain &chain, const PlannerOptions &options,
 PlanCacheStats
 PlanCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    PlanCacheStats out;
+    out.memoryHits = memoryHits_.load(std::memory_order_relaxed);
+    out.diskHits = diskHits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.stores = stores_.load(std::memory_order_relaxed);
+    out.corruptEntries = corruptEntries_.load(std::memory_order_relaxed);
+    out.rejectedPlans = rejectedPlans_.load(std::memory_order_relaxed);
+    return out;
 }
 
 } // namespace chimera::plan

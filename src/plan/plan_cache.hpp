@@ -34,6 +34,7 @@
  * memory-only operation, never to an error.
  */
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -99,6 +100,13 @@ class PlanCache
     void store(const ir::Chain &chain, const PlannerOptions &options,
                const ExecutionPlan &plan);
 
+    /**
+     * Snapshot of the counters. Each counter is an independent atomic
+     * (incremented lock-free on the hot lookup path), so a snapshot
+     * taken while other threads are mid-lookup may be transiently
+     * inconsistent across counters — fine for tests and telemetry, the
+     * only consumers.
+     */
     PlanCacheStats stats() const;
 
   private:
@@ -107,7 +115,12 @@ class PlanCache
     const std::string directory_;
     mutable std::mutex mutex_;
     std::map<std::string, ExecutionPlan> memory_;
-    PlanCacheStats stats_;
+    std::atomic<int> memoryHits_{0};
+    std::atomic<int> diskHits_{0};
+    std::atomic<int> misses_{0};
+    std::atomic<int> stores_{0};
+    std::atomic<int> corruptEntries_{0};
+    std::atomic<int> rejectedPlans_{0};
 };
 
 } // namespace chimera::plan

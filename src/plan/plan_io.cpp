@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/dependence.hpp"
 #include "ir/builders.hpp"
 #include "model/data_movement.hpp"
 #include "support/error.hpp"
@@ -40,6 +41,16 @@ serializePlan(const ir::Chain &chain, const ExecutionPlan &plan,
             << plan.tiles[static_cast<std::size_t>(a)];
     }
     out << "\n";
+    if (static_cast<int>(plan.concurrency.size()) == chain.numAxes()) {
+        out << "concurrency:";
+        for (int a = 0; a < chain.numAxes(); ++a) {
+            out << " " << chain.axes()[static_cast<std::size_t>(a)].name
+                << "="
+                << analysis::concurrencyName(
+                       plan.concurrency[static_cast<std::size_t>(a)]);
+        }
+        out << "\n";
+    }
     out << "volume-bytes: " << static_cast<std::int64_t>(
                                    plan.predictedVolumeBytes)
         << "\n";
@@ -137,6 +148,39 @@ parsePlanDocument(const std::string &text)
                                                context));
             }
             doc.haveTiles = true;
+        } else if (key == "concurrency") {
+            std::set<std::string> seenAxes;
+            std::size_t tokenStart = 0;
+            while (tokenStart < value.size()) {
+                tokenStart = value.find_first_not_of(" \t", tokenStart);
+                if (tokenStart == std::string::npos) {
+                    break;
+                }
+                std::size_t tokenEnd =
+                    value.find_first_of(" \t", tokenStart);
+                if (tokenEnd == std::string::npos) {
+                    tokenEnd = value.size();
+                }
+                const std::string token =
+                    value.substr(tokenStart, tokenEnd - tokenStart);
+                tokenStart = tokenEnd;
+                const std::size_t eq = token.find('=');
+                if (eq == std::string::npos || eq == 0 ||
+                    eq + 1 >= token.size()) {
+                    throw Error(context +
+                                ": malformed concurrency token \"" +
+                                token + "\"");
+                }
+                const std::string axisName = token.substr(0, eq);
+                if (!seenAxes.insert(axisName).second) {
+                    throw Error(context +
+                                ": duplicate concurrency for axis \"" +
+                                axisName + "\"");
+                }
+                doc.concurrency.emplace_back(axisName,
+                                             token.substr(eq + 1));
+            }
+            doc.haveConcurrency = true;
         } else if (key == "volume-bytes") {
             doc.declaredVolumeBytes = parseDoubleStrict(value, context);
             doc.haveVolume = true;
@@ -148,6 +192,45 @@ parsePlanDocument(const std::string &text)
         }
     }
     return doc;
+}
+
+std::vector<analysis::AxisConcurrency>
+bindConcurrency(
+    const ir::Chain &chain,
+    const std::vector<std::pair<std::string, std::string>> &entries)
+{
+    std::vector<analysis::AxisConcurrency> kinds(
+        static_cast<std::size_t>(chain.numAxes()),
+        analysis::AxisConcurrency::Sequential);
+    std::vector<bool> bound(static_cast<std::size_t>(chain.numAxes()),
+                            false);
+    for (const auto &[axisName, kindName] : entries) {
+        ir::AxisId axis = -1;
+        try {
+            axis = ir::axisIdByName(chain, axisName);
+        } catch (const Error &) {
+            throw Error("plan concurrency declares axis \"" + axisName +
+                        "\" which chain " + chain.name() +
+                        " does not have");
+        }
+        const std::size_t slot = static_cast<std::size_t>(axis);
+        if (bound[slot]) {
+            throw Error("plan concurrency declares axis \"" + axisName +
+                        "\" more than once");
+        }
+        bound[slot] = true;
+        kinds[slot] = analysis::concurrencyFromName(
+            kindName, "plan concurrency for axis \"" + axisName + "\"");
+    }
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        if (!bound[static_cast<std::size_t>(a)]) {
+            throw Error(
+                "plan concurrency is incomplete: axis \"" +
+                chain.axes()[static_cast<std::size_t>(a)].name +
+                "\" has no declared class");
+        }
+    }
+    return kinds;
 }
 
 ExecutionPlan
@@ -174,6 +257,10 @@ deserializePlan(const ir::Chain &chain, const std::string &text,
     }
     model::validatePermutation(chain, plan.perm);
     model::validateTiles(chain, plan.tiles);
+    plan.concurrency =
+        doc.haveConcurrency
+            ? bindConcurrency(chain, doc.concurrency)
+            : analysis::analyzeConcurrency(chain, plan.tiles).kinds();
 
     // Recompute the predictions so a stale document cannot lie.
     const model::DataMovement dm =

@@ -12,8 +12,19 @@
  *     chain: <name>
  *     order: m,l,k,n
  *     tiles: m=128 l=64 k=64 n=64
+ *     concurrency: m=parallel l=reduction k=reduction n=parallel
  *     volume-bytes: 6291456
  *     mem-bytes: 393216
+ *
+ * The concurrency line declares the per-axis concurrency class the
+ * executors obey (see analysis/dependence.hpp). It is optional — a
+ * document without one gets a fresh dependence analysis on load — but
+ * when present it must cover every chain axis exactly once with a
+ * known kind, and axes the chain does not have are rejected outright.
+ * Whether the declared classes *agree* with a fresh analysis is the
+ * verifier's job (DP rules), not the deserializer's: chimera-check
+ * needs mis-declared documents to load so its dynamic race checker can
+ * demonstrate the conflict.
  *
  * The fingerprint line is optional in hand-written documents and
  * mandatory for plan-cache entries: it hashes the chain structure plus
@@ -64,11 +75,19 @@ struct ParsedPlanDoc
     /** (axis name, tile size) pairs from the "tiles:" line, in order. */
     std::vector<std::pair<std::string, std::int64_t>> tiles;
 
+    /**
+     * (axis name, kind name) pairs from the "concurrency:" line, in
+     * order. Kind names are validated at binding time (PL12/DP01), not
+     * here, so the verifier can report instead of throwing.
+     */
+    std::vector<std::pair<std::string, std::string>> concurrency;
+
     double declaredVolumeBytes = 0.0;
     std::int64_t declaredMemBytes = 0;
 
     bool haveOrder = false;
     bool haveTiles = false;
+    bool haveConcurrency = false;
     bool haveVolume = false;
     bool haveMem = false;
 };
@@ -81,6 +100,18 @@ struct ParsedPlanDoc
  * checked here, that is the binding/verification layer's job.
  */
 ParsedPlanDoc parsePlanDocument(const std::string &text);
+
+/**
+ * Binds a parsed "concurrency:" declaration to @p chain: resolves axis
+ * names, parses kind tokens, and rejects unknown axes, unknown kinds,
+ * duplicates, and incomplete coverage (every chain axis must appear
+ * exactly once). Throws chimera::Error naming the defect; the verifier
+ * catches it and reports rule PL12 instead. Returns the per-AxisId
+ * kinds.
+ */
+std::vector<analysis::AxisConcurrency> bindConcurrency(
+    const ir::Chain &chain,
+    const std::vector<std::pair<std::string, std::string>> &entries);
 
 /**
  * Serializes @p plan for @p chain into the v2 text format. A non-empty

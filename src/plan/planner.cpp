@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/dependence.hpp"
 #include "ir/builders.hpp"
 #include "plan/plan_cache.hpp"
 #include "support/error.hpp"
@@ -93,6 +94,15 @@ executabilityPins(const Chain &chain)
         }
     }
     return pins;
+}
+
+std::vector<analysis::AxisConcurrency>
+effectiveConcurrency(const ir::Chain &chain, const ExecutionPlan &plan)
+{
+    if (static_cast<int>(plan.concurrency.size()) == chain.numAxes()) {
+        return plan.concurrency;
+    }
+    return analysis::analyzeConcurrency(chain, plan.tiles).kinds();
 }
 
 std::string
@@ -275,6 +285,8 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
         std::count(filtered.begin(), filtered.end(), char(1)));
     best.candidatesExamined =
         static_cast<int>(candidates.size()) - filteredCount;
+    best.concurrency =
+        analysis::analyzeConcurrency(chain, best.tiles).kinds();
     best.planSeconds = timer.seconds();
     CHIMERA_DEBUG("planned " << chain.name() << ": order "
                              << orderString(chain, best.perm) << " volume "
@@ -333,6 +345,8 @@ planFixedOrder(const Chain &chain, const std::vector<AxisId> &perm,
     plan.predictedVolumeBytes = sol.volumeBytes;
     plan.memUsageBytes = sol.memUsageBytes;
     plan.candidatesExamined = 1;
+    plan.concurrency =
+        analysis::analyzeConcurrency(chain, plan.tiles).kinds();
     plan.planSeconds = timer.seconds();
     if (options.verify) {
         // Baselines pin deliberately non-executable orders; only the

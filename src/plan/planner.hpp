@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dependence.hpp"
 #include "ir/chain.hpp"
 #include "model/multilevel.hpp"
 #include "solver/tile_solver.hpp"
@@ -32,6 +33,16 @@ struct ExecutionPlan
 
     /** Tile size per axis. */
     std::vector<std::int64_t> tiles;
+
+    /**
+     * Concurrency class per axis (indexed by AxisId), derived by the
+     * dependence analysis when the plan is made and serialized in the
+     * v2 plan document. The executors consult this table — not their
+     * own judgment — to pick the block loops they distribute across
+     * workers. Empty on hand-assembled plans; executors then analyze
+     * fresh (see effectiveConcurrency).
+     */
+    std::vector<analysis::AxisConcurrency> concurrency;
 
     /** Algorithm-1 volume prediction for this plan, bytes. */
     double predictedVolumeBytes = 0.0;
@@ -124,6 +135,16 @@ solver::TileConstraints alphaConstraints(const ir::Chain &chain,
  * intermediate is held as a panel. Chains without cycles get no pins.
  */
 solver::TileConstraints executabilityPins(const ir::Chain &chain);
+
+/**
+ * The concurrency table an executor must obey for @p plan: the plan's
+ * own table when it carries one of the right arity (the normal case —
+ * and deliberately also the tampered/mis-declared case, so the dynamic
+ * race checker can observe what such a plan does), else a fresh
+ * dependence analysis of (chain, tiles).
+ */
+std::vector<analysis::AxisConcurrency>
+effectiveConcurrency(const ir::Chain &chain, const ExecutionPlan &plan);
 
 /** Human-readable order string, e.g. "m,l,k,n". */
 std::string orderString(const ir::Chain &chain,

@@ -6,6 +6,7 @@
 
 #include "model/data_movement.hpp"
 #include "support/mathutil.hpp"
+#include "verify/concurrency_verifier.hpp"
 
 namespace chimera::verify {
 
@@ -337,6 +338,12 @@ verifyExecutionPlan(const Chain &chain, const plan::ExecutionPlan &plan,
             checkLegality(chain, plan.perm, plan.tiles, options, report);
         checkDeclaredPredictions(dm, plan.predictedVolumeBytes, true,
                                  plan.memUsageBytes, true, report);
+        // Plans without a table (hand-assembled) get fresh analysis at
+        // execution time, so there is nothing to disagree with.
+        if (!plan.concurrency.empty()) {
+            report.merge(
+                verifyConcurrency(chain, plan.tiles, plan.concurrency));
+        }
     }
     return report;
 }
@@ -437,6 +444,7 @@ verifyPlanDocument(const Chain &chain, const plan::ParsedPlanDoc &doc,
         checkDeclaredPredictions(dm, doc.declaredVolumeBytes,
                                  doc.haveVolume, doc.declaredMemBytes,
                                  doc.haveMem, report);
+        report.merge(verifyDocumentConcurrency(chain, doc, tiles));
     }
     return report;
 }

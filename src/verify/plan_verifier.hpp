@@ -34,6 +34,12 @@
  *  - PL10  document fingerprint does not match the expected cache key
  *  - PL11  multi-level schedule defect: wrong level count or inner
  *          tiles not nested inside the enclosing level's tiles
+ *  - PL12  document concurrency binding defect: unknown axis, unknown
+ *          kind, duplicate entry, or incomplete axis coverage (see
+ *          concurrency_verifier.hpp; the DP01-DP06 rules comparing a
+ *          bound table against fresh dependence analysis live there
+ *          and run as part of verifyExecutionPlan /
+ *          verifyPlanDocument)
  *  - KP01  micro-kernel register usage MI*NI + NI + MII exceeds the
  *          register budget
  *  - KP02  micro-kernel structure: MII < 2 or MII does not divide MI

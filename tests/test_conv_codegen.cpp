@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <unistd.h>
 
 #include "codegen/conv_emitter.hpp"
 #include "exec/constraints.hpp"
@@ -68,9 +69,13 @@ compileAndCheck(const ir::ConvChainConfig &cfg)
 {
     const std::string source =
         codegen::emitConvChainC(cfg, planFor(cfg));
+    // Unique per process: ctest runs test binaries concurrently and
+    // TempDir() is shared, so fixed names race across processes.
     const std::string dir = ::testing::TempDir();
-    const std::string cPath = dir + "/chimera_conv_gen.c";
-    const std::string binPath = dir + "/chimera_conv_gen_bin";
+    const std::string stem =
+        dir + "/chimera_conv_gen_" + std::to_string(::getpid());
+    const std::string cPath = stem + ".c";
+    const std::string binPath = stem + "_bin";
     {
         std::ofstream out(cPath);
         out << source;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <unistd.h>
 
 #include "codegen/c_emitter.hpp"
 #include "graph/transformer.hpp"
@@ -183,9 +184,13 @@ compileAndCheck(const ir::GemmChainConfig &cfg, const char *extraFlags)
 {
     const std::string source =
         codegen::emitGemmChainC(cfg, codegenPlan(cfg));
+    // Unique per process: ctest runs test binaries concurrently and
+    // TempDir() is shared, so fixed names race across processes.
     const std::string dir = ::testing::TempDir();
-    const std::string cPath = dir + "/chimera_gen.c";
-    const std::string binPath = dir + "/chimera_gen_bin";
+    const std::string stem =
+        dir + "/chimera_gen_" + std::to_string(::getpid());
+    const std::string cPath = stem + ".c";
+    const std::string binPath = stem + "_bin";
     {
         std::ofstream out(cPath);
         out << source;

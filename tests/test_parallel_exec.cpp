@@ -10,9 +10,17 @@
 
 #include <cstring>
 
+#include <algorithm>
+
+#include "analysis/dependence.hpp"
+#include "analysis/race_checker.hpp"
 #include "exec/conv_chain_exec.hpp"
 #include "exec/gemm_chain3_exec.hpp"
 #include "exec/gemm_chain_exec.hpp"
+#include "graph/cnn.hpp"
+#include "graph/transformer.hpp"
+#include "ir/builders.hpp"
+#include "plan/plan_io.hpp"
 #include "plan/planner.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -230,6 +238,232 @@ TEST(ParallelExec, ExplicitPoolOverrideIsUsed)
     Tensor c({2, 33, 19});
     runTiledBatchGemm(engine, a, b, c, GemmTiles{8, 8, 8}, options);
     EXPECT_TRUE(bitwiseEqual(c, serial));
+}
+
+TEST(ParallelExec, RaceCheckCleanOnTransformerAttentionChain)
+{
+    // The shipped transformer workload's own attention chain and plan
+    // (scaled down for test time): with the race checker armed, every
+    // thread count must claim conflict-free and stay bitwise-identical.
+    graph::EncoderConfig enc;
+    enc.seqLen = 64;
+    enc.heads = 4;
+    enc.headDim = 16;
+    enc.ffDim = 64;
+    const graph::TransformerEncoder encoder(enc, 24.0 * 1024);
+    const GemmChainConfig &cfg = encoder.attentionChain();
+    const plan::ExecutionPlan &plan = encoder.attentionPlan();
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Rng rng(11);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+
+    Tensor serial(gemmChainShapeE(cfg));
+    runFusedGemmChain(cfg, plan, engine, a, b, d, serial);
+    for (int threads : kThreadCounts) {
+        analysis::RaceChecker checker(serial.numel());
+        Tensor e(gemmChainShapeE(cfg));
+        runFusedGemmChain(cfg, plan, engine, a, b, d, e,
+                          ExecOptions{threads, nullptr, &checker});
+        EXPECT_FALSE(checker.hasConflicts())
+            << "threads " << threads << "\n" << checker.report();
+        EXPECT_TRUE(bitwiseEqual(e, serial)) << "threads " << threads;
+    }
+}
+
+TEST(ParallelExec, RaceCheckCleanOnCnnStageChains)
+{
+    // Every stage chain of the shipped CNN workload (spatially scaled
+    // down), fused, race checker armed, at every thread count.
+    graph::CnnConfig cnn = graph::squeezeNetLike();
+    cnn.height = 20;
+    cnn.width = 20;
+    const graph::CnnBackbone backbone(cnn, 256.0 * 1024);
+    const ComputeEngine engine = ComputeEngine::best();
+
+    for (const ir::ConvChainConfig &cfg : backbone.stageChains()) {
+        const ir::Chain chain = ir::makeConvChain(cfg);
+        const plan::ExecutionPlan plan = planFor(chain, 256.0 * 1024);
+
+        Tensor input(convChainShapeI(cfg));
+        Tensor w1(convChainShapeW1(cfg));
+        Tensor w2(convChainShapeW2(cfg));
+        Rng rng(23);
+        fillUniform(input, rng);
+        fillUniform(w1, rng);
+        fillUniform(w2, rng);
+
+        Tensor serial(convChainShapeO(cfg));
+        runFusedConvChain(cfg, plan, engine, input, w1, w2, serial);
+        for (int threads : kThreadCounts) {
+            analysis::RaceChecker checker(serial.numel());
+            Tensor output(convChainShapeO(cfg));
+            runFusedConvChain(cfg, plan, engine, input, w1, w2, output,
+                              ExecOptions{threads, nullptr, &checker});
+            EXPECT_FALSE(checker.hasConflicts())
+                << cfg.name << " threads " << threads << "\n"
+                << checker.report();
+            EXPECT_TRUE(bitwiseEqual(output, serial))
+                << cfg.name << " threads " << threads;
+        }
+    }
+}
+
+TEST(ParallelExec, SeededRaceInGemmPlanDetectedSerially)
+{
+    // A plan document mis-declaring the contracted axis l as parallel:
+    // the executor honors the declared table, and the task-keyed shadow
+    // memory must observe the conflicting writers even in a fully
+    // serial run (a genuinely racy schedule is never executed
+    // multithreaded just to prove it races).
+    GemmChainConfig cfg;
+    cfg.name = "check-gemm-chain";
+    cfg.m = 64;
+    cfg.n = 64;
+    cfg.k = 64;
+    cfg.l = 64;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const plan::ExecutionPlan plan = plan::deserializePlan(
+        chain,
+        "chimera-plan v2\n"
+        "chain: check-gemm-chain\n"
+        "order: m,l,k,n\n"
+        "tiles: m=16 n=16 k=16 l=16\n"
+        "concurrency: m=parallel n=parallel k=reduction l=parallel\n");
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Rng rng(42);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+
+    Tensor e(gemmChainShapeE(cfg));
+    analysis::RaceChecker checker(e.numel());
+    runFusedGemmChain(cfg, plan, ComputeEngine::best(), a, b, d, e,
+                      ExecOptions{1, nullptr, &checker});
+    EXPECT_TRUE(checker.hasConflicts());
+}
+
+TEST(ParallelExec, SeededRaceInConvPlanDetectedSerially)
+{
+    ir::ConvChainConfig cfg;
+    cfg.name = "check-conv-chain";
+    cfg.batch = 1;
+    cfg.ic = 16;
+    cfg.h = 16;
+    cfg.w = 16;
+    cfg.oc1 = 16;
+    cfg.oc2 = 16;
+    cfg.k1 = 3;
+    cfg.k2 = 3;
+    const ir::Chain chain = ir::makeConvChain(cfg);
+    // oc1 is contracted by the second convolution; declaring it
+    // parallel (with two oc1 blocks) makes distinct tasks accumulate
+    // into the same output elements.
+    const plan::ExecutionPlan plan = plan::deserializePlan(
+        chain,
+        "chimera-plan v2\n"
+        "chain: check-conv-chain\n"
+        "order: oh,ow,oc1,oc2,ic,kh2,kw2,kh1,kw1\n"
+        "tiles: oc2=16 oh=16 ow=16 oc1=8 ic=16 kh2=3 kw2=3 kh1=3 "
+        "kw1=3\n"
+        "concurrency: oc2=parallel oh=parallel ow=parallel oc1=parallel "
+        "ic=reduction kh2=reduction kw2=reduction kh1=reduction "
+        "kw1=reduction\n");
+
+    Tensor input(convChainShapeI(cfg));
+    Tensor w1(convChainShapeW1(cfg));
+    Tensor w2(convChainShapeW2(cfg));
+    Rng rng(42);
+    fillUniform(input, rng);
+    fillUniform(w1, rng);
+    fillUniform(w2, rng);
+
+    Tensor output(convChainShapeO(cfg));
+    analysis::RaceChecker checker(output.numel());
+    runFusedConvChain(cfg, plan, ComputeEngine::best(), input, w1, w2,
+                      output, ExecOptions{1, nullptr, &checker});
+    EXPECT_TRUE(checker.hasConflicts());
+}
+
+/** The blessed axes must all be proven Parallel by the analysis. */
+void
+expectBlessedSubsetOfProven(const ir::Chain &chain,
+                            const plan::ExecutionPlan &plan,
+                            const std::vector<std::string> &blessed,
+                            const std::vector<std::string> &expected)
+{
+    const analysis::ConcurrencyTable table =
+        analysis::analyzeConcurrency(chain, plan.tiles);
+    for (const std::string &name : blessed) {
+        EXPECT_TRUE(table.isParallel(ir::axisIdByName(chain, name)))
+            << chain.name() << " parallelizes unproven axis " << name;
+    }
+    std::vector<std::string> sortedBlessed = blessed;
+    std::vector<std::string> sortedExpected = expected;
+    std::sort(sortedBlessed.begin(), sortedBlessed.end());
+    std::sort(sortedExpected.begin(), sortedExpected.end());
+    EXPECT_EQ(sortedBlessed, sortedExpected) << chain.name();
+}
+
+TEST(ParallelExec, ExecutorParallelAxesMatchAnalysisExactly)
+{
+    // Cross-check per shipped workload: the axes each fused executor
+    // distributes are exactly the region-loop axes the dependence
+    // analysis classifies Parallel.
+    {
+        GemmChainConfig cfg;
+        cfg.batch = 3;
+        cfg.m = 48;
+        cfg.n = 24;
+        cfg.k = 16;
+        cfg.l = 40;
+        cfg.epilogue = Epilogue::Softmax;
+        cfg.softmaxScale = 0.25f;
+        const ir::Chain chain = ir::makeGemmChain(cfg);
+        const plan::ExecutionPlan plan = planFor(chain, 16.0 * 1024);
+        expectBlessedSubsetOfProven(
+            chain, plan, fusedGemmChainParallelAxes(cfg, plan),
+            {"b", "m"});
+    }
+    {
+        ir::GemmChain3Config cfg;
+        cfg.batch = 2;
+        cfg.m = 48;
+        cfg.n = 24;
+        cfg.k = 16;
+        cfg.l = 40;
+        cfg.p = 20;
+        const ir::Chain chain = ir::makeGemmChain3(cfg);
+        const plan::ExecutionPlan plan = planFor(chain, 48.0 * 1024);
+        expectBlessedSubsetOfProven(
+            chain, plan, fusedGemmChain3ParallelAxes(cfg, plan),
+            {"b", "m"});
+    }
+    {
+        ConvChainConfig cfg;
+        cfg.batch = 2;
+        cfg.ic = 6;
+        cfg.h = 17;
+        cfg.w = 17;
+        cfg.oc1 = 9;
+        cfg.oc2 = 7;
+        cfg.k1 = 3;
+        cfg.k2 = 3;
+        cfg.epilogue = Epilogue::Relu;
+        const ir::Chain chain = ir::makeConvChain(cfg);
+        const plan::ExecutionPlan plan = planFor(chain, 24.0 * 1024);
+        expectBlessedSubsetOfProven(
+            chain, plan, fusedConvChainParallelAxes(cfg, plan),
+            {"b", "oh", "ow"});
+    }
 }
 
 } // namespace

@@ -12,6 +12,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "ir/builders.hpp"
 #include "plan/plan_cache.hpp"
@@ -266,6 +268,45 @@ TEST(PlanCache, MultiLevelPlanningUsesTheCache)
         EXPECT_EQ(warm.levels[d].perm, cold.levels[d].perm);
         EXPECT_EQ(warm.levels[d].tiles, cold.levels[d].tiles);
     }
+}
+
+TEST(PlanCache, ConcurrentLookupsKeepExactCounters)
+{
+    // Counters are lock-free atomics on the lookup fast path; hammer
+    // lookup/store/stats from many threads (TSan covers this test in
+    // CI) and check the totals are exact afterwards.
+    const ir::Chain chain = chainUnderTest();
+    PlannerOptions options = optionsUnderTest();
+    PlanCache cache(""); // memory-only keeps the filesystem out of it
+    options.cache = &cache;
+
+    const ExecutionPlan seeded = planChain(chain, options);
+    EXPECT_EQ(cache.stats().stores, 1);
+
+    constexpr int kWorkers = 8;
+    constexpr int kLookupsPerWorker = 200;
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (int t = 0; t < kWorkers; ++t) {
+        workers.emplace_back([&chain, &options, &cache, &seeded] {
+            for (int i = 0; i < kLookupsPerWorker; ++i) {
+                const std::optional<ExecutionPlan> hit =
+                    cache.lookup(chain, options);
+                ASSERT_TRUE(hit.has_value());
+                EXPECT_EQ(hit->tiles, seeded.tiles);
+                (void)cache.stats(); // snapshots race with increments
+            }
+        });
+    }
+    for (std::thread &worker : workers) {
+        worker.join();
+    }
+
+    const PlanCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.memoryHits, kWorkers * kLookupsPerWorker);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.stores, 1);
+    EXPECT_EQ(stats.diskHits, 0);
 }
 
 } // namespace

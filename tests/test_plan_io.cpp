@@ -248,5 +248,113 @@ TEST(PlanIo, RejectsKeylessLines)
     EXPECT_THROW(deserializePlan(chain, text), Error);
 }
 
+/** Serialized document with the "concurrency:" line's value replaced. */
+std::string
+documentWithConcurrency(const ir::Chain &chain, const std::string &value)
+{
+    std::string text = serializePlan(chain, planUnderTest(chain));
+    const std::size_t pos = text.find("concurrency:");
+    EXPECT_NE(pos, std::string::npos);
+    const std::size_t eol = text.find('\n', pos);
+    if (value.empty()) {
+        text.erase(pos, eol - pos + 1);
+    } else {
+        text.replace(pos, eol - pos, "concurrency: " + value);
+    }
+    return text;
+}
+
+TEST(PlanIo, ConcurrencyTableRoundTrips)
+{
+    const ir::Chain chain = chainUnderTest();
+    const ExecutionPlan plan = planUnderTest(chain);
+    const std::string text = serializePlan(chain, plan);
+    EXPECT_NE(text.find("concurrency:"), std::string::npos);
+    const ExecutionPlan restored = deserializePlan(chain, text);
+    EXPECT_EQ(restored.concurrency, plan.concurrency);
+}
+
+TEST(PlanIo, MissingConcurrencyFallsBackToFreshAnalysis)
+{
+    // v2 docs without the line (and every v1 doc) load with the table
+    // re-derived from the chain, so older cache entries stay usable.
+    const ir::Chain chain = chainUnderTest();
+    const ExecutionPlan plan = planUnderTest(chain);
+    const ExecutionPlan restored =
+        deserializePlan(chain, documentWithConcurrency(chain, ""));
+    EXPECT_EQ(restored.concurrency, plan.concurrency);
+}
+
+TEST(PlanIo, RejectsConcurrencyWithUnknownAxis)
+{
+    const ir::Chain chain = chainUnderTest();
+    EXPECT_THROW(deserializePlan(
+                     chain, documentWithConcurrency(
+                                chain,
+                                "b=parallel m=parallel n=parallel "
+                                "k=reduction l=reduction q=parallel")),
+                 Error);
+}
+
+TEST(PlanIo, RejectsConcurrencyWithUnknownKind)
+{
+    const ir::Chain chain = chainUnderTest();
+    EXPECT_THROW(deserializePlan(
+                     chain, documentWithConcurrency(
+                                chain,
+                                "b=parallel m=concurrent n=parallel "
+                                "k=reduction l=reduction")),
+                 Error);
+}
+
+TEST(PlanIo, RejectsDuplicateConcurrencyAxes)
+{
+    const ir::Chain chain = chainUnderTest();
+    EXPECT_THROW(deserializePlan(
+                     chain, documentWithConcurrency(
+                                chain,
+                                "b=parallel m=parallel m=parallel "
+                                "k=reduction l=reduction")),
+                 Error);
+}
+
+TEST(PlanIo, RejectsIncompleteConcurrency)
+{
+    const ir::Chain chain = chainUnderTest();
+    EXPECT_THROW(
+        deserializePlan(chain, documentWithConcurrency(
+                                   chain, "b=parallel m=parallel")),
+        Error);
+}
+
+TEST(PlanIo, RejectsMalformedConcurrencyTokens)
+{
+    const ir::Chain chain = chainUnderTest();
+    for (const char *value : {"=parallel", "m=", "parallel"}) {
+        EXPECT_THROW(deserializePlan(
+                         chain, documentWithConcurrency(chain, value)),
+                     Error)
+            << value;
+    }
+}
+
+TEST(PlanIo, HonorsDeclaredConcurrencyOverDerived)
+{
+    // A deliberately mis-declared (but well-formed) table must survive
+    // the load: the race checker exists to observe what a tampered
+    // document actually does, so the loader binds it rather than
+    // silently repairing it. chimera-check flags it via DP02.
+    const ir::Chain chain = chainUnderTest();
+    const ExecutionPlan plan = planUnderTest(chain);
+    const ExecutionPlan restored = deserializePlan(
+        chain, documentWithConcurrency(chain,
+                                       "b=parallel m=parallel n=parallel "
+                                       "k=reduction l=parallel"));
+    EXPECT_NE(restored.concurrency, plan.concurrency);
+    EXPECT_EQ(restored.concurrency[static_cast<std::size_t>(
+                  ir::axisIdByName(chain, "l"))],
+              analysis::AxisConcurrency::Parallel);
+}
+
 } // namespace
 } // namespace chimera::plan

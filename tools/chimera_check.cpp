@@ -4,10 +4,21 @@
  *
  * Describes a chain the same way chimera-plan does, audits the chain IR
  * (rules CH01-CH07), then audits either a plan document supplied with
- * --plan or the planner's own winning schedule (rules PL01-PL11), and
- * optionally the micro-kernel register tile (KP01-KP03). Prints every
- * finding as "severity: [rule] location: message" and exits non-zero
- * when any error-severity finding was reported.
+ * --plan or the planner's own winning schedule (rules PL01-PL12 plus
+ * the DP01-DP06 concurrency rules), and optionally the micro-kernel
+ * register tile (KP01-KP03). Prints every finding as "severity: [rule]
+ * location: message" and exits non-zero when any error-severity finding
+ * was reported.
+ *
+ * With --race the tool additionally *executes* the fused chain (gemm
+ * and conv modes only) under a shadow-memory race checker: every block
+ * task tags the output elements it writes, and two distinct tasks
+ * claiming the same element is reported as rule RC01. Detection is
+ * keyed on the deterministic block-task index, so the suspect plan is
+ * run serially — a mis-declared parallel axis is caught without ever
+ * racing for real. This is the dynamic complement of the static DP
+ * rules: DP02 says the declared table disagrees with the analysis,
+ * RC01 says the disagreement produces conflicting writers in practice.
  *
  * Usage:
  *   chimera-check gemm <batch> <M> <N> <K> <L> [options]
@@ -22,6 +33,8 @@
  *   --registers <N>      also audit the selected micro-kernel params
  *   --no-recount         skip the brute-force Algorithm-1 recount (PL09)
  *   --threads <N>        planner threads when planning fresh
+ *   --race               execute the fused chain under the shadow-memory
+ *                        race checker (gemm/conv only; rule RC01)
  *
  * Exit status: 0 clean (warnings allowed), 1 errors found, 2 bad usage.
  */
@@ -29,17 +42,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "analysis/race_checker.hpp"
 #include "exec/constraints.hpp"
+#include "exec/conv_chain_exec.hpp"
+#include "exec/gemm_chain_exec.hpp"
 #include "ir/builders.hpp"
 #include "ir/dsl.hpp"
 #include "kernels/kernel_params.hpp"
 #include "plan/plan_io.hpp"
 #include "plan/planner.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "verify/chain_verifier.hpp"
 #include "verify/plan_verifier.hpp"
 
@@ -56,7 +74,12 @@ struct CliOptions
     int registers = 0; // 0 = skip the kernel-params audit
     bool recount = true;
     int threads = 0;
+    bool race = false;
 };
+
+/** Executes one planned schedule under a RaceChecker; empty for dsl. */
+using RaceScan =
+    std::function<verify::Report(const plan::ExecutionPlan &)>;
 
 [[noreturn]] void
 usage()
@@ -69,7 +92,8 @@ usage()
         "       chimera-check dsl '<einsum statements>' idx=extent..."
         " [options]\n"
         "options: --plan <file> --fingerprint <hex> --capacity <bytes>"
-        " --softmax --relu --registers <N> --no-recount --threads <N>\n");
+        " --softmax --relu --registers <N> --no-recount --threads <N>"
+        " --race (gemm/conv only)\n");
     std::exit(2);
 }
 
@@ -93,6 +117,8 @@ parseOptions(int argc, char **argv, int firstOption)
             options.registers = std::atoi(argv[++i]);
         } else if (arg == "--no-recount") {
             options.recount = false;
+        } else if (arg == "--race") {
+            options.race = true;
         } else if (arg == "--threads" && i + 1 < argc) {
             options.threads = std::atoi(argv[++i]);
         } else {
@@ -178,13 +204,58 @@ checkFreshPlan(const ir::Chain &chain,
     return report;
 }
 
+/** Reports checker conflicts as RC01 (or prints the clean summary). */
+void
+reportRaceFindings(const analysis::RaceChecker &checker,
+                   verify::Report &report)
+{
+    if (checker.hasConflicts()) {
+        report.error("RC01", "race", checker.report());
+    } else {
+        std::printf("race:  no conflicting writers observed\n");
+    }
+}
+
+/**
+ * The plan the dynamic race scan should execute: the --plan document
+ * when given (deliberately loaded through deserializePlan, which keeps
+ * a mis-declared concurrency table so the scan can observe it), else a
+ * fresh planner run. Throws on unreadable/unbindable documents.
+ */
+plan::ExecutionPlan
+planForRaceScan(const ir::Chain &chain,
+                const solver::TileConstraints &constraints,
+                const CliOptions &options)
+{
+    if (!options.planFile.empty()) {
+        const std::optional<std::string> text = readFile(options.planFile);
+        if (!text) {
+            throw Error("cannot read plan file " + options.planFile);
+        }
+        return plan::deserializePlan(chain, *text, options.fingerprint);
+    }
+    plan::PlannerOptions po;
+    po.memCapacityBytes = options.capacityBytes;
+    po.constraints = constraints;
+    po.threads = options.threads;
+    po.verify = false;
+    return plan::planChain(chain, po);
+}
+
 int
 run(const ir::Chain &chain, const solver::TileConstraints &constraints,
-    const CliOptions &options)
+    const CliOptions &options, const RaceScan &raceScan = {})
 {
     std::printf("chain: %s (%d axes, %zu ops, %zu tensors)\n",
                 chain.name().c_str(), chain.numAxes(), chain.ops().size(),
                 chain.tensors().size());
+
+    if (options.race && !raceScan) {
+        std::fprintf(stderr,
+                     "--race needs an executable chain (gemm or conv"
+                     " mode)\n");
+        usage();
+    }
 
     verify::Report report = verify::verifyChain(chain);
     const bool chainBroken = report.hasErrors();
@@ -194,6 +265,18 @@ run(const ir::Chain &chain, const solver::TileConstraints &constraints,
         report.merge(checkPlanFile(chain, options));
     } else {
         report.merge(checkFreshPlan(chain, constraints, options));
+    }
+
+    if (options.race && !chainBroken) {
+        try {
+            report.merge(raceScan(planForRaceScan(chain, constraints,
+                                                  options)));
+        } catch (const Error &e) {
+            report.error("RC01", "race",
+                         std::string("race scan could not execute the"
+                                     " plan: ") +
+                             e.what());
+        }
     }
 
     if (options.registers > 0) {
@@ -248,8 +331,29 @@ main(int argc, char **argv)
                     1.0f / std::sqrt(static_cast<float>(cfg.k));
             }
             const ir::Chain chain = ir::makeGemmChain(cfg);
+            const RaceScan scan =
+                [&cfg](const plan::ExecutionPlan &plan) {
+                    verify::Report report;
+                    Tensor a(exec::gemmChainShapeA(cfg));
+                    Tensor b(exec::gemmChainShapeB(cfg));
+                    Tensor d(exec::gemmChainShapeD(cfg));
+                    Tensor e(exec::gemmChainShapeE(cfg));
+                    Rng rng(42);
+                    fillUniform(a, rng);
+                    fillUniform(b, rng);
+                    fillUniform(d, rng);
+                    analysis::RaceChecker checker(e.numel());
+                    exec::ExecOptions eo;
+                    eo.threads = 1; // task-keyed detection: run serially
+                    eo.raceCheck = &checker;
+                    exec::runFusedGemmChain(
+                        cfg, plan, exec::ComputeEngine::best(), a, b, d,
+                        e, eo);
+                    reportRaceFindings(checker, report);
+                    return report;
+                };
             return run(chain, exec::cpuChainConstraints(chain, kernel),
-                       options);
+                       options, scan);
         }
         if (mode == "conv" && argc >= 12) {
             const CliOptions options = parseOptions(argc, argv, 12);
@@ -267,8 +371,29 @@ main(int argc, char **argv)
             cfg.stride2 = std::atoi(argv[11]);
             cfg.epilogue = options.epilogue;
             const ir::Chain chain = ir::makeConvChain(cfg);
+            const RaceScan scan =
+                [&cfg](const plan::ExecutionPlan &plan) {
+                    verify::Report report;
+                    Tensor input(exec::convChainShapeI(cfg));
+                    Tensor w1(exec::convChainShapeW1(cfg));
+                    Tensor w2(exec::convChainShapeW2(cfg));
+                    Tensor output(exec::convChainShapeO(cfg));
+                    Rng rng(42);
+                    fillUniform(input, rng);
+                    fillUniform(w1, rng);
+                    fillUniform(w2, rng);
+                    analysis::RaceChecker checker(output.numel());
+                    exec::ExecOptions eo;
+                    eo.threads = 1; // task-keyed detection: run serially
+                    eo.raceCheck = &checker;
+                    exec::runFusedConvChain(cfg, plan,
+                                            exec::ComputeEngine::best(),
+                                            input, w1, w2, output, eo);
+                    reportRaceFindings(checker, report);
+                    return report;
+                };
             return run(chain, exec::cpuChainConstraints(chain, kernel),
-                       options);
+                       options, scan);
         }
         if (mode == "dsl" && argc >= 3) {
             std::map<std::string, std::int64_t> extents;
