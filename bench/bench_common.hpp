@@ -8,15 +8,19 @@
  * table/figure through AsciiTable so runs are diffable.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
+#include "exec/chunk_profile.hpp"
 #include "exec/constraints.hpp"
 #include "exec/conv_chain_exec.hpp"
 #include "exec/exec_options.hpp"
 #include "exec/gemm_chain_exec.hpp"
+#include "hw/machines.hpp"
 #include "ir/workloads.hpp"
 #include "plan/plan_cache.hpp"
 #include "plan/planner.hpp"
@@ -47,6 +51,18 @@ threadsFromArgs(int argc, char **argv)
     return 0;
 }
 
+/** True when @p flag appears verbatim on the command line. */
+inline bool
+flagInArgs(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
 /** Widest micro kernel available on this host. */
 inline const kernels::MicroKernel &
 hostKernel()
@@ -64,6 +80,47 @@ planCpu(const ir::Chain &chain,
     options.memCapacityBytes = capacityBytes;
     options.constraints = exec::cpuChainConstraints(chain, hostKernel());
     return plan::planChain(chain, options);
+}
+
+/**
+ * Thread-aware planCpu: the plan targets @p execThreads workers on the
+ * multicore CPU topology, so shared-level per-worker budgets shrink the
+ * tiles when the working sets would collide in the LLC, and the plan
+ * carries the parallel-axis chunking (plannedThreads / parallelGrain)
+ * the chunked executors dispatch by.
+ */
+inline plan::ExecutionPlan
+planCpuThreaded(const ir::Chain &chain, int execThreads,
+                double capacityBytes = kCpuCapacityBytes)
+{
+    plan::PlannerOptions options;
+    options.memCapacityBytes = capacityBytes;
+    options.constraints = exec::cpuChainConstraints(chain, hostKernel());
+    options.execThreads = execThreads;
+    options.topology = hw::multicoreCpuTopology();
+    return plan::planChain(chain, options);
+}
+
+/**
+ * Best-of simulated critical path over @p repeats runs: @p run executes
+ * the workload with a fresh ChunkProfile of @p workers simulated
+ * workers attached, and the result is the smallest criticalPathSeconds
+ * observed. The run itself may execute on any number of real threads
+ * (including one — the bench host can be a single core); the profile
+ * charges each chunk to its static owner, so the critical path reflects
+ * the plan's balance, not the host's parallelism.
+ */
+template <typename Fn>
+inline double
+bestOfSimulatedSeconds(int workers, Fn &&run, int repeats = kRepeats)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+        exec::ChunkProfile profile(workers);
+        run(profile);
+        best = std::min(best, profile.criticalPathSeconds());
+    }
+    return best;
 }
 
 /**

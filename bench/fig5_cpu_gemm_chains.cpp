@@ -27,13 +27,21 @@
 namespace chimera::bench {
 namespace {
 
+/** Bench knobs shared by the two figure families. */
+struct RunOptions
+{
+    int threads = 0;  ///< --threads N (0 = CHIMERA_THREADS / hardware)
+    bool sim = false; ///< --sim: simulated-critical-path Chimera timing
+    bool quick = false; ///< --quick: first four Table IV workloads only
+};
+
 void
-runFamily(ir::Epilogue epilogue, const char *title, int threads)
+runFamily(ir::Epilogue epilogue, const char *title, const RunOptions &run)
 {
     const exec::ComputeEngine best = exec::ComputeEngine::best();
     const exec::ComputeEngine scalar = exec::ComputeEngine::scalar();
-    const exec::ExecOptions parOptions{threads, nullptr};
-    const int workers = resolveThreadCount(threads);
+    const exec::ExecOptions parOptions{run.threads, nullptr};
+    const int workers = resolveThreadCount(run.threads);
 
     AsciiTable table({"Chain", "Relay (ms)", "PyTorch (ms)", "Ansor (ms)",
                       "Chimera 1T (ms)",
@@ -42,26 +50,34 @@ runFamily(ir::Epilogue epilogue, const char *title, int threads)
     std::vector<double> speedupsPt;
     std::vector<double> speedupsAnsor;
     std::vector<double> scalings;
-    for (const auto &load : ir::tableIvWorkloads()) {
-        ir::GemmChainConfig cfg = load.config;
+    const auto &loads = ir::tableIvWorkloads();
+    const std::size_t count =
+        run.quick ? std::min<std::size_t>(4, loads.size()) : loads.size();
+    for (std::size_t w = 0; w < count; ++w) {
+        ir::GemmChainConfig cfg = loads[w].config;
         cfg.epilogue = epilogue;
         const ir::Chain chain = ir::makeGemmChain(cfg);
         const plan::ExecutionPlan plan = planCpu(chain);
+        // The thread-aware plan the parallel/simulated columns run:
+        // per-worker LLC budgets plus the parallel-axis chunking.
+        const plan::ExecutionPlan planPar =
+            workers > 1 ? planCpuThreaded(chain, workers) : plan;
         GemmChainData data(cfg);
 
         // Correctness gate: fused output must match the oracle, and the
-        // parallel fused run must match the serial one bitwise.
+        // parallel fused run of the thread-aware plan must match its
+        // serial run bitwise.
         Tensor expected(exec::gemmChainShapeE(cfg));
         exec::referenceGemmChain(cfg, data.a, data.b, data.d, expected);
-        exec::runFusedGemmChain(cfg, plan, best, data.a, data.b, data.d,
-                                data.e);
+        exec::runFusedGemmChain(cfg, planPar, best, data.a, data.b,
+                                data.d, data.e);
         if (!allClose(data.e, expected, 5e-3f, 5e-3f)) {
             std::printf("VALIDATION FAILED for %s\n", cfg.name.c_str());
             return;
         }
         Tensor serialOut = data.e;
-        exec::runFusedGemmChain(cfg, plan, best, data.a, data.b, data.d,
-                                data.e, parOptions);
+        exec::runFusedGemmChain(cfg, planPar, best, data.a, data.b,
+                                data.d, data.e, parOptions);
         if (std::memcmp(serialOut.data(), data.e.data(),
                         static_cast<std::size_t>(serialOut.numel()) *
                             sizeof(float)) != 0) {
@@ -82,12 +98,30 @@ runFamily(ir::Epilogue epilogue, const char *title, int threads)
             timeUnfusedGemmChain(cfg, best, data, fixed, fixed);
         const double tAnsor =
             timeUnfusedGemmChain(cfg, best, data, tuned1, tuned2);
-        const double tChimera =
-            timeFusedGemmChain(cfg, plan, best, data, kRepeats,
-                               exec::ExecOptions{1, nullptr});
-        const double tChimeraPar =
-            timeFusedGemmChain(cfg, plan, best, data, kRepeats,
-                               parOptions);
+        double tChimera = 0.0;
+        double tChimeraPar = 0.0;
+        if (run.sim) {
+            // Simulated critical path (see DESIGN.md): both runs
+            // execute serially; each chunk's time is charged to its
+            // static owner, T_par = sum over phases of max-busy worker.
+            tChimera = bestOfSimulatedSeconds(1, [&](auto &profile) {
+                exec::ExecOptions o{1, nullptr, nullptr, &profile};
+                exec::runFusedGemmChain(cfg, plan, best, data.a, data.b,
+                                        data.d, data.e, o);
+            });
+            tChimeraPar =
+                bestOfSimulatedSeconds(workers, [&](auto &profile) {
+                    exec::ExecOptions o{1, nullptr, nullptr, &profile};
+                    exec::runFusedGemmChain(cfg, planPar, best, data.a,
+                                            data.b, data.d, data.e, o);
+                });
+        } else {
+            tChimera =
+                timeFusedGemmChain(cfg, plan, best, data, kRepeats,
+                                   exec::ExecOptions{1, nullptr});
+            tChimeraPar = timeFusedGemmChain(cfg, planPar, best, data,
+                                             kRepeats, parOptions);
+        }
 
         speedupsPt.push_back(tPytorch / tChimeraPar);
         speedupsAnsor.push_back(tAnsor / tChimeraPar);
@@ -97,7 +131,7 @@ runFamily(ir::Epilogue epilogue, const char *title, int threads)
                       AsciiTable::num(tAnsor * 1e3, 2),
                       AsciiTable::num(tChimera * 1e3, 2),
                       AsciiTable::num(tChimeraPar * 1e3, 2),
-                      plan::orderString(chain, plan.perm),
+                      plan::orderString(chain, planPar.perm),
                       AsciiTable::num(tPytorch / tChimeraPar, 2) + "x",
                       AsciiTable::num(tAnsor / tChimeraPar, 2) + "x",
                       AsciiTable::num(tChimera / tChimeraPar, 2) + "x"});
@@ -143,7 +177,10 @@ int
 main(int argc, char **argv)
 {
     using namespace chimera;
-    const int threads = bench::threadsFromArgs(argc, argv);
+    bench::RunOptions run;
+    run.threads = bench::threadsFromArgs(argc, argv);
+    run.sim = bench::flagInArgs(argc, argv, "--sim");
+    run.quick = bench::flagInArgs(argc, argv, "--quick");
     bench::printHeader(
         "Figure 5a/5b — CPU batch GEMM chain fusion (measured)",
         "AVX-512 fp32 (--threads N or CHIMERA_THREADS selects the worker"
@@ -151,10 +188,11 @@ main(int argc, char **argv)
         " compute/bandwidth balance (~6 Flop/byte) is far below the"
         " paper's 18-core fp16 Xeon (92 Flop/byte), which compresses"
         " memory-bound gaps (see EXPERIMENTS.md).");
-    bench::runFamily(ir::Epilogue::None,
-                     "Figure 5a: BGEMM + BGEMM", threads);
+    std::printf("scaling mode: %s\n\n",
+                run.sim ? "simulated-critical-path" : "wall-clock");
+    bench::runFamily(ir::Epilogue::None, "Figure 5a: BGEMM + BGEMM", run);
     bench::runFamily(ir::Epilogue::Softmax,
-                     "Figure 5b: BGEMM + softmax + BGEMM", threads);
+                     "Figure 5b: BGEMM + softmax + BGEMM", run);
     bench::reportAnalysisOverhead();
     return 0;
 }

@@ -4,6 +4,20 @@
 # table. Output is also captured to scaling_output.txt, and the table —
 # plus the bench's dependence-analysis overhead line — is emitted as
 # machine-readable BENCH_scaling.json.
+#
+# Modes (BENCH_SCALING_MODE=wall|sim|auto, default auto):
+#   wall  times the parallel fused run with real worker threads;
+#   sim   times a serial run under the simulated critical path (each
+#         chunk charged to its static owner; see DESIGN.md
+#         "Thread-aware planning") so the plan's scaling is measurable
+#         on hosts with fewer cores than the sweep's thread counts;
+#   auto  picks sim when nproc < 4, wall otherwise.
+#
+# Flags: --quick restricts the bench to the first four Table IV shapes
+# (reduced CI sweep).
+#
+# Gate: exits non-zero when the final serial->NT geomean is below 1.0x —
+# a thread-aware plan must never be slower than the serial one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,13 +27,34 @@ if [ ! -x "$BENCH" ]; then
     exit 1
 fi
 
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *) echo "error: unknown flag $arg (supported: --quick)" >&2; exit 2 ;;
+    esac
+done
+
+mode="${BENCH_SCALING_MODE:-auto}"
+if [ "$mode" = "auto" ]; then
+    cores="$(nproc 2>/dev/null || echo 1)"
+    if [ "$cores" -lt 4 ]; then mode=sim; else mode=wall; fi
+fi
+case "$mode" in
+    sim) mode_json="simulated-critical-path"; bench_flags=(--sim) ;;
+    wall) mode_json="wall-clock"; bench_flags=() ;;
+    *) echo "error: BENCH_SCALING_MODE must be wall, sim, or auto" >&2; exit 2 ;;
+esac
+[ "$quick" -eq 1 ] && bench_flags+=(--quick)
+echo "mode: $mode_json (quick=$quick)"
+
 : > scaling_output.txt
 declare -a counts=(1 2 4 8)
 declare -a geomeans=()
 overhead_pct="null"
 for t in "${counts[@]}"; do
     echo "##### --threads $t" | tee -a scaling_output.txt
-    out="$("$BENCH" --threads "$t")"
+    out="$("$BENCH" --threads "$t" ${bench_flags[@]+"${bench_flags[@]}"})"
     echo "$out" >> scaling_output.txt
     # Average the per-family serial->NT scaling geomeans for this count.
     gm="$(echo "$out" |
@@ -46,6 +81,8 @@ echo "(full bench tables captured in scaling_output.txt)"
     echo '{'
     echo '  "bench": "fig5_cpu_gemm_chains",'
     echo '  "metric": "geomean serial->NT speedup over Table IV",'
+    echo "  \"mode\": \"${mode_json}\","
+    echo "  \"quick\": $([ "$quick" -eq 1 ] && echo true || echo false),"
     echo '  "scaling": ['
     for i in "${!counts[@]}"; do
         sep=','
@@ -59,3 +96,13 @@ echo "(full bench tables captured in scaling_output.txt)"
     echo '}'
 } > BENCH_scaling.json
 echo "wrote BENCH_scaling.json"
+
+final="${geomeans[$((${#counts[@]} - 1))]}"
+if [ "$final" = "n/a" ]; then
+    echo "error: could not parse a scaling geomean from the bench output" >&2
+    exit 1
+fi
+if ! awk -v g="$final" 'BEGIN { exit !(g >= 1.0) }'; then
+    echo "error: serial->${counts[-1]}T geomean ${final}x is below the 1.0x gate" >&2
+    exit 1
+fi

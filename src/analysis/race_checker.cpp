@@ -1,5 +1,6 @@
 #include "analysis/race_checker.hpp"
 
+#include <new>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -11,11 +12,14 @@ RaceChecker::RaceChecker(std::int64_t numElements)
 {
     CHIMERA_CHECK(numElements > 0,
                   "race checker needs a positive element count");
-    owner_ = std::make_unique<std::atomic<std::int64_t>[]>(
+    owner_ = allocateAligned<std::atomic<std::int64_t>>(
         static_cast<std::size_t>(numElements));
+    // allocateAligned hands back uninitialized storage; atomics must be
+    // constructed before first use (they are trivially destructible, so
+    // the aligned deleter's plain free is fine).
     for (std::int64_t i = 0; i < numElements_; ++i) {
-        owner_[static_cast<std::size_t>(i)].store(
-            0, std::memory_order_relaxed);
+        new (&owner_[static_cast<std::size_t>(i)])
+            std::atomic<std::int64_t>(0);
     }
 }
 

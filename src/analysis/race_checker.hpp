@@ -29,10 +29,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/aligned.hpp"
 
 namespace chimera::analysis {
 
@@ -83,8 +84,13 @@ class RaceChecker
 
   private:
     std::int64_t numElements_;
-    /** Owner per element: task index + 1; 0 = unclaimed this phase. */
-    std::unique_ptr<std::atomic<std::int64_t>[]> owner_;
+    /**
+     * Owner per element: task index + 1; 0 = unclaimed this phase.
+     * Cache-line aligned so concurrent claims from different workers
+     * start on a fresh line instead of false-sharing with whatever the
+     * allocator placed next to the shadow array.
+     */
+    AlignedBuffer<std::atomic<std::int64_t>> owner_;
     std::atomic<std::int64_t> conflictCount_{0};
     mutable std::mutex mutex_;
     std::string phase_ = "<unnamed>";

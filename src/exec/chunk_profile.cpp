@@ -1,0 +1,72 @@
+#include "exec/chunk_profile.hpp"
+
+#include <algorithm>
+
+#include "support/thread_pool.hpp"
+
+namespace chimera::exec {
+
+namespace {
+
+constexpr double kNanosPerSecond = 1e9;
+
+} // namespace
+
+ChunkProfile::ChunkProfile(int workers)
+    : workers_(std::max(1, workers)),
+      slots_(static_cast<std::size_t>(workers_))
+{
+}
+
+double
+ChunkProfile::phaseMaxSeconds() const
+{
+    std::int64_t worst = 0;
+    for (const Slot &slot : slots_) {
+        worst = std::max(worst,
+                         slot.nanos.load(std::memory_order_relaxed));
+    }
+    return static_cast<double>(worst) / kNanosPerSecond;
+}
+
+void
+ChunkProfile::beginPhase(std::int64_t chunkCount)
+{
+    closedCriticalSeconds_ += phaseMaxSeconds();
+    closedTotalSeconds_ = totalBusySeconds();
+    for (Slot &slot : slots_) {
+        slot.nanos.store(0, std::memory_order_relaxed);
+    }
+    phaseChunks_ = std::max<std::int64_t>(0, chunkCount);
+}
+
+void
+ChunkProfile::recordChunk(std::int64_t chunk, double seconds)
+{
+    const int owner =
+        staticChunkOwner(chunk, std::max<std::int64_t>(1, phaseChunks_),
+                         workers_);
+    slots_[static_cast<std::size_t>(std::min(owner, workers_ - 1))]
+        .nanos.fetch_add(
+            static_cast<std::int64_t>(seconds * kNanosPerSecond),
+            std::memory_order_relaxed);
+}
+
+double
+ChunkProfile::criticalPathSeconds() const
+{
+    return closedCriticalSeconds_ + phaseMaxSeconds();
+}
+
+double
+ChunkProfile::totalBusySeconds() const
+{
+    std::int64_t sum = 0;
+    for (const Slot &slot : slots_) {
+        sum += slot.nanos.load(std::memory_order_relaxed);
+    }
+    return closedTotalSeconds_ +
+           static_cast<double>(sum) / kNanosPerSecond;
+}
+
+} // namespace chimera::exec

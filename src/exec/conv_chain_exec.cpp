@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#include "exec/chunk_profile.hpp"
 #include "exec/region_schedule.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
+#include "support/timer.hpp"
 #include "tensor/reference.hpp"
 
 namespace chimera::exec {
@@ -185,10 +187,12 @@ runFusedConvChain(const ConvChainConfig &config,
     // executor at every thread count.
     const RegionSchedule sched =
         partitionRegionLoops(convRegionLoops(chain, config, plan),
-                             plan::effectiveConcurrency(chain, plan));
+                             plan::effectiveConcurrency(chain, plan),
+                             plan.parallelGrain);
 
     ThreadPool *pool = execPool(options);
     const int workers = execWorkerCount(pool);
+    ChunkProfile *profile = options.profile;
 
     analysis::RaceChecker *race = options.raceCheck;
     if (race != nullptr) {
@@ -225,13 +229,19 @@ runFusedConvChain(const ConvChainConfig &config,
 
     // Parallel region blocks from the blessed loops; every unblessed
     // region loop (normally just oc1) runs serially ascending inside.
-    parallelFor(pool, 0, sched.parallelTasks(), [&](std::int64_t task,
-                                                    int worker) {
-        const std::vector<BlockRange> parBlocks =
-            decodeBlocks(sched.parallel, task);
+    // Dispatch is chunked by the plan's grain (grain-invariant outputs).
+    const std::int64_t chunks = sched.chunkCount();
+    if (profile != nullptr) {
+        profile->beginPhase(chunks);
+    }
+    parallelFor(pool, 0, chunks, [&](std::int64_t chunk, int worker) {
+        const WallTimer chunkTimer;
         float *tRegion = tRegions[static_cast<std::size_t>(worker)].get();
         float *patch1 = patch1s[static_cast<std::size_t>(worker)].get();
         float *patch2 = patch2s[static_cast<std::size_t>(worker)].get();
+        sched.forEachTaskInChunk(chunk, [&](std::int64_t task) {
+        const std::vector<BlockRange> parBlocks =
+            decodeBlocks(sched.parallel, task);
 
         const std::int64_t steps = sched.serialSteps();
         for (std::int64_t s = 0; s < steps; ++s) {
@@ -336,6 +346,10 @@ runFusedConvChain(const ConvChainConfig &config,
             }
         }
         }
+        });
+        if (profile != nullptr) {
+            profile->recordChunk(chunk, chunkTimer.seconds());
+        }
     });
 }
 
@@ -400,7 +414,12 @@ runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
             std::min(tiles.tic, ic) * kernel * kernel * ow)));
     }
 
+    ChunkProfile *profile = options.profile;
+    if (profile != nullptr) {
+        profile->beginPhase(batch * oh);
+    }
     parallelFor(pool, 0, batch * oh, [&](std::int64_t task, int worker) {
+        const WallTimer taskTimer;
         const std::int64_t bi = task / oh;
         const std::int64_t r = task % oh;
         const float *inBase = input.data() + bi * ic * h * w;
@@ -427,6 +446,9 @@ runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
                     outBase + oc0 * oh * ow + r * ow, oh * ow, occ, ow,
                     icc * kernel * kernel);
             }
+        }
+        if (profile != nullptr) {
+            profile->recordChunk(task, taskTimer.seconds());
         }
     });
 }

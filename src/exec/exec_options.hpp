@@ -12,6 +12,8 @@
 
 namespace chimera::exec {
 
+class ChunkProfile;
+
 /** Execution-time options accepted by every executor entry point. */
 struct ExecOptions
 {
@@ -37,6 +39,15 @@ struct ExecOptions
      * execution of the suspect plan.
      */
     analysis::RaceChecker *raceCheck = nullptr;
+
+    /**
+     * Optional per-worker busy-time profile (see exec/chunk_profile.hpp).
+     * When non-null the fused executors time every dispatch chunk and
+     * charge it to the chunk's static owner, giving the scaling bench
+     * its simulated critical path. Appended last so existing aggregate
+     * initializers ({threads, pool, raceCheck}) keep compiling.
+     */
+    ChunkProfile *profile = nullptr;
 };
 
 /** Pool an executor should run on; nullptr means run serially. */

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include "exec/chunk_profile.hpp"
 #include "exec/constraints.hpp"
 #include "exec/region_schedule.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
+#include "support/timer.hpp"
 #include "tensor/reference.hpp"
 
 namespace chimera::exec {
@@ -147,10 +149,12 @@ runFusedGemmChain3(const GemmChain3Config &config,
     // count.
     const RegionSchedule sched =
         partitionRegionLoops(chain3RegionLoops(chain, config, plan),
-                             plan::effectiveConcurrency(chain, plan));
+                             plan::effectiveConcurrency(chain, plan),
+                             plan.parallelGrain);
 
     ThreadPool *pool = execPool(options);
     const int workers = execWorkerCount(pool);
+    ChunkProfile *profile = options.profile;
 
     analysis::RaceChecker *race = options.raceCheck;
     if (race != nullptr) {
@@ -169,12 +173,17 @@ runFusedGemmChain3(const GemmChain3Config &config,
     }
     e.zero();
 
-    parallelFor(pool, 0, sched.parallelTasks(), [&](std::int64_t task,
-                                                    int worker) {
-        const std::vector<BlockRange> parBlocks =
-            decodeBlocks(sched.parallel, task);
+    const std::int64_t chunks = sched.chunkCount();
+    if (profile != nullptr) {
+        profile->beginPhase(chunks);
+    }
+    parallelFor(pool, 0, chunks, [&](std::int64_t chunk, int worker) {
+        const WallTimer chunkTimer;
         float *c1Tile = c1Tiles[static_cast<std::size_t>(worker)].get();
         float *c2Panel = c2Panels[static_cast<std::size_t>(worker)].get();
+        sched.forEachTaskInChunk(chunk, [&](std::int64_t task) {
+        const std::vector<BlockRange> parBlocks =
+            decodeBlocks(sched.parallel, task);
 
         const std::int64_t steps = sched.serialSteps();
         for (std::int64_t step = 0; step < steps; ++step) {
@@ -230,6 +239,10 @@ runFusedGemmChain3(const GemmChain3Config &config,
                               mm, nn, P);
             }
         }
+        }
+        });
+        if (profile != nullptr) {
+            profile->recordChunk(chunk, chunkTimer.seconds());
         }
     });
 }

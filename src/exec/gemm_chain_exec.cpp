@@ -5,10 +5,12 @@
 #include <cstring>
 #include <limits>
 
+#include "exec/chunk_profile.hpp"
 #include "exec/region_schedule.hpp"
 #include "ir/builders.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
+#include "support/timer.hpp"
 #include "tensor/reference.hpp"
 
 namespace chimera::exec {
@@ -163,10 +165,12 @@ runFusedGemmChain(const GemmChainConfig &config,
     // the serial executor at every thread count.
     const RegionSchedule sched =
         partitionRegionLoops(gemmRegionLoops(chain, config, plan),
-                             plan::effectiveConcurrency(chain, plan));
+                             plan::effectiveConcurrency(chain, plan),
+                             plan.parallelGrain);
 
     ThreadPool *pool = execPool(options);
     const int workers = execWorkerCount(pool);
+    ChunkProfile *profile = options.profile;
 
     analysis::RaceChecker *race = options.raceCheck;
     if (race != nullptr) {
@@ -194,11 +198,19 @@ runFusedGemmChain(const GemmChainConfig &config,
     const std::int64_t perBatchD = bigL * bigN;
     const std::int64_t perBatchE = bigM * bigN;
 
-    parallelFor(pool, 0, sched.parallelTasks(), [&](std::int64_t task,
-                                                    int worker) {
+    // Dispatch over chunks (grain consecutive blocks per worker task);
+    // each covered block executes exactly as it would at grain 1, so
+    // outputs — and race-checker task ids — are grain-invariant.
+    const std::int64_t chunks = sched.chunkCount();
+    if (profile != nullptr) {
+        profile->beginPhase(chunks);
+    }
+    parallelFor(pool, 0, chunks, [&](std::int64_t chunk, int worker) {
+        const WallTimer chunkTimer;
+        float *cBase = cRegions[static_cast<std::size_t>(worker)].get();
+        sched.forEachTaskInChunk(chunk, [&](std::int64_t task) {
         const std::vector<BlockRange> parBlocks =
             decodeBlocks(sched.parallel, task);
-        float *cBase = cRegions[static_cast<std::size_t>(worker)].get();
 
         const std::int64_t steps = sched.serialSteps();
         for (std::int64_t s = 0; s < steps; ++s) {
@@ -290,6 +302,10 @@ runFusedGemmChain(const GemmChainConfig &config,
                 }
             }
         }
+        });
+        if (profile != nullptr) {
+            profile->recordChunk(chunk, chunkTimer.seconds());
+        }
     });
 
     // Deferred softmax division over the finished output; rows are
@@ -298,8 +314,13 @@ runFusedGemmChain(const GemmChainConfig &config,
         if (race != nullptr) {
             race->beginPhase(chain.name() + " softmax normalize");
         }
-        parallelFor(pool, 0, config.batch * bigM,
+        const std::int64_t rows = config.batch * bigM;
+        if (profile != nullptr) {
+            profile->beginPhase(rows);
+        }
+        parallelFor(pool, 0, rows,
                     [&](std::int64_t row, int) {
+                        const WallTimer rowTimer;
                         if (race != nullptr) {
                             race->claimRange(row, row * bigN,
                                              (row + 1) * bigN);
@@ -309,6 +330,10 @@ runFusedGemmChain(const GemmChainConfig &config,
                         float *p = e.data() + row * bigN;
                         for (std::int64_t j = 0; j < bigN; ++j) {
                             p[j] *= inv;
+                        }
+                        if (profile != nullptr) {
+                            profile->recordChunk(row,
+                                                 rowTimer.seconds());
                         }
                     });
     }
@@ -363,8 +388,14 @@ runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
     // and stays serial ascending inside each block (bitwise-reproducible
     // across thread counts).
     const std::int64_t mTiles = ceilDiv(m, tiles.tm);
-    parallelFor(execPool(options), 0, batch * mTiles,
+    const std::int64_t tasks = batch * mTiles;
+    ChunkProfile *profile = options.profile;
+    if (profile != nullptr) {
+        profile->beginPhase(tasks);
+    }
+    parallelFor(execPool(options), 0, tasks,
                 [&](std::int64_t task, int) {
+        const WallTimer taskTimer;
         const std::int64_t bi = task / mTiles;
         const std::int64_t m0 = (task % mTiles) * tiles.tm;
         const float *aBase = a.data() + bi * m * k;
@@ -385,6 +416,9 @@ runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
                               bBase + k0 * n + n0, n,
                               cBase + m0 * n + n0, n, mm, nn, kk);
             }
+        }
+        if (profile != nullptr) {
+            profile->recordChunk(task, taskTimer.seconds());
         }
     });
 }

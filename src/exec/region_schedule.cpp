@@ -32,9 +32,77 @@ RegionSchedule::serialSteps() const
     return blockCount(serial);
 }
 
+std::int64_t
+RegionSchedule::chunkCount() const
+{
+    if (grain.empty()) {
+        return parallelTasks();
+    }
+    std::int64_t total = 1;
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+        const std::int64_t blocks =
+            ceilDiv(parallel[i].extent, parallel[i].tile);
+        total *= ceilDiv(blocks, std::max<std::int64_t>(1, grain[i]));
+    }
+    return total;
+}
+
+void
+RegionSchedule::forEachTaskInChunk(
+    std::int64_t chunk, const std::function<void(std::int64_t)> &fn) const
+{
+    if (grain.empty()) {
+        fn(chunk);
+        return;
+    }
+    // Decode the chunk over the per-loop chunk grid (first loop
+    // outermost, like decodeBlocks), yielding each loop's block
+    // sub-range, then walk the Cartesian product of those sub-ranges
+    // ascending and re-encode each point as a flat task index.
+    const std::size_t n = parallel.size();
+    std::vector<std::int64_t> blocks(n), lo(n), hi(n), idx(n), stride(n);
+    for (std::size_t i = n; i-- > 0;) {
+        blocks[i] = ceilDiv(parallel[i].extent, parallel[i].tile);
+        const std::int64_t g = std::max<std::int64_t>(
+            1, grain[i]);
+        const std::int64_t chunks = ceilDiv(blocks[i], g);
+        const std::int64_t c = chunk % chunks;
+        chunk /= chunks;
+        lo[i] = c * g;
+        hi[i] = std::min(blocks[i], lo[i] + g);
+        idx[i] = lo[i];
+    }
+    stride.assign(n, 1);
+    for (std::size_t i = n; i-- > 1;) {
+        stride[i - 1] = stride[i] * blocks[i];
+    }
+    for (;;) {
+        std::int64_t flat = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            flat += idx[i] * stride[i];
+        }
+        fn(flat);
+        // Odometer over the sub-ranges, innermost loop fastest.
+        std::size_t d = n;
+        while (d-- > 0) {
+            if (++idx[d] < hi[d]) {
+                break;
+            }
+            idx[d] = lo[d];
+            if (d == 0) {
+                return;
+            }
+        }
+        if (d == static_cast<std::size_t>(-1)) {
+            return;
+        }
+    }
+}
+
 RegionSchedule
 partitionRegionLoops(const std::vector<RegionLoop> &loops,
-                     const std::vector<analysis::AxisConcurrency> &table)
+                     const std::vector<analysis::AxisConcurrency> &table,
+                     const std::vector<std::int64_t> &grainByAxis)
 {
     RegionSchedule schedule;
     for (const RegionLoop &loop : loops) {
@@ -43,7 +111,23 @@ partitionRegionLoops(const std::vector<RegionLoop> &loops,
             (loop.axis < static_cast<ir::AxisId>(table.size()) &&
              table[static_cast<std::size_t>(loop.axis)] ==
                  analysis::AxisConcurrency::Parallel);
-        (blessed ? schedule.parallel : schedule.serial).push_back(loop);
+        if (blessed) {
+            schedule.parallel.push_back(loop);
+            const bool haveGrain =
+                loop.axis >= 0 &&
+                loop.axis < static_cast<ir::AxisId>(grainByAxis.size());
+            schedule.grain.push_back(
+                haveGrain ? std::max<std::int64_t>(
+                                1, grainByAxis[static_cast<std::size_t>(
+                                       loop.axis)])
+                          : 1);
+        } else {
+            schedule.serial.push_back(loop);
+        }
+    }
+    if (std::all_of(schedule.grain.begin(), schedule.grain.end(),
+                    [](std::int64_t g) { return g == 1; })) {
+        schedule.grain.clear(); // all-1 = identity; keep the fast path
     }
     return schedule;
 }

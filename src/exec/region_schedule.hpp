@@ -18,6 +18,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "analysis/dependence.hpp"
@@ -51,21 +52,48 @@ struct RegionSchedule
     /** Loops run serially ascending inside each task, in plan order. */
     std::vector<RegionLoop> serial;
 
+    /**
+     * Blocks per dispatch chunk for each parallel loop (aligned with
+     * @ref parallel; empty = all 1). Filled from the plan's
+     * parallelGrain by partitionRegionLoops so one worker task covers
+     * grain consecutive blocks of that loop, processed serially
+     * ascending — chunking never changes what a block computes, only
+     * how many ride in one dispatch.
+     */
+    std::vector<std::int64_t> grain;
+
     /** Flattened parallel task count (1 when nothing is parallel). */
     std::int64_t parallelTasks() const;
 
     /** Serial block combinations per task. */
     std::int64_t serialSteps() const;
+
+    /** Dispatch chunks under @ref grain (== parallelTasks() when 1s). */
+    std::int64_t chunkCount() const;
+
+    /**
+     * Calls @p fn once per flat parallel-task index covered by dispatch
+     * chunk @p chunk, ascending. Flat indices are the same mixed-radix
+     * encoding decodeBlocks expects, so per-task work (and race-checker
+     * task ids) is identical at every grain.
+     */
+    void forEachTaskInChunk(
+        std::int64_t chunk,
+        const std::function<void(std::int64_t)> &fn) const;
 };
 
 /**
  * Splits @p loops by the per-axis concurrency @p table (indexed by
  * AxisId): Parallel axes and synthesized loops go to the task space,
  * everything else stays serial. Relative order is preserved.
+ * @p grainByAxis is the plan's parallelGrain (indexed by AxisId; empty
+ * = all 1): grains of parallel loops are carried into the schedule,
+ * synthesized loops (axis < 0) always get grain 1.
  */
 RegionSchedule
 partitionRegionLoops(const std::vector<RegionLoop> &loops,
-                     const std::vector<analysis::AxisConcurrency> &table);
+                     const std::vector<analysis::AxisConcurrency> &table,
+                     const std::vector<std::int64_t> &grainByAxis = {});
 
 /**
  * Decodes flat index @p flat over @p loops (mixed radix, first loop

@@ -12,14 +12,40 @@ cascadeLakeCpu()
     model::MachineModel machine;
     machine.name = "XeonGold6240";
     machine.levels = {
-        // name, usable capacity (bytes), fill bandwidth (bytes/s)
-        {"L1d", 32.0 * 1024, 400e9},
-        {"L2", 1.0 * 1024 * 1024, 200e9},
-        {"L3", 24.75 * 1024 * 1024, 131e9},
+        // name, usable capacity (bytes), fill bandwidth (bytes/s).
+        // L1d/L2 are per-core private instances, L3 is socket-shared;
+        // with cores = 1 (the paper's device-level model) the scopes
+        // are documentation only and every seed figure is unchanged.
+        {"L1d", 32.0 * 1024, 400e9, model::LevelScope::PerCore},
+        {"L2", 1.0 * 1024 * 1024, 200e9, model::LevelScope::PerCore},
+        {"L3", 24.75 * 1024 * 1024, 131e9, model::LevelScope::Shared},
     };
     machine.peakFlops = 12e12; // fp16 AVX-512 peak (Table I)
     machine.computeEfficiency = 0.75;
     machine.cores = 1;
+    return machine;
+}
+
+model::MachineModel
+multicoreCpuTopology(int cores)
+{
+    model::MachineModel machine;
+    machine.name = "XeonGold6240-multicore";
+    machine.cores = cores > 0 ? cores : 18;
+    machine.levels = {
+        // Private levels: one instance per core, per-instance fill
+        // bandwidth (active workers add bandwidth). Shared levels: the
+        // socket totals that concurrent workers divide (capacity) and
+        // contend for (bandwidth).
+        {"L1d", 32.0 * 1024, 400e9, model::LevelScope::PerCore},
+        {"L2", 1.0 * 1024 * 1024, 200e9, model::LevelScope::PerCore},
+        {"L3", 24.75 * 1024 * 1024, 131e9, model::LevelScope::Shared},
+        {"DRAM", 1.0 * 1024 * 1024 * 1024 * 1024, 94e9,
+         model::LevelScope::Shared},
+    };
+    // Per-socket peak across all cores; one worker sustains 1/cores.
+    machine.peakFlops = 12e12;
+    machine.computeEfficiency = 0.75;
     return machine;
 }
 

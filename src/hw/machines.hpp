@@ -20,6 +20,17 @@ namespace chimera::hw {
 /** Intel Xeon Gold 6240-like CPU (AVX-512), per-socket aggregates. */
 model::MachineModel cascadeLakeCpu();
 
+/**
+ * Thread-aware core/cache topology of a Xeon-class bench host: private
+ * per-core L1d/L2 (capacity and fill bandwidth per instance), a shared
+ * LLC whose capacity concurrent workers divide, and a shared DRAM link
+ * whose bandwidth they contend for. Used by the thread-aware planner
+ * (PlannerOptions::topology) and the Eq. 2-3 multi-thread estimate;
+ * @p cores bounds the workers the model lets run concurrently (<= 0
+ * defaults to 18, the Xeon Gold 6240 core count).
+ */
+model::MachineModel multicoreCpuTopology(int cores = 0);
+
 /** NVIDIA A100-like Tensor Core GPU. */
 model::MachineModel a100Gpu();
 

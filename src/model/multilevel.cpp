@@ -1,19 +1,56 @@
 #include "model/multilevel.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/error.hpp"
 
 namespace chimera::model {
 
+int
+activeWorkers(const MachineModel &machine, int threads)
+{
+    const int cores = std::max(1, machine.cores);
+    if (threads <= 0) {
+        return cores; // default: every core participates
+    }
+    return std::min(threads, cores);
+}
+
+double
+perWorkerCapacityBytes(const MemoryLevel &level, const MachineModel &machine,
+                       int threads)
+{
+    if (level.scope == LevelScope::PerCore) {
+        return level.capacityBytes;
+    }
+    return level.capacityBytes /
+           static_cast<double>(activeWorkers(machine, threads));
+}
+
+double
+minSharedPerWorkerCapacityBytes(const MachineModel &machine, int threads)
+{
+    double budget = std::numeric_limits<double>::infinity();
+    for (const MemoryLevel &level : machine.levels) {
+        if (level.scope == LevelScope::Shared) {
+            budget = std::min(
+                budget, perWorkerCapacityBytes(level, machine, threads));
+        }
+    }
+    return budget;
+}
+
 MultiLevelCost
 evaluateMultiLevel(const ir::Chain &chain, const MachineModel &machine,
                    const std::vector<LevelSchedule> &schedules,
-                   const ModelOptions &options)
+                   const ModelOptions &options, int threads)
 {
     CHIMERA_CHECK(!machine.levels.empty(), "machine has no memory levels");
     CHIMERA_CHECK(schedules.size() == machine.levels.size(),
                   "one schedule per memory level is required");
+
+    const int active = activeWorkers(machine, threads);
 
     MultiLevelCost cost;
     cost.feasible = true;
@@ -26,26 +63,36 @@ evaluateMultiLevel(const ir::Chain &chain, const MachineModel &machine,
         cost.memUsageBytes.push_back(dm.memUsageBytes);
         CHIMERA_CHECK(level.bandwidthBytesPerSec > 0.0,
                       "memory level bandwidth must be positive");
-        // The per-core link bandwidth fills one core's working set; with
-        // multiple cores each core moves its own share of the blocks.
-        cost.stageSeconds.push_back(
-            dm.volumeBytes /
-            (level.bandwidthBytesPerSec *
-             static_cast<double>(std::max(1, machine.cores))));
-        if (static_cast<double>(dm.memUsageBytes) > level.capacityBytes) {
+        // PerCore links replicate per active worker (each core fills
+        // its own private instance, so the aggregate rate scales with
+        // A); the Shared link is one contended resource whose total
+        // rate A workers must split between them.
+        const double aggregateBw =
+            level.scope == LevelScope::PerCore
+                ? level.bandwidthBytesPerSec * static_cast<double>(active)
+                : level.bandwidthBytesPerSec;
+        cost.stageSeconds.push_back(dm.volumeBytes / aggregateBw);
+        // Every worker keeps its own tile working set resident: one
+        // private instance each at PerCore levels, a capacity / A share
+        // each at Shared levels.
+        if (static_cast<double>(dm.memUsageBytes) >
+            perWorkerCapacityBytes(level, machine, threads)) {
             cost.feasible = false;
         }
     }
 
     // Compute stage: effective FLOPs (including halo re-computation at
-    // the innermost tiling) over sustained throughput.
+    // the innermost tiling) over sustained throughput of the active
+    // workers' share of the machine peak.
     const std::vector<std::int64_t> extents = chain.fullExtents();
     double iters = 0.0;
     for (const ir::OpDecl &op : chain.ops()) {
         iters += op.effectiveIters(extents, schedules.front().tiles);
     }
     const double sustained =
-        machine.peakFlops * std::max(1e-6, machine.computeEfficiency);
+        machine.peakFlops * std::max(1e-6, machine.computeEfficiency) *
+        (static_cast<double>(active) /
+         static_cast<double>(std::max(1, machine.cores)));
     cost.computeSeconds = 2.0 * iters / sustained;
 
     cost.boundSeconds = cost.computeSeconds;

@@ -24,6 +24,28 @@
 
 namespace chimera::model {
 
+/**
+ * Ownership of a memory level within the core/cache topology.
+ *
+ * PerCore: every core has a private instance; capacityBytes and
+ * bandwidthBytesPerSec describe ONE instance, so active workers add
+ * capacity and fill bandwidth to the machine aggregate.
+ *
+ * Shared: one machine-wide instance; capacityBytes is the total that
+ * concurrent workers divide between their working sets and
+ * bandwidthBytesPerSec is the total, contended fill rate (it does not
+ * scale with the worker count — that is the contention charge).
+ *
+ * Machines with cores == 1 (the paper's device-level GPU/NPU models)
+ * behave identically under either scope, so the seed machines keep
+ * their original numbers.
+ */
+enum class LevelScope
+{
+    PerCore,
+    Shared,
+};
+
 /** One on-chip memory level. */
 struct MemoryLevel
 {
@@ -34,6 +56,9 @@ struct MemoryLevel
 
     /** Bandwidth in bytes/second of the link filling this level. */
     double bandwidthBytesPerSec = 0.0;
+
+    /** Per-core private instance or machine-wide shared (see above). */
+    LevelScope scope = LevelScope::PerCore;
 };
 
 /** Machine description consumed by the multi-level model. */
@@ -53,9 +78,41 @@ struct MachineModel
      */
     double computeEfficiency = 1.0;
 
-    /** Number of independent compute cores executing blocks. */
+    /**
+     * Number of independent compute cores executing blocks. peakFlops
+     * is the aggregate over all of them; a run on A <= cores active
+     * workers sustains peakFlops * A / cores.
+     */
     int cores = 1;
+
+    /** True when the model carries at least one memory level. */
+    bool hasTopology() const { return !levels.empty(); }
 };
+
+/**
+ * Active workers the machine can actually run concurrently: threads
+ * clamped to [1, cores]. threads <= 0 means every core participates,
+ * which is the historical assumption of the cores-scaled estimate.
+ */
+int activeWorkers(const MachineModel &machine, int threads);
+
+/**
+ * The capacity budget one of @p threads workers may claim at @p level:
+ * the full instance for PerCore levels, capacity / activeWorkers for
+ * Shared levels (every concurrent worker keeps its own working set
+ * resident in the shared cache).
+ */
+double perWorkerCapacityBytes(const MemoryLevel &level,
+                              const MachineModel &machine, int threads);
+
+/**
+ * The tightest shared-level per-worker capacity of @p machine at
+ * @p threads workers; +infinity when the machine has no shared levels.
+ * The single-level planner clamps its budget to this, which is how an
+ * LLC-pressured shape gets smaller tiles at higher thread counts.
+ */
+double minSharedPerWorkerCapacityBytes(const MachineModel &machine,
+                                       int threads);
 
 /** Per-level schedule of one candidate plan. */
 struct LevelSchedule
@@ -85,22 +142,37 @@ struct MultiLevelCost
     /** max(stageSeconds..., computeSeconds): the Eq.-3 objective. */
     double boundSeconds = 0.0;
 
-    /** True when every MU_d fits its level's capacity. */
+    /** True when every MU_d fits its level's (per-worker) capacity. */
     bool feasible = false;
 };
 
 /**
  * Evaluates Equations 2-3 for one candidate schedule.
  *
+ * With @p threads > 1 the estimate is thread-aware: A =
+ * activeWorkers(machine, threads) workers each hold one tile working
+ * set, so PerCore levels check MU_d against one private instance and
+ * fill through A parallel links (stage cost DV_d / (bw_d * A)), while
+ * Shared levels check MU_d against a capacity / A share and fill
+ * through the single contended link (stage cost DV_d / bw_d — shared
+ * bandwidth does not scale with workers). The compute stage sustains
+ * peakFlops * A / cores. threads <= 0 (the default) assumes every core
+ * participates, matching the original cores-scaled estimate; on the
+ * paper's cores == 1 device models any threads value reproduces the
+ * original single-core §IV-C estimate exactly.
+ *
  * @param chain     Operator chain.
  * @param machine   Machine description (levels innermost first).
  * @param schedules One LevelSchedule per machine level, innermost first.
  * @param options   Passed through to Algorithm 1.
+ * @param threads   Worker count the schedule is evaluated for;
+ *                  <= 0 means all cores.
  */
 MultiLevelCost evaluateMultiLevel(const ir::Chain &chain,
                                   const MachineModel &machine,
                                   const std::vector<LevelSchedule> &schedules,
-                                  const ModelOptions &options = {});
+                                  const ModelOptions &options = {},
+                                  int threads = 0);
 
 /** Arithmetic intensity (FLOPs per DRAM byte) of the outermost level. */
 double arithmeticIntensity(const ir::Chain &chain,

@@ -36,6 +36,27 @@ optionsSignature(const PlannerOptions &options)
     out += options.onlyExecutableOrders ? "1" : "0";
     out += ";interio=";
     out += options.model.intermediatesAreIO ? "1" : "0";
+    // Thread-aware knobs: an 8-worker chunked plan must never be served
+    // to a 1-thread run (and vice versa), and a different topology or
+    // grain target changes the tiles. `threads` (the search loop) is
+    // deliberately absent — it never changes the plan.
+    out += ";xthreads=" + std::to_string(std::max(1, options.execThreads));
+    if (options.execThreads > 1) {
+        out += ";cpw=" + std::to_string(options.chunksPerWorker);
+    }
+    if (options.topology.hasTopology()) {
+        out += ";topo=" + options.topology.name + ":" +
+               std::to_string(options.topology.cores);
+        for (const model::MemoryLevel &level : options.topology.levels) {
+            char capBytes[64];
+            std::snprintf(capBytes, sizeof capBytes, "%a",
+                          level.capacityBytes);
+            out += ",";
+            out += level.name;
+            out += level.scope == model::LevelScope::Shared ? "/s:" : "/p:";
+            out += capBytes;
+        }
+    }
     auto emitMap =
         [&out](const char *name,
                const std::map<ir::AxisId, std::int64_t> &entries) {

@@ -51,6 +51,30 @@ serializePlan(const ir::Chain &chain, const ExecutionPlan &plan,
         }
         out << "\n";
     }
+    bool anyGrain = false;
+    for (std::int64_t g : plan.parallelGrain) {
+        anyGrain = anyGrain || g > 1;
+    }
+    // Serial plans omit both lines so pre-thread-aware documents stay
+    // byte-identical (and cache entries written by them keep parsing).
+    if (plan.plannedThreads > 1 || anyGrain) {
+        out << "threads: " << std::max(1, plan.plannedThreads) << "\n";
+    }
+    if (anyGrain) {
+        CHIMERA_CHECK(static_cast<int>(plan.parallelGrain.size()) ==
+                          chain.numAxes(),
+                      "plan grain arity does not match the chain");
+        out << "grain:";
+        for (int a = 0; a < chain.numAxes(); ++a) {
+            if (plan.parallelGrain[static_cast<std::size_t>(a)] > 1) {
+                out << " "
+                    << chain.axes()[static_cast<std::size_t>(a)].name
+                    << "="
+                    << plan.parallelGrain[static_cast<std::size_t>(a)];
+            }
+        }
+        out << "\n";
+    }
     out << "volume-bytes: " << static_cast<std::int64_t>(
                                    plan.predictedVolumeBytes)
         << "\n";
@@ -181,6 +205,51 @@ parsePlanDocument(const std::string &text)
                                              token.substr(eq + 1));
             }
             doc.haveConcurrency = true;
+        } else if (key == "threads") {
+            doc.threads = parseInt64Strict(value, context);
+            if (doc.threads < 1) {
+                throw Error(context + ": threads must be >= 1, got " +
+                            std::to_string(doc.threads));
+            }
+            doc.haveThreads = true;
+        } else if (key == "grain") {
+            std::set<std::string> seenAxes;
+            std::size_t tokenStart = 0;
+            while (tokenStart < value.size()) {
+                tokenStart = value.find_first_not_of(" \t", tokenStart);
+                if (tokenStart == std::string::npos) {
+                    break;
+                }
+                std::size_t tokenEnd =
+                    value.find_first_of(" \t", tokenStart);
+                if (tokenEnd == std::string::npos) {
+                    tokenEnd = value.size();
+                }
+                const std::string token =
+                    value.substr(tokenStart, tokenEnd - tokenStart);
+                tokenStart = tokenEnd;
+                const std::size_t eq = token.find('=');
+                if (eq == std::string::npos || eq == 0 ||
+                    eq + 1 >= token.size()) {
+                    throw Error(context + ": malformed grain token \"" +
+                                token + "\"");
+                }
+                const std::string axisName = token.substr(0, eq);
+                if (!seenAxes.insert(axisName).second) {
+                    throw Error(context +
+                                ": duplicate grain for axis \"" +
+                                axisName + "\"");
+                }
+                const std::int64_t g =
+                    parseInt64Strict(token.substr(eq + 1), context);
+                if (g < 1) {
+                    throw Error(context + ": grain for axis \"" +
+                                axisName + "\" must be >= 1, got " +
+                                std::to_string(g));
+                }
+                doc.grain.emplace_back(axisName, g);
+            }
+            doc.haveGrain = true;
         } else if (key == "volume-bytes") {
             doc.declaredVolumeBytes = parseDoubleStrict(value, context);
             doc.haveVolume = true;
@@ -261,6 +330,27 @@ deserializePlan(const ir::Chain &chain, const std::string &text,
         doc.haveConcurrency
             ? bindConcurrency(chain, doc.concurrency)
             : analysis::analyzeConcurrency(chain, plan.tiles).kinds();
+
+    // Thread-aware chunking lines: a grain only makes sense relative to
+    // the worker count it was solved for.
+    CHIMERA_CHECK(!doc.haveGrain || doc.haveThreads,
+                  "plan document has a grain line without a threads line");
+    plan.plannedThreads = static_cast<int>(doc.threads);
+    if (doc.haveThreads) {
+        plan.parallelGrain.assign(static_cast<std::size_t>(chain.numAxes()),
+                                  1);
+        for (const auto &[axisName, g] : doc.grain) {
+            ir::AxisId axis = -1;
+            try {
+                axis = ir::axisIdByName(chain, axisName);
+            } catch (const Error &) {
+                throw Error("plan grain declares axis \"" + axisName +
+                            "\" which chain " + chain.name() +
+                            " does not have");
+            }
+            plan.parallelGrain[static_cast<std::size_t>(axis)] = g;
+        }
+    }
 
     // Recompute the predictions so a stale document cannot lie.
     const model::DataMovement dm =

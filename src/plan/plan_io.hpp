@@ -13,8 +13,18 @@
  *     order: m,l,k,n
  *     tiles: m=128 l=64 k=64 n=64
  *     concurrency: m=parallel l=reduction k=reduction n=parallel
+ *     threads: 8
+ *     grain: m=2
  *     volume-bytes: 6291456
  *     mem-bytes: 393216
+ *
+ * The threads/grain lines carry the thread-aware chunking: the worker
+ * count the plan was solved for and the blocks-per-dispatch-chunk grain
+ * of each parallel region axis (axes omitted from "grain:" default to
+ * 1). Both are omitted for serial plans (threads == 1, all-1 grain), so
+ * pre-thread-aware documents remain byte-identical. "threads:" must be
+ * >= 1 and grain values must be >= 1 on axes the chain has; a "grain:"
+ * line without "threads:" is rejected.
  *
  * The concurrency line declares the per-axis concurrency class the
  * executors obey (see analysis/dependence.hpp). It is optional — a
@@ -82,12 +92,20 @@ struct ParsedPlanDoc
      */
     std::vector<std::pair<std::string, std::string>> concurrency;
 
+    /** Value of the "threads:" line (>= 1 enforced at parse time). */
+    std::int64_t threads = 1;
+
+    /** (axis name, grain) pairs from the "grain:" line, in order. */
+    std::vector<std::pair<std::string, std::int64_t>> grain;
+
     double declaredVolumeBytes = 0.0;
     std::int64_t declaredMemBytes = 0;
 
     bool haveOrder = false;
     bool haveTiles = false;
     bool haveConcurrency = false;
+    bool haveThreads = false;
+    bool haveGrain = false;
     bool haveVolume = false;
     bool haveMem = false;
 };

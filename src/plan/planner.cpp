@@ -147,6 +147,238 @@ permFromOrderString(const Chain &chain, const std::string &order)
 namespace {
 
 /**
+ * The capacity budget the tile solver actually gets: memCapacityBytes
+ * clamped to one worker's share of the topology's tightest shared level
+ * (LLC pressure — DESIGN.md §"Thread-aware planning"). With no topology
+ * or a single worker this is memCapacityBytes unchanged.
+ */
+double
+effectiveCapacityBytes(const PlannerOptions &options)
+{
+    double capacity = options.memCapacityBytes;
+    if (options.topology.hasTopology() && options.execThreads > 1) {
+        capacity = std::min(capacity,
+                            model::minSharedPerWorkerCapacityBytes(
+                                options.topology, options.execThreads));
+    }
+    return capacity;
+}
+
+/**
+ * The axes whose blocks the executors distribute across workers: region
+ * axes of the on-chip intermediates (the executors' region loops walk
+ * exactly these) that the dependence analysis proved Parallel. Chains
+ * without intermediates fall back to the output tensors' axes. Sorted
+ * ascending by AxisId (deterministic).
+ */
+std::vector<AxisId>
+parallelRegionAxes(const Chain &chain,
+                   const std::vector<analysis::AxisConcurrency> &kinds)
+{
+    std::vector<AxisId> axes;
+    auto collect = [&](ir::TensorKind kind) {
+        for (const ir::TensorDecl &tensor : chain.tensors()) {
+            if (tensor.kind != kind) {
+                continue;
+            }
+            for (AxisId a = 0; a < chain.numAxes(); ++a) {
+                const ir::Axis &axis =
+                    chain.axes()[static_cast<std::size_t>(a)];
+                if (!axis.reorderable || axis.extent <= 1 ||
+                    !tensor.usesAxis(a)) {
+                    continue;
+                }
+                if (kinds[static_cast<std::size_t>(a)] !=
+                    analysis::AxisConcurrency::Parallel) {
+                    continue;
+                }
+                if (std::find(axes.begin(), axes.end(), a) == axes.end()) {
+                    axes.push_back(a);
+                }
+            }
+        }
+    };
+    collect(ir::TensorKind::Intermediate);
+    if (axes.empty()) {
+        collect(ir::TensorKind::Output);
+    }
+    std::sort(axes.begin(), axes.end());
+    return axes;
+}
+
+/** Blocks of @p axis under @p tiles (>= 1). */
+std::int64_t
+axisBlocks(const Chain &chain, const std::vector<std::int64_t> &tiles,
+           AxisId axis)
+{
+    const std::int64_t extent =
+        chain.axes()[static_cast<std::size_t>(axis)].extent;
+    return ceilDiv(extent, std::max<std::int64_t>(
+                               1, tiles[static_cast<std::size_t>(axis)]));
+}
+
+/** Chunks over the parallel region grid under @p grain. */
+std::int64_t
+chunkCount(const Chain &chain, const std::vector<std::int64_t> &tiles,
+           const std::vector<std::int64_t> &grain,
+           const std::vector<AxisId> &paxes)
+{
+    std::int64_t count = 1;
+    for (AxisId a : paxes) {
+        const std::int64_t g =
+            grain.empty() ? 1 : grain[static_cast<std::size_t>(a)];
+        count *= ceilDiv(axisBlocks(chain, tiles, a),
+                         std::max<std::int64_t>(1, g));
+    }
+    return count;
+}
+
+/**
+ * The thread-aware chunking step (runs on the winning plan only).
+ *
+ * 1. Refinement: while the parallel region grid has fewer blocks than
+ *    plannedThreads workers (mandatory) or an unbalanced non-multiple
+ *    count below chunksPerWorker * workers (best-effort), re-solve with
+ *    the next-smaller candidate tile on one parallel axis — picking the
+ *    re-solve with the smallest predicted volume — until the grid is
+ *    worker-divisible or wide enough.
+ * 2. Grain: coarsen innermost-first (doubling blocks per chunk) until
+ *    at most about chunksPerWorker * workers chunks remain, never going
+ *    below one chunk per worker.
+ *
+ * Refinement re-runs the dependence analysis after every accepted
+ * re-solve (concurrency is tile-dependent), so the emitted table always
+ * matches the final tiles.
+ */
+void
+applyThreadChunking(const Chain &chain, ExecutionPlan &plan,
+                    const PlannerOptions &options,
+                    const solver::TileConstraints &constraints,
+                    const solver::TileSolverOptions &solverOptions,
+                    bool allowRefinement)
+{
+    const int workers = std::max(1, options.execThreads);
+    plan.plannedThreads = workers;
+    if (workers <= 1) {
+        // Serial plans carry no chunking: byte-identical v2 documents
+        // and bit-identical behavior with the pre-thread-aware planner.
+        plan.parallelGrain.clear();
+        return;
+    }
+
+    const std::int64_t target = workers;
+    const std::int64_t balanced =
+        static_cast<std::int64_t>(std::max(1, options.chunksPerWorker)) *
+        target;
+
+    std::vector<AxisId> paxes = parallelRegionAxes(chain, plan.concurrency);
+    std::vector<std::int64_t> grain(
+        static_cast<std::size_t>(chain.numAxes()), 1);
+    std::int64_t count = chunkCount(chain, plan.tiles, grain, paxes);
+
+    for (int iter = 0; allowRefinement && iter < 64; ++iter) {
+        const bool mandatory = count < target;
+        const bool unbalanced = count % target != 0 && count < balanced;
+        if (!mandatory && !unbalanced) {
+            break;
+        }
+        // Candidate refinements: cap one parallel axis at its next
+        // smaller solver candidate, re-solve, keep the cheapest volume
+        // among those that actually widen the grid.
+        solver::TileSolution bestSol;
+        std::int64_t bestCount = count;
+        bool haveBest = false;
+        for (AxisId a : paxes) {
+            if (constraints.fixed.count(a) != 0) {
+                continue;
+            }
+            const std::int64_t current =
+                plan.tiles[static_cast<std::size_t>(a)];
+            std::int64_t next = 0;
+            for (std::int64_t c :
+                 solver::axisTileCandidates(chain, a, constraints)) {
+                if (c < current && c > next) {
+                    next = c;
+                }
+            }
+            if (next <= 0) {
+                continue;
+            }
+            solver::TileConstraints refined = constraints;
+            const auto capIt = refined.maxTile.find(a);
+            if (capIt == refined.maxTile.end() || capIt->second > next) {
+                refined.maxTile[a] = next;
+            }
+            const solver::TileSolution sol = solver::solveTiles(
+                chain, plan.perm, refined, solverOptions);
+            if (!sol.feasible) {
+                continue;
+            }
+            const std::int64_t newCount =
+                chunkCount(chain, sol.tiles, grain, paxes);
+            if (newCount <= count) {
+                continue;
+            }
+            const bool better =
+                !haveBest || sol.volumeBytes < bestSol.volumeBytes - 0.5 ||
+                (sol.volumeBytes < bestSol.volumeBytes + 0.5 &&
+                 newCount > bestCount);
+            if (better) {
+                bestSol = sol;
+                bestCount = newCount;
+                haveBest = true;
+            }
+        }
+        if (!haveBest) {
+            break; // no axis can widen the grid further
+        }
+        plan.tiles = bestSol.tiles;
+        plan.predictedVolumeBytes = bestSol.volumeBytes;
+        plan.memUsageBytes = bestSol.memUsageBytes;
+        plan.concurrency =
+            analysis::analyzeConcurrency(chain, plan.tiles).kinds();
+        paxes = parallelRegionAxes(chain, plan.concurrency);
+        count = bestCount;
+    }
+
+    // Grain coarsening: merge consecutive innermost blocks into one
+    // dispatch chunk while more than ~chunksPerWorker tasks per worker
+    // remain. Innermost-first keeps each chunk's blocks contiguous in
+    // the region walk (best reuse of the per-worker regions).
+    std::vector<AxisId> byDepth; // paxes ordered outermost -> innermost
+    for (AxisId a : plan.perm) {
+        if (std::find(paxes.begin(), paxes.end(), a) != paxes.end()) {
+            byDepth.push_back(a);
+        }
+    }
+    while (count > balanced) {
+        bool coarsened = false;
+        for (auto it = byDepth.rbegin(); it != byDepth.rend(); ++it) {
+            const AxisId a = *it;
+            const std::size_t ai = static_cast<std::size_t>(a);
+            if (ceilDiv(axisBlocks(chain, plan.tiles, a), grain[ai]) <=
+                1) {
+                continue;
+            }
+            grain[ai] *= 2;
+            const std::int64_t newCount =
+                chunkCount(chain, plan.tiles, grain, paxes);
+            if (newCount < target) {
+                grain[ai] /= 2; // would starve workers
+                continue;
+            }
+            count = newCount;
+            coarsened = true;
+            break;
+        }
+        if (!coarsened) {
+            break;
+        }
+    }
+    plan.parallelGrain = std::move(grain);
+}
+
+/**
  * PlannerOptions::verify self-check: re-derives every claim of a freshly
  * planned schedule and throws with the findings when any fail (a planner
  * or solver bug, never a user error).
@@ -191,7 +423,7 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
                   "too many reorderable axes to enumerate");
 
     solver::TileSolverOptions solverOptions;
-    solverOptions.memCapacityBytes = options.memCapacityBytes;
+    solverOptions.memCapacityBytes = effectiveCapacityBytes(options);
     solverOptions.maxSweeps = options.solverSweeps;
     solverOptions.model = options.model;
 
@@ -287,6 +519,8 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
         static_cast<int>(candidates.size()) - filteredCount;
     best.concurrency =
         analysis::analyzeConcurrency(chain, best.tiles).kinds();
+    applyThreadChunking(chain, best, options, constraints, solverOptions,
+                        /*allowRefinement=*/true);
     best.planSeconds = timer.seconds();
     CHIMERA_DEBUG("planned " << chain.name() << ": order "
                              << orderString(chain, best.perm) << " volume "
@@ -326,7 +560,7 @@ planFixedOrder(const Chain &chain, const std::vector<AxisId> &perm,
 {
     WallTimer timer;
     solver::TileSolverOptions solverOptions;
-    solverOptions.memCapacityBytes = options.memCapacityBytes;
+    solverOptions.memCapacityBytes = effectiveCapacityBytes(options);
     solverOptions.maxSweeps = options.solverSweeps;
     solverOptions.model = options.model;
 
@@ -347,6 +581,11 @@ planFixedOrder(const Chain &chain, const std::vector<AxisId> &perm,
     plan.candidatesExamined = 1;
     plan.concurrency =
         analysis::analyzeConcurrency(chain, plan.tiles).kinds();
+    // Fixed-order plans emulate thread-oblivious libraries: they get
+    // the per-worker budget and a dispatch grain, but no tile
+    // refinement (the planner's edge in the scaling comparison).
+    applyThreadChunking(chain, plan, options, constraints, solverOptions,
+                        /*allowRefinement=*/false);
     plan.planSeconds = timer.seconds();
     if (options.verify) {
         // Baselines pin deliberately non-executable orders; only the
@@ -368,9 +607,13 @@ planChainMultiLevel(const Chain &chain, const model::MachineModel &machine,
     result.levels.resize(machine.levels.size());
 
     // Plan outermost level first; inner tiles nest inside outer tiles.
+    // Each level's budget is one worker's share of it (full private
+    // instance, capacity / workers for shared levels), so an
+    // LLC-pressured shape gets smaller outer tiles at high execThreads.
     PlannerOptions options = baseOptions;
     for (std::size_t d = machine.levels.size(); d-- > 0;) {
-        options.memCapacityBytes = machine.levels[d].capacityBytes;
+        options.memCapacityBytes = model::perWorkerCapacityBytes(
+            machine.levels[d], machine, baseOptions.execThreads);
         const ExecutionPlan levelPlan = planChain(chain, options);
         result.levels[d].perm = levelPlan.perm;
         result.levels[d].tiles = levelPlan.tiles;
@@ -380,8 +623,9 @@ planChainMultiLevel(const Chain &chain, const model::MachineModel &machine,
                 levelPlan.tiles[static_cast<std::size_t>(a)];
         }
     }
-    result.cost = model::evaluateMultiLevel(chain, machine, result.levels,
-                                            baseOptions.model);
+    result.cost =
+        model::evaluateMultiLevel(chain, machine, result.levels,
+                                  baseOptions.model, baseOptions.execThreads);
     result.planSeconds = timer.seconds();
     if (baseOptions.verify) {
         // Each level already self-checked through planChain; this pass

@@ -44,6 +44,25 @@ struct ExecutionPlan
      */
     std::vector<analysis::AxisConcurrency> concurrency;
 
+    /**
+     * Worker count the chunking below was solved for (1 = serial plan;
+     * PlannerOptions::execThreads). Part of the plan fingerprint: a
+     * plan chunked for 8 workers is never served to a 1-thread run.
+     */
+    int plannedThreads = 1;
+
+    /**
+     * Chunk grain per axis (indexed by AxisId): how many consecutive
+     * blocks of a proven-parallel region axis one dispatch chunk
+     * covers. Executors group that many blocks into one worker task
+     * (serially, ascending) instead of dispatching raw blocks, which
+     * bounds dispatch overhead on huge block grids while the planner's
+     * refinement step guarantees enough chunks for plannedThreads
+     * workers. Empty (or all 1) means one block per chunk — the
+     * pre-thread-aware behavior.
+     */
+    std::vector<std::int64_t> parallelGrain;
+
     /** Algorithm-1 volume prediction for this plan, bytes. */
     double predictedVolumeBytes = 0.0;
 
@@ -91,9 +110,41 @@ struct PlannerOptions
      * count. The winner is reduced serially in enumeration order with
      * the same better-than predicate as the serial loop (ties break on
      * the earlier permutation), so the chosen plan is identical at
-     * every thread count.
+     * every thread count. Search-only: does NOT change the plan and is
+     * excluded from the cache key (execThreads below is the knob that
+     * changes what is planned).
      */
     int threads = 0;
+
+    /**
+     * Worker count the *executed* plan should scale to. With > 1 the
+     * planner (a) clamps the capacity budget to each worker's share of
+     * the topology's shared levels, (b) refines proven-parallel region
+     * tiles until the parallel block grid has at least execThreads
+     * chunks (preferring a worker-balanced multiple), and (c) emits the
+     * chunk grain + thread count into the plan. 1 (default) reproduces
+     * the thread-oblivious planner exactly. Part of the plan
+     * fingerprint.
+     */
+    int execThreads = 1;
+
+    /**
+     * Core/cache topology for the thread-aware budgets (e.g.
+     * hw::multicoreCpuTopology()). Shared levels clamp the per-worker
+     * capacity to capacity / workers; an empty topology (default)
+     * keeps memCapacityBytes as the only budget. Part of the plan
+     * fingerprint when non-empty.
+     */
+    model::MachineModel topology;
+
+    /**
+     * Dispatch-grain target: the chunking step coarsens the parallel
+     * grid to at most about chunksPerWorker * execThreads chunks so
+     * huge block grids do not pay per-block dispatch overhead, while
+     * refinement stops once the grid is a balanced multiple of the
+     * worker count (or at least this many chunks per worker).
+     */
+    int chunksPerWorker = 4;
 
     /**
      * Optional plan cache consulted before enumeration and updated with

@@ -11,12 +11,43 @@
 
 #include "support/logging.hpp"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace chimera {
 
 namespace {
 
 /** Backstop against absurd CHIMERA_THREADS values / requests. */
 constexpr int kMaxThreads = 256;
+
+/** CHIMERA_AFFINITY=1: pin pool worker @p worker compactly (Linux). */
+void
+maybePinWorker(int worker)
+{
+#ifdef __linux__
+    const char *env = std::getenv("CHIMERA_AFFINITY");
+    if (env == nullptr || *env == '\0' ||
+        (env[0] == '0' && env[1] == '\0')) {
+        return;
+    }
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(worker % hardwareThreadCount()), &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof set, &set) != 0) {
+        static std::once_flag warned;
+        std::call_once(warned, [] {
+            CHIMERA_WARN(
+                "CHIMERA_AFFINITY is set but pinning failed; workers"
+                " run unpinned");
+        });
+    }
+#else
+    (void)worker;
+#endif
+}
 
 /**
  * Set while this thread is executing a parallelFor chunk; nested
@@ -116,6 +147,7 @@ struct ThreadPool::Impl
     void
     workerLoop(int worker)
     {
+        maybePinWorker(worker);
         std::uint64_t seen = 0;
         for (;;) {
             {
@@ -252,6 +284,41 @@ parallelFor(ThreadPool *pool, std::int64_t begin, std::int64_t end,
         return;
     }
     pool->parallelFor(begin, end, fn);
+}
+
+ChunkRange
+staticChunkRange(std::int64_t total, int workers, int worker)
+{
+    if (total <= 0 || workers <= 0 || worker < 0 || worker >= workers) {
+        return {};
+    }
+    const std::int64_t per = total / workers;
+    const std::int64_t rem = total % workers;
+    const std::int64_t start =
+        worker * per + std::min<std::int64_t>(worker, rem);
+    return {start, start + per + (worker < rem ? 1 : 0)};
+}
+
+int
+staticChunkOwner(std::int64_t index, std::int64_t total, int workers)
+{
+    if (total <= 0 || workers <= 1 || index < 0) {
+        return 0;
+    }
+    if (index >= total) {
+        return workers - 1;
+    }
+    const std::int64_t per = total / workers;
+    const std::int64_t rem = total % workers;
+    if (per == 0) {
+        return static_cast<int>(index); // fewer items than workers
+    }
+    // The first rem workers own per + 1 items each.
+    const std::int64_t big = (per + 1) * rem;
+    if (index < big) {
+        return static_cast<int>(index / (per + 1));
+    }
+    return static_cast<int>(rem + (index - big) / per);
 }
 
 } // namespace chimera

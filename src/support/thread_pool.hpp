@@ -19,6 +19,11 @@
  * A resolved count of 1 degenerates to plain serial execution on the
  * calling thread (no worker threads are spawned, exceptions propagate
  * directly).
+ *
+ * Setting CHIMERA_AFFINITY=1 (Linux only) pins each spawned worker
+ * thread w to hardware thread w % hardware_concurrency at startup —
+ * compact placement so a worker's private L1/L2 working set is not
+ * migrated mid-chain. The calling thread (worker 0) is never pinned.
  */
 
 #include <cstdint>
@@ -90,5 +95,28 @@ ThreadPool *poolForThreads(int threads);
  */
 void parallelFor(ThreadPool *pool, std::int64_t begin, std::int64_t end,
                  const std::function<void(std::int64_t, int)> &fn);
+
+/** A worker's contiguous sub-range of a statically split index space. */
+struct ChunkRange
+{
+    std::int64_t begin = 0;
+    std::int64_t end = 0; ///< empty when begin == end
+};
+
+/**
+ * The [begin, end) sub-range of @p total items that @p worker owns under
+ * the pool's static contiguous split across @p workers — the exact same
+ * math parallelFor uses, exported so planners and profilers can reason
+ * about the static worker -> chunk assignment (e.g. the scaling bench's
+ * simulated critical path). The first (total % workers) workers own one
+ * extra item.
+ */
+ChunkRange staticChunkRange(std::int64_t total, int workers, int worker);
+
+/**
+ * Inverse of staticChunkRange: the worker that owns item @p index of
+ * @p total under the static split across @p workers.
+ */
+int staticChunkOwner(std::int64_t index, std::int64_t total, int workers);
 
 } // namespace chimera

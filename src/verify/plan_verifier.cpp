@@ -5,6 +5,7 @@
 #include <string>
 
 #include "model/data_movement.hpp"
+#include "support/error.hpp"
 #include "support/mathutil.hpp"
 #include "verify/concurrency_verifier.hpp"
 
@@ -175,6 +176,78 @@ checkLegality(const Chain &chain, const std::vector<AxisId> &perm,
     return dm;
 }
 
+/**
+ * PL13 structural checks of a chunking declaration: grain arity,
+ * positivity, and Parallel-only grains (> 1 on a reduction/sequential
+ * axis would regroup its serial walk). @p kinds must have chain arity.
+ */
+void
+checkChunking(const Chain &chain, int plannedThreads,
+              const std::vector<std::int64_t> &grain,
+              const std::vector<analysis::AxisConcurrency> &kinds,
+              Report &report)
+{
+    if (plannedThreads < 1) {
+        report.error("PL13", "threads",
+                     "planned thread count " +
+                         std::to_string(plannedThreads) + " must be >= 1");
+    }
+    if (grain.empty()) {
+        return;
+    }
+    if (static_cast<int>(grain.size()) != chain.numAxes()) {
+        report.error("PL13", "grain",
+                     "grain vector has " + std::to_string(grain.size()) +
+                         " entries but the chain has " +
+                         std::to_string(chain.numAxes()) + " axes");
+        return;
+    }
+    for (AxisId a = 0; a < chain.numAxes(); ++a) {
+        const std::int64_t g = grain[static_cast<std::size_t>(a)];
+        if (g < 1) {
+            report.error("PL13", "grain." + axisName(chain, a),
+                         "grain " + std::to_string(g) + " must be >= 1");
+        } else if (g > 1 &&
+                   kinds[static_cast<std::size_t>(a)] !=
+                       analysis::AxisConcurrency::Parallel) {
+            report.error(
+                "PL13", "grain." + axisName(chain, a),
+                "grain " + std::to_string(g) + " on axis " +
+                    axisName(chain, a) +
+                    " which is " +
+                    analysis::concurrencyName(
+                        kinds[static_cast<std::size_t>(a)]) +
+                    ", not parallel — only proven-parallel axes may be"
+                    " chunked");
+        }
+    }
+}
+
+/**
+ * PL13 capacity check: every one of @p workers concurrent workers keeps
+ * a full tile working set resident, so the footprint must fit one
+ * worker's share of the topology's tightest shared level.
+ */
+void
+checkPerWorkerShare(std::int64_t memUsageBytes, int workers,
+                    const model::MachineModel &topology, Report &report)
+{
+    if (workers <= 1 || !topology.hasTopology()) {
+        return;
+    }
+    const double share =
+        model::minSharedPerWorkerCapacityBytes(topology, workers);
+    if (static_cast<double>(memUsageBytes) > share) {
+        report.error(
+            "PL13", "mem-bytes",
+            "per-worker footprint " + std::to_string(memUsageBytes) +
+                " B exceeds one of " + std::to_string(workers) +
+                " workers' share (" + formatDouble(share) +
+                " B) of machine " + topology.name +
+                "'s tightest shared level");
+    }
+}
+
 /** PL08: declared predictions against the re-derived values. */
 void
 checkDeclaredPredictions(const model::DataMovement &dm,
@@ -208,6 +281,8 @@ planVerifyOptions(const plan::PlannerOptions &options)
     vo.memCapacityBytes = options.memCapacityBytes;
     vo.requireExecutableOrder = options.onlyExecutableOrders;
     vo.model = options.model;
+    vo.plannedThreads = options.execThreads;
+    vo.topology = options.topology;
     return vo;
 }
 
@@ -344,6 +419,19 @@ verifyExecutionPlan(const Chain &chain, const plan::ExecutionPlan &plan,
             report.merge(
                 verifyConcurrency(chain, plan.tiles, plan.concurrency));
         }
+        // PL13: chunking structure against the classes the executors
+        // will actually obey, then the per-worker LLC share.
+        const std::vector<analysis::AxisConcurrency> kinds =
+            static_cast<int>(plan.concurrency.size()) == chain.numAxes()
+                ? plan.concurrency
+                : analysis::analyzeConcurrency(chain, plan.tiles).kinds();
+        checkChunking(chain, plan.plannedThreads, plan.parallelGrain,
+                      kinds, report);
+        const int workers = plan.plannedThreads > 1
+                                ? plan.plannedThreads
+                                : options.plannedThreads;
+        checkPerWorkerShare(dm.memUsageBytes, workers, options.topology,
+                            report);
     }
     return report;
 }
@@ -445,6 +533,47 @@ verifyPlanDocument(const Chain &chain, const plan::ParsedPlanDoc &doc,
                                  doc.haveVolume, doc.declaredMemBytes,
                                  doc.haveMem, report);
         report.merge(verifyDocumentConcurrency(chain, doc, tiles));
+
+        // PL13: bind and audit the chunking lines. The parser enforces
+        // positivity; binding and parallel-only are checked here so
+        // chimera-check reports instead of throwing.
+        if (doc.haveGrain && !doc.haveThreads) {
+            report.error("PL13", "grain",
+                         "document has a grain line without a threads"
+                         " line");
+        }
+        std::vector<std::int64_t> grain;
+        if (doc.haveGrain) {
+            grain.assign(static_cast<std::size_t>(chain.numAxes()), 1);
+            for (const auto &[name, g] : doc.grain) {
+                const AxisId axis = findAxis(name);
+                if (axis < 0) {
+                    report.error("PL02", "grain",
+                                 "unknown axis \"" + name + "\"");
+                    continue;
+                }
+                grain[static_cast<std::size_t>(axis)] = g;
+            }
+        }
+        // Grains must target axes the *executors* treat as parallel:
+        // the document's own table when it binds, fresh analysis
+        // otherwise (mirrors plan::effectiveConcurrency).
+        std::vector<analysis::AxisConcurrency> kinds;
+        if (doc.haveConcurrency) {
+            try {
+                kinds = plan::bindConcurrency(chain, doc.concurrency);
+            } catch (const Error &) {
+                // already reported as PL12 by verifyDocumentConcurrency
+            }
+        }
+        if (static_cast<int>(kinds.size()) != chain.numAxes()) {
+            kinds = analysis::analyzeConcurrency(chain, tiles).kinds();
+        }
+        const int workers =
+            doc.haveThreads ? static_cast<int>(doc.threads) : 1;
+        checkChunking(chain, workers, grain, kinds, report);
+        checkPerWorkerShare(dm.memUsageBytes, workers, options.topology,
+                            report);
     }
     return report;
 }

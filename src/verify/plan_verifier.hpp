@@ -40,6 +40,14 @@
  *          bound table against fresh dependence analysis live there
  *          and run as part of verifyExecutionPlan /
  *          verifyPlanDocument)
+ *  - PL13  thread-aware chunking defect: plannedThreads < 1, a grain
+ *          vector of the wrong arity or with non-positive entries, a
+ *          grain > 1 on an axis the dependence analysis did not prove
+ *          Parallel, a document grain line without a threads line, or —
+ *          when a topology is supplied — a per-worker footprint larger
+ *          than one worker's share of the tightest shared level
+ *          (capacity / workers), i.e. the plan would thrash the LLC
+ *          at its own declared thread count
  *  - KP01  micro-kernel register usage MI*NI + NI + MII exceeds the
  *          register budget
  *  - KP02  micro-kernel structure: MII < 2 or MII does not divide MI
@@ -80,6 +88,20 @@ struct PlanVerifyOptions
      * this skip PL09 with a note.
      */
     std::int64_t recountMaxBlocks = 1 << 16;
+
+    /**
+     * Worker count for the PL13 per-worker capacity check; a plan's own
+     * plannedThreads takes precedence when it declares one > 1. <= 1
+     * with a serial plan skips the shared-share check.
+     */
+    int plannedThreads = 1;
+
+    /**
+     * Core/cache topology whose shared levels bound each worker's
+     * capacity share (PL13). An empty topology skips that check; the
+     * grain-structure checks still run.
+     */
+    model::MachineModel topology;
 };
 
 /** Derives verify options from the planner options that made a plan. */

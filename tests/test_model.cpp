@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "ir/builders.hpp"
 #include "model/data_movement.hpp"
@@ -324,6 +325,85 @@ TEST(MultiLevel, MoreCoresReduceStageTime)
     const double t4 =
         evaluateMultiLevel(chain, machine, {sched}).stageSeconds[0];
     EXPECT_NEAR(t4, t1 / 4.0, 1e-12);
+}
+
+TEST(MultiLevel, SharedBandwidthDoesNotScaleWithWorkers)
+{
+    GemmChainConfig cfg;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    const Chain chain = makeGemmChain(cfg);
+    MachineModel machine;
+    machine.levels = {{"L2", 1e9, 200e9, LevelScope::PerCore},
+                      {"LLC", 4e9, 100e9, LevelScope::Shared}};
+    machine.peakFlops = 1e12;
+    machine.cores = 8;
+    LevelSchedule sched;
+    sched.perm = permOf(chain, {"m", "l", "k", "n"});
+    sched.tiles = tilesOf(chain, {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+
+    const MultiLevelCost one =
+        evaluateMultiLevel(chain, machine, {sched, sched}, {}, 1);
+    const MultiLevelCost eight =
+        evaluateMultiLevel(chain, machine, {sched, sched}, {}, 8);
+    // The per-core link replicates with the workers; the shared link is
+    // one contended resource whose stage time stays put.
+    EXPECT_NEAR(eight.stageSeconds[0], one.stageSeconds[0] / 8.0, 1e-15);
+    EXPECT_DOUBLE_EQ(eight.stageSeconds[1], one.stageSeconds[1]);
+    // Compute scales with the active share of the machine peak.
+    EXPECT_NEAR(eight.computeSeconds, one.computeSeconds / 8.0, 1e-15);
+}
+
+TEST(MultiLevel, SharedCapacityIsSplitAcrossWorkers)
+{
+    MachineModel machine;
+    machine.levels = {{"L2", 1024.0, 1e9, LevelScope::PerCore},
+                      {"LLC", 8192.0, 1e9, LevelScope::Shared}};
+    machine.cores = 8;
+    EXPECT_DOUBLE_EQ(
+        perWorkerCapacityBytes(machine.levels[0], machine, 8), 1024.0);
+    EXPECT_DOUBLE_EQ(
+        perWorkerCapacityBytes(machine.levels[1], machine, 8), 1024.0);
+    EXPECT_DOUBLE_EQ(
+        perWorkerCapacityBytes(machine.levels[1], machine, 2), 4096.0);
+    EXPECT_DOUBLE_EQ(minSharedPerWorkerCapacityBytes(machine, 4), 2048.0);
+    // Threads beyond the core count cannot all be concurrent.
+    EXPECT_EQ(activeWorkers(machine, 64), 8);
+    EXPECT_EQ(activeWorkers(machine, 0), 8); // default: all cores
+    // No shared level -> no shared budget to split.
+    MachineModel priv = machine;
+    priv.levels[1].scope = LevelScope::PerCore;
+    EXPECT_TRUE(std::isinf(minSharedPerWorkerCapacityBytes(priv, 8)));
+}
+
+TEST(MultiLevel, ExplicitSingleWorkerKeepsOneCoresShare)
+{
+    GemmChainConfig cfg;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    const Chain chain = makeGemmChain(cfg);
+    MachineModel machine;
+    machine.levels = {{"L1", 1e9, 100e9}};
+    machine.peakFlops = 1e12;
+    machine.cores = 4;
+    LevelSchedule sched;
+    sched.perm = permOf(chain, {"m", "l", "k", "n"});
+    sched.tiles = tilesOf(chain, {{"m", 8}, {"n", 8}, {"k", 4}, {"l", 6}});
+    const MultiLevelCost pinned =
+        evaluateMultiLevel(chain, machine, {sched}, {}, 1);
+    machine.cores = 1;
+    const MultiLevelCost serial =
+        evaluateMultiLevel(chain, machine, {sched}, {}, 1);
+    // One explicit worker on a 4-core machine moves data at one link's
+    // rate, exactly like the 1-core machine...
+    EXPECT_DOUBLE_EQ(pinned.stageSeconds[0], serial.stageSeconds[0]);
+    // ...but sustains only a quarter of the aggregate peak.
+    EXPECT_NEAR(pinned.computeSeconds, serial.computeSeconds * 4.0,
+                1e-15);
 }
 
 TEST(MultiLevel, SchedulesMustMatchLevels)

@@ -14,9 +14,11 @@
 
 #include "analysis/dependence.hpp"
 #include "analysis/race_checker.hpp"
+#include "exec/chunk_profile.hpp"
 #include "exec/conv_chain_exec.hpp"
 #include "exec/gemm_chain3_exec.hpp"
 #include "exec/gemm_chain_exec.hpp"
+#include "hw/machines.hpp"
 #include "graph/cnn.hpp"
 #include "graph/transformer.hpp"
 #include "ir/builders.hpp"
@@ -216,6 +218,204 @@ TEST(ParallelExec, UnfusedConvChainBitwiseIdenticalAcrossThreadCounts)
                             ExecOptions{threads, nullptr});
         EXPECT_TRUE(bitwiseEqual(output, serial)) << "threads " << threads;
     }
+}
+
+plan::ExecutionPlan
+threadAwarePlanFor(const ir::Chain &chain, double capacityBytes,
+                   int execThreads)
+{
+    plan::PlannerOptions options;
+    options.memCapacityBytes = capacityBytes;
+    options.execThreads = execThreads;
+    options.topology = hw::multicoreCpuTopology();
+    return plan::planChain(chain, options);
+}
+
+TEST(ParallelExec, ThreadAwareGemmPlanBitwiseIdenticalAcrossThreadCounts)
+{
+    // The fig5 workload family under a thread-aware plan: the chunked
+    // dispatch (grain > 1 groups consecutive blocks) must stay
+    // bitwise-identical at every thread count and race-clean.
+    for (Epilogue epi : {Epilogue::None, Epilogue::Softmax}) {
+        GemmChainConfig cfg;
+        cfg.batch = 3;
+        cfg.m = 48;
+        cfg.n = 24;
+        cfg.k = 16;
+        cfg.l = 40;
+        cfg.epilogue = epi;
+        cfg.softmaxScale = 0.25f;
+        const ir::Chain chain = ir::makeGemmChain(cfg);
+        const plan::ExecutionPlan plan =
+            threadAwarePlanFor(chain, 16.0 * 1024, 8);
+        EXPECT_EQ(plan.plannedThreads, 8);
+        const ComputeEngine engine = ComputeEngine::best();
+
+        Tensor a(gemmChainShapeA(cfg));
+        Tensor b(gemmChainShapeB(cfg));
+        Tensor d(gemmChainShapeD(cfg));
+        Rng rng(42);
+        fillUniform(a, rng);
+        fillUniform(b, rng);
+        fillUniform(d, rng);
+
+        Tensor serial(gemmChainShapeE(cfg));
+        runFusedGemmChain(cfg, plan, engine, a, b, d, serial);
+        for (int threads : kThreadCounts) {
+            analysis::RaceChecker checker(serial.numel());
+            Tensor e(gemmChainShapeE(cfg));
+            runFusedGemmChain(cfg, plan, engine, a, b, d, e,
+                              ExecOptions{threads, nullptr, &checker});
+            EXPECT_FALSE(checker.hasConflicts())
+                << "threads " << threads << "\n" << checker.report();
+            EXPECT_TRUE(bitwiseEqual(e, serial))
+                << "epilogue " << static_cast<int>(epi) << " threads "
+                << threads;
+        }
+    }
+}
+
+TEST(ParallelExec, ThreadAwareConvPlanBitwiseIdenticalAcrossThreadCounts)
+{
+    ConvChainConfig cfg;
+    cfg.batch = 2;
+    cfg.ic = 6;
+    cfg.h = 17;
+    cfg.w = 17;
+    cfg.oc1 = 9;
+    cfg.oc2 = 7;
+    cfg.k1 = 3;
+    cfg.k2 = 3;
+    cfg.stride1 = 1;
+    cfg.stride2 = 2;
+    cfg.epilogue = Epilogue::Relu;
+    const ir::Chain chain = ir::makeConvChain(cfg);
+    const plan::ExecutionPlan plan =
+        threadAwarePlanFor(chain, 24.0 * 1024, 8);
+    EXPECT_EQ(plan.plannedThreads, 8);
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor input(convChainShapeI(cfg));
+    Tensor w1(convChainShapeW1(cfg));
+    Tensor w2(convChainShapeW2(cfg));
+    Rng rng(31);
+    fillUniform(input, rng);
+    fillUniform(w1, rng);
+    fillUniform(w2, rng);
+
+    Tensor serial(convChainShapeO(cfg));
+    runFusedConvChain(cfg, plan, engine, input, w1, w2, serial);
+    for (int threads : kThreadCounts) {
+        analysis::RaceChecker checker(serial.numel());
+        Tensor output(convChainShapeO(cfg));
+        runFusedConvChain(cfg, plan, engine, input, w1, w2, output,
+                          ExecOptions{threads, nullptr, &checker});
+        EXPECT_FALSE(checker.hasConflicts())
+            << "threads " << threads << "\n" << checker.report();
+        EXPECT_TRUE(bitwiseEqual(output, serial)) << "threads " << threads;
+    }
+}
+
+TEST(ParallelExec, ChunkedRunMatchesPlanWithoutChunking)
+{
+    // Chunking is purely a dispatch regrouping: stripping the grain
+    // and thread count from the plan must not change a single bit.
+    GemmChainConfig cfg;
+    cfg.batch = 3;
+    cfg.m = 48;
+    cfg.n = 24;
+    cfg.k = 16;
+    cfg.l = 40;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const plan::ExecutionPlan chunked =
+        threadAwarePlanFor(chain, 16.0 * 1024, 8);
+    plan::ExecutionPlan flat = chunked;
+    flat.plannedThreads = 1;
+    flat.parallelGrain.clear();
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Rng rng(9);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+
+    Tensor eChunked(gemmChainShapeE(cfg));
+    Tensor eFlat(gemmChainShapeE(cfg));
+    runFusedGemmChain(cfg, chunked, engine, a, b, d, eChunked,
+                      ExecOptions{2, nullptr});
+    runFusedGemmChain(cfg, flat, engine, a, b, d, eFlat,
+                      ExecOptions{2, nullptr});
+    EXPECT_TRUE(bitwiseEqual(eChunked, eFlat));
+}
+
+TEST(ChunkProfile, CriticalPathSumsPhaseMaxima)
+{
+    ChunkProfile profile(2);
+    EXPECT_EQ(profile.workers(), 2);
+    // Four chunks over two workers: 0,1 -> worker 0 and 2,3 -> worker 1.
+    profile.beginPhase(4);
+    profile.recordChunk(0, 1.0);
+    profile.recordChunk(1, 1.0);
+    profile.recordChunk(2, 0.5);
+    profile.recordChunk(3, 0.25);
+    EXPECT_NEAR(profile.criticalPathSeconds(), 2.0, 1e-9);
+    // A second phase folds the first and accumulates its own maximum.
+    profile.beginPhase(2);
+    profile.recordChunk(1, 0.75);
+    EXPECT_NEAR(profile.criticalPathSeconds(), 2.75, 1e-9);
+    EXPECT_NEAR(profile.totalBusySeconds(), 3.5, 1e-9);
+}
+
+TEST(ChunkProfile, FusedRunProducesBalancedCriticalPath)
+{
+    // A profiled fused run: the simulated critical path must lie
+    // between total-busy / workers (perfect balance) and total busy
+    // (fully serial), and a 1-worker profile must equal its own total.
+    GemmChainConfig cfg;
+    cfg.batch = 4;
+    cfg.m = 48;
+    cfg.n = 24;
+    cfg.k = 16;
+    cfg.l = 40;
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    const plan::ExecutionPlan plan =
+        threadAwarePlanFor(chain, 16.0 * 1024, 4);
+    const ComputeEngine engine = ComputeEngine::best();
+
+    Tensor a(gemmChainShapeA(cfg));
+    Tensor b(gemmChainShapeB(cfg));
+    Tensor d(gemmChainShapeD(cfg));
+    Rng rng(13);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    Tensor e(gemmChainShapeE(cfg));
+
+    ChunkProfile quad(4);
+    {
+        ExecOptions options;
+        options.threads = 1;
+        options.profile = &quad;
+        runFusedGemmChain(cfg, plan, engine, a, b, d, e, options);
+    }
+    EXPECT_GT(quad.totalBusySeconds(), 0.0);
+    EXPECT_GE(quad.criticalPathSeconds(),
+              quad.totalBusySeconds() / 4.0 - 1e-12);
+    EXPECT_LE(quad.criticalPathSeconds(),
+              quad.totalBusySeconds() + 1e-12);
+
+    ChunkProfile solo(1);
+    {
+        ExecOptions options;
+        options.threads = 1;
+        options.profile = &solo;
+        runFusedGemmChain(cfg, plan, engine, a, b, d, e, options);
+    }
+    EXPECT_NEAR(solo.criticalPathSeconds(), solo.totalBusySeconds(),
+                1e-12);
 }
 
 TEST(ParallelExec, ExplicitPoolOverrideIsUsed)

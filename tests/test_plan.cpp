@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/dependence.hpp"
+#include "hw/machines.hpp"
 #include "ir/builders.hpp"
 #include "ir/workloads.hpp"
 #include "model/data_movement.hpp"
+#include "model/multilevel.hpp"
+#include "plan/plan_io.hpp"
 #include "plan/planner.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
@@ -333,6 +337,97 @@ TEST(MultiLevelPlanner, BoundIsMaxOfStages)
         maxStage = std::max(maxStage, s);
     }
     EXPECT_DOUBLE_EQ(plan.cost.boundSeconds, maxStage);
+}
+
+TEST(ThreadAwarePlanner, SingleThreadReproducesSerialPlanExactly)
+{
+    const Chain chain = makeGemmChain(squareChain(256));
+    PlannerOptions serial;
+    serial.memCapacityBytes = 512.0 * 1024;
+    const ExecutionPlan base = planChain(chain, serial);
+
+    PlannerOptions one = serial;
+    one.execThreads = 1;
+    one.topology = hw::multicoreCpuTopology();
+    const ExecutionPlan same = planChain(chain, one);
+    EXPECT_EQ(same.perm, base.perm);
+    EXPECT_EQ(same.tiles, base.tiles);
+    EXPECT_EQ(same.plannedThreads, 1);
+    EXPECT_TRUE(same.parallelGrain.empty());
+    // And the serial document stays byte-identical: no chunking lines.
+    EXPECT_EQ(serializePlan(chain, same), serializePlan(chain, base));
+}
+
+TEST(ThreadAwarePlanner, SharedCachePressureShrinksTiles)
+{
+    // A working set that fits the serial budget but not a twelfth of
+    // the multicore LLC: the 12-thread plan must re-solve with strictly
+    // smaller tiles so twelve concurrent working sets coexist.
+    const Chain chain = makeGemmChain(squareChain(512));
+    const model::MachineModel topo = hw::multicoreCpuTopology();
+
+    PlannerOptions serial;
+    serial.memCapacityBytes = 8.0 * 1024 * 1024;
+    const ExecutionPlan base = planChain(chain, serial);
+    const double share = model::minSharedPerWorkerCapacityBytes(topo, 12);
+    ASSERT_GT(static_cast<double>(base.memUsageBytes), share)
+        << "fixture too small to pressure the shared cache";
+
+    PlannerOptions par = serial;
+    par.execThreads = 12;
+    par.topology = topo;
+    const ExecutionPlan plan8 = planChain(chain, par);
+    EXPECT_LE(static_cast<double>(plan8.memUsageBytes), share);
+    EXPECT_EQ(plan8.plannedThreads, 12);
+    ASSERT_EQ(plan8.parallelGrain.size(),
+              static_cast<std::size_t>(chain.numAxes()));
+    bool strictlySmaller = false;
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        const auto idx = static_cast<std::size_t>(a);
+        EXPECT_LE(plan8.tiles[idx], base.tiles[idx]) << "axis " << a;
+        strictlySmaller |= plan8.tiles[idx] < base.tiles[idx];
+    }
+    EXPECT_TRUE(strictlySmaller);
+}
+
+TEST(ThreadAwarePlanner, ChunkingCoversEveryWorker)
+{
+    // Enough parallel blocks must exist for the planned worker count,
+    // and the grain must only coarsen axes that are proven Parallel.
+    GemmChainConfig cfg;
+    cfg.batch = 4;
+    cfg.m = 96;
+    cfg.n = 48;
+    cfg.k = 32;
+    cfg.l = 64;
+    cfg.name = "chunk-cover";
+    const Chain chain = makeGemmChain(cfg);
+    PlannerOptions options;
+    options.memCapacityBytes = 64.0 * 1024;
+    options.execThreads = 8;
+    options.topology = hw::multicoreCpuTopology();
+    const ExecutionPlan plan = planChain(chain, options);
+    ASSERT_EQ(plan.parallelGrain.size(),
+              static_cast<std::size_t>(chain.numAxes()));
+
+    std::int64_t chunks = 1;
+    for (int a = 0; a < chain.numAxes(); ++a) {
+        const auto idx = static_cast<std::size_t>(a);
+        ASSERT_GE(plan.parallelGrain[idx], 1);
+        if (plan.parallelGrain[idx] > 1) {
+            EXPECT_EQ(plan.concurrency[idx],
+                      analysis::AxisConcurrency::Parallel)
+                << "axis " << a;
+        }
+        if (plan.concurrency[idx] ==
+                analysis::AxisConcurrency::Parallel &&
+            chain.axes()[idx].extent > 1) {
+            const std::int64_t blocks =
+                ceilDiv(chain.axes()[idx].extent, plan.tiles[idx]);
+            chunks *= ceilDiv(blocks, plan.parallelGrain[idx]);
+        }
+    }
+    EXPECT_GE(chunks, 8);
 }
 
 } // namespace

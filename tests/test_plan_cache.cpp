@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "hw/machines.hpp"
 #include "ir/builders.hpp"
 #include "plan/plan_cache.hpp"
 #include "plan/plan_io.hpp"
@@ -225,6 +226,71 @@ TEST(PlanCache, KeyCoversChainAndOptions)
     cfg.name = "same-structure-other-name";
     EXPECT_EQ(planFingerprint(ir::makeGemmChain(cfg), options),
               planFingerprint(chain, options));
+}
+
+TEST(PlanCache, KeyCoversExecThreadsAndTopology)
+{
+    const ir::Chain chain = chainUnderTest();
+    const PlannerOptions options = optionsUnderTest();
+
+    // The targeted worker count changes the plan (per-worker budgets,
+    // chunking), so it must change the key — unlike the search-loop
+    // thread count above.
+    PlannerOptions eight = options;
+    eight.execThreads = 8;
+    EXPECT_NE(planFingerprint(chain, options),
+              planFingerprint(chain, eight));
+
+    PlannerOptions topo = eight;
+    topo.topology = hw::multicoreCpuTopology();
+    EXPECT_NE(planFingerprint(chain, eight),
+              planFingerprint(chain, topo));
+
+    // A different shared-cache size is a different machine.
+    PlannerOptions smallerLlc = topo;
+    for (auto &level : smallerLlc.topology.levels) {
+        if (level.scope == model::LevelScope::Shared) {
+            level.capacityBytes /= 2.0;
+            break;
+        }
+    }
+    EXPECT_NE(planFingerprint(chain, topo),
+              planFingerprint(chain, smallerLlc));
+
+    // Chunk targeting only matters once several workers are planned.
+    PlannerOptions grainier = eight;
+    grainier.chunksPerWorker = 2;
+    EXPECT_NE(planFingerprint(chain, eight),
+              planFingerprint(chain, grainier));
+    PlannerOptions serialGrain = options;
+    serialGrain.chunksPerWorker = 2;
+    EXPECT_EQ(planFingerprint(chain, options),
+              planFingerprint(chain, serialGrain));
+}
+
+TEST(PlanCache, ThreadAwarePlansCacheSeparately)
+{
+    const ir::Chain chain = chainUnderTest();
+    PlannerOptions options = optionsUnderTest();
+    PlanCache cache(freshDir("threads"));
+    options.cache = &cache;
+
+    const ExecutionPlan serial = planChain(chain, options);
+    EXPECT_EQ(cache.stats().misses, 1);
+
+    options.execThreads = 8;
+    options.topology = hw::multicoreCpuTopology();
+    const ExecutionPlan threaded = planChain(chain, options);
+    EXPECT_EQ(cache.stats().misses, 2);
+    EXPECT_EQ(threaded.plannedThreads, 8);
+
+    // Warm hit restores the chunking decision too.
+    const ExecutionPlan warm = planChain(chain, options);
+    EXPECT_EQ(warm.candidatesExamined, 0);
+    EXPECT_EQ(warm.plannedThreads, threaded.plannedThreads);
+    EXPECT_EQ(warm.parallelGrain, threaded.parallelGrain);
+    EXPECT_EQ(warm.tiles, threaded.tiles);
+    EXPECT_EQ(serial.plannedThreads, 1);
 }
 
 TEST(PlanCache, MemoryOnlyWithoutDirectory)

@@ -227,5 +227,55 @@ TEST(ThreadCount, SharedPoolsArePersistentPerSize)
     EXPECT_EQ(c->size(), 3);
 }
 
+TEST(StaticChunk, RangesPartitionTheTotalInOrder)
+{
+    for (std::int64_t total : {1, 3, 7, 8, 9, 64, 103}) {
+        for (int workers : {1, 2, 3, 4, 8, 16}) {
+            std::int64_t next = 0;
+            for (int w = 0; w < workers; ++w) {
+                const ChunkRange range =
+                    staticChunkRange(total, workers, w);
+                EXPECT_EQ(range.begin, next)
+                    << "total " << total << " workers " << workers
+                    << " worker " << w;
+                EXPECT_GE(range.end, range.begin);
+                next = range.end;
+                // The remainder goes to the first workers: sizes never
+                // differ by more than one and never increase.
+                const std::int64_t size = range.end - range.begin;
+                EXPECT_LE(size, total / workers + 1);
+            }
+            EXPECT_EQ(next, total)
+                << "total " << total << " workers " << workers;
+        }
+    }
+}
+
+TEST(StaticChunk, OwnerAgreesWithRanges)
+{
+    for (std::int64_t total : {1, 5, 8, 24, 103}) {
+        for (int workers : {1, 2, 4, 8, 16}) {
+            for (std::int64_t i = 0; i < total; ++i) {
+                const int owner = staticChunkOwner(i, total, workers);
+                const ChunkRange range =
+                    staticChunkRange(total, workers, owner);
+                EXPECT_TRUE(i >= range.begin && i < range.end)
+                    << "total " << total << " workers " << workers
+                    << " index " << i << " owner " << owner;
+            }
+        }
+    }
+}
+
+TEST(StaticChunk, DegenerateInputsAreEmptyOrClamped)
+{
+    const ChunkRange empty = staticChunkRange(0, 4, 0);
+    EXPECT_EQ(empty.begin, empty.end);
+    const ChunkRange outside = staticChunkRange(8, 4, 7);
+    EXPECT_EQ(outside.begin, outside.end);
+    EXPECT_EQ(staticChunkOwner(0, 0, 4), 0);
+    EXPECT_EQ(staticChunkOwner(5, 8, 0), 0);
+}
+
 } // namespace
 } // namespace chimera

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/machines.hpp"
 #include "ir/builders.hpp"
 #include "ir/workloads.hpp"
 #include "kernels/kernel_params.hpp"
@@ -393,6 +394,86 @@ TEST(PlanVerifier, FlagsTamperedDocument)
     // A fingerprint that does not match the expected key.
     report = verifyPlanDocument(chain, doc, "ffffffffffffffff", vo);
     EXPECT_TRUE(report.hasRule("PL10")) << report.render();
+}
+
+TEST(PlanVerifier, ThreadAwareWinnersVerifyClean)
+{
+    const ir::Chain chain = gemmChainUnderTest();
+    plan::PlannerOptions po;
+    po.memCapacityBytes = 32.0 * 1024;
+    po.execThreads = 8;
+    po.topology = hw::multicoreCpuTopology();
+    const plan::ExecutionPlan plan = plan::planChain(chain, po);
+    EXPECT_EQ(plan.plannedThreads, 8);
+    const Report report =
+        verifyExecutionPlan(chain, plan, planVerifyOptions(po));
+    EXPECT_FALSE(report.hasErrors()) << report.render();
+}
+
+TEST(PlanVerifier, FlagsChunkingDefects)
+{
+    const ir::Chain chain = gemmChainUnderTest();
+    plan::PlannerOptions po;
+    po.memCapacityBytes = 32.0 * 1024;
+    const plan::ExecutionPlan good = plan::planChain(chain, po);
+    const PlanVerifyOptions vo = planVerifyOptions(po);
+
+    // Grain > 1 on the contracted axis k regroups a serial reduction.
+    plan::ExecutionPlan bad = good;
+    bad.plannedThreads = 4;
+    bad.parallelGrain.assign(
+        static_cast<std::size_t>(chain.numAxes()), 1);
+    bad.parallelGrain[static_cast<std::size_t>(
+        ir::axisIdByName(chain, "k"))] = 2;
+    Report report = verifyExecutionPlan(chain, bad, vo);
+    EXPECT_TRUE(report.hasRule("PL13")) << report.render();
+
+    // Non-positive planned thread count.
+    bad = good;
+    bad.plannedThreads = 0;
+    report = verifyExecutionPlan(chain, bad, vo);
+    EXPECT_TRUE(report.hasRule("PL13")) << report.render();
+
+    // Grain arity mismatch.
+    bad = good;
+    bad.plannedThreads = 4;
+    bad.parallelGrain = {2, 2};
+    report = verifyExecutionPlan(chain, bad, vo);
+    EXPECT_TRUE(report.hasRule("PL13")) << report.render();
+}
+
+TEST(PlanVerifier, FlagsFootprintOverPerWorkerShare)
+{
+    // A serially-planned footprint that eight workers cannot all keep
+    // resident in a small shared cache.
+    const ir::Chain chain = gemmChainUnderTest();
+    plan::PlannerOptions po;
+    po.memCapacityBytes = 32.0 * 1024;
+    const plan::ExecutionPlan plan = plan::planChain(chain, po);
+
+    plan::PlannerOptions threaded = po;
+    threaded.execThreads = 8;
+    threaded.topology.name = "tiny";
+    threaded.topology.cores = 8;
+    threaded.topology.levels = {
+        {"LLC", 64.0 * 1024, 1e11, model::LevelScope::Shared}};
+    const Report report = verifyExecutionPlan(
+        chain, plan, planVerifyOptions(threaded));
+    EXPECT_TRUE(report.hasRule("PL13")) << report.render();
+}
+
+TEST(PlanVerifier, FlagsGrainWithoutThreadsDocument)
+{
+    const ir::Chain chain = gemmChainUnderTest();
+    plan::PlannerOptions po;
+    po.memCapacityBytes = 32.0 * 1024;
+    const plan::ExecutionPlan plan = plan::planChain(chain, po);
+    const std::string text =
+        plan::serializePlan(chain, plan) + "grain: m=2\n";
+    const plan::ParsedPlanDoc doc = plan::parsePlanDocument(text);
+    const Report report =
+        verifyPlanDocument(chain, doc, "", planVerifyOptions(po));
+    EXPECT_TRUE(report.hasRule("PL13")) << report.render();
 }
 
 TEST(PlanVerifier, FlagsBrokenMultiLevelNesting)
