@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Serving smoke test: boots chimera-serve on a private socket, drives it
+# with serve_loadgen, and gates on the things a broken daemon gets
+# wrong — zero completed requests, protocol errors, or a dirty
+# shutdown. The loadgen writes BENCH_serving.json (p50/p99 latency,
+# achieved throughput, batching stats) for the CI artifact upload.
+#
+# Flags: --quick forwards the loadgen's reduced sweep (64 requests at
+# 400 rps) for CI; the default is the full 512-request run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVER=build/tools/chimera-serve
+LOADGEN=build/bench/serve_loadgen
+for bin in "$SERVER" "$LOADGEN"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not built (run: cmake -B build && cmake --build build)" >&2
+        exit 1
+    fi
+done
+
+quick=()
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=(--quick) ;;
+        *) echo "error: unknown flag $arg (supported: --quick)" >&2; exit 2 ;;
+    esac
+done
+
+socket="/tmp/chimera-serve-smoke-$$.sock"
+out="BENCH_serving.json"
+rm -f "$socket" "$out"
+
+# The deterministic replay first: batched == individual, bitwise.
+"$SERVER" --check
+
+"$SERVER" --socket "$socket" --no-cache &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$socket"' EXIT
+
+# The loadgen retries the connect internally; it exits non-zero on any
+# incomplete request, protocol error, or error response.
+"$LOADGEN" --socket "$socket" --out "$out" "${quick[@]}"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+trap 'rm -f "$socket"' EXIT
+
+if [ ! -s "$out" ]; then
+    echo "error: loadgen did not write $out" >&2
+    exit 1
+fi
+python3 - "$out" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+failures = []
+if doc["achieved_throughput_rps"] <= 0:
+    failures.append("throughput is zero")
+if doc["protocol_errors"] != 0:
+    failures.append(f"protocol errors: {doc['protocol_errors']}")
+if doc["response_errors"] != 0:
+    failures.append(f"response errors: {doc['response_errors']}")
+if doc["completed"] != doc["requests"]:
+    failures.append(f"completed {doc['completed']}/{doc['requests']}")
+for failure in failures:
+    print(f"serve smoke: {failure}", file=sys.stderr)
+if failures:
+    sys.exit(1)
+p50 = doc["latency_seconds"]["p50"] * 1e3
+p99 = doc["latency_seconds"]["p99"] * 1e3
+print(f"serve smoke: ok ({doc['completed']} requests, "
+      f"{doc['achieved_throughput_rps']:.1f} rps, "
+      f"p50 {p50:.3f} ms, p99 {p99:.3f} ms)")
+EOF

@@ -1,9 +1,15 @@
 #include "plan/plan_cache.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 #include "plan/plan_io.hpp"
 #include "support/error.hpp"
@@ -101,6 +107,39 @@ readFile(const std::string &path)
     return contents;
 }
 
+/**
+ * Suffix every store() writer appends to the entry path before the
+ * atomic rename. Also the marker the orphan sweep looks for: any
+ * "<fp>.plan.tmp.<pid>.<seq>" left behind by a crashed writer.
+ */
+constexpr char kTempMarker[] = ".tmp.";
+
+/** Unique-per-writer temp path: pid disambiguates processes, the
+ * process-wide counter disambiguates threads within one process. Two
+ * writers racing on the same fingerprint therefore never share a temp
+ * file — each publishes its own complete document via rename. */
+std::string
+uniqueTempPath(const std::string &entryPath)
+{
+    static std::atomic<std::uint64_t> sequence{0};
+#ifdef __unix__
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    return entryPath + kTempMarker + std::to_string(pid) + "." +
+           std::to_string(sequence.fetch_add(1,
+                                             std::memory_order_relaxed));
+}
+
+/**
+ * Age before an orphaned temp file is considered abandoned. Live
+ * writers hold a temp only for one serialize+rename, so anything this
+ * old belongs to a crashed process; anything younger may still be
+ * mid-write by a concurrent store and must be left alone.
+ */
+constexpr auto kOrphanTempAge = std::chrono::minutes(10);
+
 } // namespace
 
 std::string
@@ -113,6 +152,38 @@ planFingerprint(const ir::Chain &chain, const PlannerOptions &options)
 PlanCache::PlanCache(std::string directory)
     : directory_(std::move(directory))
 {
+    removeOrphanedTempFiles();
+}
+
+void
+PlanCache::removeOrphanedTempFiles()
+{
+    if (directory_.empty()) {
+        return;
+    }
+    std::error_code ec;
+    fs::directory_iterator it(directory_, ec);
+    if (ec) {
+        return; // absent/unreadable directory: nothing to sweep
+    }
+    const auto now = fs::file_time_type::clock::now();
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(directory_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(kTempMarker) == std::string::npos) {
+            continue;
+        }
+        std::error_code entryEc;
+        const fs::file_time_type written =
+            fs::last_write_time(entry.path(), entryEc);
+        if (entryEc || now - written < kOrphanTempAge) {
+            continue;
+        }
+        if (fs::remove(entry.path(), entryEc); !entryEc) {
+            CHIMERA_INFO("plan cache removed orphaned temp file "
+                         << entry.path().string());
+        }
+    }
 }
 
 std::string
@@ -213,36 +284,53 @@ PlanCache::store(const ir::Chain &chain, const PlannerOptions &options,
         memory_[fingerprint] = plan;
     }
     stores_.fetch_add(1, std::memory_order_relaxed);
-    if (directory_.empty()) {
+    if (directory_.empty() ||
+        diskDisabled_.load(std::memory_order_relaxed)) {
         return;
     }
     std::error_code ec;
     fs::create_directories(directory_, ec);
     if (ec) {
-        CHIMERA_WARN("plan cache degraded to memory-only: cannot create "
-                     << directory_ << " (" << ec.message() << ")");
+        disableDisk("cannot create " + directory_ + " (" + ec.message() +
+                    ")");
         return;
     }
-    // Write-then-rename keeps concurrent readers off half-written files.
+    // Write-then-rename keeps concurrent readers off half-written
+    // files; the unique temp name keeps concurrent *writers* of the
+    // same fingerprint off each other's half-written temp (a fixed
+    // suffix let a second writer O_TRUNC a temp the first was about to
+    // rename, publishing a torn document).
     const std::string path = entryPath(fingerprint);
-    const std::string tmp = path + ".tmp";
+    const std::string tmp = uniqueTempPath(path);
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) {
-            CHIMERA_WARN("plan cache cannot write " << tmp);
+            disableDisk("cannot write " + tmp);
             return;
         }
         out << serializePlan(chain, plan, fingerprint);
         if (!out.flush()) {
-            CHIMERA_WARN("plan cache write failed for " << tmp);
+            disableDisk("write failed for " + tmp);
+            fs::remove(tmp, ec);
             return;
         }
     }
     fs::rename(tmp, path, ec);
     if (ec) {
-        CHIMERA_WARN("plan cache cannot rename " << tmp << " to " << path
-                                                 << ": " << ec.message());
+        // Rename within one directory should never fail on a writable
+        // filesystem; treat it like any other disk defect.
+        disableDisk("cannot rename " + tmp + " to " + path + " (" +
+                    ec.message() + ")");
         fs::remove(tmp, ec);
+    }
+}
+
+void
+PlanCache::disableDisk(const std::string &reason)
+{
+    if (!diskDisabled_.exchange(true, std::memory_order_relaxed)) {
+        CHIMERA_WARN("plan cache degraded to memory-only: "
+                     << reason << " (further stores stay in memory)");
     }
 }
 
@@ -256,6 +344,7 @@ PlanCache::stats() const
     out.stores = stores_.load(std::memory_order_relaxed);
     out.corruptEntries = corruptEntries_.load(std::memory_order_relaxed);
     out.rejectedPlans = rejectedPlans_.load(std::memory_order_relaxed);
+    out.diskDisabled = diskDisabled_.load(std::memory_order_relaxed);
     return out;
 }
 

@@ -54,6 +54,13 @@ struct PlanCacheStats
     int corruptEntries = 0; ///< unreadable/mismatched files ignored
     int rejectedPlans = 0; ///< parsed fine but failed plan verification
 
+    /**
+     * True once a store hit an unwritable/defective directory: the
+     * cache warned once, dropped the disk tier, and keeps serving the
+     * in-memory memo (lookups still read existing entries).
+     */
+    bool diskDisabled = false;
+
     int hits() const { return memoryHits + diskHits; }
 };
 
@@ -72,7 +79,10 @@ class PlanCache
     /**
      * Creates a cache rooted at @p directory. An empty string disables
      * the disk tier (in-memory memo only). The directory is created
-     * lazily on the first store.
+     * lazily on the first store. Opening an existing directory sweeps
+     * temp files abandoned by crashed writers (unique
+     * "<fp>.plan.tmp.<pid>.<seq>" names older than a grace period);
+     * fresh temps a concurrent store may still be writing are kept.
      */
     explicit PlanCache(std::string directory);
 
@@ -112,6 +122,12 @@ class PlanCache
   private:
     std::string entryPath(const std::string &fingerprint) const;
 
+    /** Best-effort sweep of abandoned writer temp files (see ctor). */
+    void removeOrphanedTempFiles();
+
+    /** Drops the disk tier after a write defect; warns exactly once. */
+    void disableDisk(const std::string &reason);
+
     const std::string directory_;
     mutable std::mutex mutex_;
     std::map<std::string, ExecutionPlan> memory_;
@@ -121,6 +137,7 @@ class PlanCache
     std::atomic<int> stores_{0};
     std::atomic<int> corruptEntries_{0};
     std::atomic<int> rejectedPlans_{0};
+    std::atomic<bool> diskDisabled_{false};
 };
 
 } // namespace chimera::plan

@@ -1,0 +1,190 @@
+#include "serve/batcher.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "exec/gemm_chain_exec.hpp"
+#include "support/error.hpp"
+
+namespace chimera::serve {
+
+std::string
+compatibilityKey(const ir::GemmChainConfig &config)
+{
+    // The softmax scale compares by bit pattern: two requests batch
+    // together only when their per-slice arithmetic is identical.
+    std::uint32_t scaleBits = 0;
+    std::memcpy(&scaleBits, &config.softmaxScale, sizeof scaleBits);
+    char out[128];
+    std::snprintf(out, sizeof out,
+                  "m=%lld;n=%lld;k=%lld;l=%lld;ep=%d;scale=%08x;causal=%d",
+                  static_cast<long long>(config.m),
+                  static_cast<long long>(config.n),
+                  static_cast<long long>(config.k),
+                  static_cast<long long>(config.l),
+                  static_cast<int>(config.epilogue), scaleBits,
+                  config.causalMask ? 1 : 0);
+    return out;
+}
+
+std::vector<std::vector<ServeJob>>
+groupCompatible(std::deque<ServeJob> &&jobs, std::int64_t maxBatch)
+{
+    std::vector<std::vector<ServeJob>> groups;
+    std::vector<std::int64_t> slices; // aligned with groups
+    std::map<std::string, std::size_t> open; // class -> open group index
+    while (!jobs.empty()) {
+        ServeJob job = std::move(jobs.front());
+        jobs.pop_front();
+        const std::int64_t batch = job.request.config.batch;
+        if (maxBatch <= 1) {
+            groups.push_back({});
+            groups.back().push_back(std::move(job));
+            slices.push_back(batch);
+            continue;
+        }
+        const std::string key = compatibilityKey(job.request.config);
+        if (const auto it = open.find(key); it != open.end()) {
+            const std::size_t g = it->second;
+            if (slices[g] + batch <= maxBatch) {
+                groups[g].push_back(std::move(job));
+                slices[g] += batch;
+                if (slices[g] == maxBatch) {
+                    open.erase(it);
+                }
+                continue;
+            }
+            open.erase(it); // full enough; start a fresh group
+        }
+        groups.push_back({});
+        groups.back().push_back(std::move(job));
+        slices.push_back(batch);
+        if (batch < maxBatch) {
+            open[key] = groups.size() - 1;
+        }
+    }
+    return groups;
+}
+
+namespace {
+
+/** Completes every member of @p group with @p message. */
+void
+failGroup(std::vector<ServeJob> &group, const std::string &message,
+          const std::function<double()> &nowSeconds)
+{
+    for (ServeJob &job : group) {
+        ExecuteResponse response;
+        response.id = job.request.id;
+        response.status = Status::Error;
+        response.error = message;
+        response.batchGroupSize =
+            static_cast<std::uint32_t>(group.size());
+        response.serverSeconds = nowSeconds() - job.admittedSeconds;
+        job.complete(std::move(response));
+    }
+}
+
+} // namespace
+
+GroupResult
+executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
+             const exec::ComputeEngine &engine,
+             const exec::ExecOptions &execOptions,
+             const std::function<double()> &nowSeconds)
+{
+    GroupResult result;
+    result.requests = static_cast<std::int64_t>(group.size());
+    CHIMERA_ASSERT(!group.empty(), "empty batch group");
+    std::int64_t totalBatch = 0;
+    for (const ServeJob &job : group) {
+        totalBatch += job.request.config.batch;
+    }
+    result.slices = totalBatch;
+
+    try {
+        if (totalBatch == 1) {
+            // Lone slice: the canonical plan runs on the request chain
+            // itself (batch == 1 omits the b axis entirely).
+            ServeJob &job = group.front();
+            const plan::ExecutionPlan plan =
+                gate.canonicalPlan(job.request.config);
+            Tensor e(exec::gemmChainShapeE(job.request.config));
+            exec::runFusedGemmChain(job.request.config, plan, engine,
+                                    job.request.a, job.request.b,
+                                    job.request.d, e, execOptions);
+            ExecuteResponse response;
+            response.id = job.request.id;
+            response.status = Status::Ok;
+            response.batchGroupSize = 1;
+            response.serverSeconds = nowSeconds() - job.admittedSeconds;
+            response.e = std::move(e);
+            job.complete(std::move(response));
+            result.ok = true;
+            return result;
+        }
+
+        // Coalesced group (or one multi-batch request): concatenate
+        // along b, run the derived plan whose per-slice walk is pinned
+        // to the canonical plan, then scatter E back per request.
+        ir::GemmChainConfig batched =
+            canonicalSlice(group.front().request.config);
+        batched.batch = totalBatch;
+        batched.name = "serve-batched";
+        const plan::ExecutionPlan plan =
+            gate.batchedPlan(batched, totalBatch);
+
+        const std::int64_t perA = batched.m * batched.k;
+        const std::int64_t perB = batched.k * batched.l;
+        const std::int64_t perD = batched.l * batched.n;
+        const std::int64_t perE = batched.m * batched.n;
+        Tensor a(exec::gemmChainShapeA(batched));
+        Tensor b(exec::gemmChainShapeB(batched));
+        Tensor d(exec::gemmChainShapeD(batched));
+        std::int64_t offset = 0;
+        for (const ServeJob &job : group) {
+            const std::int64_t nSlices = job.request.config.batch;
+            std::memcpy(a.data() + offset * perA, job.request.a.data(),
+                        static_cast<std::size_t>(nSlices * perA) *
+                            sizeof(float));
+            std::memcpy(b.data() + offset * perB, job.request.b.data(),
+                        static_cast<std::size_t>(nSlices * perB) *
+                            sizeof(float));
+            std::memcpy(d.data() + offset * perD, job.request.d.data(),
+                        static_cast<std::size_t>(nSlices * perD) *
+                            sizeof(float));
+            offset += nSlices;
+        }
+
+        Tensor e(exec::gemmChainShapeE(batched));
+        exec::runFusedGemmChain(batched, plan, engine, a, b, d, e,
+                                execOptions);
+
+        offset = 0;
+        for (ServeJob &job : group) {
+            const std::int64_t nSlices = job.request.config.batch;
+            Tensor slice(exec::gemmChainShapeE(job.request.config));
+            std::memcpy(slice.data(), e.data() + offset * perE,
+                        static_cast<std::size_t>(nSlices * perE) *
+                            sizeof(float));
+            offset += nSlices;
+            ExecuteResponse response;
+            response.id = job.request.id;
+            response.status = Status::Ok;
+            response.batchGroupSize =
+                static_cast<std::uint32_t>(group.size());
+            response.serverSeconds = nowSeconds() - job.admittedSeconds;
+            response.e = std::move(slice);
+            job.complete(std::move(response));
+        }
+        result.ok = true;
+        return result;
+    } catch (const std::exception &e) {
+        result.error = e.what();
+        failGroup(group, result.error, nowSeconds);
+        return result;
+    }
+}
+
+} // namespace chimera::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * Request coalescing along the paper's batch axis.
+ *
+ * The b axis of a batch GEMM chain is embarrassingly parallel and sits
+ * outermost in every serving plan, which makes it the natural batching
+ * hook: requests that agree on (m, n, k, l, epilogue, softmax scale,
+ * causal flag) — the *compatibility class* — can be concatenated along
+ * b and executed as one batched chain. A group of total batch B runs
+ * the derived plan from PlannerGate::batchedPlan, whose per-slice block
+ * walk is pinned to the canonical single-request plan, so every request
+ * in the group receives bit-for-bit the output it would have received
+ * running alone (the batcher's core contract, tested as such).
+ *
+ * Grouping itself is deterministic and timing-free: jobs are taken in
+ * arrival order and greedily appended to the open group of their class
+ * until a group reaches the batch cap. The daemon decides *when* to
+ * flush (its admission window); the replay checker flushes on stream
+ * order alone, which is what makes `chimera-serve --check` reproducible.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/compute_engine.hpp"
+#include "exec/exec_options.hpp"
+#include "serve/planner_gate.hpp"
+#include "serve/protocol.hpp"
+
+namespace chimera::serve {
+
+/** One admitted request plus its completion callback. */
+struct ServeJob
+{
+    ExecuteRequest request;
+
+    /**
+     * Called exactly once with the finished response, from whichever
+     * executor thread ran the group. Must be thread-safe and cheap
+     * (the daemon's callback just enqueues to the completion queue).
+     */
+    std::function<void(ExecuteResponse &&)> complete;
+
+    /** Admission timestamp, seconds on the daemon's steady clock. */
+    double admittedSeconds = 0.0;
+};
+
+/**
+ * Key under which requests may share a batch: everything shape- and
+ * semantics-relevant except the batch count. Stable string form so it
+ * can key maps and appear in logs.
+ */
+std::string compatibilityKey(const ir::GemmChainConfig &config);
+
+/**
+ * Splits @p jobs (consumed; arrival order preserved) into batch groups:
+ * members of one compatibility class coalesce — interleaved classes do
+ * not break a group — until the group holds @p maxBatch total slices (a request with batch > 1
+ * contributes that many slices; an oversized single request still forms
+ * its own group). With @p maxBatch <= 1 every job is its own group.
+ * Deterministic: depends only on job order and configs.
+ */
+std::vector<std::vector<ServeJob>>
+groupCompatible(std::deque<ServeJob> &&jobs, std::int64_t maxBatch);
+
+/** Outcome counters of one executed group. */
+struct GroupResult
+{
+    std::int64_t requests = 0;
+    std::int64_t slices = 0; ///< total batch executed
+    bool ok = false;
+    std::string error; ///< set when ok == false
+};
+
+/**
+ * Plans (through @p gate), executes and completes one group.
+ *
+ * A single-request group with batch == 1 runs the canonical plan on
+ * the slice chain directly; anything larger concatenates inputs along
+ * b, runs the derived batched plan, and scatters E back per request.
+ * Failures complete every member with an error response instead of
+ * throwing — the daemon must survive any admissible group.
+ *
+ * @p nowSeconds supplies completion timestamps (steady clock of the
+ * caller) for the per-response serverSeconds field.
+ */
+GroupResult executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
+                         const exec::ComputeEngine &engine,
+                         const exec::ExecOptions &execOptions,
+                         const std::function<double()> &nowSeconds);
+
+} // namespace chimera::serve

@@ -1,0 +1,159 @@
+#include "serve/planner_gate.hpp"
+
+#include "exec/constraints.hpp"
+#include "kernels/micro_kernel.hpp"
+#include "support/cpu_features.hpp"
+#include "support/error.hpp"
+
+namespace chimera::serve {
+
+ir::GemmChainConfig
+canonicalSlice(const ir::GemmChainConfig &config)
+{
+    ir::GemmChainConfig slice = config;
+    slice.batch = 1;
+    slice.name = "serve-slice";
+    return slice;
+}
+
+PlannerGate::PlannerGate(const PlannerGateOptions &options)
+    : options_(options),
+      cache_(options.cacheDir == "-"
+                 ? std::string()
+                 : (options.cacheDir.empty()
+                        ? plan::PlanCache::defaultDirectory()
+                        : options.cacheDir))
+{
+}
+
+plan::PlannerOptions
+PlannerGate::plannerOptions(const ir::Chain &chain) const
+{
+    plan::PlannerOptions po;
+    po.memCapacityBytes = options_.capacityBytes;
+    po.constraints = exec::cpuChainConstraints(
+        chain,
+        kernels::MicroKernelRegistry::instance().select(detectSimdTier()));
+    po.verify = options_.verifyPlans;
+    return po;
+}
+
+plan::ExecutionPlan
+PlannerGate::once(const std::string &key,
+                  const std::function<plan::ExecutionPlan()> &planFn)
+{
+    std::unique_lock<std::mutex> lock(flightMutex_);
+    if (const auto it = flights_.find(key); it != flights_.end()) {
+        ++flightsJoined_;
+        const std::shared_ptr<Flight> flight = it->second;
+        flightDone_.wait(lock, [&] { return flight->done; });
+        if (flight->error) {
+            std::rethrow_exception(flight->error);
+        }
+        return flight->plan;
+    }
+    const auto flight = std::make_shared<Flight>();
+    flights_[key] = flight;
+    ++flightsLed_;
+    lock.unlock();
+
+    try {
+        plan::ExecutionPlan plan = planFn();
+        lock.lock();
+        flight->plan = plan;
+        flight->done = true;
+        flights_.erase(key);
+        flightDone_.notify_all();
+        return plan;
+    } catch (...) {
+        lock.lock();
+        flight->error = std::current_exception();
+        flight->done = true;
+        flights_.erase(key);
+        flightDone_.notify_all();
+        throw;
+    }
+}
+
+plan::ExecutionPlan
+PlannerGate::canonicalPlan(const ir::GemmChainConfig &config)
+{
+    const ir::GemmChainConfig slice = canonicalSlice(config);
+    const ir::Chain chain = ir::makeGemmChain(slice);
+    const plan::PlannerOptions po = plannerOptions(chain);
+    // Fast path: fingerprint hits never touch the flight table.
+    if (std::optional<plan::ExecutionPlan> hit = cache_.lookup(chain, po)) {
+        return *hit;
+    }
+    return once(plan::planFingerprint(chain, po), [&] {
+        // The leader plans with the cache detached so the miss above
+        // stays the key's only miss; the store publishes the plan for
+        // both tiers (and for other processes) before followers wake.
+        plan::ExecutionPlan plan = plan::planChain(chain, po);
+        cache_.store(chain, po, plan);
+        return plan;
+    });
+}
+
+plan::ExecutionPlan
+PlannerGate::batchedPlan(const ir::GemmChainConfig &config,
+                         std::int64_t totalBatch)
+{
+    CHIMERA_CHECK(totalBatch > 1,
+                  "batchedPlan requires a total batch > 1; the canonical "
+                  "plan covers single slices");
+    const ir::GemmChainConfig slice = canonicalSlice(config);
+    const plan::ExecutionPlan canonical = canonicalPlan(slice);
+    const ir::Chain sliceChain = ir::makeGemmChain(slice);
+
+    ir::GemmChainConfig batchedConfig = slice;
+    batchedConfig.batch = totalBatch;
+    batchedConfig.name = "serve-batched";
+    const ir::Chain chain = ir::makeGemmChain(batchedConfig);
+
+    // Pin every canonical tile (by axis name) and hold the b tile at 1:
+    // the per-slice block walk is then the canonical plan's, so slice
+    // arithmetic — and output bits — cannot depend on the group size.
+    plan::PlannerOptions po = plannerOptions(chain);
+    for (ir::AxisId axis = 0; axis < sliceChain.numAxes(); ++axis) {
+        const std::string &name =
+            sliceChain.axes()[static_cast<std::size_t>(axis)].name;
+        po.constraints.fixed[ir::axisIdByName(chain, name)] =
+            canonical.tiles[static_cast<std::size_t>(axis)];
+    }
+    po.constraints.fixed[ir::axisIdByName(chain, "b")] = 1;
+
+    if (std::optional<plan::ExecutionPlan> hit = cache_.lookup(chain, po)) {
+        return *hit;
+    }
+    return once(plan::planFingerprint(chain, po), [&] {
+        std::vector<ir::AxisId> perm;
+        perm.reserve(static_cast<std::size_t>(chain.numAxes()));
+        perm.push_back(ir::axisIdByName(chain, "b"));
+        for (const ir::AxisId axis : canonical.perm) {
+            perm.push_back(ir::axisIdByName(
+                chain,
+                sliceChain.axes()[static_cast<std::size_t>(axis)].name));
+        }
+        plan::ExecutionPlan plan = plan::planFixedOrder(chain, perm, po);
+        derivedPlans_.fetch_add(1, std::memory_order_relaxed);
+        cache_.store(chain, po, plan);
+        return plan;
+    });
+}
+
+PlannerGateStats
+PlannerGate::stats() const
+{
+    PlannerGateStats out;
+    {
+        std::lock_guard<std::mutex> lock(flightMutex_);
+        out.flightsLed = flightsLed_;
+        out.flightsJoined = flightsJoined_;
+    }
+    out.derivedPlans = derivedPlans_.load(std::memory_order_relaxed);
+    out.cache = cache_.stats();
+    return out;
+}
+
+} // namespace chimera::serve

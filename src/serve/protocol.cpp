@@ -1,0 +1,575 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "support/error.hpp"
+
+namespace chimera::serve {
+
+namespace {
+
+/** @name Little-endian primitive append helpers
+ *  @{ */
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    putU8(out, static_cast<std::uint8_t>(v & 0xff));
+    putU8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    putU16(out, static_cast<std::uint16_t>(v & 0xffff));
+    putU16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+    putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+putI64(std::string &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void
+putF32(std::string &out, float v)
+{
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU32(out, bits);
+}
+
+void
+putF64(std::string &out, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU64(out, bits);
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+void
+putTensor(std::string &out, const Tensor &t)
+{
+    out.append(reinterpret_cast<const char *>(t.data()),
+               static_cast<std::size_t>(t.bytes()));
+}
+/** @} */
+
+/** Bounds-checked little-endian reader over a payload. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &payload) : payload_(payload) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(payload_[pos_++]);
+    }
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (static_cast<std::uint16_t>(u8())
+                                           << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (static_cast<std::uint32_t>(u16()) << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (static_cast<std::uint64_t>(u32()) << 32);
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+
+    float
+    f32()
+    {
+        const std::uint32_t bits = u32();
+        float v = 0.0f;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string out = payload_.substr(pos_, n);
+        pos_ += n;
+        return out;
+    }
+
+    /** Reads @p numel fp32 values into a tensor of @p shape. */
+    Tensor
+    tensor(std::vector<std::int64_t> shape, std::int64_t numel)
+    {
+        const std::size_t bytes =
+            static_cast<std::size_t>(numel) * sizeof(float);
+        need(bytes);
+        Tensor t(std::move(shape));
+        CHIMERA_CHECK(t.numel() == numel, "tensor shape/numel mismatch");
+        std::memcpy(t.data(), payload_.data() + pos_, bytes);
+        pos_ += bytes;
+        return t;
+    }
+
+    /** Rejects trailing bytes: a payload must be consumed exactly. */
+    void
+    expectEnd() const
+    {
+        CHIMERA_CHECK(pos_ == payload_.size(),
+                      "malformed frame: " +
+                          std::to_string(payload_.size() - pos_) +
+                          " trailing byte(s)");
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        CHIMERA_CHECK(payload_.size() - pos_ >= n,
+                      "malformed frame: truncated payload (need " +
+                          std::to_string(n) + " more byte(s) at offset " +
+                          std::to_string(pos_) + ")");
+    }
+
+    const std::string &payload_;
+    std::size_t pos_ = 0;
+};
+
+void
+putHeader(std::string &out, std::uint32_t magic, MessageType type,
+          std::uint64_t id)
+{
+    putU32(out, magic);
+    putU16(out, kProtocolVersion);
+    putU16(out, static_cast<std::uint16_t>(type));
+    putU64(out, id);
+}
+
+/** Reads and validates a payload header; returns (type, id). */
+std::pair<MessageType, std::uint64_t>
+readHeader(Cursor &cursor, std::uint32_t expectedMagic)
+{
+    const std::uint32_t magic = cursor.u32();
+    CHIMERA_CHECK(magic == expectedMagic,
+                  "malformed frame: bad magic 0x" + [magic] {
+                      char buf[16];
+                      std::snprintf(buf, sizeof buf, "%08x", magic);
+                      return std::string(buf);
+                  }());
+    const std::uint16_t version = cursor.u16();
+    CHIMERA_CHECK(version == kProtocolVersion,
+                  "unsupported protocol version " +
+                      std::to_string(version));
+    const std::uint16_t rawType = cursor.u16();
+    CHIMERA_CHECK(rawType >= 1 &&
+                      rawType <= static_cast<std::uint16_t>(
+                                     MessageType::Shutdown),
+                  "malformed frame: unknown message type " +
+                      std::to_string(rawType));
+    return {static_cast<MessageType>(rawType), cursor.u64()};
+}
+
+std::uint8_t
+epilogueByte(ir::Epilogue e)
+{
+    switch (e) {
+    case ir::Epilogue::None:
+        return 0;
+    case ir::Epilogue::Relu:
+        return 1;
+    case ir::Epilogue::Softmax:
+        return 2;
+    }
+    return 0;
+}
+
+ir::Epilogue
+epilogueFromByte(std::uint8_t b)
+{
+    CHIMERA_CHECK(b <= 2, "malformed frame: unknown epilogue code " +
+                              std::to_string(b));
+    return b == 0 ? ir::Epilogue::None
+                  : (b == 1 ? ir::Epilogue::Relu : ir::Epilogue::Softmax);
+}
+
+} // namespace
+
+std::int64_t
+executeNumelA(const ir::GemmChainConfig &c)
+{
+    return c.batch * c.m * c.k;
+}
+
+std::int64_t
+executeNumelB(const ir::GemmChainConfig &c)
+{
+    return c.batch * c.k * c.l;
+}
+
+std::int64_t
+executeNumelD(const ir::GemmChainConfig &c)
+{
+    return c.batch * c.l * c.n;
+}
+
+std::int64_t
+executeNumelE(const ir::GemmChainConfig &c)
+{
+    return c.batch * c.m * c.n;
+}
+
+void
+validateExecuteConfig(const ir::GemmChainConfig &config)
+{
+    const auto checkExtent = [](const char *name, std::int64_t v) {
+        CHIMERA_CHECK(v >= 1, std::string("invalid request: extent ") +
+                                  name + " must be >= 1, got " +
+                                  std::to_string(v));
+        CHIMERA_CHECK(v <= kMaxExtent,
+                      std::string("invalid request: extent ") + name +
+                          " = " + std::to_string(v) + " exceeds the cap " +
+                          std::to_string(kMaxExtent));
+    };
+    checkExtent("batch", config.batch);
+    checkExtent("m", config.m);
+    checkExtent("n", config.n);
+    checkExtent("k", config.k);
+    checkExtent("l", config.l);
+    if (config.causalMask) {
+        CHIMERA_CHECK(config.epilogue == ir::Epilogue::Softmax,
+                      "invalid request: causal masking requires the "
+                      "softmax epilogue");
+        CHIMERA_CHECK(config.m == config.l,
+                      "invalid request: causal masking requires m == l");
+    }
+}
+
+std::string
+encodeExecuteRequest(const ExecuteRequest &request)
+{
+    validateExecuteConfig(request.config);
+    std::string out;
+    const std::size_t tensorBytes = static_cast<std::size_t>(
+        (executeNumelA(request.config) + executeNumelB(request.config) +
+         executeNumelD(request.config)) *
+        static_cast<std::int64_t>(sizeof(float)));
+    out.reserve(64 + tensorBytes);
+    putHeader(out, kRequestMagic, MessageType::Execute, request.id);
+    putI64(out, request.config.batch);
+    putI64(out, request.config.m);
+    putI64(out, request.config.n);
+    putI64(out, request.config.k);
+    putI64(out, request.config.l);
+    putU8(out, epilogueByte(request.config.epilogue));
+    putU8(out, request.config.causalMask ? 1 : 0);
+    putF32(out, request.config.softmaxScale);
+    CHIMERA_CHECK(request.a.numel() == executeNumelA(request.config) &&
+                      request.b.numel() ==
+                          executeNumelB(request.config) &&
+                      request.d.numel() == executeNumelD(request.config),
+                  "request tensors do not match the configuration");
+    putTensor(out, request.a);
+    putTensor(out, request.b);
+    putTensor(out, request.d);
+    return out;
+}
+
+std::string
+encodeStatsRequest(std::uint64_t id)
+{
+    std::string out;
+    putHeader(out, kRequestMagic, MessageType::Stats, id);
+    return out;
+}
+
+std::string
+encodeShutdownRequest(std::uint64_t id)
+{
+    std::string out;
+    putHeader(out, kRequestMagic, MessageType::Shutdown, id);
+    return out;
+}
+
+std::string
+encodeExecuteResponse(const ExecuteResponse &response)
+{
+    std::string out;
+    out.reserve(64 + (response.status == Status::Ok
+                          ? static_cast<std::size_t>(response.e.bytes())
+                          : response.error.size()));
+    putHeader(out, kResponseMagic, MessageType::Execute, response.id);
+    putU8(out, static_cast<std::uint8_t>(response.status));
+    if (response.status == Status::Error) {
+        putString(out, response.error);
+        return out;
+    }
+    putU32(out, response.batchGroupSize);
+    putF64(out, response.serverSeconds);
+    putU32(out, static_cast<std::uint32_t>(response.e.rank()));
+    for (const std::int64_t dim : response.e.shape()) {
+        putI64(out, dim);
+    }
+    putTensor(out, response.e);
+    return out;
+}
+
+std::string
+encodeStatsResponse(std::uint64_t id, const std::string &text)
+{
+    std::string out;
+    putHeader(out, kResponseMagic, MessageType::Stats, id);
+    putU8(out, static_cast<std::uint8_t>(Status::Ok));
+    putString(out, text);
+    return out;
+}
+
+std::string
+encodeShutdownResponse(std::uint64_t id)
+{
+    std::string out;
+    putHeader(out, kResponseMagic, MessageType::Shutdown, id);
+    putU8(out, static_cast<std::uint8_t>(Status::Ok));
+    return out;
+}
+
+std::string
+encodeErrorResponse(MessageType type, std::uint64_t id,
+                    const std::string &message)
+{
+    std::string out;
+    putHeader(out, kResponseMagic, type, id);
+    putU8(out, static_cast<std::uint8_t>(Status::Error));
+    putString(out, message);
+    return out;
+}
+
+Request
+decodeRequest(const std::string &payload)
+{
+    Cursor cursor(payload);
+    const auto [type, id] = readHeader(cursor, kRequestMagic);
+    Request request;
+    request.type = type;
+    request.id = id;
+    if (type != MessageType::Execute) {
+        cursor.expectEnd();
+        return request;
+    }
+    ir::GemmChainConfig config;
+    config.batch = cursor.i64();
+    config.m = cursor.i64();
+    config.n = cursor.i64();
+    config.k = cursor.i64();
+    config.l = cursor.i64();
+    config.epilogue = epilogueFromByte(cursor.u8());
+    config.causalMask = cursor.u8() != 0;
+    config.softmaxScale = cursor.f32();
+    config.name = "serve-request";
+    validateExecuteConfig(config);
+    request.execute.id = id;
+    request.execute.config = config;
+    const bool batched = config.batch > 1;
+    request.execute.a = cursor.tensor(
+        batched ? std::vector<std::int64_t>{config.batch, config.m,
+                                            config.k}
+                : std::vector<std::int64_t>{config.m, config.k},
+        executeNumelA(config));
+    request.execute.b = cursor.tensor(
+        batched ? std::vector<std::int64_t>{config.batch, config.k,
+                                            config.l}
+                : std::vector<std::int64_t>{config.k, config.l},
+        executeNumelB(config));
+    request.execute.d = cursor.tensor(
+        batched ? std::vector<std::int64_t>{config.batch, config.l,
+                                            config.n}
+                : std::vector<std::int64_t>{config.l, config.n},
+        executeNumelD(config));
+    cursor.expectEnd();
+    return request;
+}
+
+Response
+decodeResponse(const std::string &payload)
+{
+    Cursor cursor(payload);
+    const auto [type, id] = readHeader(cursor, kResponseMagic);
+    Response response;
+    response.type = type;
+    response.id = id;
+    response.status = static_cast<Status>(cursor.u8());
+    CHIMERA_CHECK(response.status == Status::Ok ||
+                      response.status == Status::Error,
+                  "malformed frame: unknown status byte");
+    if (response.status == Status::Error) {
+        response.error = cursor.str();
+        cursor.expectEnd();
+        return response;
+    }
+    switch (type) {
+    case MessageType::Execute: {
+        response.execute.id = id;
+        response.execute.status = Status::Ok;
+        response.execute.batchGroupSize = cursor.u32();
+        response.execute.serverSeconds = cursor.f64();
+        const std::uint32_t rank = cursor.u32();
+        CHIMERA_CHECK(rank >= 1 && rank <= 3,
+                      "malformed frame: bad response tensor rank " +
+                          std::to_string(rank));
+        std::vector<std::int64_t> shape;
+        std::int64_t numel = 1;
+        for (std::uint32_t i = 0; i < rank; ++i) {
+            const std::int64_t dim = cursor.i64();
+            CHIMERA_CHECK(dim >= 1 && dim <= kMaxExtent,
+                          "malformed frame: bad response dimension " +
+                              std::to_string(dim));
+            shape.push_back(dim);
+            numel *= dim;
+        }
+        response.execute.e = cursor.tensor(std::move(shape), numel);
+        break;
+    }
+    case MessageType::Stats:
+        response.statsText = cursor.str();
+        break;
+    case MessageType::Shutdown:
+        break;
+    }
+    cursor.expectEnd();
+    return response;
+}
+
+std::optional<std::string>
+readFrame(int fd)
+{
+#ifdef __unix__
+    const auto readFully = [fd](char *buffer, std::size_t want,
+                                bool eofOk) -> bool {
+        std::size_t got = 0;
+        while (got < want) {
+            const ssize_t n = ::read(fd, buffer + got, want - got);
+            if (n == 0) {
+                CHIMERA_CHECK(eofOk && got == 0,
+                              "truncated frame: stream ended "
+                              "mid-message");
+                return false;
+            }
+            if (n < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                throw Error(std::string("frame read failed: ") +
+                            std::strerror(errno));
+            }
+            got += static_cast<std::size_t>(n);
+        }
+        return true;
+    };
+
+    char prefix[4];
+    if (!readFully(prefix, sizeof prefix, /*eofOk=*/true)) {
+        return std::nullopt;
+    }
+    std::uint32_t length = 0;
+    std::memcpy(&length, prefix, sizeof length);
+    CHIMERA_CHECK(length <= kMaxFramePayload,
+                  "oversized frame: " + std::to_string(length) +
+                      " bytes exceeds the " +
+                      std::to_string(kMaxFramePayload) + "-byte cap");
+    std::string payload(length, '\0');
+    if (length > 0) {
+        readFully(payload.data(), length, /*eofOk=*/false);
+    }
+    return payload;
+#else
+    (void)fd;
+    throw Error("serve protocol requires a POSIX platform");
+#endif
+}
+
+void
+writeFrame(int fd, const std::string &payload)
+{
+#ifdef __unix__
+    CHIMERA_CHECK(payload.size() <= kMaxFramePayload,
+                  "oversized frame: refusing to send " +
+                      std::to_string(payload.size()) + " bytes");
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(sizeof length + payload.size());
+    frame.append(reinterpret_cast<const char *>(&length), sizeof length);
+    frame.append(payload);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::write(fd, frame.data() + sent, frame.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(std::string("frame write failed: ") +
+                        std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+#else
+    (void)fd;
+    (void)payload;
+    throw Error("serve protocol requires a POSIX platform");
+#endif
+}
+
+} // namespace chimera::serve

@@ -1,0 +1,155 @@
+#pragma once
+
+/**
+ * @file
+ * Wire protocol of chimera-serve: length-prefixed binary frames over a
+ * Unix-domain stream socket (or, byte-identically, a replay log file).
+ *
+ * Every message travels as one frame:
+ *
+ *     u32  payload length (little-endian, excludes the prefix itself)
+ *     ...  payload
+ *
+ * and every payload starts with a fixed header:
+ *
+ *     u32  magic      'CHRQ' (request) / 'CHRS' (response)
+ *     u16  version    kProtocolVersion
+ *     u16  type       MessageType
+ *     u64  id         caller-chosen request id, echoed in the response
+ *
+ * An Execute request then carries the GEMM-chain configuration
+ * (batch/m/n/k/l, epilogue, softmax scale, causal flag) followed by the
+ * raw fp32 payloads of A [batch,m,k], B [batch,k,l] and D [batch,l,n];
+ * the Ok response returns E [batch,m,n] plus the batch-group size the
+ * request rode in and the server-side seconds from admission to
+ * completion. Responses are matched to requests by id and may arrive in
+ * any order (the daemon completes work through an async queue).
+ *
+ * All integers are little-endian fixed-width; floats are IEEE-754 bit
+ * patterns. Decoding is strict in the plan-deserializer tradition:
+ * wrong magic/version, unknown types, truncated or oversized payloads,
+ * non-positive or absurd extents, and tensor payloads whose length does
+ * not match the declared shape are all rejected with chimera::Error —
+ * a malformed frame never half-parses into a request.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ir/builders.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chimera::serve {
+
+/** Protocol revision; bumped on any wire-format change. */
+constexpr std::uint16_t kProtocolVersion = 1;
+
+/** 'CHRQ' / 'CHRS' little-endian magics. */
+constexpr std::uint32_t kRequestMagic = 0x51524843u;
+constexpr std::uint32_t kResponseMagic = 0x53524843u;
+
+/** Frames larger than this are rejected before allocation. */
+constexpr std::uint32_t kMaxFramePayload = 256u * 1024 * 1024;
+
+/** Largest extent accepted for any single request axis. */
+constexpr std::int64_t kMaxExtent = 1 << 20;
+
+/** Message kinds a frame can carry. */
+enum class MessageType : std::uint16_t
+{
+    Execute = 1, ///< run one GEMM chain; response carries E or an error
+    Stats = 2, ///< daemon counters as a "key: value" text document
+    Shutdown = 3, ///< graceful stop; acked before the daemon exits
+};
+
+/** Response status byte. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,
+    Error = 1,
+};
+
+/** One chain-execution request. */
+struct ExecuteRequest
+{
+    std::uint64_t id = 0;
+    ir::GemmChainConfig config; ///< config.name is not on the wire
+    Tensor a; ///< [batch?, m, k] (batch dim only when batch > 1)
+    Tensor b; ///< [batch?, k, l]
+    Tensor d; ///< [batch?, l, n]
+};
+
+/** One chain-execution response. */
+struct ExecuteResponse
+{
+    std::uint64_t id = 0;
+    Status status = Status::Ok;
+    std::string error; ///< non-empty iff status == Error
+    std::uint32_t batchGroupSize = 1; ///< requests coalesced with this one
+    double serverSeconds = 0.0; ///< admission -> completion on the server
+    Tensor e; ///< [batch?, m, n] iff status == Ok
+};
+
+/** Any decoded request-side message. */
+struct Request
+{
+    MessageType type = MessageType::Execute;
+    std::uint64_t id = 0;
+    ExecuteRequest execute; ///< valid iff type == Execute
+};
+
+/** Any decoded response-side message. */
+struct Response
+{
+    MessageType type = MessageType::Execute;
+    std::uint64_t id = 0;
+    Status status = Status::Ok;
+    std::string error;
+    ExecuteResponse execute; ///< valid iff type == Execute && Ok
+    std::string statsText; ///< valid iff type == Stats
+};
+
+/** @name Frame payload encoding (no length prefix)
+ *  @{ */
+std::string encodeExecuteRequest(const ExecuteRequest &request);
+std::string encodeStatsRequest(std::uint64_t id);
+std::string encodeShutdownRequest(std::uint64_t id);
+std::string encodeExecuteResponse(const ExecuteResponse &response);
+std::string encodeStatsResponse(std::uint64_t id, const std::string &text);
+std::string encodeShutdownResponse(std::uint64_t id);
+std::string encodeErrorResponse(MessageType type, std::uint64_t id,
+                                const std::string &message);
+/** @} */
+
+/** Decodes a request payload; throws chimera::Error when malformed. */
+Request decodeRequest(const std::string &payload);
+
+/** Decodes a response payload; throws chimera::Error when malformed. */
+Response decodeResponse(const std::string &payload);
+
+/** Expected element counts for a request's tensor payloads. */
+std::int64_t executeNumelA(const ir::GemmChainConfig &config);
+std::int64_t executeNumelB(const ir::GemmChainConfig &config);
+std::int64_t executeNumelD(const ir::GemmChainConfig &config);
+std::int64_t executeNumelE(const ir::GemmChainConfig &config);
+
+/**
+ * Validates an Execute configuration the way the decoder does (positive
+ * extents, extent caps, known epilogue combination: causal masking
+ * needs softmax and m == l). Throws chimera::Error when invalid.
+ */
+void validateExecuteConfig(const ir::GemmChainConfig &config);
+
+/**
+ * Blocking frame read from @p fd (socket or file). Returns the payload,
+ * or nullopt on clean end-of-stream at a frame boundary. Throws
+ * chimera::Error on truncated frames, oversized lengths, or read
+ * errors.
+ */
+std::optional<std::string> readFrame(int fd);
+
+/** Blocking frame write; throws chimera::Error on short/failed write. */
+void writeFrame(int fd, const std::string &payload);
+
+} // namespace chimera::serve

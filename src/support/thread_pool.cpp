@@ -302,12 +302,14 @@ staticChunkRange(std::int64_t total, int workers, int worker)
 int
 staticChunkOwner(std::int64_t index, std::int64_t total, int workers)
 {
-    if (total <= 0 || workers <= 1 || index < 0) {
+    if (total <= 0 || workers <= 1) {
         return 0;
     }
-    if (index >= total) {
-        return workers - 1;
-    }
+    // Clamp out-of-range indices to the nearest real item so the
+    // result is always a worker whose range is non-empty. (The old
+    // "index >= total -> workers - 1" clamp pointed at an *empty*
+    // worker whenever total < workers.)
+    index = std::clamp<std::int64_t>(index, 0, total - 1);
     const std::int64_t per = total / workers;
     const std::int64_t rem = total % workers;
     if (per == 0) {

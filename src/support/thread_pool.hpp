@@ -115,7 +115,10 @@ ChunkRange staticChunkRange(std::int64_t total, int workers, int worker);
 
 /**
  * Inverse of staticChunkRange: the worker that owns item @p index of
- * @p total under the static split across @p workers.
+ * @p total under the static split across @p workers. Out-of-range
+ * indices clamp to the nearest real item, so the result is always in
+ * [0, workers) and always names a worker whose range contains at least
+ * one item (worker 0 when total <= 0).
  */
 int staticChunkOwner(std::int64_t index, std::int64_t total, int workers);
 

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Concurrency and failure-mode stress tests for the persistent plan
+ * cache.
+ *
+ * The headline regression: concurrent writers of the *same* fingerprint
+ * used to share a single "<entry>.tmp" staging name, so writer 2 could
+ * O_TRUNC the temp while writer 1 renamed it into place — after which
+ * writer 2 kept writing into the already-published inode and readers
+ * observed torn documents through the supposedly atomic
+ * write-then-rename. With unique per-writer temp names the invariant
+ * these tests enforce holds: a reader sees either no entry or one
+ * complete, parseable v2 document, never a torn one.
+ *
+ * The threaded and forked stressors both store two *different-length*
+ * legal plans under one fingerprint, because same-length contents make
+ * the torn state unobservable (the final write pattern coincides).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "ir/builders.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/plan_io.hpp"
+#include "plan/planner.hpp"
+#include "support/error.hpp"
+
+namespace chimera::plan {
+namespace {
+
+namespace fs = std::filesystem;
+
+ir::Chain
+chainUnderTest()
+{
+    ir::GemmChainConfig cfg;
+    cfg.batch = 2;
+    cfg.m = 64;
+    cfg.n = 48;
+    cfg.k = 32;
+    cfg.l = 40;
+    cfg.name = "stress-test";
+    return ir::makeGemmChain(cfg);
+}
+
+PlannerOptions
+optionsUnderTest()
+{
+    PlannerOptions options;
+    options.memCapacityBytes = 64.0 * 1024;
+    return options;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) /
+                         ("chimera-cache-stress-" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+/**
+ * Two legal plans for the same (chain, options) key whose serialized
+ * documents have different lengths: the planner's winner, and the same
+ * (executable) order re-solved under a much tighter capacity — smaller
+ * tiles, fewer digits, still legal under the roomier real options, so
+ * a fresh cache's lookup-side audit serves either one. Both get stored
+ * under the *same* fingerprint; the length difference is what makes a
+ * torn write observable.
+ */
+std::pair<ExecutionPlan, ExecutionPlan>
+twoPlanVariants(const ir::Chain &chain, const PlannerOptions &options)
+{
+    const ExecutionPlan best = planChain(chain, options);
+    PlannerOptions tight = options;
+    tight.memCapacityBytes = 8.0 * 1024;
+    const ExecutionPlan alt = planFixedOrder(chain, best.perm, tight);
+    return {best, alt};
+}
+
+std::string
+rawFileContents(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** The single entry file for @p fingerprint inside @p dir. */
+fs::path
+entryFile(const std::string &dir, const std::string &fingerprint)
+{
+    return fs::path(dir) / (fingerprint + ".plan");
+}
+
+TEST(PlanCacheStress, ConcurrentSameFingerprintWritersNeverTearTheEntry)
+{
+    const ir::Chain chain = chainUnderTest();
+    const PlannerOptions options = optionsUnderTest();
+    const std::string dir = freshDir("threads");
+    const std::string fingerprint = planFingerprint(chain, options);
+    const auto [planA, planB] = twoPlanVariants(chain, options);
+
+    // Different serialized lengths are what make a torn write visible;
+    // without this the stressor has no teeth.
+    ASSERT_NE(serializePlan(chain, planA, fingerprint).size(),
+              serializePlan(chain, planB, fingerprint).size());
+
+    constexpr int kWriters = 4;
+    constexpr int kIterations = 60;
+    std::atomic<bool> start{false};
+    std::atomic<int> tornReads{0};
+    std::atomic<bool> done{false};
+
+    // Each writer gets its own PlanCache (the daemon + CLI scenario:
+    // several actors, one directory), all hammering one fingerprint.
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            PlanCache cache(dir);
+            while (!start.load()) {
+            }
+            for (int i = 0; i < kIterations; ++i) {
+                cache.store(chain, options,
+                            ((w + i) % 2 == 0) ? planA : planB);
+            }
+        });
+    }
+
+    // Readers poll the raw entry file: any visible content must be a
+    // complete v2 document for the fingerprint.
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&] {
+            const fs::path path = entryFile(dir, fingerprint);
+            while (!done.load()) {
+                const std::string text = rawFileContents(path);
+                if (text.empty()) {
+                    continue; // not yet published (or mid-replace)
+                }
+                try {
+                    (void)deserializePlan(chain, text, fingerprint);
+                } catch (const Error &) {
+                    tornReads.fetch_add(1);
+                }
+            }
+        });
+    }
+
+    start.store(true);
+    for (std::thread &t : writers) {
+        t.join();
+    }
+    done.store(true);
+    for (std::thread &t : readers) {
+        t.join();
+    }
+
+    EXPECT_EQ(tornReads.load(), 0);
+
+    // The settled entry parses clean and a fresh cache serves it.
+    const std::string text =
+        rawFileContents(entryFile(dir, fingerprint));
+    ASSERT_FALSE(text.empty());
+    EXPECT_NO_THROW((void)deserializePlan(chain, text, fingerprint));
+    PlanCache fresh(dir);
+    EXPECT_TRUE(fresh.lookup(chain, optionsUnderTest()).has_value());
+    EXPECT_EQ(fresh.stats().corruptEntries, 0);
+}
+
+#ifdef __unix__
+TEST(PlanCacheStress, ForkedWritersSameFingerprintLeaveParseableEntry)
+{
+    const ir::Chain chain = chainUnderTest();
+    const PlannerOptions options = optionsUnderTest();
+    const std::string dir = freshDir("forked");
+    const std::string fingerprint = planFingerprint(chain, options);
+    const auto [planA, planB] = twoPlanVariants(chain, options);
+
+    constexpr int kProcesses = 4;
+    constexpr int kIterations = 40;
+    std::vector<pid_t> children;
+    for (int p = 0; p < kProcesses; ++p) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: its own process, its own PlanCache, the shared
+            // directory. Plans were built pre-fork; no planning here.
+            PlanCache cache(dir);
+            for (int i = 0; i < kIterations; ++i) {
+                cache.store(chain, options,
+                            ((p + i) % 2 == 0) ? planA : planB);
+            }
+            ::_exit(0);
+        }
+        children.push_back(pid);
+    }
+    for (const pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    const std::string text =
+        rawFileContents(entryFile(dir, fingerprint));
+    ASSERT_FALSE(text.empty());
+    EXPECT_NO_THROW((void)deserializePlan(chain, text, fingerprint));
+    PlanCache fresh(dir);
+    EXPECT_TRUE(fresh.lookup(chain, optionsUnderTest()).has_value());
+    const PlanCacheStats stats = fresh.stats();
+    EXPECT_EQ(stats.corruptEntries, 0);
+    EXPECT_EQ(stats.diskHits, 1);
+}
+#endif // __unix__
+
+TEST(PlanCacheStress, OpenSweepsStaleTempFilesKeepsFreshOnes)
+{
+    const std::string dir = freshDir("orphans");
+    fs::create_directories(dir);
+
+    const fs::path stale = fs::path(dir) / "abc123.plan.tmp.999.0";
+    const fs::path fresh = fs::path(dir) / "def456.plan.tmp.1000.1";
+    const fs::path entry = fs::path(dir) / "abc123.plan";
+    std::ofstream(stale) << "half-written garbage";
+    std::ofstream(fresh) << "possibly mid-write";
+    std::ofstream(entry) << "chimera-plan v2\n";
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(2));
+
+    PlanCache cache(dir);
+    EXPECT_FALSE(fs::exists(stale)) << "stale temp must be swept";
+    EXPECT_TRUE(fs::exists(fresh)) << "fresh temp may be a live writer";
+    EXPECT_TRUE(fs::exists(entry)) << "entries are never swept";
+}
+
+TEST(PlanCacheStress, UnwritableDirectoryFailsOverToMemoryOnly)
+{
+    // A cache path whose parent is a regular file: create_directories
+    // fails no matter the user's privileges (chmod tricks don't bind
+    // as root, which is what CI containers run as).
+    const std::string base = freshDir("unwritable");
+    fs::create_directories(base);
+    const fs::path blocker = fs::path(base) / "blocker";
+    std::ofstream(blocker) << "not a directory";
+    const std::string dir = (blocker / "cache").string();
+
+    const ir::Chain chain = chainUnderTest();
+    const PlannerOptions options = optionsUnderTest();
+    const ExecutionPlan plan = planChain(chain, options);
+
+    PlanCache cache(dir);
+    // Both stores must survive; the warning fires once, inside the
+    // first one (disableDisk latches).
+    cache.store(chain, options, plan);
+    cache.store(chain, options, plan);
+    EXPECT_TRUE(cache.stats().diskDisabled);
+    EXPECT_EQ(cache.stats().stores, 2);
+
+    // The memory tier still serves the plan.
+    const auto hit = cache.lookup(chain, optionsUnderTest());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->perm, plan.perm);
+    EXPECT_EQ(cache.stats().memoryHits, 1);
+}
+
+TEST(PlanCacheStress, EmptyEnvVarMeansMemoryOnly)
+{
+    const char *old = std::getenv("CHIMERA_PLAN_CACHE");
+    const std::string saved = old != nullptr ? old : "";
+    const bool hadOld = old != nullptr;
+
+    ::setenv("CHIMERA_PLAN_CACHE", "", 1);
+    EXPECT_EQ(PlanCache::defaultDirectory(), "");
+
+    PlanCache cache(PlanCache::defaultDirectory());
+    const ir::Chain chain = chainUnderTest();
+    const PlannerOptions options = optionsUnderTest();
+    cache.store(chain, options, planChain(chain, options));
+    EXPECT_FALSE(cache.stats().diskDisabled) << "memory-only is not a "
+                                                "failure mode";
+    EXPECT_TRUE(cache.lookup(chain, optionsUnderTest()).has_value());
+
+    if (hadOld) {
+        ::setenv("CHIMERA_PLAN_CACHE", saved.c_str(), 1);
+    } else {
+        ::unsetenv("CHIMERA_PLAN_CACHE");
+    }
+}
+
+} // namespace
+} // namespace chimera::plan

@@ -1,0 +1,598 @@
+/**
+ * @file
+ * Tests for the chimera-serve stack: wire protocol strictness, batch
+ * grouping, single-flight planning, the bitwise batched == individual
+ * execution contract, and an end-to-end daemon round trip over a real
+ * Unix-domain socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "exec/gemm_chain_exec.hpp"
+#include "serve/batcher.hpp"
+#include "serve/planner_gate.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+
+namespace chimera::serve {
+namespace {
+
+ir::GemmChainConfig
+smallConfig(std::int64_t batch = 1,
+            ir::Epilogue epilogue = ir::Epilogue::Relu)
+{
+    ir::GemmChainConfig cfg;
+    cfg.batch = batch;
+    cfg.m = 32;
+    cfg.n = 24;
+    cfg.k = 16;
+    cfg.l = 20;
+    cfg.epilogue = epilogue;
+    return cfg;
+}
+
+ExecuteRequest
+makeRequest(std::uint64_t id, const ir::GemmChainConfig &config)
+{
+    ExecuteRequest request;
+    request.id = id;
+    request.config = config;
+    request.a = Tensor(exec::gemmChainShapeA(config));
+    request.b = Tensor(exec::gemmChainShapeB(config));
+    request.d = Tensor(exec::gemmChainShapeD(config));
+    fillPattern(request.a);
+    fillPattern(request.b);
+    fillPattern(request.d);
+    return request;
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ExecuteRequestRoundTrip)
+{
+    ir::GemmChainConfig cfg = smallConfig(3, ir::Epilogue::Softmax);
+    cfg.l = cfg.m; // causal needs m == l
+    cfg.softmaxScale = 0.125f;
+    cfg.causalMask = true;
+    const ExecuteRequest request = makeRequest(42, cfg);
+
+    const Request decoded = decodeRequest(encodeExecuteRequest(request));
+    EXPECT_EQ(decoded.type, MessageType::Execute);
+    EXPECT_EQ(decoded.id, 42u);
+    const ExecuteRequest &e = decoded.execute;
+    EXPECT_EQ(e.config.batch, cfg.batch);
+    EXPECT_EQ(e.config.m, cfg.m);
+    EXPECT_EQ(e.config.n, cfg.n);
+    EXPECT_EQ(e.config.k, cfg.k);
+    EXPECT_EQ(e.config.l, cfg.l);
+    EXPECT_EQ(e.config.epilogue, cfg.epilogue);
+    EXPECT_EQ(e.config.softmaxScale, cfg.softmaxScale);
+    EXPECT_TRUE(e.config.causalMask);
+    ASSERT_EQ(e.a.numel(), request.a.numel());
+    EXPECT_EQ(std::memcmp(e.a.data(), request.a.data(),
+                          static_cast<std::size_t>(request.a.bytes())),
+              0);
+    EXPECT_EQ(std::memcmp(e.d.data(), request.d.data(),
+                          static_cast<std::size_t>(request.d.bytes())),
+              0);
+}
+
+TEST(ServeProtocol, ResponseRoundTrips)
+{
+    ExecuteResponse ok;
+    ok.id = 7;
+    ok.batchGroupSize = 3;
+    ok.serverSeconds = 0.25;
+    ok.e = Tensor({4, 5});
+    fillPattern(ok.e);
+    const Response decodedOk = decodeResponse(encodeExecuteResponse(ok));
+    EXPECT_EQ(decodedOk.type, MessageType::Execute);
+    EXPECT_EQ(decodedOk.id, 7u);
+    EXPECT_EQ(decodedOk.status, Status::Ok);
+    EXPECT_EQ(decodedOk.execute.batchGroupSize, 3u);
+    EXPECT_EQ(decodedOk.execute.serverSeconds, 0.25);
+    EXPECT_EQ(std::memcmp(decodedOk.execute.e.data(), ok.e.data(),
+                          static_cast<std::size_t>(ok.e.bytes())),
+              0);
+
+    const Response decodedErr = decodeResponse(
+        encodeErrorResponse(MessageType::Execute, 9, "no feasible plan"));
+    EXPECT_EQ(decodedErr.status, Status::Error);
+    EXPECT_EQ(decodedErr.id, 9u);
+    EXPECT_EQ(decodedErr.error, "no feasible plan");
+
+    const Response stats =
+        decodeResponse(encodeStatsResponse(3, "requests: 5\n"));
+    EXPECT_EQ(stats.type, MessageType::Stats);
+    EXPECT_EQ(stats.statsText, "requests: 5\n");
+
+    const Response bye = decodeResponse(encodeShutdownResponse(4));
+    EXPECT_EQ(bye.type, MessageType::Shutdown);
+    EXPECT_EQ(bye.id, 4u);
+
+    EXPECT_EQ(decodeRequest(encodeStatsRequest(11)).type,
+              MessageType::Stats);
+    EXPECT_EQ(decodeRequest(encodeShutdownRequest(12)).type,
+              MessageType::Shutdown);
+}
+
+TEST(ServeProtocol, EveryTruncationIsRejected)
+{
+    const std::string payload =
+        encodeExecuteRequest(makeRequest(1, smallConfig()));
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        EXPECT_THROW((void)decodeRequest(payload.substr(0, len)), Error)
+            << "prefix of length " << len << " decoded";
+    }
+    EXPECT_THROW((void)decodeRequest(payload + '\0'), Error)
+        << "trailing byte accepted";
+}
+
+TEST(ServeProtocol, BadHeaderFieldsRejected)
+{
+    const std::string good =
+        encodeExecuteRequest(makeRequest(1, smallConfig()));
+
+    std::string badMagic = good;
+    badMagic[0] = 'X';
+    EXPECT_THROW((void)decodeRequest(badMagic), Error);
+
+    // A response magic on the request path is equally dead.
+    EXPECT_THROW((void)decodeRequest(encodeShutdownResponse(1)), Error);
+    EXPECT_THROW((void)decodeResponse(encodeShutdownRequest(1)), Error);
+
+    std::string badVersion = good;
+    badVersion[4] = 0x7f;
+    EXPECT_THROW((void)decodeRequest(badVersion), Error);
+
+    std::string badType = good;
+    badType[6] = 0x7f;
+    EXPECT_THROW((void)decodeRequest(badType), Error);
+}
+
+TEST(ServeProtocol, InvalidConfigRejected)
+{
+    const std::string good =
+        encodeExecuteRequest(makeRequest(1, smallConfig()));
+
+    std::string zeroM = good;
+    std::memset(&zeroM[24], 0, 8); // m is the second i64 after the header
+    EXPECT_THROW((void)decodeRequest(zeroM), Error);
+
+    std::string badEpilogue = good;
+    badEpilogue[56] = 9;
+    EXPECT_THROW((void)decodeRequest(badEpilogue), Error);
+
+    std::string causalNoSoftmax = good; // epilogue stays Relu
+    causalNoSoftmax[57] = 1;
+    EXPECT_THROW((void)decodeRequest(causalNoSoftmax), Error);
+
+    ir::GemmChainConfig oversized = smallConfig();
+    oversized.k = kMaxExtent + 1;
+    EXPECT_THROW(validateExecuteConfig(oversized), Error);
+    ir::GemmChainConfig negative = smallConfig();
+    negative.batch = 0;
+    EXPECT_THROW(validateExecuteConfig(negative), Error);
+}
+
+// ----------------------------------------------------------------- batcher
+
+ServeJob
+jobOf(std::uint64_t id, const ir::GemmChainConfig &config)
+{
+    ServeJob job;
+    job.request = makeRequest(id, config);
+    job.complete = [](ExecuteResponse &&) {};
+    return job;
+}
+
+std::vector<std::vector<std::uint64_t>>
+idsOf(const std::vector<std::vector<ServeJob>> &groups)
+{
+    std::vector<std::vector<std::uint64_t>> ids;
+    for (const auto &group : groups) {
+        ids.emplace_back();
+        for (const ServeJob &job : group) {
+            ids.back().push_back(job.request.id);
+        }
+    }
+    return ids;
+}
+
+TEST(ServeBatcher, KeyIgnoresBatchCountOnly)
+{
+    const ir::GemmChainConfig one = smallConfig(1);
+    const ir::GemmChainConfig many = smallConfig(5);
+    EXPECT_EQ(compatibilityKey(one), compatibilityKey(many));
+
+    ir::GemmChainConfig scaled = smallConfig(1, ir::Epilogue::Softmax);
+    ir::GemmChainConfig rescaled = scaled;
+    rescaled.softmaxScale = scaled.softmaxScale + 1e-7f;
+    EXPECT_NE(compatibilityKey(scaled), compatibilityKey(rescaled))
+        << "softmax scale must compare by bit pattern";
+
+    ir::GemmChainConfig otherShape = smallConfig(1);
+    otherShape.n += 8;
+    EXPECT_NE(compatibilityKey(one), compatibilityKey(otherShape));
+}
+
+TEST(ServeBatcher, GroupsByClassInArrivalOrder)
+{
+    const ir::GemmChainConfig classA = smallConfig();
+    ir::GemmChainConfig classB = smallConfig();
+    classB.n += 8;
+
+    std::deque<ServeJob> jobs;
+    jobs.push_back(jobOf(1, classA));
+    jobs.push_back(jobOf(2, classA));
+    jobs.push_back(jobOf(3, classB));
+    jobs.push_back(jobOf(4, classA));
+    jobs.push_back(jobOf(5, classB));
+    jobs.push_back(jobOf(6, classA));
+
+    const auto ids = idsOf(groupCompatible(std::move(jobs), 2));
+    const std::vector<std::vector<std::uint64_t>> expected = {
+        {1, 2}, {3, 5}, {4, 6}};
+    EXPECT_EQ(ids, expected)
+        << "classes coalesce across interleaving, close at the cap";
+}
+
+TEST(ServeBatcher, MultiSliceAndOversizedRequests)
+{
+    const ir::GemmChainConfig classA = smallConfig();
+
+    std::deque<ServeJob> jobs;
+    jobs.push_back(jobOf(1, smallConfig(3))); // 3 slices
+    jobs.push_back(jobOf(2, classA)); // +1 -> 4, group full
+    jobs.push_back(jobOf(3, classA));
+    const auto ids = idsOf(groupCompatible(std::move(jobs), 4));
+    const std::vector<std::vector<std::uint64_t>> expected = {{1, 2}, {3}};
+    EXPECT_EQ(ids, expected);
+
+    // A single request larger than the cap still executes, alone.
+    std::deque<ServeJob> big;
+    big.push_back(jobOf(7, smallConfig(9)));
+    big.push_back(jobOf(8, classA));
+    const auto bigIds = idsOf(groupCompatible(std::move(big), 4));
+    const std::vector<std::vector<std::uint64_t>> bigExpected = {{7}, {8}};
+    EXPECT_EQ(bigIds, bigExpected);
+}
+
+TEST(ServeBatcher, NoBatchingMeansSingletons)
+{
+    std::deque<ServeJob> jobs;
+    jobs.push_back(jobOf(1, smallConfig()));
+    jobs.push_back(jobOf(2, smallConfig()));
+    const auto ids = idsOf(groupCompatible(std::move(jobs), 1));
+    const std::vector<std::vector<std::uint64_t>> expected = {{1}, {2}};
+    EXPECT_EQ(ids, expected);
+}
+
+TEST(ServeBatcher, BatchedExecutionBitwiseMatchesIndividual)
+{
+    const CheckResult first = runCheckReplay(builtinCheckWorkload(), 4);
+    EXPECT_TRUE(first.identical);
+    EXPECT_GT(first.requests, 0);
+    EXPECT_LT(first.groups, first.requests) << "nothing coalesced";
+
+    // Same workload, same grouping, same bits: the digest is stable.
+    const CheckResult second = runCheckReplay(builtinCheckWorkload(), 4);
+    EXPECT_EQ(first.digest, second.digest);
+
+    // A different cap changes grouping but must not change outputs.
+    const CheckResult unbatched = runCheckReplay(builtinCheckWorkload(), 1);
+    EXPECT_TRUE(unbatched.identical);
+}
+
+// -------------------------------------------------------------------- gate
+
+TEST(ServeGate, ColdStampedePlansOnce)
+{
+    PlannerGateOptions options;
+    options.cacheDir = "-";
+    PlannerGate gate(options);
+    const ir::GemmChainConfig cfg = smallConfig();
+
+    constexpr int kThreads = 8;
+    std::atomic<int> ready{0};
+    std::vector<plan::ExecutionPlan> plans(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ready.fetch_add(1);
+            while (ready.load() < kThreads) {
+            }
+            plans[static_cast<std::size_t>(t)] = gate.canonicalPlan(cfg);
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+
+    const PlannerGateStats stats = gate.stats();
+    EXPECT_EQ(stats.flightsLed, 1) << "the planner must run exactly once";
+    EXPECT_EQ(stats.cache.stores, 1);
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(plans[static_cast<std::size_t>(t)].perm, plans[0].perm);
+        EXPECT_EQ(plans[static_cast<std::size_t>(t)].tiles,
+                  plans[0].tiles);
+    }
+}
+
+TEST(ServeGate, BatchedPlanPinsCanonicalSchedule)
+{
+    PlannerGateOptions options;
+    options.cacheDir = "-";
+    PlannerGate gate(options);
+    const ir::GemmChainConfig cfg = smallConfig();
+
+    const plan::ExecutionPlan canonical = gate.canonicalPlan(cfg);
+    ir::GemmChainConfig batchedCfg = canonicalSlice(cfg);
+    batchedCfg.batch = 4;
+    const plan::ExecutionPlan batched = gate.batchedPlan(batchedCfg, 4);
+
+    const ir::Chain sliceChain = ir::makeGemmChain(canonicalSlice(cfg));
+    ir::GemmChainConfig named = canonicalSlice(cfg);
+    named.batch = 4;
+    named.name = "serve-batched";
+    const ir::Chain batchedChain = ir::makeGemmChain(named);
+
+    // b leads the order with tile 1...
+    const ir::AxisId b = ir::axisIdByName(batchedChain, "b");
+    ASSERT_FALSE(batched.perm.empty());
+    EXPECT_EQ(batched.perm.front(), b);
+    EXPECT_EQ(batched.tiles[static_cast<std::size_t>(b)], 1);
+
+    // ...and every slice axis keeps its canonical tile and position.
+    for (ir::AxisId axis = 0; axis < sliceChain.numAxes(); ++axis) {
+        const std::string &name =
+            sliceChain.axes()[static_cast<std::size_t>(axis)].name;
+        const ir::AxisId mapped = ir::axisIdByName(batchedChain, name);
+        EXPECT_EQ(batched.tiles[static_cast<std::size_t>(mapped)],
+                  canonical.tiles[static_cast<std::size_t>(axis)])
+            << "tile of axis " << name;
+    }
+    for (std::size_t i = 0; i < canonical.perm.size(); ++i) {
+        const std::string &name =
+            sliceChain
+                .axes()[static_cast<std::size_t>(canonical.perm[i])]
+                .name;
+        EXPECT_EQ(batched.perm[i + 1],
+                  ir::axisIdByName(batchedChain, name))
+            << "order position " << i;
+    }
+    EXPECT_EQ(gate.stats().derivedPlans, 1);
+}
+
+TEST(ServeGate, InfeasibleCapacityThrows)
+{
+    PlannerGateOptions options;
+    options.cacheDir = "-";
+    options.capacityBytes = 1.0; // nothing fits
+    PlannerGate gate(options);
+    EXPECT_THROW((void)gate.canonicalPlan(smallConfig()), Error);
+}
+
+// ------------------------------------------------------------------ daemon
+
+#ifdef __unix__
+
+int
+connectTo(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0)
+        << "connect to " << path << ": " << std::strerror(errno);
+    return fd;
+}
+
+std::string
+socketPathFor(const std::string &name)
+{
+    // Short absolute path: sun_path caps at ~108 bytes.
+    return "/tmp/chimera-test-" + name + "-" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+std::string
+statsValue(const std::string &text, const std::string &key)
+{
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind(key + ": ", 0) == 0) {
+            return line.substr(key.size() + 2);
+        }
+    }
+    return "";
+}
+
+TEST(ServeDaemon, EndToEndExecuteStatsShutdown)
+{
+    ServerOptions options;
+    options.socketPath = socketPathFor("e2e");
+    options.cacheDir = "-";
+    options.executors = 2;
+    options.maxBatch = 4;
+    options.batchWindowMicros = 500;
+    Server server(options);
+    server.start();
+
+    const int fd = connectTo(options.socketPath);
+    const ExecuteRequest r1 = makeRequest(1, smallConfig());
+    const ExecuteRequest r2 = makeRequest(2, smallConfig());
+    writeFrame(fd, encodeExecuteRequest(r1));
+    writeFrame(fd, encodeExecuteRequest(r2));
+
+    // What the daemon must return, bit for bit: the canonical-plan
+    // execution of each request (computed locally through the same
+    // serve stack).
+    PlannerGateOptions gateOptions;
+    gateOptions.cacheDir = "-";
+    PlannerGate gate(gateOptions);
+    const exec::ComputeEngine engine = exec::ComputeEngine::best();
+    Tensor expected1, expected2;
+    for (const ExecuteRequest *request : {&r1, &r2}) {
+        std::vector<ServeJob> group(1);
+        group[0].request = *request;
+        Tensor *out = request->id == 1 ? &expected1 : &expected2;
+        group[0].complete = [out](ExecuteResponse &&response) {
+            *out = std::move(response.e);
+        };
+        const GroupResult result = executeGroup(
+            group, gate, engine, exec::ExecOptions{}, [] { return 0.0; });
+        ASSERT_TRUE(result.ok) << result.error;
+    }
+
+    bool saw1 = false;
+    bool saw2 = false;
+    for (int i = 0; i < 2; ++i) {
+        std::optional<std::string> payload = readFrame(fd);
+        ASSERT_TRUE(payload.has_value());
+        const Response response = decodeResponse(*payload);
+        ASSERT_EQ(response.status, Status::Ok) << response.error;
+        const Tensor &expected =
+            response.id == 1 ? expected1 : expected2;
+        (response.id == 1 ? saw1 : saw2) = true;
+        ASSERT_EQ(response.execute.e.numel(), expected.numel());
+        EXPECT_EQ(std::memcmp(response.execute.e.data(), expected.data(),
+                              static_cast<std::size_t>(expected.bytes())),
+                  0)
+            << "daemon output differs from local canonical execution";
+        EXPECT_GE(response.execute.batchGroupSize, 1u);
+    }
+    EXPECT_TRUE(saw1 && saw2);
+
+    writeFrame(fd, encodeStatsRequest(50));
+    std::optional<std::string> statsPayload = readFrame(fd);
+    ASSERT_TRUE(statsPayload.has_value());
+    const Response stats = decodeResponse(*statsPayload);
+    ASSERT_EQ(stats.type, MessageType::Stats);
+    EXPECT_EQ(statsValue(stats.statsText, "requests"), "2");
+    EXPECT_EQ(statsValue(stats.statsText, "protocol-errors"), "0");
+
+    writeFrame(fd, encodeShutdownRequest(51));
+    std::optional<std::string> ack = readFrame(fd);
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(decodeResponse(*ack).type, MessageType::Shutdown);
+    server.wait();
+    server.stop();
+    ::close(fd);
+    EXPECT_FALSE(std::ifstream(options.socketPath).good())
+        << "socket file must be unlinked on shutdown";
+}
+
+TEST(ServeDaemon, MalformedPayloadRejectedConnectionSurvives)
+{
+    ServerOptions options;
+    options.socketPath = socketPathFor("malformed");
+    options.cacheDir = "-";
+    Server server(options);
+    server.start();
+
+    const int fd = connectTo(options.socketPath);
+    std::string bad = encodeExecuteRequest(makeRequest(1, smallConfig()));
+    bad[56] = 9; // unknown epilogue code
+    writeFrame(fd, bad);
+
+    std::optional<std::string> payload = readFrame(fd);
+    ASSERT_TRUE(payload.has_value());
+    const Response rejection = decodeResponse(*payload);
+    EXPECT_EQ(rejection.status, Status::Error);
+    EXPECT_FALSE(rejection.error.empty());
+
+    // The same connection still serves well-formed traffic.
+    writeFrame(fd, encodeExecuteRequest(makeRequest(2, smallConfig())));
+    payload = readFrame(fd);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(decodeResponse(*payload).status, Status::Ok);
+
+    writeFrame(fd, encodeStatsRequest(3));
+    payload = readFrame(fd);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(statsValue(decodeResponse(*payload).statsText,
+                         "protocol-errors"),
+              "1");
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServeDaemon, ColdStampedePlansOnceAcrossConnections)
+{
+    ServerOptions options;
+    options.socketPath = socketPathFor("stampede");
+    options.cacheDir = "-";
+    options.batching = false; // one group per request: max planner load
+    options.executors = 4;
+    Server server(options);
+    server.start();
+
+    // Eight connections fire one identical cold request each, as close
+    // to simultaneously as threads allow.
+    constexpr int kClients = 8;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> clients;
+    std::atomic<int> okResponses{0};
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            const int fd = connectTo(options.socketPath);
+            const std::string payload = encodeExecuteRequest(
+                makeRequest(static_cast<std::uint64_t>(c) + 1,
+                            smallConfig()));
+            ready.fetch_add(1);
+            while (ready.load() < kClients) {
+            }
+            writeFrame(fd, payload);
+            if (std::optional<std::string> response = readFrame(fd)) {
+                if (decodeResponse(*response).status == Status::Ok) {
+                    okResponses.fetch_add(1);
+                }
+            }
+            ::close(fd);
+        });
+    }
+    for (std::thread &t : clients) {
+        t.join();
+    }
+    EXPECT_EQ(okResponses.load(), kClients);
+
+    const int fd = connectTo(options.socketPath);
+    writeFrame(fd, encodeStatsRequest(99));
+    std::optional<std::string> payload = readFrame(fd);
+    ASSERT_TRUE(payload.has_value());
+    const std::string text = decodeResponse(*payload).statsText;
+    EXPECT_EQ(statsValue(text, "plans-led"), "1")
+        << "eight concurrent cold requests must plan exactly once:\n"
+        << text;
+    EXPECT_EQ(statsValue(text, "requests"), "8");
+    ::close(fd);
+    server.stop();
+}
+
+#endif // __unix__
+
+} // namespace
+} // namespace chimera::serve

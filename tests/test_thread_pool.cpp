@@ -277,5 +277,58 @@ TEST(StaticChunk, DegenerateInputsAreEmptyOrClamped)
     EXPECT_EQ(staticChunkOwner(5, 8, 0), 0);
 }
 
+TEST(StaticChunk, ExhaustivePropertySweepIncludingMoreWorkersThanWork)
+{
+    // Exhaustive over the regime the dispatchers actually hit, with
+    // the edge cases that used to misbehave deliberately inside the
+    // sweep: total == 0 (everything empty, owner 0) and
+    // workers > total (the trailing workers own empty ranges, and the
+    // owner of any index — in range or clamped — must still be a
+    // worker with work, never one of the empty tails).
+    for (std::int64_t total = 0; total <= 40; ++total) {
+        for (int workers = 1; workers <= 48; ++workers) {
+            std::int64_t next = 0;
+            std::int64_t previousSize = total + 1;
+            for (int w = 0; w < workers; ++w) {
+                const ChunkRange range =
+                    staticChunkRange(total, workers, w);
+                ASSERT_EQ(range.begin, next)
+                    << "gap/overlap at total " << total << " workers "
+                    << workers << " worker " << w;
+                ASSERT_GE(range.end, range.begin);
+                const std::int64_t size = range.end - range.begin;
+                ASSERT_LE(size, previousSize)
+                    << "sizes must be non-increasing";
+                previousSize = size;
+                next = range.end;
+            }
+            ASSERT_EQ(next, total);
+
+            for (std::int64_t index = -3; index <= total + 3; ++index) {
+                const int owner =
+                    staticChunkOwner(index, total, workers);
+                ASSERT_GE(owner, 0);
+                ASSERT_LT(owner, workers);
+                const ChunkRange range =
+                    staticChunkRange(total, workers, owner);
+                if (index >= 0 && index < total) {
+                    ASSERT_TRUE(index >= range.begin &&
+                                index < range.end)
+                        << "total " << total << " workers " << workers
+                        << " index " << index << " owner " << owner;
+                } else if (total > 0) {
+                    // Clamped: still a worker that owns real work.
+                    ASSERT_LT(range.begin, range.end)
+                        << "owner of a clamped index must be non-empty:"
+                        << " total " << total << " workers " << workers
+                        << " index " << index << " owner " << owner;
+                } else {
+                    ASSERT_EQ(owner, 0);
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace chimera

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * chimera-serve: the plan-and-serve daemon CLI.
+ *
+ * Usage:
+ *   chimera-serve --socket <path> [options]   run the daemon
+ *   chimera-serve --check [options]           deterministic replay check
+ *
+ * Options:
+ *   --socket <path>         Unix-domain socket to listen on (daemon mode)
+ *   --executors <N>         executor threads (default 2)
+ *   --exec-threads <N>      worker threads per executed group (default 1)
+ *   --no-batching           serve every request alone
+ *   --max-batch <N>         max total slices per batch group (default 8)
+ *   --batch-window-us <N>   admission coalescing window (default 200)
+ *   --capacity <bytes>      planning memory budget (default 786432)
+ *   --cache-dir <dir>       plan-cache directory (default
+ *                           CHIMERA_PLAN_CACHE or ~/.cache/chimera)
+ *   --no-cache              memory-only plan cache
+ *   --verify                audit plans with the legality verifier
+ *
+ * `--check` runs the built-in deterministic workload twice through the
+ * daemon's own planner gate and batcher — every request alone, then
+ * coalesced — with a memory-only cache and a serial executor, verifies
+ * the two passes produce bitwise-identical outputs, and prints a stable
+ * digest of the batched responses. Two runs of `chimera-serve --check`
+ * must print the same digest; a mismatch between passes exits 1.
+ *
+ * In daemon mode the process runs until a client sends a Shutdown
+ * request or SIGINT/SIGTERM arrives, drains gracefully, and prints the
+ * final stats document to stdout.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace chimera;
+
+std::atomic<bool> gStop{false};
+
+void
+onSignal(int)
+{
+    gStop.store(true);
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: chimera-serve --socket <path> [options]\n"
+        "       chimera-serve --check [options]\n"
+        "options:\n"
+        "  --executors <N>        executor threads (default 2)\n"
+        "  --exec-threads <N>     workers per executed group (default 1)\n"
+        "  --no-batching          serve every request alone\n"
+        "  --max-batch <N>        max slices per batch group (default 8)\n"
+        "  --batch-window-us <N>  admission window, microseconds "
+        "(default 200)\n"
+        "  --capacity <bytes>     planning budget (default 786432)\n"
+        "  --cache-dir <dir>      plan-cache directory\n"
+        "  --no-cache             memory-only plan cache\n"
+        "  --verify               audit plans with the verifier\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerOptions options;
+    bool check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options.socketPath = value();
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--executors") {
+            options.executors = std::atoi(value());
+        } else if (arg == "--exec-threads") {
+            options.execThreads = std::atoi(value());
+        } else if (arg == "--no-batching") {
+            options.batching = false;
+        } else if (arg == "--max-batch") {
+            options.maxBatch = std::atoll(value());
+        } else if (arg == "--batch-window-us") {
+            options.batchWindowMicros = std::atoll(value());
+        } else if (arg == "--capacity") {
+            options.capacityBytes = std::atof(value());
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = value();
+        } else if (arg == "--no-cache") {
+            options.cacheDir = "-";
+        } else if (arg == "--verify") {
+            options.verifyPlans = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        if (check) {
+            const serve::CheckResult result = serve::runCheckReplay(
+                serve::builtinCheckWorkload(),
+                options.batching ? options.maxBatch : 1,
+                options.capacityBytes);
+            std::printf("chimera-serve check\n");
+            std::printf("requests: %lld\n",
+                        static_cast<long long>(result.requests));
+            std::printf("groups: %lld\n",
+                        static_cast<long long>(result.groups));
+            std::printf("identical: %s\n",
+                        result.identical ? "yes" : "NO");
+            std::printf("digest: %016llx\n",
+                        static_cast<unsigned long long>(result.digest));
+            if (!result.identical) {
+                std::fprintf(stderr,
+                             "error: batched outputs differ from "
+                             "individually-executed outputs\n");
+                return 1;
+            }
+            std::printf("check: ok\n");
+            return 0;
+        }
+
+        if (options.socketPath.empty()) {
+            usage();
+            return 2;
+        }
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        serve::Server server(options);
+        server.start();
+        while (!gStop.load() && !server.shutdownRequested()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        server.stop();
+        std::fputs(server.statsText().c_str(), stdout);
+        return 0;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
