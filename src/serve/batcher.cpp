@@ -69,12 +69,18 @@ groupCompatible(std::deque<ServeJob> &&jobs, std::int64_t maxBatch)
 
 namespace {
 
-/** Completes every member of @p group with @p message. */
+/**
+ * Completes members of @p group from index @p first onward with
+ * @p message. Jobs before @p first already had their complete callback
+ * invoked (it is called exactly once per job) and are left alone.
+ */
 void
-failGroup(std::vector<ServeJob> &group, const std::string &message,
+failGroup(std::vector<ServeJob> &group, std::size_t first,
+          const std::string &message,
           const std::function<double()> &nowSeconds)
 {
-    for (ServeJob &job : group) {
+    for (std::size_t i = first; i < group.size(); ++i) {
+        ServeJob &job = group[i];
         ExecuteResponse response;
         response.id = job.request.id;
         response.status = Status::Error;
@@ -103,6 +109,10 @@ executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
     }
     result.slices = totalBatch;
 
+    // Jobs whose complete callback has been (or is being) invoked; a
+    // mid-scatter exception must fail only the suffix after this point
+    // so no job is ever completed twice.
+    std::size_t completed = 0;
     try {
         if (totalBatch == 1) {
             // Lone slice: the canonical plan runs on the request chain
@@ -120,6 +130,7 @@ executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
             response.batchGroupSize = 1;
             response.serverSeconds = nowSeconds() - job.admittedSeconds;
             response.e = std::move(e);
+            completed = 1;
             job.complete(std::move(response));
             result.ok = true;
             return result;
@@ -176,13 +187,14 @@ executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
                 static_cast<std::uint32_t>(group.size());
             response.serverSeconds = nowSeconds() - job.admittedSeconds;
             response.e = std::move(slice);
+            ++completed;
             job.complete(std::move(response));
         }
         result.ok = true;
         return result;
     } catch (const std::exception &e) {
         result.error = e.what();
-        failGroup(group, result.error, nowSeconds);
+        failGroup(group, completed, result.error, nowSeconds);
         return result;
     }
 }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #ifdef __unix__
+#include <sys/socket.h>
 #include <unistd.h>
 #endif
 
@@ -441,6 +442,29 @@ decodeRequest(const std::string &payload)
     return request;
 }
 
+bool
+peekRequestHeader(const std::string &payload, MessageType &type,
+                  std::uint64_t &id)
+{
+    // Header layout: u32 magic, u16 version, u16 type, u64 id.
+    if (payload.size() < 16) {
+        return false;
+    }
+    Cursor cursor(payload);
+    if (cursor.u32() != kRequestMagic ||
+        cursor.u16() != kProtocolVersion) {
+        return false;
+    }
+    const std::uint16_t rawType = cursor.u16();
+    if (rawType < 1 ||
+        rawType > static_cast<std::uint16_t>(MessageType::Shutdown)) {
+        return false;
+    }
+    type = static_cast<MessageType>(rawType);
+    id = cursor.u64();
+    return true;
+}
+
 Response
 decodeResponse(const std::string &payload)
 {
@@ -518,12 +542,18 @@ readFrame(int fd)
         return true;
     };
 
-    char prefix[4];
-    if (!readFully(prefix, sizeof prefix, /*eofOk=*/true)) {
+    unsigned char prefix[4];
+    if (!readFully(reinterpret_cast<char *>(prefix), sizeof prefix,
+                   /*eofOk=*/true)) {
         return std::nullopt;
     }
-    std::uint32_t length = 0;
-    std::memcpy(&length, prefix, sizeof length);
+    // The prefix is little-endian on the wire like every payload
+    // integer; decode byte-wise so big-endian hosts agree.
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(prefix[0]) |
+        (static_cast<std::uint32_t>(prefix[1]) << 8) |
+        (static_cast<std::uint32_t>(prefix[2]) << 16) |
+        (static_cast<std::uint32_t>(prefix[3]) << 24);
     CHIMERA_CHECK(length <= kMaxFramePayload,
                   "oversized frame: " + std::to_string(length) +
                       " bytes exceeds the " +
@@ -546,16 +576,20 @@ writeFrame(int fd, const std::string &payload)
     CHIMERA_CHECK(payload.size() <= kMaxFramePayload,
                   "oversized frame: refusing to send " +
                       std::to_string(payload.size()) + " bytes");
-    const std::uint32_t length =
-        static_cast<std::uint32_t>(payload.size());
     std::string frame;
-    frame.reserve(sizeof length + payload.size());
-    frame.append(reinterpret_cast<const char *>(&length), sizeof length);
+    frame.reserve(4 + payload.size());
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
     frame.append(payload);
     std::size_t sent = 0;
     while (sent < frame.size()) {
-        const ssize_t n =
-            ::write(fd, frame.data() + sent, frame.size() - sent);
+        // MSG_NOSIGNAL turns a vanished peer into an EPIPE error the
+        // caller can catch instead of a process-killing SIGPIPE; plain
+        // write() remains the path for non-socket fds (replay logs).
+        ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK) {
+            n = ::write(fd, frame.data() + sent, frame.size() - sent);
+        }
         if (n < 0) {
             if (errno == EINTR) {
                 continue;

@@ -125,6 +125,16 @@ std::string encodeErrorResponse(MessageType type, std::uint64_t id,
 /** Decodes a request payload; throws chimera::Error when malformed. */
 Request decodeRequest(const std::string &payload);
 
+/**
+ * Best-effort parse of a request payload's fixed header alone. Returns
+ * true and fills @p type / @p id when the magic, version and message
+ * type are all valid; false (leaving the outputs untouched) otherwise.
+ * Never throws — used to echo the caller's request id in the error
+ * response when the body after a well-formed header fails to decode.
+ */
+bool peekRequestHeader(const std::string &payload, MessageType &type,
+                       std::uint64_t &id);
+
 /** Decodes a response payload; throws chimera::Error when malformed. */
 Response decodeResponse(const std::string &payload);
 

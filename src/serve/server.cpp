@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -81,6 +82,12 @@ Server::start()
     CHIMERA_CHECK(!running_.load(), "server already started");
     CHIMERA_CHECK(!options_.socketPath.empty(),
                   "chimera-serve needs a socket path");
+
+    // A client that disconnects with responses still queued must not
+    // kill the daemon: writeFrame already sends with MSG_NOSIGNAL, and
+    // ignoring SIGPIPE process-wide covers any other fd the daemon
+    // writes, so peer loss always surfaces as a catchable EPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
 
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -179,11 +186,15 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
             request = decodeRequest(*payload);
         } catch (const Error &e) {
             // Framing survived, the payload did not: reject this
-            // message, keep the connection.
+            // message, keep the connection. Echo the header's type and
+            // id when they parsed, so the client can correlate the
+            // error with the request it sent; id 0 only when even the
+            // header is unreadable.
             protocolErrors_.fetch_add(1, std::memory_order_relaxed);
-            enqueueOutgoing(conn->id,
-                            encodeErrorResponse(MessageType::Execute, 0,
-                                                e.what()));
+            MessageType type = MessageType::Execute;
+            std::uint64_t id = 0;
+            peekRequestHeader(*payload, type, id);
+            enqueueOutgoing(conn, encodeErrorResponse(type, id, e.what()));
             continue;
         }
         dispatchRequest(conn, std::move(request));
@@ -201,9 +212,13 @@ Server::dispatchRequest(const std::shared_ptr<Connection> &conn,
         ServeJob job;
         job.request = std::move(request.execute);
         job.admittedSeconds = nowSeconds();
-        const std::uint64_t connId = conn->id;
-        job.complete = [this, connId](ExecuteResponse &&response) {
-            enqueueOutgoing(connId, encodeExecuteResponse(response));
+        conn->inflightJobs.fetch_add(1);
+        job.complete = [this, conn](ExecuteResponse &&response) {
+            // Enqueue (pendingWrites++) strictly before inflightJobs--
+            // so the reaper never observes both counters at zero while
+            // this response is in flight.
+            enqueueOutgoing(conn, encodeExecuteResponse(response));
+            conn->inflightJobs.fetch_sub(1);
         };
         {
             std::lock_guard<std::mutex> lock(admissionMutex_);
@@ -213,11 +228,11 @@ Server::dispatchRequest(const std::shared_ptr<Connection> &conn,
         return;
     }
     case MessageType::Stats:
-        enqueueOutgoing(conn->id,
+        enqueueOutgoing(conn,
                         encodeStatsResponse(request.id, statsText()));
         return;
     case MessageType::Shutdown:
-        enqueueOutgoing(conn->id, encodeShutdownResponse(request.id));
+        enqueueOutgoing(conn, encodeShutdownResponse(request.id));
         {
             std::lock_guard<std::mutex> lock(shutdownMutex_);
             shutdownRequested_.store(true);
@@ -313,37 +328,31 @@ Server::writerLoop()
             out = std::move(outgoingQueue_.front());
             outgoingQueue_.pop_front();
         }
-        std::shared_ptr<Connection> conn;
         {
-            std::lock_guard<std::mutex> lock(connMutex_);
-            if (const auto it = connections_.find(out.connId);
-                it != connections_.end()) {
-                conn = it->second;
+            std::lock_guard<std::mutex> wlock(out.conn->writeMutex);
+            if (out.conn->fd >= 0) {
+                try {
+                    writeFrame(out.conn->fd, out.payload);
+                    responsesWritten_.fetch_add(1,
+                                                std::memory_order_relaxed);
+                } catch (const Error &) {
+                    // Peer vanished mid-write: wake its reader, move on.
+                    ::shutdown(out.conn->fd, SHUT_RDWR);
+                }
             }
         }
-        if (!conn) {
-            continue; // connection already reaped; drop the response
-        }
-        std::lock_guard<std::mutex> wlock(conn->writeMutex);
-        if (conn->fd < 0) {
-            continue;
-        }
-        try {
-            writeFrame(conn->fd, out.payload);
-            responsesWritten_.fetch_add(1, std::memory_order_relaxed);
-        } catch (const Error &) {
-            // Peer vanished mid-write: wake its reader and move on.
-            ::shutdown(conn->fd, SHUT_RDWR);
-        }
+        out.conn->pendingWrites.fetch_sub(1);
     }
 }
 
 void
-Server::enqueueOutgoing(std::uint64_t connId, std::string &&payload)
+Server::enqueueOutgoing(const std::shared_ptr<Connection> &conn,
+                        std::string &&payload)
 {
+    conn->pendingWrites.fetch_add(1);
     {
         std::lock_guard<std::mutex> lock(outgoingMutex_);
-        outgoingQueue_.push_back(Outgoing{connId, std::move(payload)});
+        outgoingQueue_.push_back(Outgoing{conn, std::move(payload)});
     }
     outgoingCv_.notify_one();
 }
@@ -354,7 +363,13 @@ Server::reapConnections(bool all)
     std::lock_guard<std::mutex> lock(connMutex_);
     for (auto it = connections_.begin(); it != connections_.end();) {
         const std::shared_ptr<Connection> &conn = it->second;
-        if (!all && !conn->readerDone.load()) {
+        // A finished reader alone is not enough: a client may half-
+        // close its send side and wait for responses, so keep the fd
+        // until every admitted job has completed and the writer has
+        // drained this connection's queue.
+        if (!all && (!conn->readerDone.load() ||
+                     conn->inflightJobs.load() != 0 ||
+                     conn->pendingWrites.load() != 0)) {
             ++it;
             continue;
         }
@@ -493,7 +508,8 @@ Server::writerLoop()
 {
 }
 void
-Server::enqueueOutgoing(std::uint64_t, std::string &&)
+Server::enqueueOutgoing(const std::shared_ptr<Connection> &,
+                        std::string &&)
 {
 }
 void

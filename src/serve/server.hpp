@@ -148,13 +148,24 @@ class Server
         int fd = -1; ///< -1 once closed; guarded by writeMutex
         std::mutex writeMutex; ///< serializes writes and the close
         std::atomic<bool> readerDone{false};
+        /// Admitted Execute jobs whose response is not yet queued for
+        /// the writer. Incremented at dispatch, decremented by the
+        /// completion callback after it enqueues (so inflightJobs +
+        /// pendingWrites never transiently reads as zero mid-handoff).
+        std::atomic<std::int64_t> inflightJobs{0};
+        /// Responses queued for the writer but not yet written (or
+        /// dropped). A connection is reaped only once the reader is
+        /// done AND both counters are zero, so a client that half-
+        /// closes (shutdown(SHUT_WR)) and waits still gets every
+        /// response to its in-flight requests.
+        std::atomic<std::int64_t> pendingWrites{0};
         std::thread reader;
     };
 
     /** One encoded response awaiting the writer thread. */
     struct Outgoing
     {
-        std::uint64_t connId = 0;
+        std::shared_ptr<Connection> conn;
         std::string payload;
     };
 
@@ -168,9 +179,12 @@ class Server
     void dispatchRequest(const std::shared_ptr<Connection> &conn,
                          Request &&request);
 
-    void enqueueOutgoing(std::uint64_t connId, std::string &&payload);
+    void enqueueOutgoing(const std::shared_ptr<Connection> &conn,
+                         std::string &&payload);
 
-    /** Joins finished readers and closes their sockets. */
+    /** Joins finished, fully-drained readers and closes their sockets
+     * (all = true closes unconditionally; used only after the writer
+     * has exited). */
     void reapConnections(bool all);
 
     double nowSeconds() const;

@@ -13,7 +13,9 @@
 #include <deque>
 #include <fstream>
 #include <optional>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -167,6 +169,72 @@ TEST(ServeProtocol, BadHeaderFieldsRejected)
     EXPECT_THROW((void)decodeRequest(badType), Error);
 }
 
+TEST(ServeProtocol, PeekRequestHeaderBestEffort)
+{
+    const std::string good =
+        encodeExecuteRequest(makeRequest(77, smallConfig()));
+    MessageType type = MessageType::Shutdown;
+    std::uint64_t id = 0;
+    EXPECT_TRUE(peekRequestHeader(good, type, id));
+    EXPECT_EQ(type, MessageType::Execute);
+    EXPECT_EQ(id, 77u);
+
+    // A corrupt body does not stop the header from peeking: this is
+    // what lets the daemon echo the request id on decode errors.
+    std::string badBody = good;
+    badBody[56] = 9; // unknown epilogue code
+    EXPECT_THROW((void)decodeRequest(badBody), Error);
+    MessageType bodyType = MessageType::Shutdown;
+    std::uint64_t bodyId = 0;
+    EXPECT_TRUE(peekRequestHeader(badBody, bodyType, bodyId));
+    EXPECT_EQ(bodyType, MessageType::Execute);
+    EXPECT_EQ(bodyId, 77u);
+
+    std::string badMagic = good;
+    badMagic[0] = 'X';
+    EXPECT_FALSE(peekRequestHeader(badMagic, type, id));
+    std::string badVersion = good;
+    badVersion[4] = 0x7f;
+    EXPECT_FALSE(peekRequestHeader(badVersion, type, id));
+    std::string badType = good;
+    badType[6] = 0x7f;
+    EXPECT_FALSE(peekRequestHeader(badType, type, id));
+    EXPECT_FALSE(peekRequestHeader("short", type, id));
+}
+
+#ifdef __unix__
+
+TEST(ServeProtocol, FramePrefixIsLittleEndianOnTheWire)
+{
+    // A pipe, not a socket: also exercises the write() fallback behind
+    // writeFrame's MSG_NOSIGNAL send path.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::string payload = encodeStatsRequest(5);
+    writeFrame(fds[1], payload);
+
+    unsigned char prefix[4];
+    ASSERT_EQ(::read(fds[0], prefix, sizeof prefix),
+              static_cast<ssize_t>(sizeof prefix));
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(prefix[0]) |
+        (static_cast<std::uint32_t>(prefix[1]) << 8) |
+        (static_cast<std::uint32_t>(prefix[2]) << 16) |
+        (static_cast<std::uint32_t>(prefix[3]) << 24);
+    EXPECT_EQ(length, payload.size())
+        << "length prefix must be little-endian like the payload";
+
+    std::string body(payload.size(), '\0');
+    ASSERT_EQ(::read(fds[0], body.data(), body.size()),
+              static_cast<ssize_t>(body.size()));
+    EXPECT_EQ(body, payload);
+    ::close(fds[1]);
+    EXPECT_FALSE(readFrame(fds[0]).has_value());
+    ::close(fds[0]);
+}
+
+#endif // __unix__
+
 TEST(ServeProtocol, InvalidConfigRejected)
 {
     const std::string good =
@@ -283,6 +351,50 @@ TEST(ServeBatcher, NoBatchingMeansSingletons)
     const auto ids = idsOf(groupCompatible(std::move(jobs), 1));
     const std::vector<std::vector<std::uint64_t>> expected = {{1}, {2}};
     EXPECT_EQ(ids, expected);
+}
+
+TEST(ServeBatcher, ThrowingCompleteMidScatterFailsOnlySuffix)
+{
+    PlannerGateOptions gateOptions;
+    gateOptions.cacheDir = "-";
+    PlannerGate gate(gateOptions);
+    const exec::ComputeEngine engine = exec::ComputeEngine::best();
+
+    // Three compatible jobs execute as one batched group; the middle
+    // one's complete callback throws (a stand-in for any mid-scatter
+    // failure). The contract: every complete runs exactly once — the
+    // already-delivered prefix must not be re-completed as an error.
+    std::vector<ServeJob> group;
+    group.push_back(jobOf(1, smallConfig()));
+    group.push_back(jobOf(2, smallConfig()));
+    group.push_back(jobOf(3, smallConfig()));
+    int calls1 = 0;
+    int calls2 = 0;
+    int calls3 = 0;
+    Status status1 = Status::Error;
+    Status status3 = Status::Ok;
+    group[0].complete = [&](ExecuteResponse &&response) {
+        ++calls1;
+        status1 = response.status;
+    };
+    group[1].complete = [&](ExecuteResponse &&) {
+        ++calls2;
+        throw std::runtime_error("client vanished");
+    };
+    group[2].complete = [&](ExecuteResponse &&response) {
+        ++calls3;
+        status3 = response.status;
+    };
+
+    const GroupResult result = executeGroup(
+        group, gate, engine, exec::ExecOptions{}, [] { return 0.0; });
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(calls1, 1) << "delivered job must not be completed again";
+    EXPECT_EQ(status1, Status::Ok);
+    EXPECT_EQ(calls2, 1) << "throwing complete must not be retried";
+    EXPECT_EQ(calls3, 1);
+    EXPECT_EQ(status3, Status::Error)
+        << "jobs after the failure point get the group error";
 }
 
 TEST(ServeBatcher, BatchedExecutionBitwiseMatchesIndividual)
@@ -523,6 +635,9 @@ TEST(ServeDaemon, MalformedPayloadRejectedConnectionSurvives)
     const Response rejection = decodeResponse(*payload);
     EXPECT_EQ(rejection.status, Status::Error);
     EXPECT_FALSE(rejection.error.empty());
+    EXPECT_EQ(rejection.type, MessageType::Execute);
+    EXPECT_EQ(rejection.id, 1u)
+        << "the error must echo the request id from the parsed header";
 
     // The same connection still serves well-formed traffic.
     writeFrame(fd, encodeExecuteRequest(makeRequest(2, smallConfig())));
@@ -536,6 +651,42 @@ TEST(ServeDaemon, MalformedPayloadRejectedConnectionSurvives)
     EXPECT_EQ(statsValue(decodeResponse(*payload).statsText,
                          "protocol-errors"),
               "1");
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServeDaemon, HalfClosedClientStillGetsItsResponses)
+{
+    ServerOptions options;
+    options.socketPath = socketPathFor("halfclose");
+    options.cacheDir = "-";
+    options.executors = 2;
+    Server server(options);
+    server.start();
+
+    // The batch-client pattern: send everything, close the send side,
+    // then collect. The daemon must keep the connection alive until
+    // every in-flight response has been written, even though its
+    // reader sees EOF immediately.
+    const int fd = connectTo(options.socketPath);
+    constexpr int kRequests = 3;
+    for (std::uint64_t i = 1; i <= kRequests; ++i) {
+        writeFrame(fd, encodeExecuteRequest(makeRequest(i, smallConfig())));
+    }
+    ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+    std::set<std::uint64_t> ids;
+    for (int i = 0; i < kRequests; ++i) {
+        std::optional<std::string> payload = readFrame(fd);
+        ASSERT_TRUE(payload.has_value())
+            << "response " << i << " lost after client half-close";
+        const Response response = decodeResponse(*payload);
+        EXPECT_EQ(response.status, Status::Ok) << response.error;
+        ids.insert(response.id);
+    }
+    EXPECT_EQ(ids.size(), static_cast<std::size_t>(kRequests));
+    EXPECT_FALSE(readFrame(fd).has_value())
+        << "the daemon should close the drained connection cleanly";
     ::close(fd);
     server.stop();
 }
