@@ -19,7 +19,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include <algorithm>
+
 #include "analysis/dependence.hpp"
+#include "analysis/static_safety.hpp"
 #include "bench_common.hpp"
 #include "support/mathutil.hpp"
 #include "support/thread_pool.hpp"
@@ -146,15 +149,17 @@ runFamily(ir::Epilogue epilogue, const char *title, const RunOptions &run)
 /**
  * Planner-cost split over the Table IV workloads: time of the
  * dependence analysis (which the planner runs once per finished plan to
- * attach the axis-concurrency table) against the full planning cost.
- * The line is machine-parseable; scripts/bench_scaling.sh lifts it into
- * BENCH_scaling.json.
+ * attach the axis-concurrency table) and of the static safety analyzer
+ * (which certifies the winner's SB01-SB04 rules) against the full
+ * planning cost. The lines are machine-parseable;
+ * scripts/bench_scaling.sh lifts them into BENCH_scaling.json.
  */
 void
 reportAnalysisOverhead()
 {
     double planMs = 0.0;
     double analysisMs = 0.0;
+    double safetyMs = 0.0;
     for (const auto &load : ir::tableIvWorkloads()) {
         const ir::Chain chain = ir::makeGemmChain(load.config);
         const WallTimer planTimer;
@@ -163,11 +168,23 @@ reportAnalysisOverhead()
         const WallTimer analysisTimer;
         (void)analysis::analyzeConcurrency(chain, plan.tiles);
         analysisMs += analysisTimer.milliseconds();
+        analysis::SafetyOptions so;
+        so.memCapacityBytes = kCpuCapacityBytes;
+        const analysis::SafetyAnalysis sa = analysis::analyzeSafety(
+            chain, plan.perm, plan.tiles,
+            plan::effectiveConcurrency(chain, plan),
+            std::max(1, plan.plannedThreads), plan.parallelGrain,
+            analysis::ShapeDomain::concrete(chain), so);
+        safetyMs += sa.totalSeconds * 1e3;
     }
     std::printf("analysis overhead: dependence analysis %.3f ms vs"
-                " planning %.3f ms (%.2f%% of planning)\n\n",
+                " planning %.3f ms (%.2f%% of planning)\n",
                 analysisMs, planMs,
                 planMs > 0.0 ? 100.0 * analysisMs / planMs : 0.0);
+    std::printf("analysis overhead: static safety %.3f ms vs"
+                " planning %.3f ms (%.2f%% of planning)\n\n",
+                safetyMs, planMs,
+                planMs > 0.0 ? 100.0 * safetyMs / planMs : 0.0);
 }
 
 } // namespace

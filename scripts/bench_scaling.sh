@@ -2,8 +2,8 @@
 # Thread-scaling sweep: runs the GEMM-chain bench (fig5) at 1/2/4/8
 # worker threads and prints the per-count geomean lines as a speedup
 # table. Output is also captured to scaling_output.txt, and the table —
-# plus the bench's dependence-analysis overhead line — is emitted as
-# machine-readable BENCH_scaling.json.
+# plus the bench's dependence-analysis and static-safety overhead
+# lines — is emitted as machine-readable BENCH_scaling.json.
 #
 # Modes (BENCH_SCALING_MODE=wall|sim|auto, default auto):
 #   wall  times the parallel fused run with real worker threads;
@@ -52,6 +52,7 @@ echo "mode: $mode_json (quick=$quick)"
 declare -a counts=(1 2 4 8)
 declare -a geomeans=()
 overhead_pct="null"
+safety_pct="null"
 for t in "${counts[@]}"; do
     echo "##### --threads $t" | tee -a scaling_output.txt
     out="$("$BENCH" --threads "$t" ${bench_flags[@]+"${bench_flags[@]}"})"
@@ -62,11 +63,16 @@ for t in "${counts[@]}"; do
         awk '{ s += $1; n += 1 } END { if (n) printf "%.2f", s / n }')"
     geomeans+=("${gm:-n/a}")
     echo "  geomean serial->${t}T scaling: ${gm:-n/a}x"
-    # The analysis-overhead split is thread-independent; keep the last.
+    # The analysis-overhead splits are thread-independent; keep the
+    # last observation of each line.
     pct="$(echo "$out" |
-        sed -n 's/.*analysis overhead.*(\([0-9.]*\)% of planning).*/\1/p' |
+        sed -n 's/.*dependence analysis.*(\([0-9.]*\)% of planning).*/\1/p' |
         tail -1)"
     [ -n "$pct" ] && overhead_pct="$pct"
+    pct="$(echo "$out" |
+        sed -n 's/.*static safety.*(\([0-9.]*\)% of planning).*/\1/p' |
+        tail -1)"
+    [ -n "$pct" ] && safety_pct="$pct"
 done
 
 echo
@@ -92,7 +98,8 @@ echo "(full bench tables captured in scaling_output.txt)"
         echo "    {\"threads\": ${counts[$i]}, \"speedup\": ${gm}}${sep}"
     done
     echo '  ],'
-    echo "  \"analysis_overhead_pct_of_planning\": ${overhead_pct}"
+    echo "  \"analysis_overhead_pct_of_planning\": ${overhead_pct},"
+    echo "  \"static_safety_overhead_pct_of_planning\": ${safety_pct}"
     echo '}'
 } > BENCH_scaling.json
 echo "wrote BENCH_scaling.json"

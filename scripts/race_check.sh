@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Dynamic race sweep: runs chimera-check --race (shadow-memory write
-# tracking, see src/analysis/race_checker.hpp) over example-sized chain
-# shapes — which must come back clean — and over the seeded-race
-# fixtures, which mis-declare a reduction axis as parallel and must be
-# flagged with RC01.
+# Safety sweep: dynamic and static.
+#
+# Dynamic: runs chimera-check --race (shadow-memory write tracking, see
+# src/analysis/race_checker.hpp) over example-sized chain shapes — which
+# must come back clean — and over the seeded-race fixtures, which
+# mis-declare a reduction axis as parallel and must be flagged RC01.
+#
+# Static: runs chimera-check --static (symbolic safety analyzer, see
+# src/analysis/static_safety.hpp) over the same clean shapes — every
+# planner schedule must certify — and over the seeded SB fixtures, each
+# of which must be refuted with its own rule id.
+#
+# Exit-code contract under test: rule violations exit 1, usage/IO
+# failures exit 2, clean runs exit 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +22,25 @@ if [ ! -x "$CHECK" ]; then
     exit 1
 fi
 
+# Asserts "$@" exits with status exactly $2 and prints a [$1] finding.
+expect_rule() {
+    local rule="$1" want_status="$2"
+    shift 2
+    local out status=0
+    out="$("$@" 2>&1)" || status=$?
+    if [ "$status" != "$want_status" ]; then
+        echo "error: expected '$*' to exit $want_status, got $status" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if ! grep -q "\[$rule\]" <<<"$out"; then
+        echo "error: '$*' exited $status without a $rule finding:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "flagged as expected ($rule): $*"
+}
+
 echo "== planner schedules must race-check clean =="
 "$CHECK" gemm 1 64 64 64 64 --race
 "$CHECK" gemm 1 64 64 64 64 --softmax --race
@@ -21,22 +49,58 @@ echo "== planner schedules must race-check clean =="
 "$CHECK" conv 1 8 28 28 16 32 3 1 2 1 --race # squeezenet-stem-shaped
 
 echo "== seeded-race fixtures must be flagged =="
-expect_race() {
+expect_rule RC01 1 "$CHECK" gemm 1 64 64 64 64 --race \
+    --plan tests/fixtures/race_parallel_l.plan
+expect_rule RC01 1 "$CHECK" conv 1 16 16 16 16 16 3 3 1 1 --race \
+    --plan tests/fixtures/race_parallel_oc1.plan
+
+echo "== planner schedules must certify statically =="
+static_clean() {
     local out
-    if out="$("$@" 2>&1)"; then
-        echo "error: expected '$*' to exit non-zero" >&2
-        exit 1
-    fi
-    if ! grep -q "\[RC01\]" <<<"$out"; then
-        echo "error: '$*' failed without an RC01 finding:" >&2
+    out="$("$@" 2>&1)"
+    if ! grep -q "static-safety: certified" <<<"$out"; then
+        echo "error: '$*' did not certify:" >&2
         echo "$out" >&2
         exit 1
     fi
-    echo "flagged as expected: $*"
+    echo "certified: $*"
 }
-expect_race "$CHECK" gemm 1 64 64 64 64 --race \
-    --plan tests/fixtures/race_parallel_l.plan
-expect_race "$CHECK" conv 1 16 16 16 16 16 3 3 1 1 --race \
-    --plan tests/fixtures/race_parallel_oc1.plan
+static_clean "$CHECK" gemm 1 64 64 64 64 --static
+static_clean "$CHECK" gemm 4 128 64 64 128 --softmax --static
+static_clean "$CHECK" conv 1 16 16 16 16 16 3 3 1 1 --static
+static_clean "$CHECK" conv 1 8 28 28 16 32 3 1 2 1 --static
 
-echo "race check sweep: OK"
+echo "== seeded SB fixtures must be refuted with their rule =="
+# sb01: tile m=64 cannot cover every shape of a domain widened to
+# m in [1, 128] — the first block's window escapes small shapes.
+expect_rule SB01 1 "$CHECK" gemm 1 64 64 64 64 --static --domain m=128 \
+    --plan tests/fixtures/sb01_window_escape.plan
+# sb02: full-extent tiles against a deliberately tiny budget.
+expect_rule SB02 1 "$CHECK" gemm 1 64 64 64 64 --capacity 32768 --static \
+    --plan tests/fixtures/sb02_overbudget.plan
+# sb03: m*n element offsets of the output exceed int64 at these extents.
+expect_rule SB03 1 "$CHECK" gemm 1 4300000000 4300000000 64 64 \
+    --no-recount --static --plan tests/fixtures/sb03_overflow.plan
+# sb04: l is a reduction axis of the second gemm; marking it parallel
+# has no shape-generic disjointness proof.
+expect_rule SB04 1 "$CHECK" gemm 1 64 64 64 64 --static \
+    --plan tests/fixtures/sb04_race_parallel_l.plan
+
+echo "== usage/IO failures must exit 2, not 1 =="
+probe_status() {
+    local want="$1"
+    shift
+    local status=0
+    "$@" >/dev/null 2>&1 || status=$?
+    if [ "$status" != "$want" ]; then
+        echo "error: expected '$*' to exit $want, got $status" >&2
+        exit 1
+    fi
+    echo "exit $want as expected: $*"
+}
+probe_status 2 "$CHECK" gemm 1 64 64 64 64 \
+    --plan tests/fixtures/does_not_exist.plan
+probe_status 2 "$CHECK" gemm 1 64 64 64 64 --static --domain bogus=4096
+probe_status 2 "$CHECK"
+
+echo "safety sweep: OK"

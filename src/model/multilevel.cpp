@@ -41,6 +41,17 @@ minSharedPerWorkerCapacityBytes(const MachineModel &machine, int threads)
     return budget;
 }
 
+double
+clampedPerWorkerBudgetBytes(double capacityBytes, const MachineModel &machine,
+                            int threads)
+{
+    if (!machine.hasTopology() || threads <= 1) {
+        return capacityBytes;
+    }
+    return std::min(capacityBytes,
+                    minSharedPerWorkerCapacityBytes(machine, threads));
+}
+
 MultiLevelCost
 evaluateMultiLevel(const ir::Chain &chain, const MachineModel &machine,
                    const std::vector<LevelSchedule> &schedules,

@@ -114,6 +114,16 @@ double perWorkerCapacityBytes(const MemoryLevel &level,
 double minSharedPerWorkerCapacityBytes(const MachineModel &machine,
                                        int threads);
 
+/**
+ * @p capacityBytes clamped to one worker's tightest shared-level share
+ * of @p machine; passes through unchanged with no topology or a single
+ * worker. One definition shared by the planner's tile-solver budget
+ * and the SB02 static workspace rule, so the two can never disagree on
+ * what a worker may hold resident.
+ */
+double clampedPerWorkerBudgetBytes(double capacityBytes,
+                                   const MachineModel &machine, int threads);
+
 /** Per-level schedule of one candidate plan. */
 struct LevelSchedule
 {

@@ -33,7 +33,10 @@ std::string
 optionsSignature(const PlannerOptions &options)
 {
     char cap[64];
-    std::snprintf(cap, sizeof cap, "%a", options.memCapacityBytes);
+    // %a of a double is at most ~30 chars; the buffer cannot truncate
+    // (cert-err33-c).
+    static_cast<void>(
+        std::snprintf(cap, sizeof cap, "%a", options.memCapacityBytes));
     std::string out;
     out += std::string("cap=") + cap;
     out += ";maxperm=" + std::to_string(options.maxPermutations);
@@ -55,12 +58,25 @@ optionsSignature(const PlannerOptions &options)
                std::to_string(options.topology.cores);
         for (const model::MemoryLevel &level : options.topology.levels) {
             char capBytes[64];
-            std::snprintf(capBytes, sizeof capBytes, "%a",
-                          level.capacityBytes);
+            static_cast<void>(std::snprintf(capBytes, sizeof capBytes,
+                                            "%a", level.capacityBytes));
             out += ",";
             out += level.name;
             out += level.scope == model::LevelScope::Shared ? "/s:" : "/p:";
             out += capBytes;
+        }
+    }
+    // Static-safety knobs, emitted only when non-default so every
+    // fingerprint minted before the analyzer existed stays valid (old
+    // entries deserialize as uncertified and are re-certified by the
+    // consumers that require a certificate).
+    if (!options.staticSafety) {
+        out += ";sb=0";
+    }
+    if (!options.safetyDomain.empty()) {
+        out += ";sbdom=";
+        for (const auto &[axis, maxExtent] : options.safetyDomain) {
+            out += axis + ":" + std::to_string(maxExtent) + ",";
         }
     }
     auto emitMap =
@@ -100,7 +116,9 @@ readFile(const std::string &path)
         contents.append(buffer, n);
     }
     const bool ok = std::ferror(file) == 0;
-    std::fclose(file);
+    // Read-only stream: ferror above already captured any IO defect, so
+    // a close failure cannot change the outcome (cert-err33-c).
+    static_cast<void>(std::fclose(file));
     if (!ok) {
         return std::nullopt;
     }

@@ -75,6 +75,13 @@ serializePlan(const ir::Chain &chain, const ExecutionPlan &plan,
         }
         out << "\n";
     }
+    // Only certified plans carry the line: uncertified documents stay
+    // byte-identical to the pre-safety format.
+    if (plan.safety.certified) {
+        out << "safety: domain=" << plan.safety.domain
+            << " rules=" << plan.safety.rules
+            << " digest=" << plan.safety.digest << "\n";
+    }
     out << "volume-bytes: " << static_cast<std::int64_t>(
                                    plan.predictedVolumeBytes)
         << "\n";
@@ -250,6 +257,37 @@ parsePlanDocument(const std::string &text)
                 doc.grain.emplace_back(axisName, g);
             }
             doc.haveGrain = true;
+        } else if (key == "safety") {
+            std::set<std::string> seenFields;
+            std::size_t tokenStart = 0;
+            while (tokenStart < value.size()) {
+                tokenStart = value.find_first_not_of(" \t", tokenStart);
+                if (tokenStart == std::string::npos) {
+                    break;
+                }
+                std::size_t tokenEnd =
+                    value.find_first_of(" \t", tokenStart);
+                if (tokenEnd == std::string::npos) {
+                    tokenEnd = value.size();
+                }
+                const std::string token =
+                    value.substr(tokenStart, tokenEnd - tokenStart);
+                tokenStart = tokenEnd;
+                const std::size_t eq = token.find('=');
+                if (eq == std::string::npos || eq == 0 ||
+                    eq + 1 >= token.size()) {
+                    throw Error(context + ": malformed safety token \"" +
+                                token + "\"");
+                }
+                const std::string field = token.substr(0, eq);
+                if (!seenFields.insert(field).second) {
+                    throw Error(context +
+                                ": duplicate safety field \"" + field +
+                                "\"");
+                }
+                doc.safety.emplace_back(field, token.substr(eq + 1));
+            }
+            doc.haveSafety = true;
         } else if (key == "volume-bytes") {
             doc.declaredVolumeBytes = parseDoubleStrict(value, context);
             doc.haveVolume = true;
@@ -302,6 +340,69 @@ bindConcurrency(
     return kinds;
 }
 
+analysis::SafetyCertificate
+bindSafety(const ir::Chain &chain,
+           const std::vector<std::pair<std::string, std::string>> &entries)
+{
+    analysis::SafetyCertificate cert;
+    bool haveDomain = false;
+    bool haveRules = false;
+    bool haveDigest = false;
+    for (const auto &[field, value] : entries) {
+        if (field == "domain") {
+            cert.domain = value;
+            haveDomain = true;
+        } else if (field == "rules") {
+            cert.rules = value;
+            haveRules = true;
+        } else if (field == "digest") {
+            cert.digest = value;
+            haveDigest = true;
+        } else {
+            throw Error("plan safety line has unknown field \"" + field +
+                        "\"");
+        }
+    }
+    if (!haveDomain || !haveRules || !haveDigest) {
+        throw Error(
+            "plan safety line must carry domain=, rules= and digest=");
+    }
+    // Validates the domain grammar and that it names only chain axes
+    // (and admits each concrete extent); the result is discarded — the
+    // certificate keeps the canonical string form.
+    (void)analysis::parseShapeDomain(chain, cert.domain,
+                                     "plan safety domain");
+    std::size_t pos = 0;
+    std::set<std::string> seenRules;
+    while (pos <= cert.rules.size()) {
+        const std::size_t comma = cert.rules.find(',', pos);
+        const std::string rule = cert.rules.substr(
+            pos,
+            comma == std::string::npos ? std::string::npos : comma - pos);
+        if (rule != "sb01" && rule != "sb02" && rule != "sb03" &&
+            rule != "sb04") {
+            throw Error("plan safety line claims unknown rule \"" + rule +
+                        "\"");
+        }
+        if (!seenRules.insert(rule).second) {
+            throw Error("plan safety line claims rule \"" + rule +
+                        "\" more than once");
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    if (cert.digest.size() != 16 ||
+        cert.digest.find_first_not_of("0123456789abcdef") !=
+            std::string::npos) {
+        throw Error("plan safety digest \"" + cert.digest +
+                    "\" is not 16 lowercase hex digits");
+    }
+    cert.certified = true;
+    return cert;
+}
+
 ExecutionPlan
 deserializePlan(const ir::Chain &chain, const std::string &text,
                 const std::string &expectedFingerprint)
@@ -350,6 +451,10 @@ deserializePlan(const ir::Chain &chain, const std::string &text,
             }
             plan.parallelGrain[static_cast<std::size_t>(axis)] = g;
         }
+    }
+
+    if (doc.haveSafety) {
+        plan.safety = bindSafety(chain, doc.safety);
     }
 
     // Recompute the predictions so a stale document cannot lie.

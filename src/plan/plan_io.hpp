@@ -15,6 +15,7 @@
  *     concurrency: m=parallel l=reduction k=reduction n=parallel
  *     threads: 8
  *     grain: m=2
+ *     safety: domain=concrete rules=sb01,sb02,sb03,sb04 digest=9ab1..
  *     volume-bytes: 6291456
  *     mem-bytes: 393216
  *
@@ -35,6 +36,16 @@
  * verifier's job (DP rules), not the deserializer's: chimera-check
  * needs mis-declared documents to load so its dynamic race checker can
  * demonstrate the conflict.
+ *
+ * The safety line carries the static-safety certificate (SB01-SB04,
+ * see analysis/static_safety.hpp): the shape domain the plan was
+ * certified for, the proven rule set, and a digest binding the
+ * certificate to the chain signature and the full schedule. It is
+ * emitted only for certified plans (uncertified documents stay
+ * byte-identical to the pre-safety format) and policed on load:
+ * malformed lines are rejected by the deserializer, while rule PL14
+ * re-derives the digest and re-runs the analyzer so a certificate can
+ * neither be forged nor replayed onto a different schedule.
  *
  * The fingerprint line is optional in hand-written documents and
  * mandatory for plan-cache entries: it hashes the chain structure plus
@@ -98,6 +109,15 @@ struct ParsedPlanDoc
     /** (axis name, grain) pairs from the "grain:" line, in order. */
     std::vector<std::pair<std::string, std::int64_t>> grain;
 
+    /**
+     * (key, value) pairs from the "safety:" line, in order (expected
+     * keys: domain, rules, digest). Token grammar is enforced at parse
+     * time; semantic binding (exactly those keys, valid domain/rule
+     * ids, digest shape) is bindSafety's job so the verifier can
+     * report PL14 instead of throwing.
+     */
+    std::vector<std::pair<std::string, std::string>> safety;
+
     double declaredVolumeBytes = 0.0;
     std::int64_t declaredMemBytes = 0;
 
@@ -106,6 +126,7 @@ struct ParsedPlanDoc
     bool haveConcurrency = false;
     bool haveThreads = false;
     bool haveGrain = false;
+    bool haveSafety = false;
     bool haveVolume = false;
     bool haveMem = false;
 };
@@ -128,6 +149,20 @@ ParsedPlanDoc parsePlanDocument(const std::string &text);
  * kinds.
  */
 std::vector<analysis::AxisConcurrency> bindConcurrency(
+    const ir::Chain &chain,
+    const std::vector<std::pair<std::string, std::string>> &entries);
+
+/**
+ * Binds a parsed "safety:" declaration to @p chain: requires exactly
+ * the domain/rules/digest keys (each once), a well-formed shape domain
+ * naming only chain axes, known lower-case sb rule ids, and a 16-hex
+ * digest. Throws chimera::Error naming the defect; deserializePlan
+ * lets it propagate (cache entries replan) and the verifier reports
+ * rule PL14 instead. Returns the certificate with certified = true;
+ * whether the digest *value* matches the bound schedule needs the
+ * chain + schedule in hand and is the PL14 validator's job.
+ */
+analysis::SafetyCertificate bindSafety(
     const ir::Chain &chain,
     const std::vector<std::pair<std::string, std::string>> &entries);
 

@@ -105,6 +105,24 @@ effectiveConcurrency(const ir::Chain &chain, const ExecutionPlan &plan)
     return analysis::analyzeConcurrency(chain, plan.tiles).kinds();
 }
 
+analysis::SafetyAnalysis
+certifyPlan(const Chain &chain, const PlannerOptions &options,
+            ExecutionPlan &plan)
+{
+    analysis::ShapeDomain domain = analysis::ShapeDomain::concrete(chain);
+    for (const auto &[axis, maxExtent] : options.safetyDomain) {
+        domain.widen(chain, axis, maxExtent);
+    }
+    analysis::SafetyOptions so;
+    so.memCapacityBytes = options.memCapacityBytes;
+    so.topology = options.topology;
+    const analysis::SafetyAnalysis sa = analysis::analyzeSafety(
+        chain, plan.perm, plan.tiles, effectiveConcurrency(chain, plan),
+        plan.plannedThreads, plan.parallelGrain, domain, so);
+    plan.safety = sa.certificate;
+    return sa;
+}
+
 std::string
 orderString(const Chain &chain, const std::vector<AxisId> &perm)
 {
@@ -155,13 +173,8 @@ namespace {
 double
 effectiveCapacityBytes(const PlannerOptions &options)
 {
-    double capacity = options.memCapacityBytes;
-    if (options.topology.hasTopology() && options.execThreads > 1) {
-        capacity = std::min(capacity,
-                            model::minSharedPerWorkerCapacityBytes(
-                                options.topology, options.execThreads));
-    }
-    return capacity;
+    return model::clampedPerWorkerBudgetBytes(
+        options.memCapacityBytes, options.topology, options.execThreads);
 }
 
 /**
@@ -521,6 +534,18 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
         analysis::analyzeConcurrency(chain, best.tiles).kinds();
     applyThreadChunking(chain, best, options, constraints, solverOptions,
                         /*allowRefinement=*/true);
+    if (options.staticSafety) {
+        // Certification failures do not fail planning: the plan is
+        // returned without a certificate (and without a `safety:`
+        // document line); gates that require one re-check downstream.
+        const analysis::SafetyAnalysis sa =
+            certifyPlan(chain, options, best);
+        if (!sa.certificate.certified) {
+            CHIMERA_DEBUG("static safety refuted for "
+                          << chain.name() << ": "
+                          << sa.renderViolations());
+        }
+    }
     best.planSeconds = timer.seconds();
     CHIMERA_DEBUG("planned " << chain.name() << ": order "
                              << orderString(chain, best.perm) << " volume "
@@ -586,6 +611,9 @@ planFixedOrder(const Chain &chain, const std::vector<AxisId> &perm,
     // refinement (the planner's edge in the scaling comparison).
     applyThreadChunking(chain, plan, options, constraints, solverOptions,
                         /*allowRefinement=*/false);
+    if (options.staticSafety) {
+        (void)certifyPlan(chain, options, plan);
+    }
     plan.planSeconds = timer.seconds();
     if (options.verify) {
         // Baselines pin deliberately non-executable orders; only the

@@ -13,10 +13,12 @@
  * tiles to nest inside outer-level tiles.
  */
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/dependence.hpp"
+#include "analysis/static_safety.hpp"
 #include "ir/chain.hpp"
 #include "model/multilevel.hpp"
 #include "solver/tile_solver.hpp"
@@ -62,6 +64,15 @@ struct ExecutionPlan
      * pre-thread-aware behavior.
      */
     std::vector<std::int64_t> parallelGrain;
+
+    /**
+     * Static-safety certificate (SB01-SB04) attached by the planner
+     * when PlannerOptions::staticSafety proves the schedule safe over
+     * the configured shape domain. Serialized as the v2 `safety:`
+     * document line when certified; default-constructed (uncertified)
+     * on hand-assembled plans and documents without the line.
+     */
+    analysis::SafetyCertificate safety;
 
     /** Algorithm-1 volume prediction for this plan, bytes. */
     double predictedVolumeBytes = 0.0;
@@ -147,6 +158,26 @@ struct PlannerOptions
     int chunksPerWorker = 4;
 
     /**
+     * Run the static safety analyzer (SB01-SB04) on every winning plan
+     * and attach the resulting certificate. On by default: the pass
+     * costs well under 1% of cold planning time (fig5 reports the
+     * ratio) and uncertified plans simply carry no `safety:` line —
+     * violations never fail planning. Part of the cache key only when
+     * disabled.
+     */
+    bool staticSafety = true;
+
+    /**
+     * Shape-domain widening for the certificate: axis name -> maximum
+     * extent. Each named axis is certified for extents [1, max]
+     * instead of its concrete extent only (e.g. {"b", 4096} certifies
+     * every batch size the serve batcher may derive). Empty (default)
+     * certifies the concrete shape. Part of the cache key when
+     * non-empty.
+     */
+    std::map<std::string, std::int64_t> safetyDomain;
+
+    /**
      * Optional plan cache consulted before enumeration and updated with
      * the winning plan after (see plan_cache.hpp). The cache key covers
      * the chain structure and every plan-affecting option above except
@@ -196,6 +227,18 @@ solver::TileConstraints executabilityPins(const ir::Chain &chain);
  */
 std::vector<analysis::AxisConcurrency>
 effectiveConcurrency(const ir::Chain &chain, const ExecutionPlan &plan);
+
+/**
+ * Runs the static safety analyzer on @p plan (under the options'
+ * capacity/topology/safetyDomain) and attaches the certificate to it —
+ * certified only when every SB rule proves. Used by the planner after
+ * chunking and by serve::PlannerGate to re-certify cached plans stored
+ * before certification existed. Returns the full analysis (violations
+ * and per-rule timings).
+ */
+analysis::SafetyAnalysis certifyPlan(const ir::Chain &chain,
+                                     const PlannerOptions &options,
+                                     ExecutionPlan &plan);
 
 /** Human-readable order string, e.g. "m,l,k,n". */
 std::string orderString(const ir::Chain &chain,

@@ -17,15 +17,16 @@ compatibilityKey(const ir::GemmChainConfig &config)
     std::uint32_t scaleBits = 0;
     std::memcpy(&scaleBits, &config.softmaxScale, sizeof scaleBits);
     char out[128];
-    std::snprintf(out, sizeof out,
-                  "m=%lld;n=%lld;k=%lld;l=%lld;ep=%d;scale=%08x;causal=%d",
-                  static_cast<long long>(config.m),
-                  static_cast<long long>(config.n),
-                  static_cast<long long>(config.k),
-                  static_cast<long long>(config.l),
-                  static_cast<int>(config.epilogue), scaleBits,
-                  config.causalMask ? 1 : 0);
-    return out;
+    const int n = std::snprintf(
+        out, sizeof out,
+        "m=%lld;n=%lld;k=%lld;l=%lld;ep=%d;scale=%08x;causal=%d",
+        static_cast<long long>(config.m), static_cast<long long>(config.n),
+        static_cast<long long>(config.k), static_cast<long long>(config.l),
+        static_cast<int>(config.epilogue), scaleBits,
+        config.causalMask ? 1 : 0);
+    CHIMERA_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof out,
+                  "compatibility key formatting failed");
+    return std::string(out, static_cast<std::size_t>(n));
 }
 
 std::vector<std::vector<ServeJob>>

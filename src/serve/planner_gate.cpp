@@ -38,6 +38,29 @@ PlannerGate::plannerOptions(const ir::Chain &chain) const
     return po;
 }
 
+void
+PlannerGate::ensureCertified(const ir::Chain &chain,
+                             const plan::PlannerOptions &po,
+                             plan::ExecutionPlan &plan)
+{
+    if (!options_.requireCertified) {
+        return;
+    }
+    if (!plan.safety.certified) {
+        // Cache entries written before the analyzer existed carry no
+        // `safety:` line; prove them now rather than refusing them.
+        const analysis::SafetyAnalysis analysis =
+            plan::certifyPlan(chain, po, plan);
+        if (!plan.safety.certified) {
+            throw Error("refusing to serve an uncertified plan; the "
+                        "static safety analyzer found:\n" +
+                        analysis.renderViolations());
+        }
+        recertifiedPlans_.fetch_add(1, std::memory_order_relaxed);
+    }
+    certifiedPlans_.fetch_add(1, std::memory_order_relaxed);
+}
+
 plan::ExecutionPlan
 PlannerGate::once(const std::string &key,
                   const std::function<plan::ExecutionPlan()> &planFn)
@@ -83,16 +106,20 @@ PlannerGate::canonicalPlan(const ir::GemmChainConfig &config)
     const plan::PlannerOptions po = plannerOptions(chain);
     // Fast path: fingerprint hits never touch the flight table.
     if (std::optional<plan::ExecutionPlan> hit = cache_.lookup(chain, po)) {
+        ensureCertified(chain, po, *hit);
         return *hit;
     }
-    return once(plan::planFingerprint(chain, po), [&] {
-        // The leader plans with the cache detached so the miss above
-        // stays the key's only miss; the store publishes the plan for
-        // both tiers (and for other processes) before followers wake.
-        plan::ExecutionPlan plan = plan::planChain(chain, po);
-        cache_.store(chain, po, plan);
-        return plan;
-    });
+    plan::ExecutionPlan plan =
+        once(plan::planFingerprint(chain, po), [&] {
+            // The leader plans with the cache detached so the miss above
+            // stays the key's only miss; the store publishes the plan for
+            // both tiers (and for other processes) before followers wake.
+            plan::ExecutionPlan fresh = plan::planChain(chain, po);
+            cache_.store(chain, po, fresh);
+            return fresh;
+        });
+    ensureCertified(chain, po, plan);
+    return plan;
 }
 
 plan::ExecutionPlan
@@ -124,22 +151,28 @@ PlannerGate::batchedPlan(const ir::GemmChainConfig &config,
     po.constraints.fixed[ir::axisIdByName(chain, "b")] = 1;
 
     if (std::optional<plan::ExecutionPlan> hit = cache_.lookup(chain, po)) {
+        ensureCertified(chain, po, *hit);
         return *hit;
     }
-    return once(plan::planFingerprint(chain, po), [&] {
-        std::vector<ir::AxisId> perm;
-        perm.reserve(static_cast<std::size_t>(chain.numAxes()));
-        perm.push_back(ir::axisIdByName(chain, "b"));
-        for (const ir::AxisId axis : canonical.perm) {
-            perm.push_back(ir::axisIdByName(
-                chain,
-                sliceChain.axes()[static_cast<std::size_t>(axis)].name));
-        }
-        plan::ExecutionPlan plan = plan::planFixedOrder(chain, perm, po);
-        derivedPlans_.fetch_add(1, std::memory_order_relaxed);
-        cache_.store(chain, po, plan);
-        return plan;
-    });
+    plan::ExecutionPlan plan =
+        once(plan::planFingerprint(chain, po), [&] {
+            std::vector<ir::AxisId> perm;
+            perm.reserve(static_cast<std::size_t>(chain.numAxes()));
+            perm.push_back(ir::axisIdByName(chain, "b"));
+            for (const ir::AxisId axis : canonical.perm) {
+                perm.push_back(ir::axisIdByName(
+                    chain,
+                    sliceChain.axes()[static_cast<std::size_t>(axis)]
+                        .name));
+            }
+            plan::ExecutionPlan derived =
+                plan::planFixedOrder(chain, perm, po);
+            derivedPlans_.fetch_add(1, std::memory_order_relaxed);
+            cache_.store(chain, po, derived);
+            return derived;
+        });
+    ensureCertified(chain, po, plan);
+    return plan;
 }
 
 PlannerGateStats
@@ -152,6 +185,9 @@ PlannerGate::stats() const
         out.flightsJoined = flightsJoined_;
     }
     out.derivedPlans = derivedPlans_.load(std::memory_order_relaxed);
+    out.certifiedPlans = certifiedPlans_.load(std::memory_order_relaxed);
+    out.recertifiedPlans =
+        recertifiedPlans_.load(std::memory_order_relaxed);
     out.cache = cache_.stats();
     return out;
 }

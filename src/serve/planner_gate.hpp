@@ -55,6 +55,16 @@ struct PlannerGateOptions
 
     /** Audit winning plans with the legality verifier. */
     bool verifyPlans = false;
+
+    /**
+     * Serve only plans carrying a valid SB01-SB04 safety certificate.
+     * Cache entries minted before the analyzer existed load uncertified
+     * and are re-certified in place; a plan the analyzer refuses is not
+     * served. This is what lets the daemon keep the dynamic race
+     * checker off: SB04's shape-generic disjointness proof covers every
+     * admissible batch, not just the shapes replayed so far.
+     */
+    bool requireCertified = true;
 };
 
 /** Counters exposed through the daemon's stats document. */
@@ -63,6 +73,8 @@ struct PlannerGateStats
     int flightsLed = 0; ///< planner actually ran (once per cold key)
     int flightsJoined = 0; ///< waited on a concurrent leader's plan
     int derivedPlans = 0; ///< fixed-order batched derivations solved
+    int certifiedPlans = 0; ///< plans served with an SB certificate
+    int recertifiedPlans = 0; ///< pre-analyzer cache entries re-proven
     plan::PlanCacheStats cache; ///< underlying plan-cache counters
 };
 
@@ -112,6 +124,17 @@ class PlannerGate
 
     plan::PlannerOptions plannerOptions(const ir::Chain &chain) const;
 
+    /**
+     * Enforces options_.requireCertified on a plan about to be served:
+     * already-certified plans pass through (counted), uncertified ones
+     * (pre-analyzer cache entries) get one re-certification attempt,
+     * and plans the analyzer refutes raise Error with the violations —
+     * the daemon refuses to serve what it cannot prove safe.
+     */
+    void ensureCertified(const ir::Chain &chain,
+                         const plan::PlannerOptions &po,
+                         plan::ExecutionPlan &plan);
+
     const PlannerGateOptions options_;
     plan::PlanCache cache_;
 
@@ -121,6 +144,8 @@ class PlannerGate
     int flightsLed_ = 0;
     int flightsJoined_ = 0;
     std::atomic<int> derivedPlans_{0};
+    std::atomic<int> certifiedPlans_{0};
+    std::atomic<int> recertifiedPlans_{0};
 };
 
 /**

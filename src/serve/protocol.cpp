@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <system_error>
 
 #ifdef __unix__
 #include <sys/socket.h>
@@ -207,8 +208,11 @@ readHeader(Cursor &cursor, std::uint32_t expectedMagic)
     CHIMERA_CHECK(magic == expectedMagic,
                   "malformed frame: bad magic 0x" + [magic] {
                       char buf[16];
-                      std::snprintf(buf, sizeof buf, "%08x", magic);
-                      return std::string(buf);
+                      const int n =
+                          std::snprintf(buf, sizeof buf, "%08x", magic);
+                      return n > 0 ? std::string(buf,
+                                                 static_cast<std::size_t>(n))
+                                   : std::string("????????");
                   }());
     const std::uint16_t version = cursor.u16();
     CHIMERA_CHECK(version == kProtocolVersion,
@@ -534,8 +538,13 @@ readFrame(int fd)
                 if (errno == EINTR) {
                     continue;
                 }
-                throw Error(std::string("frame read failed: ") +
-                            std::strerror(errno));
+                // std::error_code, not strerror(): strerror's static
+                // buffer is a data race between reader/writer threads
+                // (clang-tidy concurrency-mt-unsafe).
+                throw Error(
+                    "frame read failed: " +
+                    std::error_code(errno, std::generic_category())
+                        .message());
             }
             got += static_cast<std::size_t>(n);
         }
@@ -594,8 +603,9 @@ writeFrame(int fd, const std::string &payload)
             if (errno == EINTR) {
                 continue;
             }
-            throw Error(std::string("frame write failed: ") +
-                        std::strerror(errno));
+            throw Error("frame write failed: " +
+                        std::error_code(errno, std::generic_category())
+                            .message());
         }
         sent += static_cast<std::size_t>(n);
     }

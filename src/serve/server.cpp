@@ -87,7 +87,10 @@ Server::start()
     // kill the daemon: writeFrame already sends with MSG_NOSIGNAL, and
     // ignoring SIGPIPE process-wide covers any other fd the daemon
     // writes, so peer loss always surfaces as a catchable EPIPE.
-    std::signal(SIGPIPE, SIG_IGN);
+    CHIMERA_CHECK(std::signal(SIGPIPE, SIG_IGN) != SIG_ERR,
+                  "cannot ignore SIGPIPE; refusing to run with a "
+                  "disposition under which any peer loss kills the "
+                  "daemon");
 
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -103,19 +106,24 @@ Server::start()
         std::filesystem::remove(options_.socketPath, ec);
     }
 
+    // std::error_code instead of strerror(): strerror's static buffer
+    // is not thread-safe (clang-tidy concurrency-mt-unsafe) and the
+    // daemon has every reason to keep its error paths reentrant.
+    const auto errnoMessage = [] {
+        return std::error_code(errno, std::generic_category()).message();
+    };
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    CHIMERA_CHECK(listenFd_ >= 0,
-                  std::string("socket() failed: ") + std::strerror(errno));
+    CHIMERA_CHECK(listenFd_ >= 0, "socket() failed: " + errnoMessage());
     if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0) {
-        const std::string reason = std::strerror(errno);
+        const std::string reason = errnoMessage();
         ::close(listenFd_);
         listenFd_ = -1;
         CHIMERA_CHECK(false, "bind(" + options_.socketPath +
                                  ") failed: " + reason);
     }
     if (::listen(listenFd_, 64) != 0) {
-        const std::string reason = std::strerror(errno);
+        const std::string reason = errnoMessage();
         ::close(listenFd_);
         listenFd_ = -1;
         std::filesystem::remove(options_.socketPath, ec);
@@ -286,6 +294,11 @@ Server::executorLoop()
 {
     exec::ExecOptions execOptions;
     execOptions.threads = std::max(1, options_.execThreads);
+    // execOptions.raceCheck stays nullptr in the daemon: the gate's
+    // requireCertified policy only serves plans whose SB04 certificate
+    // proves shape-generic disjointness of the parallel axes, so the
+    // per-run shadow-memory scan (RC01) would re-prove statically
+    // settled facts at ~2x execution cost on every request.
     const auto now = [this] { return nowSeconds(); };
     while (true) {
         std::vector<ServeJob> group;
@@ -559,6 +572,8 @@ Server::statsText() const
         << "plans-led: " << g.flightsLed << "\n"
         << "plans-joined: " << g.flightsJoined << "\n"
         << "derived-plans: " << g.derivedPlans << "\n"
+        << "certified-plans: " << g.certifiedPlans << "\n"
+        << "recertified-plans: " << g.recertifiedPlans << "\n"
         << "plan-cache-memory-hits: " << g.cache.memoryHits << "\n"
         << "plan-cache-disk-hits: " << g.cache.diskHits << "\n"
         << "plan-cache-misses: " << g.cache.misses << "\n"

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,14 +24,34 @@ namespace {
 /** Backstop against absurd CHIMERA_THREADS values / requests. */
 constexpr int kMaxThreads = 256;
 
+#ifdef __linux__
+/**
+ * Whether CHIMERA_AFFINITY requests pinning. Read exactly once, under
+ * the magic-static lock of the first caller: getenv is not safe against
+ * concurrent setenv (clang-tidy concurrency-mt-unsafe), and every pool
+ * worker consults this on startup — a per-worker getenv would race with
+ * any test that mutates the environment while a pool spins up.
+ */
+bool
+affinityRequested()
+{
+    static const bool requested = [] {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): single read at first
+        // use; the process does not setenv concurrently with pool start.
+        const char *env = std::getenv("CHIMERA_AFFINITY");
+        return env != nullptr && *env != '\0' &&
+               !(env[0] == '0' && env[1] == '\0');
+    }();
+    return requested;
+}
+#endif
+
 /** CHIMERA_AFFINITY=1: pin pool worker @p worker compactly (Linux). */
 void
 maybePinWorker(int worker)
 {
 #ifdef __linux__
-    const char *env = std::getenv("CHIMERA_AFFINITY");
-    if (env == nullptr || *env == '\0' ||
-        (env[0] == '0' && env[1] == '\0')) {
+    if (!affinityRequested()) {
         return;
     }
     cpu_set_t set;
@@ -68,11 +89,20 @@ hardwareThreadCount()
 int
 defaultThreadCount()
 {
-    const char *env = std::getenv("CHIMERA_THREADS");
-    if (env != nullptr && *env != '\0') {
+    // Copy the value out immediately: getenv's result can be
+    // invalidated by a concurrent setenv (which is why clang-tidy's
+    // concurrency-mt-unsafe flags it), and the tests legitimately
+    // re-point CHIMERA_THREADS between calls, so the read cannot be
+    // cached in a static. The single justified read keeps the exposure
+    // to the one pointer dereference below.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): deliberate re-read; the
+    // value is copied to owned storage before any further work.
+    const char *raw = std::getenv("CHIMERA_THREADS");
+    const std::string env = raw == nullptr ? std::string() : raw;
+    if (!env.empty()) {
         errno = 0;
         char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
+        const long v = std::strtol(env.c_str(), &end, 10);
         const bool fullToken = *end == '\0';
         if (fullToken && errno == 0 && v >= 1) {
             return static_cast<int>(
@@ -81,7 +111,7 @@ defaultThreadCount()
         // "4abc" must not silently run with 4 threads, nor "abc" with
         // a silent fallback: reject the whole token, warn once.
         static std::once_flag warned;
-        std::call_once(warned, [env] {
+        std::call_once(warned, [&env] {
             CHIMERA_WARN("ignoring invalid CHIMERA_THREADS value \""
                          << env
                          << "\" (expected an integer >= 1); using the "

@@ -18,6 +18,72 @@ severityName(Severity severity)
     return "unknown";
 }
 
+const std::vector<RuleInfo> &
+publishedRules()
+{
+    static const std::vector<RuleInfo> rules = {
+        {"CH01", "CH", "chain structure: no operators or no tensors", true},
+        {"CH02", "CH", "axis declaration: empty/duplicate name, extent < 1",
+         true},
+        {"CH03", "CH", "dangling op->axis / op->tensor / output reference",
+         true},
+        {"CH04", "CH", "access map: tensor without dims, coefficient < 1",
+         true},
+        {"CH05", "CH", "producer/consumer access-shape disagreement", true},
+        {"CH06", "CH", "dataflow: intermediate consumed before produced",
+         true},
+        {"CH07", "CH", "independent axis not derivable from any operator",
+         true},
+        {"PL01", "PL", "plan document syntax error", true},
+        {"PL02", "PL", "order/tiles/grain name an unknown axis", true},
+        {"PL03", "PL", "order is not a permutation of the chain's axes",
+         true},
+        {"PL04", "PL", "tile size outside [1, extent]", true},
+        {"PL05", "PL", "plan incomplete: missing order/tiles entries",
+         true},
+        {"PL06", "PL", "block order not executable with single regions",
+         true},
+        {"PL07", "PL", "re-derived memory usage exceeds the capacity",
+         true},
+        {"PL08", "PL", "declared DV/MU predictions disagree with re-derived",
+         true},
+        {"PL09", "PL", "Algorithm 1 disagrees with brute-force recount",
+         true},
+        {"PL10", "PL", "document fingerprint mismatch", true},
+        {"PL11", "PL", "multi-level schedule nesting defect", true},
+        {"PL12", "PL", "concurrency line binding defect", true},
+        {"PL13", "PL", "thread-aware chunking defect", true},
+        {"PL14", "PL", "safety-certificate binding defect (forged/replayed"
+                       " or refuted `safety:` line)",
+         true},
+        {"KP01", "KP", "micro-kernel register usage exceeds the budget",
+         true},
+        {"KP02", "KP", "micro-kernel structure: MII < 2 or MII !| MI",
+         true},
+        {"KP03", "KP", "micro-kernel parameter not positive", true},
+        {"DP01", "DP", "concurrency table arity mismatch", true},
+        {"DP02", "DP", "axis declared parallel is a reduction axis", true},
+        {"DP03", "DP", "axis declared parallel/reduction is sequential",
+         true},
+        {"DP04", "DP", "over-serialization of a proven-parallel axis",
+         true},
+        {"DP05", "DP", "epilogue-coupled axis declared parallel", true},
+        {"DP06", "DP", "v2 document carries no concurrency table", true},
+        {"RC01", "RC", "shadow-memory write conflict observed at runtime",
+         false},
+        {"SB01", "SB", "block window escapes tensor extents for an"
+                       " admissible shape",
+         true},
+        {"SB02", "SB", "maximum live window exceeds the per-worker budget",
+         true},
+        {"SB03", "SB", "index arithmetic can overflow int64", true},
+        {"SB04", "SB", "parallel axis lacks a shape-generic disjointness"
+                       " proof",
+         true},
+    };
+    return rules;
+}
+
 void
 Report::add(Finding finding)
 {

@@ -45,6 +45,34 @@ struct Finding
     std::string message;
 };
 
+/** One entry of the published rule registry (see publishedRules). */
+struct RuleInfo
+{
+    /** Stable rule identifier, e.g. "SB03". */
+    std::string id;
+
+    /** Family prefix: "CH", "PL", "KP", "DP", "RC" or "SB". */
+    std::string family;
+
+    /** One-line meaning (matches the README rule table). */
+    std::string meaning;
+
+    /**
+     * True for rules proven without executing the plan (static
+     * analysis); false for rules needing a run (RC01's shadow-memory
+     * scan is the only dynamic rule).
+     */
+    bool staticRule = true;
+};
+
+/**
+ * The complete published rule-id registry, in family order (CH01-07,
+ * PL01-14, KP01-03, DP01-06, RC01, SB01-04). Tests golden-list this
+ * set so renames and accidental drops become failures; tooling can use
+ * it to validate grep patterns.
+ */
+const std::vector<RuleInfo> &publishedRules();
+
 /** Ordered collection of findings from one or more verifier passes. */
 class Report
 {

@@ -8,6 +8,7 @@
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
 #include "verify/concurrency_verifier.hpp"
+#include "verify/safety_verifier.hpp"
 
 namespace chimera::verify {
 
@@ -432,6 +433,16 @@ verifyExecutionPlan(const Chain &chain, const plan::ExecutionPlan &plan,
                                 : options.plannedThreads;
         checkPerWorkerShare(dm.memUsageBytes, workers, options.topology,
                             report);
+        // PL14 + SB: a certified plan must survive digest recompute and
+        // an analyzer re-run (PlanCache lookups audit through here, so
+        // tampered certificates in cache entries are rejected on load).
+        if (plan.safety.certified) {
+            SafetyVerifyOptions so;
+            so.memCapacityBytes = options.memCapacityBytes;
+            so.topology = options.topology;
+            so.workers = workers;
+            report.merge(verifySafetyCertificate(chain, plan, so));
+        }
     }
     return report;
 }
@@ -574,6 +585,29 @@ verifyPlanDocument(const Chain &chain, const plan::ParsedPlanDoc &doc,
         checkChunking(chain, workers, grain, kinds, report);
         checkPerWorkerShare(dm.memUsageBytes, workers, options.topology,
                             report);
+
+        // PL14 + SB: bind the safety line (reported, not thrown) and
+        // validate the certificate against the bound schedule.
+        if (doc.haveSafety) {
+            plan::ExecutionPlan bound;
+            try {
+                bound.safety = plan::bindSafety(chain, doc.safety);
+            } catch (const Error &e) {
+                report.error("PL14", "safety", e.what());
+            }
+            if (bound.safety.certified) {
+                bound.perm = perm;
+                bound.tiles = tiles;
+                bound.concurrency = kinds;
+                bound.plannedThreads = workers;
+                bound.parallelGrain = grain;
+                SafetyVerifyOptions so;
+                so.memCapacityBytes = options.memCapacityBytes;
+                so.topology = options.topology;
+                so.workers = workers;
+                report.merge(verifySafetyCertificate(chain, bound, so));
+            }
+        }
     }
     return report;
 }

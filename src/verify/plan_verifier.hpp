@@ -48,6 +48,13 @@
  *          than one worker's share of the tightest shared level
  *          (capacity / workers), i.e. the plan would thrash the LLC
  *          at its own declared thread count
+ *  - PL14  safety-certificate binding defect: a `safety:` line with
+ *          malformed fields, a domain naming unknown axes, a digest
+ *          that does not match the bound chain + schedule, or claimed
+ *          SB rules the re-run analyzer refutes (see
+ *          safety_verifier.hpp; the SB01-SB04 rules themselves live
+ *          there and run as part of verifyExecutionPlan /
+ *          verifyPlanDocument on certified plans)
  *  - KP01  micro-kernel register usage MI*NI + NI + MII exceeds the
  *          register budget
  *  - KP02  micro-kernel structure: MII < 2 or MII does not divide MI

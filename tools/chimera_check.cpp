@@ -20,6 +20,15 @@
  * rules: DP02 says the declared table disagrees with the analysis,
  * RC01 says the disagreement produces conflicting writers in practice.
  *
+ * With --static the tool runs the symbolic plan-safety analyzer (rules
+ * SB01-SB04, src/analysis/static_safety.hpp) on the resolved plan:
+ * shape-generic bounds containment, workspace budgeting, int64
+ * overflow-freedom and race-freedom, proven over a shape domain rather
+ * than observed on one shape. --domain axis=max (repeatable) widens an
+ * axis to [1, max]; the default domain pins every axis to its concrete
+ * extent. A certified plan prints its certificate line plus a
+ * machine-parseable per-rule timing line.
+ *
  * Usage:
  *   chimera-check gemm <batch> <M> <N> <K> <L> [options]
  *   chimera-check conv <batch> <IC> <H> <W> <OC1> <OC2> <k1> <k2> \
@@ -28,15 +37,19 @@
  * Options:
  *   --plan <file>        verify the plan document instead of planning
  *   --fingerprint <hex>  expected fingerprint for --plan (rule PL10)
- *   --capacity <bytes>   on-chip budget for PL07 (default 786432)
+ *   --capacity <bytes>   on-chip budget for PL07/SB02 (default 786432)
  *   --softmax | --relu   fuse that epilogue on the intermediate
  *   --registers <N>      also audit the selected micro-kernel params
  *   --no-recount         skip the brute-force Algorithm-1 recount (PL09)
  *   --threads <N>        planner threads when planning fresh
  *   --race               execute the fused chain under the shadow-memory
  *                        race checker (gemm/conv only; rule RC01)
+ *   --static             run the symbolic safety analyzer (SB01-SB04)
+ *   --domain axis=max    widen one axis of the --static shape domain to
+ *                        [1, max] (repeatable)
  *
- * Exit status: 0 clean (warnings allowed), 1 errors found, 2 bad usage.
+ * Exit status: 0 clean (warnings allowed), 1 rule violations found,
+ * 2 usage or IO failure (unreadable plan file, bad --domain axis, ...).
  */
 
 #include <cstdio>
@@ -60,6 +73,7 @@
 #include "support/rng.hpp"
 #include "verify/chain_verifier.hpp"
 #include "verify/plan_verifier.hpp"
+#include "verify/safety_verifier.hpp"
 
 namespace {
 
@@ -75,6 +89,8 @@ struct CliOptions
     bool recount = true;
     int threads = 0;
     bool race = false;
+    bool staticSafety = false;
+    std::map<std::string, std::int64_t> safetyDomain; // axis -> max
 };
 
 /** Executes one planned schedule under a RaceChecker; empty for dsl. */
@@ -93,7 +109,7 @@ usage()
         " [options]\n"
         "options: --plan <file> --fingerprint <hex> --capacity <bytes>"
         " --softmax --relu --registers <N> --no-recount --threads <N>"
-        " --race (gemm/conv only)\n");
+        " --race (gemm/conv only) --static --domain axis=max\n");
     std::exit(2);
 }
 
@@ -119,6 +135,21 @@ parseOptions(int argc, char **argv, int firstOption)
             options.recount = false;
         } else if (arg == "--race") {
             options.race = true;
+        } else if (arg == "--static") {
+            options.staticSafety = true;
+        } else if (arg == "--domain" && i + 1 < argc) {
+            const std::string spec = argv[++i];
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= spec.size()) {
+                usage();
+            }
+            const std::int64_t maxExtent =
+                std::atoll(spec.c_str() + eq + 1);
+            if (maxExtent < 1) {
+                usage();
+            }
+            options.safetyDomain[spec.substr(0, eq)] = maxExtent;
         } else if (arg == "--threads" && i + 1 < argc) {
             options.threads = std::atoi(argv[++i]);
         } else {
@@ -158,15 +189,21 @@ verifyOptions(const CliOptions &options)
     return vo;
 }
 
-/** Audits the --plan document (or PL01 when it does not even parse). */
+/**
+ * Audits the --plan document (or PL01 when it does not even parse).
+ * An *unreadable* file is an IO failure, not a rule violation: it
+ * throws, and main turns that into exit status 2. @p resolved, when
+ * non-null, receives the deserialized plan if the document binds — the
+ * --static pass runs on it.
+ */
 verify::Report
-checkPlanFile(const ir::Chain &chain, const CliOptions &options)
+checkPlanFile(const ir::Chain &chain, const CliOptions &options,
+              std::optional<plan::ExecutionPlan> *resolved)
 {
     verify::Report report;
     const std::optional<std::string> text = readFile(options.planFile);
     if (!text) {
-        report.error("PL01", options.planFile, "cannot read plan file");
-        return report;
+        throw Error("cannot read plan file " + options.planFile);
     }
     try {
         const plan::ParsedPlanDoc doc = plan::parsePlanDocument(*text);
@@ -175,6 +212,15 @@ checkPlanFile(const ir::Chain &chain, const CliOptions &options)
     } catch (const Error &e) {
         report.error("PL01", options.planFile, e.what());
     }
+    if (resolved != nullptr) {
+        try {
+            *resolved =
+                plan::deserializePlan(chain, *text, options.fingerprint);
+        } catch (const Error &) {
+            // Document does not even bind to the chain; the findings
+            // above already say why, and --static has nothing to run on.
+        }
+    }
     return report;
 }
 
@@ -182,7 +228,8 @@ checkPlanFile(const ir::Chain &chain, const CliOptions &options)
 verify::Report
 checkFreshPlan(const ir::Chain &chain,
                const solver::TileConstraints &constraints,
-               const CliOptions &options)
+               const CliOptions &options,
+               std::optional<plan::ExecutionPlan> *resolved)
 {
     verify::Report report;
     plan::PlannerOptions po;
@@ -197,11 +244,58 @@ checkFreshPlan(const ir::Chain &chain,
                     plan.candidatesExamined);
         report.merge(verify::verifyExecutionPlan(chain, plan,
                                                  verifyOptions(options)));
+        if (resolved != nullptr) {
+            *resolved = plan;
+        }
     } catch (const Error &e) {
         report.error("PL05", "planner",
                      std::string("planning failed: ") + e.what());
     }
     return report;
+}
+
+/**
+ * The --static pass: runs the symbolic safety analyzer over the
+ * resolved plan and the CLI-assembled shape domain, reporting SB
+ * violations into @p report and printing the certificate plus a
+ * machine-parseable per-rule timing line (consumed by CI's analyzer
+ * timing artifact). A bad --domain axis throws out of
+ * verifyPlanSafety — a CLI input defect, exit status 2.
+ */
+void
+runStaticSafety(const ir::Chain &chain, const plan::ExecutionPlan &plan,
+                const CliOptions &options, verify::Report &report)
+{
+    verify::SafetyVerifyOptions so;
+    so.memCapacityBytes = options.capacityBytes;
+    so.workers = std::max(1, options.threads);
+    std::string spec;
+    for (const auto &[axis, maxExtent] : options.safetyDomain) {
+        if (!spec.empty()) {
+            spec += ",";
+        }
+        spec += axis + ":1.." + std::to_string(maxExtent);
+    }
+    so.domainSpec = spec;
+    analysis::SafetyAnalysis analysis;
+    report.merge(verify::verifyPlanSafety(chain, plan, so, &analysis));
+    if (analysis.certificate.certified) {
+        std::printf("static-safety: certified domain=%s digest=%s\n",
+                    analysis.certificate.domain.c_str(),
+                    analysis.certificate.digest.c_str());
+    } else {
+        std::printf("static-safety: refuted domain=%s (%zu"
+                    " violation(s))\n",
+                    analysis.certificate.domain.c_str(),
+                    analysis.violations.size());
+    }
+    std::printf("static-safety timing: sb01 %.3f ms sb02 %.3f ms"
+                " sb03 %.3f ms sb04 %.3f ms total %.3f ms\n",
+                analysis.ruleSeconds[0] * 1e3,
+                analysis.ruleSeconds[1] * 1e3,
+                analysis.ruleSeconds[2] * 1e3,
+                analysis.ruleSeconds[3] * 1e3,
+                analysis.totalSeconds * 1e3);
 }
 
 /** Reports checker conflicts as RC01 (or prints the clean summary). */
@@ -259,12 +353,24 @@ run(const ir::Chain &chain, const solver::TileConstraints &constraints,
 
     verify::Report report = verify::verifyChain(chain);
     const bool chainBroken = report.hasErrors();
+    std::optional<plan::ExecutionPlan> resolved;
     if (chainBroken) {
         std::printf("chain IR is ill-formed; skipping plan checks\n");
     } else if (!options.planFile.empty()) {
-        report.merge(checkPlanFile(chain, options));
+        report.merge(checkPlanFile(chain, options,
+                                   options.staticSafety ? &resolved
+                                                        : nullptr));
     } else {
-        report.merge(checkFreshPlan(chain, constraints, options));
+        report.merge(
+            checkFreshPlan(chain, constraints, options, &resolved));
+    }
+
+    if (options.staticSafety && !chainBroken) {
+        if (resolved) {
+            runStaticSafety(chain, *resolved, options, report);
+        } else {
+            std::printf("static-safety: skipped (no resolvable plan)\n");
+        }
     }
 
     if (options.race && !chainBroken) {
@@ -419,7 +525,11 @@ main(int argc, char **argv)
         }
         usage();
     } catch (const chimera::Error &e) {
+        // Errors that escape to here are environment/usage failures
+        // (unreadable plan file, unknown --domain axis, chain-builder
+        // misuse) — not rule violations, which exit 1 above. CI and the
+        // sweep scripts rely on the distinction.
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return 2;
     }
 }
