@@ -19,7 +19,11 @@
  * Results go to stdout (human-readable) and --out (default
  * BENCH_serving.json): offered rate, achieved throughput, latency
  * p50/p90/p99/mean/max, error counters, and the daemon's own stats
- * document captured after the run.
+ * document captured after the run. Stats-version-2 daemons also expose
+ * their server-side HDR latency histogram (`latency-*` keys); those
+ * surface as a dedicated `server_latency_seconds` block so client-
+ * observed and server-measured percentiles sit side by side — the gap
+ * between them is socket + queueing time.
  *
  * Usage:
  *   serve_loadgen --socket <path> [--rate R] [--requests N]
@@ -315,12 +319,39 @@ run(const Options &options)
          << "  \"mean_batch_group_size\": " << meanBatchGroup << ",\n"
          << "  \"mean_server_seconds\": " << meanServerSeconds << ",\n"
          << "  \"protocol_errors\": " << protocolErrors << ",\n"
-         << "  \"response_errors\": " << responseErrors << ",\n"
-         << "  \"server\": {";
+         << "  \"response_errors\": " << responseErrors << ",\n";
+
+    // stats-version >= 2: the daemon's own HDR latency histogram gets a
+    // dedicated block mirroring latency_seconds above, so one file
+    // answers "where does client p99 exceed server p99" directly.
+    const auto statValue = [&](const std::string &key) {
+        const auto it = serverStats.find(key);
+        return it != serverStats.end() ? it->second : std::string("0");
+    };
+    const int statsVersion = std::atoi(statValue("stats-version").c_str());
+    json << "  \"server_stats_version\": " << statsVersion << ",\n";
+    if (statsVersion >= 2) {
+        json << "  \"server_latency_seconds\": {\n"
+             << "    \"count\": " << statValue("latency-count") << ",\n"
+             << "    \"p50\": " << statValue("latency-p50-seconds")
+             << ",\n"
+             << "    \"p90\": " << statValue("latency-p90-seconds")
+             << ",\n"
+             << "    \"p99\": " << statValue("latency-p99-seconds")
+             << ",\n"
+             << "    \"p999\": " << statValue("latency-p999-seconds")
+             << ",\n"
+             << "    \"mean\": " << statValue("latency-mean-seconds")
+             << ",\n"
+             << "    \"max\": " << statValue("latency-max-seconds")
+             << "\n  },\n";
+    }
+    json << "  \"server\": {";
     bool first = true;
     for (const auto &[key, value] : serverStats) {
-        if (key == "server") {
-            continue; // non-numeric banner line
+        if (key == "server" || key == "stats-version" ||
+            key.rfind("latency-", 0) == 0) {
+            continue; // banner / version / dedicated-block lines
         }
         json << (first ? "\n" : ",\n") << "    \"" << key << "\": " << value;
         first = false;

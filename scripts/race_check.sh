@@ -103,4 +103,23 @@ probe_status 2 "$CHECK" gemm 1 64 64 64 64 \
 probe_status 2 "$CHECK" gemm 1 64 64 64 64 --static --domain bogus=4096
 probe_status 2 "$CHECK"
 
+echo "== chimera-plan tracing obeys the same exit-code contract =="
+PLAN=build/tools/chimera-plan
+if [ ! -x "$PLAN" ]; then
+    echo "error: $PLAN not built" >&2
+    exit 1
+fi
+trace_tmp="$(mktemp -t chimera-plan-trace-XXXXXX.json)"
+probe_status 0 "$PLAN" gemm 1 64 64 64 64 --no-cache \
+    --trace-out "$trace_tmp"
+if [ ! -s "$trace_tmp" ]; then
+    echo "error: --trace-out wrote no trace to $trace_tmp" >&2
+    exit 1
+fi
+python3 scripts/validate_trace.py "$trace_tmp" --require-layers=plan
+rm -f "$trace_tmp"
+# An unwritable trace path is a usage error: exit 2, never a crash.
+probe_status 2 "$PLAN" gemm 1 64 64 64 64 --no-cache \
+    --trace-out /nonexistent-dir/trace.json
+
 echo "safety sweep: OK"

@@ -29,12 +29,15 @@ done
 
 socket="/tmp/chimera-serve-smoke-$$.sock"
 out="BENCH_serving.json"
-rm -f "$socket" "$out"
+trace="chimera-serve-trace.json"
+metrics="chimera-serve-metrics.json"
+rm -f "$socket" "$out" "$trace" "$metrics"
 
 # The deterministic replay first: batched == individual, bitwise.
 "$SERVER" --check
 
-"$SERVER" --socket "$socket" --no-cache &
+"$SERVER" --socket "$socket" --no-cache \
+          --trace-out "$trace" --metrics-dump "$metrics" &
 server_pid=$!
 trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$socket"' EXIT
 
@@ -50,7 +53,18 @@ if [ ! -s "$out" ]; then
     echo "error: loadgen did not write $out" >&2
     exit 1
 fi
-python3 - "$out" <<'EOF'
+for artifact in "$trace" "$metrics"; do
+    if [ ! -s "$artifact" ]; then
+        echo "error: daemon did not write $artifact" >&2
+        exit 1
+    fi
+done
+
+# The trace must carry at least one span from each instrumented layer
+# and a request id that links decode -> execute -> write.
+python3 scripts/validate_trace.py "$trace" --require-request-linkage
+
+python3 - "$out" "$metrics" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as fh:
@@ -64,13 +78,50 @@ if doc["response_errors"] != 0:
     failures.append(f"response errors: {doc['response_errors']}")
 if doc["completed"] != doc["requests"]:
     failures.append(f"completed {doc['completed']}/{doc['requests']}")
+
+# Schema gate: a loadgen run against a stats-version-2 daemon must
+# surface the server-side histogram block. A missing key here means
+# the exposition or the loadgen parser regressed — fail loudly rather
+# than silently dropping the server percentiles from the artifact.
+if doc.get("server_stats_version", 0) < 2:
+    failures.append(
+        f"server_stats_version {doc.get('server_stats_version')} < 2")
+server_lat = doc.get("server_latency_seconds")
+if server_lat is None:
+    failures.append("missing server_latency_seconds block")
+else:
+    for key in ("count", "p50", "p90", "p99", "p999", "mean", "max"):
+        if key not in server_lat:
+            failures.append(f"server_latency_seconds lacks '{key}'")
+    if not failures:
+        if server_lat["count"] != doc["completed"]:
+            failures.append(
+                f"server latency count {server_lat['count']} != "
+                f"completed {doc['completed']}")
+        if server_lat["p50"] > server_lat["p99"]:
+            failures.append("server p50 > p99")
+        # Client-observed latency includes the server span plus socket
+        # and queueing time, so server p50 cannot exceed client max.
+        if server_lat["p50"] > doc["latency_seconds"]["max"]:
+            failures.append("server p50 exceeds client max latency")
+
+with open(sys.argv[2]) as fh:
+    metrics = json.load(fh)
+lat = metrics.get("chimera.serve.latency_seconds")
+if lat is None:
+    failures.append("metrics dump lacks chimera.serve.latency_seconds")
+elif lat["count"] != doc["completed"]:
+    failures.append(f"metrics latency count {lat['count']} != "
+                    f"completed {doc['completed']}")
+
 for failure in failures:
     print(f"serve smoke: {failure}", file=sys.stderr)
 if failures:
     sys.exit(1)
 p50 = doc["latency_seconds"]["p50"] * 1e3
 p99 = doc["latency_seconds"]["p99"] * 1e3
+sp99 = server_lat["p99"] * 1e3
 print(f"serve smoke: ok ({doc['completed']} requests, "
       f"{doc['achieved_throughput_rps']:.1f} rps, "
-      f"p50 {p50:.3f} ms, p99 {p99:.3f} ms)")
+      f"p50 {p50:.3f} ms, p99 {p99:.3f} ms, server p99 {sp99:.3f} ms)")
 EOF

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by the chimera obs layer.
+
+Usage:
+    validate_trace.py <trace.json> [--require-layers plan,exec,serve]
+                      [--require-request-linkage]
+
+Checks, in order:
+  1. The file is valid JSON with a `traceEvents` list whose entries are
+     well-formed trace events (name/ph/ts; complete events carry dur).
+  2. Every required layer (by event category) contributed at least one
+     span — a trace from a served request with a silent layer means
+     instrumentation rotted.
+  3. With --require-request-linkage: at least one request id flows
+     decode -> execute -> write, i.e. a `serve.decode` span's `req` arg
+     reappears in a `serve.execute` span's comma-joined `reqs` list and
+     in a `serve.write` span's `req` arg. This is the property that
+     makes the trace navigable per request.
+
+Exit codes: 0 valid, 1 validation failure, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str]) -> None:
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    require_layers = ["plan", "exec", "serve"]
+    require_linkage = False
+    for flag in flags:
+        if flag.startswith("--require-layers="):
+            require_layers = [
+                l for l in flag.split("=", 1)[1].split(",") if l
+            ]
+        elif flag == "--require-request-linkage":
+            require_linkage = True
+        else:
+            print(f"validate_trace: unknown flag {flag}", file=sys.stderr)
+            sys.exit(2)
+
+    try:
+        with open(args[0]) as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        print(f"validate_trace: cannot read {args[0]}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fail(f"{args[0]} is not valid JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents list")
+    if not events:
+        fail("traceEvents is empty")
+
+    spans = []  # complete ('X') events
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph"):
+            if key not in event:
+                fail(f"traceEvents[{i}] lacks '{key}'")
+        if event["ph"] not in ("X", "i", "M"):
+            fail(f"traceEvents[{i}] has unknown phase {event['ph']!r}")
+        if event["ph"] == "M":
+            continue
+        if "ts" not in event:
+            fail(f"traceEvents[{i}] lacks 'ts'")
+        if event["ph"] == "X":
+            if "dur" not in event:
+                fail(f"traceEvents[{i}] is 'X' without 'dur'")
+            if event["dur"] < 0:
+                fail(f"traceEvents[{i}] has negative dur")
+            spans.append(event)
+
+    by_layer = {}
+    for event in spans:
+        by_layer.setdefault(event.get("cat", ""), []).append(event)
+    for layer in require_layers:
+        if not by_layer.get(layer):
+            fail(f"no spans from layer '{layer}' "
+                 f"(layers present: {sorted(by_layer) or 'none'})")
+
+    if require_linkage:
+        def arg(event, key):
+            return event.get("args", {}).get(key)
+
+        decoded = {str(arg(e, "req")) for e in spans
+                   if e["name"] == "serve.decode"
+                   and arg(e, "req") is not None}
+        executed = set()
+        for e in spans:
+            if e["name"] == "serve.execute" and arg(e, "reqs"):
+                executed.update(str(arg(e, "reqs")).split(","))
+        written = {str(arg(e, "req")) for e in spans
+                   if e["name"] == "serve.write"
+                   and arg(e, "req") is not None}
+        linked = decoded & executed & written
+        if not linked:
+            fail("no request id links decode -> execute -> write "
+                 f"(decoded {len(decoded)}, executed {len(executed)}, "
+                 f"written {len(written)})")
+        execute_spans = [e for e in spans if e["name"] == "serve.execute"]
+        missing_dv = [e for e in execute_spans
+                      if arg(e, "predicted_dv_bytes") is None]
+        if execute_spans and len(missing_dv) == len(execute_spans):
+            fail("no serve.execute span carries predicted_dv_bytes")
+
+    dropped = doc.get("chimeraDroppedEvents", 0)
+    suffix = f", {dropped} dropped" if dropped else ""
+    print(f"validate_trace: ok ({len(events)} events, {len(spans)} "
+          f"spans, layers {sorted(by_layer)}{suffix})")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

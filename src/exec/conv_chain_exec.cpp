@@ -5,6 +5,7 @@
 
 #include "exec/chunk_profile.hpp"
 #include "exec/region_schedule.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
 #include "support/timer.hpp"
@@ -234,12 +235,22 @@ runFusedConvChain(const ConvChainConfig &config,
     if (profile != nullptr) {
         profile->beginPhase(chunks);
     }
+    // Unified clock: ChunkProfile and the trace share obs::nowNanos.
+    obs::TraceRecorder *const tracer = obs::trace();
+    obs::Span execSpan(tracer, "exec.conv_chain", "exec");
+    execSpan.arg("chunks", chunks).arg("workers", workers);
     parallelFor(pool, 0, chunks, [&](std::int64_t chunk, int worker) {
-        const WallTimer chunkTimer;
+        const std::int64_t chunkStart = obs::nowNanos();
+        std::int64_t taskLo = -1;
+        std::int64_t taskHi = -1;
         float *tRegion = tRegions[static_cast<std::size_t>(worker)].get();
         float *patch1 = patch1s[static_cast<std::size_t>(worker)].get();
         float *patch2 = patch2s[static_cast<std::size_t>(worker)].get();
         sched.forEachTaskInChunk(chunk, [&](std::int64_t task) {
+        if (taskLo < 0) {
+            taskLo = task;
+        }
+        taskHi = task;
         const std::vector<BlockRange> parBlocks =
             decodeBlocks(sched.parallel, task);
 
@@ -347,8 +358,17 @@ runFusedConvChain(const ConvChainConfig &config,
         }
         }
         });
+        const std::int64_t chunkNanos = obs::nowNanos() - chunkStart;
         if (profile != nullptr) {
-            profile->recordChunk(chunk, chunkTimer.seconds());
+            profile->recordChunk(
+                chunk, static_cast<double>(chunkNanos) * 1e-9);
+        }
+        if (tracer != nullptr) {
+            tracer->complete("exec.chunk", "exec", chunkStart, chunkNanos,
+                             {{"chunk", chunk},
+                              {"worker", static_cast<std::int64_t>(worker)},
+                              {"task_lo", taskLo},
+                              {"task_hi", taskHi}});
         }
     });
 }
@@ -418,8 +438,11 @@ runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
     if (profile != nullptr) {
         profile->beginPhase(batch * oh);
     }
+    obs::TraceRecorder *const tracer = obs::trace();
+    obs::Span execSpan(tracer, "exec.tiled_conv", "exec");
+    execSpan.arg("tasks", batch * oh);
     parallelFor(pool, 0, batch * oh, [&](std::int64_t task, int worker) {
-        const WallTimer taskTimer;
+        const std::int64_t taskStart = obs::nowNanos();
         const std::int64_t bi = task / oh;
         const std::int64_t r = task % oh;
         const float *inBase = input.data() + bi * ic * h * w;
@@ -447,8 +470,16 @@ runTiledConv2d(const ComputeEngine &engine, const Tensor &input,
                     icc * kernel * kernel);
             }
         }
+        const std::int64_t taskNanos = obs::nowNanos() - taskStart;
         if (profile != nullptr) {
-            profile->recordChunk(task, taskTimer.seconds());
+            profile->recordChunk(
+                task, static_cast<double>(taskNanos) * 1e-9);
+        }
+        if (tracer != nullptr) {
+            tracer->complete("exec.chunk", "exec", taskStart, taskNanos,
+                             {{"chunk", task},
+                              {"worker",
+                               static_cast<std::int64_t>(worker)}});
         }
     });
 }

@@ -6,6 +6,7 @@
 #include "exec/chunk_profile.hpp"
 #include "exec/constraints.hpp"
 #include "exec/region_schedule.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
 #include "support/timer.hpp"
@@ -177,11 +178,21 @@ runFusedGemmChain3(const GemmChain3Config &config,
     if (profile != nullptr) {
         profile->beginPhase(chunks);
     }
+    // Unified clock: ChunkProfile and the trace share obs::nowNanos.
+    obs::TraceRecorder *const tracer = obs::trace();
+    obs::Span execSpan(tracer, "exec.chain3", "exec");
+    execSpan.arg("chunks", chunks).arg("workers", workers);
     parallelFor(pool, 0, chunks, [&](std::int64_t chunk, int worker) {
-        const WallTimer chunkTimer;
+        const std::int64_t chunkStart = obs::nowNanos();
+        std::int64_t taskLo = -1;
+        std::int64_t taskHi = -1;
         float *c1Tile = c1Tiles[static_cast<std::size_t>(worker)].get();
         float *c2Panel = c2Panels[static_cast<std::size_t>(worker)].get();
         sched.forEachTaskInChunk(chunk, [&](std::int64_t task) {
+        if (taskLo < 0) {
+            taskLo = task;
+        }
+        taskHi = task;
         const std::vector<BlockRange> parBlocks =
             decodeBlocks(sched.parallel, task);
 
@@ -241,8 +252,17 @@ runFusedGemmChain3(const GemmChain3Config &config,
         }
         }
         });
+        const std::int64_t chunkNanos = obs::nowNanos() - chunkStart;
         if (profile != nullptr) {
-            profile->recordChunk(chunk, chunkTimer.seconds());
+            profile->recordChunk(
+                chunk, static_cast<double>(chunkNanos) * 1e-9);
+        }
+        if (tracer != nullptr) {
+            tracer->complete("exec.chunk", "exec", chunkStart, chunkNanos,
+                             {{"chunk", chunk},
+                              {"worker", static_cast<std::int64_t>(worker)},
+                              {"task_lo", taskLo},
+                              {"task_hi", taskHi}});
         }
     });
 }

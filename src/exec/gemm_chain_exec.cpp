@@ -8,6 +8,7 @@
 #include "exec/chunk_profile.hpp"
 #include "exec/region_schedule.hpp"
 #include "ir/builders.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/mathutil.hpp"
 #include "support/timer.hpp"
@@ -205,10 +206,21 @@ runFusedGemmChain(const GemmChainConfig &config,
     if (profile != nullptr) {
         profile->beginPhase(chunks);
     }
+    // One clock (obs::nowNanos) feeds both the ChunkProfile critical
+    // path and the trace spans, so their timelines agree exactly.
+    obs::TraceRecorder *const tracer = obs::trace();
+    obs::Span execSpan(tracer, "exec.gemm_chain", "exec");
+    execSpan.arg("chunks", chunks).arg("workers", workers);
     parallelFor(pool, 0, chunks, [&](std::int64_t chunk, int worker) {
-        const WallTimer chunkTimer;
+        const std::int64_t chunkStart = obs::nowNanos();
+        std::int64_t taskLo = -1;
+        std::int64_t taskHi = -1;
         float *cBase = cRegions[static_cast<std::size_t>(worker)].get();
         sched.forEachTaskInChunk(chunk, [&](std::int64_t task) {
+        if (taskLo < 0) {
+            taskLo = task;
+        }
+        taskHi = task;
         const std::vector<BlockRange> parBlocks =
             decodeBlocks(sched.parallel, task);
 
@@ -303,18 +315,30 @@ runFusedGemmChain(const GemmChainConfig &config,
             }
         }
         });
+        const std::int64_t chunkNanos = obs::nowNanos() - chunkStart;
         if (profile != nullptr) {
-            profile->recordChunk(chunk, chunkTimer.seconds());
+            profile->recordChunk(
+                chunk, static_cast<double>(chunkNanos) * 1e-9);
+        }
+        if (tracer != nullptr) {
+            tracer->complete("exec.chunk", "exec", chunkStart, chunkNanos,
+                             {{"chunk", chunk},
+                              {"worker", static_cast<std::int64_t>(worker)},
+                              {"task_lo", taskLo},
+                              {"task_hi", taskHi}});
         }
     });
 
     // Deferred softmax division over the finished output; rows are
-    // independent, so they split freely across workers.
+    // independent, so they split freely across workers. One span for
+    // the whole phase — per-row events would swamp the trace.
     if (config.epilogue == Epilogue::Softmax) {
         if (race != nullptr) {
             race->beginPhase(chain.name() + " softmax normalize");
         }
         const std::int64_t rows = config.batch * bigM;
+        obs::Span normSpan(tracer, "exec.softmax_norm", "exec");
+        normSpan.arg("rows", rows);
         if (profile != nullptr) {
             profile->beginPhase(rows);
         }
@@ -393,9 +417,12 @@ runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
     if (profile != nullptr) {
         profile->beginPhase(tasks);
     }
+    obs::TraceRecorder *const tracer = obs::trace();
+    obs::Span execSpan(tracer, "exec.tiled_gemm", "exec");
+    execSpan.arg("tasks", tasks);
     parallelFor(execPool(options), 0, tasks,
-                [&](std::int64_t task, int) {
-        const WallTimer taskTimer;
+                [&](std::int64_t task, int worker) {
+        const std::int64_t taskStart = obs::nowNanos();
         const std::int64_t bi = task / mTiles;
         const std::int64_t m0 = (task % mTiles) * tiles.tm;
         const float *aBase = a.data() + bi * m * k;
@@ -417,8 +444,16 @@ runTiledBatchGemm(const ComputeEngine &engine, const Tensor &a,
                               cBase + m0 * n + n0, n, mm, nn, kk);
             }
         }
+        const std::int64_t taskNanos = obs::nowNanos() - taskStart;
         if (profile != nullptr) {
-            profile->recordChunk(task, taskTimer.seconds());
+            profile->recordChunk(
+                task, static_cast<double>(taskNanos) * 1e-9);
+        }
+        if (tracer != nullptr) {
+            tracer->complete("exec.chunk", "exec", taskStart, taskNanos,
+                             {{"chunk", task},
+                              {"worker",
+                               static_cast<std::int64_t>(worker)}});
         }
     });
 }

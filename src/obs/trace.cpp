@@ -1,0 +1,388 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace chimera::obs
+{
+
+std::int64_t nowNanos() noexcept
+{
+    // One epoch for the whole process so timestamps from different
+    // threads and subsystems land on a single comparable timeline.
+    static const auto epoch = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+struct TraceRecorder::Event
+{
+    const char *name = "";
+    const char *cat = "";
+    char phase = 'X'; ///< 'X' complete, 'i' instant, 'M' metadata
+    std::int64_t ts = 0;
+    std::int64_t dur = 0;
+    std::vector<TraceArg> args;
+};
+
+struct TraceRecorder::Buffer
+{
+    static constexpr std::size_t kSegmentEvents = 512;
+    /// Per-thread cap; past this the recorder counts drops instead of
+    /// growing without bound inside a long-lived daemon.
+    static constexpr std::int64_t kMaxEvents = 1 << 20;
+
+    using Segment = std::array<Event, kSegmentEvents>;
+
+    explicit Buffer(int tidIn) : tid(tidIn) {}
+
+    const int tid;
+    /// Published event count: store-release by the owning thread after
+    /// the slot is fully written; load-acquire by snapshotters.
+    std::atomic<std::int64_t> count{0};
+    /// Guards `segments` growth (owner) and pointer snapshot (reader).
+    std::mutex segmentMutex;
+    std::vector<std::unique_ptr<Segment>> segments;
+};
+
+namespace
+{
+
+std::atomic<std::uint64_t> gNextRecorderId{1};
+
+/// Per-thread cache of (recorder id -> buffer) so the steady-state
+/// append never touches the recorder mutex. shared_ptr keeps a cached
+/// buffer harmlessly alive even if its recorder is destroyed first.
+struct TlsEntry
+{
+    std::uint64_t recorderId = 0;
+    std::shared_ptr<TraceRecorder::Buffer> buffer;
+};
+
+thread_local std::vector<TlsEntry> tTlsBuffers;
+
+void appendJsonEscaped(std::string &out, const char *text)
+{
+    for (const char *p = text; *p != '\0'; ++p)
+    {
+        const char c = *p;
+        switch (c)
+        {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+            {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            }
+            else
+            {
+                out += c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder() : id_(gNextRecorderId.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Buffer &TraceRecorder::threadBuffer()
+{
+    for (const TlsEntry &entry : tTlsBuffers)
+    {
+        if (entry.recorderId == id_)
+            return *entry.buffer;
+    }
+    auto buffer = [this] {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        auto created = std::make_shared<Buffer>(static_cast<int>(buffers_.size()) + 1);
+        buffers_.push_back(created);
+        return created;
+    }();
+    tTlsBuffers.push_back(TlsEntry{id_, buffer});
+    return *buffer;
+}
+
+void TraceRecorder::append(Event &&event)
+{
+    Buffer &buf = threadBuffer();
+    const std::int64_t n = buf.count.load(std::memory_order_relaxed);
+    if (n >= Buffer::kMaxEvents)
+    {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const auto seg = static_cast<std::size_t>(n) / Buffer::kSegmentEvents;
+    const auto off = static_cast<std::size_t>(n) % Buffer::kSegmentEvents;
+    if (off == 0)
+    {
+        // Owner-only growth; the lock exists so snapshotting readers
+        // can copy the segment pointer vector safely.
+        const std::lock_guard<std::mutex> lock(buf.segmentMutex);
+        buf.segments.push_back(std::make_unique<Buffer::Segment>());
+    }
+    (*buf.segments[seg])[off] = std::move(event);
+    buf.count.store(n + 1, std::memory_order_release);
+}
+
+void TraceRecorder::complete(const char *name, const char *cat, std::int64_t startNanos,
+                             std::int64_t durNanos, std::vector<TraceArg> args)
+{
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.phase = 'X';
+    e.ts = startNanos;
+    e.dur = durNanos < 0 ? 0 : durNanos;
+    e.args = std::move(args);
+    append(std::move(e));
+}
+
+void TraceRecorder::instant(const char *name, const char *cat, std::vector<TraceArg> args)
+{
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.phase = 'i';
+    e.ts = nowNanos();
+    e.args = std::move(args);
+    append(std::move(e));
+}
+
+void TraceRecorder::nameThread(const std::string &name)
+{
+    Event e;
+    e.name = "thread_name";
+    e.cat = "__metadata";
+    e.phase = 'M';
+    e.ts = 0;
+    e.args.emplace_back("name", name);
+    append(std::move(e));
+}
+
+std::int64_t TraceRecorder::eventCount() const
+{
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        buffers = buffers_;
+    }
+    std::int64_t total = 0;
+    for (const auto &buf : buffers)
+        total += buf->count.load(std::memory_order_acquire);
+    return total;
+}
+
+std::int64_t TraceRecorder::droppedCount() const
+{
+    return dropped_.load(std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::toJson() const
+{
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        buffers = buffers_;
+    }
+
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"traceEvents\": [";
+    bool first = true;
+    char num[64];
+    for (const auto &buf : buffers)
+    {
+        const std::int64_t published = buf->count.load(std::memory_order_acquire);
+        std::vector<Buffer::Segment *> segments;
+        {
+            const std::lock_guard<std::mutex> lock(buf->segmentMutex);
+            segments.reserve(buf->segments.size());
+            for (const auto &seg : buf->segments)
+                segments.push_back(seg.get());
+        }
+        for (std::int64_t n = 0; n < published; ++n)
+        {
+            const auto seg = static_cast<std::size_t>(n) / Buffer::kSegmentEvents;
+            const auto off = static_cast<std::size_t>(n) % Buffer::kSegmentEvents;
+            if (seg >= segments.size())
+                break;
+            const Event &e = (*segments[seg])[off];
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\n {\"name\": \"";
+            appendJsonEscaped(out, e.name);
+            out += "\", \"cat\": \"";
+            appendJsonEscaped(out, e.cat);
+            out += "\", \"ph\": \"";
+            out += e.phase;
+            out += "\", \"pid\": 1, \"tid\": ";
+            std::snprintf(num, sizeof(num), "%d", buf->tid);
+            out += num;
+            if (e.phase != 'M')
+            {
+                // Chrome trace timestamps are microseconds (double).
+                std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(e.ts) / 1e3);
+                out += ", \"ts\": ";
+                out += num;
+                if (e.phase == 'X')
+                {
+                    std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(e.dur) / 1e3);
+                    out += ", \"dur\": ";
+                    out += num;
+                }
+                if (e.phase == 'i')
+                    out += ", \"s\": \"t\"";
+            }
+            if (!e.args.empty())
+            {
+                out += ", \"args\": {";
+                bool firstArg = true;
+                for (const TraceArg &a : e.args)
+                {
+                    if (!firstArg)
+                        out += ", ";
+                    firstArg = false;
+                    out += "\"";
+                    appendJsonEscaped(out, a.key);
+                    out += "\": ";
+                    switch (a.kind)
+                    {
+                    case TraceArg::Kind::Int:
+                        std::snprintf(num, sizeof(num), "%lld", static_cast<long long>(a.i));
+                        out += num;
+                        break;
+                    case TraceArg::Kind::Float:
+                        std::snprintf(num, sizeof(num), "%.9g", a.f);
+                        out += num;
+                        break;
+                    case TraceArg::Kind::Str:
+                        out += "\"";
+                        appendJsonEscaped(out, a.s.c_str());
+                        out += "\"";
+                        break;
+                    }
+                }
+                out += "}";
+            }
+            out += "}";
+        }
+    }
+    out += "\n], \"displayTimeUnit\": \"ms\"";
+    const std::int64_t dropped = droppedCount();
+    if (dropped > 0)
+    {
+        std::snprintf(num, sizeof(num), "%lld", static_cast<long long>(dropped));
+        out += ", \"chimeraDroppedEvents\": ";
+        out += num;
+    }
+    out += "}\n";
+    return out;
+}
+
+void TraceRecorder::writeJson(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw Error("trace: cannot open '" + path + "' for writing");
+    out << toJson();
+    out.flush();
+    if (!out)
+        throw Error("trace: failed writing '" + path + "'");
+}
+
+namespace
+{
+
+std::atomic<TraceRecorder *> gGlobalRecorder{nullptr};
+std::once_flag gGlobalInitFlag;
+std::string gEnvTracePath; ///< set once under gGlobalInitFlag
+
+void writeEnvTraceAtExit()
+{
+    TraceRecorder *rec = gGlobalRecorder.load(std::memory_order_acquire);
+    if (rec == nullptr || gEnvTracePath.empty())
+        return;
+    try
+    {
+        rec->writeJson(gEnvTracePath);
+    }
+    catch (const std::exception &e)
+    {
+        std::fprintf(stderr, "chimera: %s\n", e.what());
+    }
+}
+
+void initGlobalFromEnv()
+{
+    const char *env = std::getenv("CHIMERA_TRACE");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0)
+        return;
+    // Leaked on purpose: spans may complete during static destruction.
+    gGlobalRecorder.store(new TraceRecorder(), std::memory_order_release);
+    const bool looksLikePath =
+        std::strchr(env, '/') != nullptr ||
+        (std::strlen(env) > 5 && std::strcmp(env + std::strlen(env) - 5, ".json") == 0);
+    if (looksLikePath)
+    {
+        gEnvTracePath = env;
+        std::atexit(writeEnvTraceAtExit);
+    }
+}
+
+} // namespace
+
+TraceRecorder *TraceRecorder::global() noexcept
+{
+    TraceRecorder *rec = gGlobalRecorder.load(std::memory_order_relaxed);
+    if (rec != nullptr)
+        return rec;
+    std::call_once(gGlobalInitFlag, initGlobalFromEnv);
+    return gGlobalRecorder.load(std::memory_order_acquire);
+}
+
+TraceRecorder *TraceRecorder::enableGlobal()
+{
+    // Resolve any pending env decision first so the two paths agree.
+    std::call_once(gGlobalInitFlag, initGlobalFromEnv);
+    TraceRecorder *rec = gGlobalRecorder.load(std::memory_order_acquire);
+    if (rec != nullptr)
+        return rec;
+    auto *created = new TraceRecorder();
+    TraceRecorder *expected = nullptr;
+    if (!gGlobalRecorder.compare_exchange_strong(expected, created, std::memory_order_acq_rel))
+    {
+        delete created;
+        return expected;
+    }
+    return created;
+}
+
+} // namespace chimera::obs

@@ -11,6 +11,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "plan/plan_io.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
@@ -158,6 +160,29 @@ uniqueTempPath(const std::string &entryPath)
  */
 constexpr auto kOrphanTempAge = std::chrono::minutes(10);
 
+/**
+ * Process-wide mirrors of the per-instance PlanCacheStats counters, so
+ * `chimera-serve --metrics-dump` (and any other obs::Registry reader)
+ * sees cache behaviour without holding a PlanCache reference.
+ */
+struct CacheMetrics {
+    obs::Counter &memoryHits =
+        obs::Registry::global().counter("chimera.plan.cache.memory_hits");
+    obs::Counter &diskHits =
+        obs::Registry::global().counter("chimera.plan.cache.disk_hits");
+    obs::Counter &misses =
+        obs::Registry::global().counter("chimera.plan.cache.misses");
+    obs::Counter &stores =
+        obs::Registry::global().counter("chimera.plan.cache.stores");
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics metrics;
+    return metrics;
+}
+
 } // namespace
 
 std::string
@@ -235,11 +260,15 @@ PlanCache::lookup(const ir::Chain &chain, const PlannerOptions &options)
 {
     const WallTimer timer;
     const std::string fingerprint = planFingerprint(chain, options);
+    obs::Span span(obs::trace(), "plan.cache.lookup", "plan");
+    span.arg("fingerprint", fingerprint);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = memory_.find(fingerprint);
         if (it != memory_.end()) {
             memoryHits_.fetch_add(1, std::memory_order_relaxed);
+            cacheMetrics().memoryHits.add();
+            span.arg("outcome", std::string("memory-hit"));
             ExecutionPlan plan = it->second;
             plan.candidatesExamined = 0;
             plan.planSeconds = timer.seconds();
@@ -270,9 +299,13 @@ PlanCache::lookup(const ir::Chain &chain, const PlannerOptions &options)
                     rejectedPlans_.fetch_add(1,
                                              std::memory_order_relaxed);
                     misses_.fetch_add(1, std::memory_order_relaxed);
+                    cacheMetrics().misses.add();
+                    span.arg("outcome", std::string("rejected"));
                     return std::nullopt;
                 }
                 diskHits_.fetch_add(1, std::memory_order_relaxed);
+                cacheMetrics().diskHits.add();
+                span.arg("outcome", std::string("disk-hit"));
                 std::lock_guard<std::mutex> lock(mutex_);
                 memory_[fingerprint] = plan;
                 plan.candidatesExamined = 0;
@@ -289,6 +322,8 @@ PlanCache::lookup(const ir::Chain &chain, const PlannerOptions &options)
         }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    cacheMetrics().misses.add();
+    span.arg("outcome", std::string("miss"));
     return std::nullopt;
 }
 
@@ -297,11 +332,14 @@ PlanCache::store(const ir::Chain &chain, const PlannerOptions &options,
                  const ExecutionPlan &plan)
 {
     const std::string fingerprint = planFingerprint(chain, options);
+    obs::Span span(obs::trace(), "plan.cache.store", "plan");
+    span.arg("fingerprint", fingerprint);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         memory_[fingerprint] = plan;
     }
     stores_.fetch_add(1, std::memory_order_relaxed);
+    cacheMetrics().stores.add();
     if (directory_.empty() ||
         diskDisabled_.load(std::memory_order_relaxed)) {
         return;

@@ -1,10 +1,13 @@
 #include "plan/planner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "analysis/dependence.hpp"
 #include "ir/builders.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "plan/plan_cache.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
@@ -109,6 +112,7 @@ analysis::SafetyAnalysis
 certifyPlan(const Chain &chain, const PlannerOptions &options,
             ExecutionPlan &plan)
 {
+    obs::Span span(obs::trace(), "plan.certify", "plan");
     analysis::ShapeDomain domain = analysis::ShapeDomain::concrete(chain);
     for (const auto &[axis, maxExtent] : options.safetyDomain) {
         domain.widen(chain, axis, maxExtent);
@@ -120,6 +124,8 @@ certifyPlan(const Chain &chain, const PlannerOptions &options,
         chain, plan.perm, plan.tiles, effectiveConcurrency(chain, plan),
         plan.plannedThreads, plan.parallelGrain, domain, so);
     plan.safety = sa.certificate;
+    span.arg("chain", chain.name())
+        .arg("certified", sa.certificate.certified ? 1 : 0);
     return sa;
 }
 
@@ -469,6 +475,7 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
     // Materialize the candidate orders (respecting the cap) so the
     // independent (permutation -> tile solve) steps can be distributed
     // across threads.
+    obs::Span searchSpan(obs::trace(), "plan.search", "plan");
     std::vector<std::vector<AxisId>> candidates;
     for (const std::vector<int> &orderIdx :
          allPermutations(static_cast<int>(reorderable.size()))) {
@@ -530,6 +537,12 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
         std::count(filtered.begin(), filtered.end(), char(1)));
     best.candidatesExamined =
         static_cast<int>(candidates.size()) - filteredCount;
+    searchSpan.arg("chain", chain.name())
+        .arg("solved", best.candidatesExamined)
+        .arg("filtered", filteredCount)
+        .arg("dv_bytes", best.predictedVolumeBytes)
+        .arg("mu_bytes", best.memUsageBytes);
+    searchSpan.end();
     best.concurrency =
         analysis::analyzeConcurrency(chain, best.tiles).kinds();
     applyThreadChunking(chain, best, options, constraints, solverOptions,
@@ -565,14 +578,36 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
 ExecutionPlan
 planChain(const Chain &chain, const PlannerOptions &options)
 {
+    obs::TraceRecorder *tracer = obs::trace();
+    obs::Span span(tracer, "plan.chain", "plan");
+    if (tracer != nullptr) {
+        span.arg("chain", chain.name())
+            .arg("fingerprint", planFingerprint(chain, options));
+    }
+    static obs::Counter &cacheHits =
+        obs::Registry::global().counter("chimera.plan.cache_hits");
+    static obs::Counter &planned =
+        obs::Registry::global().counter("chimera.plan.planned");
+    static obs::Histogram &planSeconds =
+        obs::Registry::global().histogram("chimera.plan.plan_seconds");
     if (options.cache != nullptr) {
         if (std::optional<ExecutionPlan> cached =
                 options.cache->lookup(chain, options)) {
             CHIMERA_DEBUG("plan cache hit for " << chain.name());
+            cacheHits.add();
+            span.arg("source", std::string("cache"))
+                .arg("dv_bytes", cached->predictedVolumeBytes)
+                .arg("mu_bytes", cached->memUsageBytes);
             return *cached;
         }
     }
     const ExecutionPlan best = planChainUncached(chain, options);
+    planned.add();
+    planSeconds.recordSeconds(best.planSeconds);
+    span.arg("source", std::string("planned"))
+        .arg("dv_bytes", best.predictedVolumeBytes)
+        .arg("mu_bytes", best.memUsageBytes)
+        .arg("candidates", best.candidatesExamined);
     if (options.cache != nullptr) {
         options.cache->store(chain, options, best);
     }

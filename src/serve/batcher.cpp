@@ -5,6 +5,7 @@
 #include <map>
 
 #include "exec/gemm_chain_exec.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace chimera::serve {
@@ -93,6 +94,20 @@ failGroup(std::vector<ServeJob> &group, std::size_t first,
     }
 }
 
+/** Comma-joined request ids, the cross-span linkage key of a group. */
+std::string
+requestIdList(const std::vector<ServeJob> &group)
+{
+    std::string out;
+    for (const ServeJob &job : group) {
+        if (!out.empty()) {
+            out += ",";
+        }
+        out += std::to_string(job.request.id);
+    }
+    return out;
+}
+
 } // namespace
 
 GroupResult
@@ -110,6 +125,17 @@ executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
     }
     result.slices = totalBatch;
 
+    // The execute span links back to serve.decode/serve.write through
+    // the request ids and carries the plan's *predicted* DV next to the
+    // measured bytes and duration — every served group doubles as one
+    // model-validation data point.
+    obs::TraceRecorder *const tracer = obs::trace();
+    obs::Span execSpan(tracer, "serve.execute", "serve");
+    if (tracer != nullptr) {
+        execSpan.arg("reqs", requestIdList(group))
+            .arg("slices", totalBatch);
+    }
+
     // Jobs whose complete callback has been (or is being) invoked; a
     // mid-scatter exception must fail only the suffix after this point
     // so no job is ever completed twice.
@@ -119,12 +145,28 @@ executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
             // Lone slice: the canonical plan runs on the request chain
             // itself (batch == 1 omits the b axis entirely).
             ServeJob &job = group.front();
+            obs::Span gateSpan(tracer, "serve.gate", "serve");
+            if (tracer != nullptr) {
+                gateSpan.arg("reqs", requestIdList(group));
+            }
             const plan::ExecutionPlan plan =
                 gate.canonicalPlan(job.request.config);
+            gateSpan.end();
+            if (tracer != nullptr) {
+                execSpan
+                    .arg("predicted_dv_bytes", plan.predictedVolumeBytes)
+                    .arg("mu_bytes", plan.memUsageBytes)
+                    .arg("bytes_in", job.request.a.bytes() +
+                                         job.request.b.bytes() +
+                                         job.request.d.bytes());
+            }
             Tensor e(exec::gemmChainShapeE(job.request.config));
             exec::runFusedGemmChain(job.request.config, plan, engine,
                                     job.request.a, job.request.b,
                                     job.request.d, e, execOptions);
+            if (tracer != nullptr) {
+                execSpan.arg("bytes_out", e.bytes());
+            }
             ExecuteResponse response;
             response.id = job.request.id;
             response.status = Status::Ok;
@@ -144,8 +186,17 @@ executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
             canonicalSlice(group.front().request.config);
         batched.batch = totalBatch;
         batched.name = "serve-batched";
+        obs::Span gateSpan(tracer, "serve.gate", "serve");
+        if (tracer != nullptr) {
+            gateSpan.arg("reqs", requestIdList(group));
+        }
         const plan::ExecutionPlan plan =
             gate.batchedPlan(batched, totalBatch);
+        gateSpan.end();
+        if (tracer != nullptr) {
+            execSpan.arg("predicted_dv_bytes", plan.predictedVolumeBytes)
+                .arg("mu_bytes", plan.memUsageBytes);
+        }
 
         const std::int64_t perA = batched.m * batched.k;
         const std::int64_t perB = batched.k * batched.l;
@@ -170,6 +221,11 @@ executeGroup(std::vector<ServeJob> &group, PlannerGate &gate,
         }
 
         Tensor e(exec::gemmChainShapeE(batched));
+        if (tracer != nullptr) {
+            execSpan.arg("bytes_in",
+                         a.bytes() + b.bytes() + d.bytes())
+                .arg("bytes_out", e.bytes());
+        }
         exec::runFusedGemmChain(batched, plan, engine, a, b, d, e,
                                 execOptions);
 

@@ -2,6 +2,7 @@
 
 #include "exec/constraints.hpp"
 #include "kernels/micro_kernel.hpp"
+#include "obs/trace.hpp"
 #include "support/cpu_features.hpp"
 #include "support/error.hpp"
 
@@ -67,7 +68,7 @@ PlannerGate::once(const std::string &key,
 {
     std::unique_lock<std::mutex> lock(flightMutex_);
     if (const auto it = flights_.find(key); it != flights_.end()) {
-        ++flightsJoined_;
+        flightsJoined_.fetch_add(1, std::memory_order_relaxed);
         const std::shared_ptr<Flight> flight = it->second;
         flightDone_.wait(lock, [&] { return flight->done; });
         if (flight->error) {
@@ -77,7 +78,7 @@ PlannerGate::once(const std::string &key,
     }
     const auto flight = std::make_shared<Flight>();
     flights_[key] = flight;
-    ++flightsLed_;
+    flightsLed_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
 
     try {
@@ -104,9 +105,17 @@ PlannerGate::canonicalPlan(const ir::GemmChainConfig &config)
     const ir::GemmChainConfig slice = canonicalSlice(config);
     const ir::Chain chain = ir::makeGemmChain(slice);
     const plan::PlannerOptions po = plannerOptions(chain);
+    obs::TraceRecorder *const tracer = obs::trace();
+    obs::Span span(tracer, "serve.gate.canonical", "serve");
+    if (tracer != nullptr) {
+        span.arg("fingerprint", plan::planFingerprint(chain, po));
+    }
     // Fast path: fingerprint hits never touch the flight table.
     if (std::optional<plan::ExecutionPlan> hit = cache_.lookup(chain, po)) {
         ensureCertified(chain, po, *hit);
+        span.arg("outcome", std::string("hit"))
+            .arg("dv_bytes", hit->predictedVolumeBytes)
+            .arg("mu_bytes", hit->memUsageBytes);
         return *hit;
     }
     plan::ExecutionPlan plan =
@@ -119,6 +128,9 @@ PlannerGate::canonicalPlan(const ir::GemmChainConfig &config)
             return fresh;
         });
     ensureCertified(chain, po, plan);
+    span.arg("outcome", std::string("planned"))
+        .arg("dv_bytes", plan.predictedVolumeBytes)
+        .arg("mu_bytes", plan.memUsageBytes);
     return plan;
 }
 
@@ -150,8 +162,17 @@ PlannerGate::batchedPlan(const ir::GemmChainConfig &config,
     }
     po.constraints.fixed[ir::axisIdByName(chain, "b")] = 1;
 
+    obs::TraceRecorder *const tracer = obs::trace();
+    obs::Span span(tracer, "serve.gate.batched", "serve");
+    if (tracer != nullptr) {
+        span.arg("fingerprint", plan::planFingerprint(chain, po))
+            .arg("batch", totalBatch);
+    }
     if (std::optional<plan::ExecutionPlan> hit = cache_.lookup(chain, po)) {
         ensureCertified(chain, po, *hit);
+        span.arg("outcome", std::string("hit"))
+            .arg("dv_bytes", hit->predictedVolumeBytes)
+            .arg("mu_bytes", hit->memUsageBytes);
         return *hit;
     }
     plan::ExecutionPlan plan =
@@ -172,6 +193,9 @@ PlannerGate::batchedPlan(const ir::GemmChainConfig &config,
             return derived;
         });
     ensureCertified(chain, po, plan);
+    span.arg("outcome", std::string("planned"))
+        .arg("dv_bytes", plan.predictedVolumeBytes)
+        .arg("mu_bytes", plan.memUsageBytes);
     return plan;
 }
 
@@ -179,11 +203,8 @@ PlannerGateStats
 PlannerGate::stats() const
 {
     PlannerGateStats out;
-    {
-        std::lock_guard<std::mutex> lock(flightMutex_);
-        out.flightsLed = flightsLed_;
-        out.flightsJoined = flightsJoined_;
-    }
+    out.flightsLed = flightsLed_.load(std::memory_order_relaxed);
+    out.flightsJoined = flightsJoined_.load(std::memory_order_relaxed);
     out.derivedPlans = derivedPlans_.load(std::memory_order_relaxed);
     out.certifiedPlans = certifiedPlans_.load(std::memory_order_relaxed);
     out.recertifiedPlans =

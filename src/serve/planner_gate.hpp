@@ -141,8 +141,11 @@ class PlannerGate
     mutable std::mutex flightMutex_;
     std::condition_variable flightDone_;
     std::map<std::string, std::shared_ptr<Flight>> flights_;
-    int flightsLed_ = 0;
-    int flightsJoined_ = 0;
+    /// Atomics, not mutex-guarded ints: stats() snapshots run on the
+    /// stats/metrics path concurrently with planning flights, and must
+    /// never contend with (or race against) the flight table.
+    std::atomic<int> flightsLed_{0};
+    std::atomic<int> flightsJoined_{0};
     std::atomic<int> derivedPlans_{0};
     std::atomic<int> certifiedPlans_{0};
     std::atomic<int> recertifiedPlans_{0};

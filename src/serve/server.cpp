@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -15,6 +16,7 @@
 #endif
 
 #include "exec/gemm_chain_exec.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 
@@ -57,7 +59,10 @@ Server::Server(const ServerOptions &options)
           go.verifyPlans = options.verifyPlans;
           return go;
       }()),
-      engine_(exec::ComputeEngine::best())
+      engine_(exec::ComputeEngine::best()),
+      latencySeconds_(
+          registry_.histogram("chimera.serve.latency_seconds")),
+      batchSlices_(registry_.histogram("chimera.serve.batch_slices"))
 {
 }
 
@@ -176,6 +181,9 @@ Server::acceptLoop()
 void
 Server::readerLoop(const std::shared_ptr<Connection> &conn)
 {
+    if (obs::TraceRecorder *tracer = obs::trace()) {
+        tracer->nameThread("serve.reader." + std::to_string(conn->id));
+    }
     while (true) {
         std::optional<std::string> payload;
         try {
@@ -190,6 +198,7 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
             break; // clean end of stream
         }
         Request request;
+        obs::Span decodeSpan(obs::trace(), "serve.decode", "serve");
         try {
             request = decodeRequest(*payload);
         } catch (const Error &e) {
@@ -202,9 +211,16 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
             MessageType type = MessageType::Execute;
             std::uint64_t id = 0;
             peekRequestHeader(*payload, type, id);
-            enqueueOutgoing(conn, encodeErrorResponse(type, id, e.what()));
+            decodeSpan.arg("req", static_cast<std::int64_t>(id))
+                .arg("error", std::string(e.what()));
+            decodeSpan.end();
+            enqueueOutgoing(conn, encodeErrorResponse(type, id, e.what()),
+                            id);
             continue;
         }
+        decodeSpan.arg("req", static_cast<std::int64_t>(request.id))
+            .arg("bytes", static_cast<std::int64_t>(payload->size()));
+        decodeSpan.end();
         dispatchRequest(conn, std::move(request));
     }
     conn->readerDone.store(true);
@@ -222,10 +238,15 @@ Server::dispatchRequest(const std::shared_ptr<Connection> &conn,
         job.admittedSeconds = nowSeconds();
         conn->inflightJobs.fetch_add(1);
         job.complete = [this, conn](ExecuteResponse &&response) {
+            // Server-side request latency (admission -> completion),
+            // recorded into the HDR histogram behind the `latency-*`
+            // stats lines before the response heads for the writer.
+            latencySeconds_.recordSeconds(response.serverSeconds);
             // Enqueue (pendingWrites++) strictly before inflightJobs--
             // so the reaper never observes both counters at zero while
             // this response is in flight.
-            enqueueOutgoing(conn, encodeExecuteResponse(response));
+            const std::uint64_t id = response.id;
+            enqueueOutgoing(conn, encodeExecuteResponse(response), id);
             conn->inflightJobs.fetch_sub(1);
         };
         {
@@ -237,10 +258,12 @@ Server::dispatchRequest(const std::shared_ptr<Connection> &conn,
     }
     case MessageType::Stats:
         enqueueOutgoing(conn,
-                        encodeStatsResponse(request.id, statsText()));
+                        encodeStatsResponse(request.id, statsText()),
+                        request.id);
         return;
     case MessageType::Shutdown:
-        enqueueOutgoing(conn, encodeShutdownResponse(request.id));
+        enqueueOutgoing(conn, encodeShutdownResponse(request.id),
+                        request.id);
         {
             std::lock_guard<std::mutex> lock(shutdownMutex_);
             shutdownRequested_.store(true);
@@ -253,6 +276,9 @@ Server::dispatchRequest(const std::shared_ptr<Connection> &conn,
 void
 Server::admissionLoop()
 {
+    if (obs::TraceRecorder *tracer = obs::trace()) {
+        tracer->nameThread("serve.admission");
+    }
     std::unique_lock<std::mutex> lock(admissionMutex_);
     while (true) {
         admissionCv_.wait(lock, [&] {
@@ -276,8 +302,33 @@ Server::admissionLoop()
         pending.swap(admissionQueue_);
         lock.unlock();
 
+        obs::TraceRecorder *const tracer = obs::trace();
+        obs::Span batchSpan(tracer, "serve.batch", "serve");
+        const std::int64_t jobsIn =
+            static_cast<std::int64_t>(pending.size());
         std::vector<std::vector<ServeJob>> groups = groupCompatible(
             std::move(pending), options_.batching ? options_.maxBatch : 1);
+        if (tracer != nullptr) {
+            batchSpan.arg("jobs", jobsIn)
+                .arg("groups", static_cast<std::int64_t>(groups.size()));
+            // One instant per formed group carrying its request-id list;
+            // this is the decode -> execute linkage when requests
+            // coalesce (serve.execute repeats the same `reqs` string).
+            for (const std::vector<ServeJob> &group : groups) {
+                std::string reqs;
+                std::int64_t slices = 0;
+                for (const ServeJob &job : group) {
+                    if (!reqs.empty()) {
+                        reqs += ",";
+                    }
+                    reqs += std::to_string(job.request.id);
+                    slices += job.request.config.batch;
+                }
+                tracer->instant("serve.group", "serve",
+                                {{"reqs", reqs}, {"slices", slices}});
+            }
+        }
+        batchSpan.end();
         {
             std::lock_guard<std::mutex> glock(groupMutex_);
             for (auto &group : groups) {
@@ -292,6 +343,9 @@ Server::admissionLoop()
 void
 Server::executorLoop()
 {
+    if (obs::TraceRecorder *tracer = obs::trace()) {
+        tracer->nameThread("serve.executor");
+    }
     exec::ExecOptions execOptions;
     execOptions.threads = std::max(1, options_.execThreads);
     // execOptions.raceCheck stays nullptr in the daemon: the gate's
@@ -313,6 +367,14 @@ Server::executorLoop()
             group = std::move(groupQueue_.front());
             groupQueue_.pop_front();
         }
+        // Record the group size before executing: responses (and any
+        // stats request racing them) land after executeGroup delivers,
+        // so recording afterwards would undercount visibly.
+        std::int64_t slices = 0;
+        for (const ServeJob &job : group) {
+            slices += job.request.config.batch;
+        }
+        batchSlices_.record(slices);
         const GroupResult result =
             executeGroup(group, gate_, engine_, execOptions, now);
         batchesExecuted_.fetch_add(1, std::memory_order_relaxed);
@@ -328,6 +390,9 @@ Server::executorLoop()
 void
 Server::writerLoop()
 {
+    if (obs::TraceRecorder *tracer = obs::trace()) {
+        tracer->nameThread("serve.writer");
+    }
     while (true) {
         Outgoing out;
         {
@@ -342,6 +407,10 @@ Server::writerLoop()
             outgoingQueue_.pop_front();
         }
         {
+            obs::Span writeSpan(obs::trace(), "serve.write", "serve");
+            writeSpan.arg("req", static_cast<std::int64_t>(out.id))
+                .arg("bytes",
+                     static_cast<std::int64_t>(out.payload.size()));
             std::lock_guard<std::mutex> wlock(out.conn->writeMutex);
             if (out.conn->fd >= 0) {
                 try {
@@ -351,6 +420,7 @@ Server::writerLoop()
                 } catch (const Error &) {
                     // Peer vanished mid-write: wake its reader, move on.
                     ::shutdown(out.conn->fd, SHUT_RDWR);
+                    writeSpan.arg("error", std::string("peer-lost"));
                 }
             }
         }
@@ -360,12 +430,12 @@ Server::writerLoop()
 
 void
 Server::enqueueOutgoing(const std::shared_ptr<Connection> &conn,
-                        std::string &&payload)
+                        std::string &&payload, std::uint64_t id)
 {
     conn->pendingWrites.fetch_add(1);
     {
         std::lock_guard<std::mutex> lock(outgoingMutex_);
-        outgoingQueue_.push_back(Outgoing{conn, std::move(payload)});
+        outgoingQueue_.push_back(Outgoing{conn, std::move(payload), id});
     }
     outgoingCv_.notify_one();
 }
@@ -522,7 +592,7 @@ Server::writerLoop()
 }
 void
 Server::enqueueOutgoing(const std::shared_ptr<Connection> &,
-                        std::string &&)
+                        std::string &&, std::uint64_t)
 {
 }
 void
@@ -560,8 +630,11 @@ Server::statsText() const
 {
     const ServerStats s = stats();
     const PlannerGateStats g = gate_.stats();
+    const obs::HistogramSnapshot lat = latencySeconds_.snapshot();
+    const obs::HistogramSnapshot slices = batchSlices_.snapshot();
     std::ostringstream out;
     out << "server: chimera-serve\n"
+        << "stats-version: 2\n"
         << "connections: " << s.connections << "\n"
         << "requests: " << s.requests << "\n"
         << "responses: " << s.responses << "\n"
@@ -580,7 +653,54 @@ Server::statsText() const
         << "plan-cache-stores: " << g.cache.stores << "\n"
         << "plan-cache-disk-disabled: " << (g.cache.diskDisabled ? 1 : 0)
         << "\n";
+    // stats-version 2: server-side latency percentiles (HDR histogram,
+    // seconds) and batch-size distribution (raw slices). Clients parse
+    // by key, so future additions only need a version bump.
+    const auto seconds = [&out](const char *key, double value) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.9f", value);
+        out << key << ": " << buf << "\n";
+    };
+    out << "latency-count: " << lat.count() << "\n";
+    seconds("latency-p50-seconds", lat.percentileSeconds(0.50));
+    seconds("latency-p90-seconds", lat.percentileSeconds(0.90));
+    seconds("latency-p99-seconds", lat.percentileSeconds(0.99));
+    seconds("latency-p999-seconds", lat.percentileSeconds(0.999));
+    seconds("latency-mean-seconds", lat.meanSeconds());
+    seconds("latency-max-seconds", lat.maxSeconds());
+    out << "batch-slices-count: " << slices.count() << "\n"
+        << "batch-slices-p50: " << slices.percentile(0.50) << "\n"
+        << "batch-slices-p99: " << slices.percentile(0.99) << "\n"
+        << "batch-slices-max: " << slices.max() << "\n";
     return out.str();
+}
+
+std::string
+Server::metricsJson() const
+{
+    // Mirror the plain-counter snapshots into gauges so the JSON dump
+    // is self-contained: one document carries the histograms, the
+    // daemon counters, and the process-global planner metrics.
+    const ServerStats s = stats();
+    const PlannerGateStats g = gate_.stats();
+    registry_.gauge("chimera.serve.connections").set(s.connections);
+    registry_.gauge("chimera.serve.requests").set(s.requests);
+    registry_.gauge("chimera.serve.responses").set(s.responses);
+    registry_.gauge("chimera.serve.protocol_errors")
+        .set(s.protocolErrors);
+    registry_.gauge("chimera.serve.batches").set(s.batches);
+    registry_.gauge("chimera.serve.batched_requests")
+        .set(s.batchedRequests);
+    registry_.gauge("chimera.serve.max_batch_observed")
+        .set(s.maxBatchObserved);
+    registry_.gauge("chimera.serve.plans_led").set(g.flightsLed);
+    registry_.gauge("chimera.serve.plans_joined").set(g.flightsJoined);
+    registry_.gauge("chimera.serve.derived_plans").set(g.derivedPlans);
+    registry_.gauge("chimera.serve.certified_plans")
+        .set(g.certifiedPlans);
+    registry_.gauge("chimera.serve.recertified_plans")
+        .set(g.recertifiedPlans);
+    return obs::renderJson({&registry_, &obs::Registry::global()});
 }
 
 CheckResult

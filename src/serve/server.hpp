@@ -50,6 +50,7 @@
 
 #include "exec/compute_engine.hpp"
 #include "exec/exec_options.hpp"
+#include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 #include "serve/planner_gate.hpp"
 #include "serve/protocol.hpp"
@@ -135,9 +136,19 @@ class Server
     /**
      * The stats document served for MessageType::Stats: "key: value"
      * lines covering ServerStats, PlannerGateStats and the plan cache.
-     * Keys are stable (tests and the loadgen parse them).
+     * Keys are stable (tests and the loadgen parse them); additions are
+     * versioned by the `stats-version` line (currently 2, which added
+     * the `latency-*` / `batch-slices-*` histogram exposition).
      */
     std::string statsText() const;
+
+    /**
+     * JSON object over this server's metric registry (request-latency
+     * and batch-size histograms, mirrored counters) merged with the
+     * process-global registry (planner + plan-cache metrics). Written
+     * by `chimera-serve --metrics-dump`.
+     */
+    std::string metricsJson() const;
 
     PlannerGate &gate() { return gate_; }
 
@@ -167,6 +178,7 @@ class Server
     {
         std::shared_ptr<Connection> conn;
         std::string payload;
+        std::uint64_t id = 0; ///< request id (trace span linkage)
     };
 
     void acceptLoop();
@@ -180,7 +192,7 @@ class Server
                          Request &&request);
 
     void enqueueOutgoing(const std::shared_ptr<Connection> &conn,
-                         std::string &&payload);
+                         std::string &&payload, std::uint64_t id);
 
     /** Joins finished, fully-drained readers and closes their sockets
      * (all = true closes unconditionally; used only after the writer
@@ -192,6 +204,14 @@ class Server
     const ServerOptions options_;
     PlannerGate gate_;
     exec::ComputeEngine engine_;
+
+    /// Per-instance registry (several servers can coexist in one test
+    /// process without polluting each other's histograms); merged with
+    /// the global registry by metricsJson(). Mutable because the const
+    /// metricsJson() mirrors the plain-counter snapshots into gauges.
+    mutable obs::Registry registry_;
+    obs::Histogram &latencySeconds_;
+    obs::Histogram &batchSlices_;
 
     int listenFd_ = -1;
     std::thread acceptThread_;

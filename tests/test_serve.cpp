@@ -743,6 +743,139 @@ TEST(ServeDaemon, ColdStampedePlansOnceAcrossConnections)
     server.stop();
 }
 
+TEST(ServeDaemon, StatsTextHammeredUnderTraffic)
+{
+    // The stats path (statsText/stats/metricsJson) runs concurrently
+    // with readers, executors, and planning flights. Every counter it
+    // reads — including the gate's flightsLed/flightsJoined, which
+    // used to be plain ints — must be an atomic, or TSan flags this
+    // test. Hammer the snapshots from several threads while clients
+    // drive real traffic.
+    ServerOptions options;
+    options.socketPath = socketPathFor("statshammer");
+    options.cacheDir = "-";
+    options.executors = 2;
+    Server server(options);
+    server.start();
+
+    std::atomic<bool> stop{false};
+    constexpr int kHammerThreads = 3;
+    std::vector<std::thread> hammers;
+    std::atomic<std::int64_t> snapshots{0};
+    for (int t = 0; t < kHammerThreads; ++t) {
+        hammers.emplace_back([&] {
+            while (!stop.load()) {
+                const std::string text = server.statsText();
+                EXPECT_FALSE(statsValue(text, "stats-version").empty());
+                (void)server.stats();
+                (void)server.metricsJson();
+                snapshots.fetch_add(1);
+            }
+        });
+    }
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 6;
+    std::atomic<int> okResponses{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            const int fd = connectTo(options.socketPath);
+            for (int i = 0; i < kPerClient; ++i) {
+                const auto id = static_cast<std::uint64_t>(
+                    c * kPerClient + i + 1);
+                writeFrame(fd,
+                           encodeExecuteRequest(
+                               makeRequest(id, smallConfig())));
+                if (std::optional<std::string> response = readFrame(fd)) {
+                    if (decodeResponse(*response).status == Status::Ok) {
+                        okResponses.fetch_add(1);
+                    }
+                }
+            }
+            ::close(fd);
+        });
+    }
+    for (std::thread &t : clients) {
+        t.join();
+    }
+    stop.store(true);
+    for (std::thread &t : hammers) {
+        t.join();
+    }
+    EXPECT_EQ(okResponses.load(), kClients * kPerClient);
+    EXPECT_GT(snapshots.load(), 0);
+
+    const std::string text = server.statsText();
+    EXPECT_EQ(statsValue(text, "requests"),
+              std::to_string(kClients * kPerClient));
+    server.stop();
+}
+
+TEST(ServeDaemon, StatsVersionTwoExposesLatencyHistogram)
+{
+    ServerOptions options;
+    options.socketPath = socketPathFor("statsv2");
+    options.cacheDir = "-";
+    Server server(options);
+    server.start();
+
+    const int fd = connectTo(options.socketPath);
+    constexpr int kRequests = 5;
+    for (std::uint64_t i = 1; i <= kRequests; ++i) {
+        writeFrame(fd, encodeExecuteRequest(makeRequest(i, smallConfig())));
+        std::optional<std::string> payload = readFrame(fd);
+        ASSERT_TRUE(payload.has_value());
+        ASSERT_EQ(decodeResponse(*payload).status, Status::Ok);
+    }
+
+    writeFrame(fd, encodeStatsRequest(77));
+    std::optional<std::string> payload = readFrame(fd);
+    ASSERT_TRUE(payload.has_value());
+    const std::string text = decodeResponse(*payload).statsText;
+    ::close(fd);
+    server.stop();
+
+    EXPECT_EQ(statsValue(text, "stats-version"), "2");
+    EXPECT_EQ(statsValue(text, "latency-count"),
+              std::to_string(kRequests));
+    // Every percentile key must be present and ordered: p50 <= p99 <=
+    // max, all positive once requests have completed.
+    const auto seconds = [&](const char *key) {
+        const std::string value = statsValue(text, key);
+        EXPECT_FALSE(value.empty()) << key << " missing from:\n" << text;
+        return std::atof(value.c_str());
+    };
+    const double p50 = seconds("latency-p50-seconds");
+    const double p90 = seconds("latency-p90-seconds");
+    const double p99 = seconds("latency-p99-seconds");
+    const double p999 = seconds("latency-p999-seconds");
+    const double mean = seconds("latency-mean-seconds");
+    const double max = seconds("latency-max-seconds");
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_LE(p999, max * (1.0 + 1.0 / 32.0) + 1e-9);
+    EXPECT_GT(mean, 0.0);
+    EXPECT_LE(mean, max + 1e-9);
+
+    // The batch-size histogram rides along, in raw slices.
+    EXPECT_EQ(statsValue(text, "batch-slices-count"),
+              std::to_string(kRequests));
+    EXPECT_FALSE(statsValue(text, "batch-slices-p50").empty());
+    EXPECT_FALSE(statsValue(text, "batch-slices-max").empty());
+
+    // metricsJson merges the per-server registry with the global one:
+    // the serve histogram and the planner counters share one document.
+    const std::string json = server.metricsJson();
+    EXPECT_NE(json.find("\"chimera.serve.latency_seconds\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"chimera.serve.requests\": 5"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"chimera.plan.planned\""), std::string::npos);
+}
+
 #endif // __unix__
 
 } // namespace

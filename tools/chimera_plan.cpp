@@ -22,6 +22,10 @@
  *   --verify                audit the winning plan with the legality
  *                           verifier (see chimera-check); exit 1 on
  *                           any error finding
+ *   --trace                 record planner spans; write Chrome trace
+ *                           JSON to chimera-plan-trace.json on exit
+ *   --trace-out <file>      like --trace, to <file> (an unwritable
+ *                           path is a usage error: exit 2)
  */
 
 #include <cstdio>
@@ -38,6 +42,7 @@
 #include "codegen/conv_emitter.hpp"
 #include "exec/constraints.hpp"
 #include "model/data_movement.hpp"
+#include "obs/trace.hpp"
 #include "plan/plan_cache.hpp"
 #include "plan/plan_io.hpp"
 #include "plan/planner.hpp"
@@ -62,6 +67,30 @@ struct CliOptions
     std::string cacheDir; // empty = PlanCache::defaultDirectory()
 };
 
+/** Trace output path chosen by --trace/--trace-out ("" = disabled).
+ * File-scope so main() can flush it after any mode branch. */
+std::string gTraceOutPath;
+
+/**
+ * Arms tracing for the rest of the process. The path is probed
+ * immediately — `--trace-out /no/such/dir/t.json` is a usage error
+ * (exit 2) discovered before any planning work, not a crash at exit.
+ */
+void
+armTrace(const std::string &path)
+{
+    std::FILE *probe = std::fopen(path.c_str(), "wb");
+    if (probe == nullptr) {
+        std::fprintf(stderr,
+                     "error: cannot write trace output to %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::fclose(probe);
+    gTraceOutPath = path;
+    obs::TraceRecorder::enableGlobal();
+}
+
 [[noreturn]] void
 usage()
 {
@@ -74,7 +103,7 @@ usage()
         " [options]\n"
         "options: --softmax --relu --capacity <bytes> --threads <N>"
         " --emit-c --emit-plan --cache --no-cache --cache-dir <dir>"
-        " --verify\n");
+        " --verify --trace --trace-out <file>\n");
     std::exit(2);
 }
 
@@ -104,6 +133,10 @@ parseOptions(int argc, char **argv, int firstOption)
             options.cacheDir = argv[++i];
         } else if (arg == "--verify") {
             options.verify = true;
+        } else if (arg == "--trace") {
+            armTrace("chimera-plan-trace.json");
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            armTrace(argv[++i]);
         } else {
             usage();
         }
@@ -315,6 +348,21 @@ main(int argc, char **argv)
     } catch (const chimera::Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
+    }
+    if (!gTraceOutPath.empty()) {
+        try {
+            obs::TraceRecorder *recorder = obs::trace();
+            if (recorder != nullptr) {
+                recorder->writeJson(gTraceOutPath);
+                std::printf("trace: %s (%lld events)\n",
+                            gTraceOutPath.c_str(),
+                            static_cast<long long>(
+                                recorder->eventCount()));
+            }
+        } catch (const chimera::Error &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
     }
     return rc;
 }

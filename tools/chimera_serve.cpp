@@ -18,6 +18,12 @@
  *                           CHIMERA_PLAN_CACHE or ~/.cache/chimera)
  *   --no-cache              memory-only plan cache
  *   --verify                audit plans with the legality verifier
+ *   --trace-out <file>      record spans across the daemon's whole
+ *                           lifecycle and write Chrome trace JSON to
+ *                           <file> at shutdown (unwritable path: exit 2)
+ *   --metrics-dump <file>   write the merged metrics registry (JSON:
+ *                           counters, gauges, latency histograms) to
+ *                           <file> at shutdown
  *
  * `--check` runs the built-in deterministic workload twice through the
  * daemon's own planner gate and batcher — every request alone, then
@@ -40,6 +46,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "support/error.hpp"
 
@@ -53,6 +61,52 @@ void
 onSignal(int)
 {
     gStop.store(true);
+}
+
+/** Probes @p path for writability; a bad path is a usage error (exit
+ * 2) caught at startup, not a crash after hours of serving. */
+void
+probeWritable(const std::string &path, const char *what)
+{
+    std::FILE *probe = std::fopen(path.c_str(), "wb");
+    if (probe == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s to %s\n", what,
+                     path.c_str());
+        std::exit(2);
+    }
+    std::fclose(probe);
+}
+
+/** Writes the trace and/or metrics files requested on the command
+ * line; @p server may be null (--check mode: global registry only). */
+void
+flushObservability(const std::string &traceOut,
+                   const std::string &metricsDump,
+                   const serve::Server *server)
+{
+    if (!traceOut.empty()) {
+        if (obs::TraceRecorder *recorder = obs::trace()) {
+            recorder->writeJson(traceOut);
+            std::fprintf(stderr, "trace written to %s (%lld events)\n",
+                         traceOut.c_str(),
+                         static_cast<long long>(recorder->eventCount()));
+        }
+    }
+    if (!metricsDump.empty()) {
+        const std::string json =
+            server != nullptr ? server->metricsJson()
+                              : obs::Registry::global().renderJson();
+        std::FILE *out = std::fopen(metricsDump.c_str(), "wb");
+        if (out == nullptr) {
+            std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                         metricsDump.c_str());
+            std::exit(2);
+        }
+        std::fwrite(json.data(), 1, json.size(), out);
+        std::fclose(out);
+        std::fprintf(stderr, "metrics written to %s\n",
+                     metricsDump.c_str());
+    }
 }
 
 void
@@ -72,7 +126,10 @@ usage()
         "  --capacity <bytes>     planning budget (default 786432)\n"
         "  --cache-dir <dir>      plan-cache directory\n"
         "  --no-cache             memory-only plan cache\n"
-        "  --verify               audit plans with the verifier\n");
+        "  --verify               audit plans with the verifier\n"
+        "  --trace-out <file>     write Chrome trace JSON at shutdown\n"
+        "  --metrics-dump <file>  write metrics registry JSON at "
+        "shutdown\n");
 }
 
 } // namespace
@@ -82,6 +139,8 @@ main(int argc, char **argv)
 {
     serve::ServerOptions options;
     bool check = false;
+    std::string traceOut;
+    std::string metricsDump;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -115,6 +174,10 @@ main(int argc, char **argv)
             options.cacheDir = "-";
         } else if (arg == "--verify") {
             options.verifyPlans = true;
+        } else if (arg == "--trace-out") {
+            traceOut = value();
+        } else if (arg == "--metrics-dump") {
+            metricsDump = value();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -123,6 +186,14 @@ main(int argc, char **argv)
             usage();
             return 2;
         }
+    }
+
+    if (!traceOut.empty()) {
+        probeWritable(traceOut, "trace output");
+        obs::TraceRecorder::enableGlobal();
+    }
+    if (!metricsDump.empty()) {
+        probeWritable(metricsDump, "metrics dump");
     }
 
     try {
@@ -147,6 +218,7 @@ main(int argc, char **argv)
                 return 1;
             }
             std::printf("check: ok\n");
+            flushObservability(traceOut, metricsDump, nullptr);
             return 0;
         }
 
@@ -164,6 +236,7 @@ main(int argc, char **argv)
         }
         server.stop();
         std::fputs(server.statsText().c_str(), stdout);
+        flushObservability(traceOut, metricsDump, &server);
         return 0;
     } catch (const Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
