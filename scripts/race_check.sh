@@ -11,6 +11,11 @@
 # planner schedule must certify — and over the seeded SB fixtures, each
 # of which must be refuted with its own rule id.
 #
+# Search: runs chimera-check --search (order-search replay, see
+# src/verify/search_verifier.hpp) over the clean shapes — pruned search
+# must replay against exhaustive enumeration without OE findings — and
+# over the tampered-search fixture, which must be refused as PL15.
+#
 # Exit-code contract under test: rule violations exit 1, usage/IO
 # failures exit 2, clean runs exit 0.
 set -euo pipefail
@@ -85,6 +90,30 @@ expect_rule SB03 1 "$CHECK" gemm 1 4300000000 4300000000 64 64 \
 # has no shape-generic disjointness proof.
 expect_rule SB04 1 "$CHECK" gemm 1 64 64 64 64 --static \
     --plan tests/fixtures/sb04_race_parallel_l.plan
+
+echo "== pruned order search must replay exactly =="
+search_clean() {
+    local out
+    out="$("$@" 2>&1)"
+    if ! grep -q "search:" <<<"$out" || grep -q "\[OE0" <<<"$out"; then
+        echo "error: '$*' search replay not clean:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "search replay clean: $*"
+}
+search_clean "$CHECK" gemm 1 64 64 64 64 --search
+search_clean "$CHECK" gemm 1 64 64 64 64 --search --prune symmetry
+search_clean "$CHECK" gemm 4 128 64 64 128 --softmax --search
+search_clean "$CHECK" gemm3 2 64 32 32 48 16 --search
+search_clean "$CHECK" gemm3 1 64 64 64 64 32 --softmax --search # attention
+search_clean "$CHECK" gemm 1 64 64 64 64 --search --prune beam --beam-width 4
+search_clean "$CHECK" conv 1 16 16 16 16 16 3 3 1 1 --search
+
+# pl15: self-consistent counts under a forged digest — the search line
+# was tampered with (or replayed from another plan) and must be refused.
+expect_rule PL15 1 "$CHECK" gemm 1 64 64 64 64 \
+    --plan tests/fixtures/pl15_tampered_search.plan
 
 echo "== usage/IO failures must exit 2, not 1 =="
 probe_status() {

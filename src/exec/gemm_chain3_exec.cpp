@@ -1,6 +1,7 @@
 #include "exec/gemm_chain3_exec.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "exec/chunk_profile.hpp"
@@ -110,6 +111,17 @@ gemmChain3Constraints(const ir::Chain &chain,
     constraints.multipleOf.erase(p);
     constraints.fixed[p] =
         chain.axes()[static_cast<std::size_t>(p)].extent;
+    // Softmax (the fused 4-op attention pattern) normalizes C1 rows
+    // over l, so the executor keeps a full scores row on chip: the
+    // softmax completes on the region before GEMM2 consumes it, with
+    // no deferred division or cross-block row sums.
+    if (chain.intermediateEpilogue() == Epilogue::Softmax) {
+        const ir::AxisId l = ir::axisIdByName(chain, "l");
+        constraints.minTile.erase(l);
+        constraints.multipleOf.erase(l);
+        constraints.fixed[l] =
+            chain.axes()[static_cast<std::size_t>(l)].extent;
+    }
     return constraints;
 }
 
@@ -137,6 +149,9 @@ runFusedGemmChain3(const GemmChain3Config &config,
     const std::int64_t tl = tileOf(chain, plan, "l", config.l);
     CHIMERA_CHECK(tileOf(chain, plan, "p", config.p) == config.p,
                   "the fused 3-chain executor requires T_P = P");
+    CHIMERA_CHECK(config.epilogue != Epilogue::Softmax || tl == config.l,
+                  "the fused attention chain requires T_L = L (full"
+                  " scores row on chip for the softmax)");
 
     const std::int64_t M = config.m, N = config.n, K = config.k,
                        L = config.l, P = config.p;
@@ -234,6 +249,25 @@ runFusedGemmChain3(const GemmChain3Config &config,
                 for (std::int64_t i = 0; i < bb * mm * ll; ++i) {
                     c1Tile[i] = std::max(c1Tile[i], 0.0f);
                 }
+            } else if (config.epilogue == Epilogue::Softmax) {
+                // T_L = L (checked above): the whole scores row is on
+                // chip, so the softmax completes here — exp, row sum
+                // and division — before GEMM2 consumes the region.
+                for (std::int64_t bi = 0; bi < bb; ++bi) {
+                    for (std::int64_t r = 0; r < mm; ++r) {
+                        float *row = c1Tile + (bi * mm + r) * ll;
+                        float sum = 0.0f;
+                        for (std::int64_t j = 0; j < ll; ++j) {
+                            row[j] = std::exp(config.softmaxScale *
+                                              row[j]);
+                            sum += row[j];
+                        }
+                        const float inv = 1.0f / sum;
+                        for (std::int64_t j = 0; j < ll; ++j) {
+                            row[j] *= inv;
+                        }
+                    }
+                }
             }
             for (std::int64_t bi = 0; bi < bb; ++bi) {
                 engine.matmul(c1Tile + bi * mm * ll, ll,
@@ -305,6 +339,12 @@ runUnfusedGemmChain3(const GemmChain3Config &config,
     runTiledBatchGemm(engine, a, b, scratchC1, tiles, scratchOptions);
     if (config.epilogue == Epilogue::Relu) {
         ref::reluInPlace(scratchC1);
+    } else if (config.epilogue == Epilogue::Softmax) {
+        float *p = scratchC1.data();
+        for (std::int64_t i = 0; i < scratchC1.numel(); ++i) {
+            p[i] *= config.softmaxScale;
+        }
+        ref::softmaxLastDim(scratchC1);
     }
     runTiledBatchGemm(engine, scratchC1, d, scratchC2, tiles,
                       scratchOptions);
@@ -328,6 +368,12 @@ referenceGemmChain3(const GemmChain3Config &config, const Tensor &a,
     mm(a, b, c1);
     if (config.epilogue == Epilogue::Relu) {
         ref::reluInPlace(c1);
+    } else if (config.epilogue == Epilogue::Softmax) {
+        float *p = c1.data();
+        for (std::int64_t i = 0; i < c1.numel(); ++i) {
+            p[i] *= config.softmaxScale;
+        }
+        ref::softmaxLastDim(c1);
     }
     mm(c1, d, c2);
     mm(c2, f, e);

@@ -11,6 +11,13 @@
  * region: for each l block, GEMM1 accumulates C1 over k, the epilogue
  * applies, and GEMM2 folds C1 into the C2 panel; after the l loop,
  * GEMM3 streams F and writes E.
+ *
+ * With the softmax epilogue the chain is the fused 4-op attention
+ * pattern QK^T -> softmax -> .V -> proj. Softmax normalizes a full
+ * score row, so the constraints additionally pin T_L = L: the single l
+ * iteration materializes the whole row on chip, the softmax completes
+ * (scale, exp, divide by the row sum) before GEMM2 consumes it, and no
+ * cross-block rescaling is ever needed.
  */
 
 #include "exec/compute_engine.hpp"

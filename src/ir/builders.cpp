@@ -246,8 +246,6 @@ makeGemmChain3(const GemmChain3Config &config)
     CHIMERA_CHECK(config.batch >= 1 && config.m >= 1 && config.n >= 1 &&
                       config.k >= 1 && config.l >= 1 && config.p >= 1,
                   "GEMM chain-3 extents must be positive");
-    CHIMERA_CHECK(config.epilogue != Epilogue::Softmax,
-                  "softmax epilogue is not supported on 3-chains");
     Chain chain(config.name);
 
     const bool hasBatch = config.batch > 1;

@@ -106,7 +106,17 @@ struct GemmChain3Config
     std::int64_t k = 0;
     std::int64_t l = 0;
     std::int64_t p = 0;
-    Epilogue epilogue = Epilogue::None; ///< applied to C1 (Relu only)
+
+    /**
+     * Applied to C1. Softmax turns the chain into the fused 4-op
+     * attention pattern QK^T -> softmax -> .V -> proj (gemm1 scores,
+     * row softmax over l, gemm2 value mix, gemm3 projection).
+     */
+    Epilogue epilogue = Epilogue::None;
+
+    /** Pre-exp scaling for softmax (attention's 1/sqrt(d_k)). */
+    float softmaxScale = 1.0f;
+
     std::string name = "gemm_chain3";
 };
 

@@ -82,6 +82,20 @@ serializePlan(const ir::Chain &chain, const ExecutionPlan &plan,
             << " rules=" << plan.safety.rules
             << " digest=" << plan.safety.digest << "\n";
     }
+    // Fixed-order and hand-assembled plans carried out no search, so
+    // they stay byte-identical to the pre-search format.
+    if (plan.search.present) {
+        out << "search: mode=" << analysis::pruneModeName(plan.search.mode)
+            << " enumerated=" << plan.search.enumerated
+            << " truncated=" << (plan.search.truncated ? 1 : 0)
+            << " filtered=" << plan.search.filtered
+            << " symmetry=" << plan.search.symmetryPruned
+            << " dominance=" << plan.search.dominancePruned
+            << " beam=" << plan.search.beamPruned
+            << " solved=" << plan.search.solved
+            << " gap=" << plan.search.gapBoundBytes
+            << " digest=" << plan.search.digest << "\n";
+    }
     out << "volume-bytes: " << static_cast<std::int64_t>(
                                    plan.predictedVolumeBytes)
         << "\n";
@@ -288,6 +302,37 @@ parsePlanDocument(const std::string &text)
                 doc.safety.emplace_back(field, token.substr(eq + 1));
             }
             doc.haveSafety = true;
+        } else if (key == "search") {
+            std::set<std::string> seenFields;
+            std::size_t tokenStart = 0;
+            while (tokenStart < value.size()) {
+                tokenStart = value.find_first_not_of(" \t", tokenStart);
+                if (tokenStart == std::string::npos) {
+                    break;
+                }
+                std::size_t tokenEnd =
+                    value.find_first_of(" \t", tokenStart);
+                if (tokenEnd == std::string::npos) {
+                    tokenEnd = value.size();
+                }
+                const std::string token =
+                    value.substr(tokenStart, tokenEnd - tokenStart);
+                tokenStart = tokenEnd;
+                const std::size_t eq = token.find('=');
+                if (eq == std::string::npos || eq == 0 ||
+                    eq + 1 >= token.size()) {
+                    throw Error(context + ": malformed search token \"" +
+                                token + "\"");
+                }
+                const std::string field = token.substr(0, eq);
+                if (!seenFields.insert(field).second) {
+                    throw Error(context +
+                                ": duplicate search field \"" + field +
+                                "\"");
+                }
+                doc.search.emplace_back(field, token.substr(eq + 1));
+            }
+            doc.haveSearch = true;
         } else if (key == "volume-bytes") {
             doc.declaredVolumeBytes = parseDoubleStrict(value, context);
             doc.haveVolume = true;
@@ -403,6 +448,79 @@ bindSafety(const ir::Chain &chain,
     return cert;
 }
 
+analysis::SearchStats
+bindSearch(const std::vector<std::pair<std::string, std::string>> &entries)
+{
+    analysis::SearchStats stats;
+    std::set<std::string> bound;
+    const auto counter = [&](const std::string &field,
+                             const std::string &value) {
+        const std::int64_t n = parseInt64Strict(
+            value, "plan search field \"" + field + "\"");
+        if (n < 0) {
+            throw Error("plan search field \"" + field +
+                        "\" must be >= 0, got " + std::to_string(n));
+        }
+        return n;
+    };
+    for (const auto &[field, value] : entries) {
+        if (!bound.insert(field).second) {
+            throw Error("plan search line repeats field \"" + field +
+                        "\"");
+        }
+        if (field == "mode") {
+            const std::optional<analysis::PruneMode> mode =
+                analysis::parsePruneMode(value);
+            if (!mode) {
+                throw Error("plan search line has unknown mode \"" +
+                            value + "\"");
+            }
+            stats.mode = *mode;
+        } else if (field == "enumerated") {
+            stats.enumerated = counter(field, value);
+        } else if (field == "truncated") {
+            if (value != "0" && value != "1") {
+                throw Error("plan search truncated must be 0 or 1, got \"" +
+                            value + "\"");
+            }
+            stats.truncated = value == "1";
+        } else if (field == "filtered") {
+            stats.filtered = counter(field, value);
+        } else if (field == "symmetry") {
+            stats.symmetryPruned = counter(field, value);
+        } else if (field == "dominance") {
+            stats.dominancePruned = counter(field, value);
+        } else if (field == "beam") {
+            stats.beamPruned = counter(field, value);
+        } else if (field == "solved") {
+            stats.solved = counter(field, value);
+        } else if (field == "gap") {
+            stats.gapBoundBytes = counter(field, value);
+        } else if (field == "digest") {
+            stats.digest = value;
+        } else {
+            throw Error("plan search line has unknown field \"" + field +
+                        "\"");
+        }
+    }
+    for (const char *required :
+         {"mode", "enumerated", "truncated", "filtered", "symmetry",
+          "dominance", "beam", "solved", "gap", "digest"}) {
+        if (bound.count(required) == 0) {
+            throw Error(std::string("plan search line is missing ") +
+                        required + "=");
+        }
+    }
+    if (stats.digest.size() != 16 ||
+        stats.digest.find_first_not_of("0123456789abcdef") !=
+            std::string::npos) {
+        throw Error("plan search digest \"" + stats.digest +
+                    "\" is not 16 lowercase hex digits");
+    }
+    stats.present = true;
+    return stats;
+}
+
 ExecutionPlan
 deserializePlan(const ir::Chain &chain, const std::string &text,
                 const std::string &expectedFingerprint)
@@ -455,6 +573,9 @@ deserializePlan(const ir::Chain &chain, const std::string &text,
 
     if (doc.haveSafety) {
         plan.safety = bindSafety(chain, doc.safety);
+    }
+    if (doc.haveSearch) {
+        plan.search = bindSearch(doc.search);
     }
 
     // Recompute the predictions so a stale document cannot lie.

@@ -16,6 +16,8 @@
  *     threads: 8
  *     grain: m=2
  *     safety: domain=concrete rules=sb01,sb02,sb03,sb04 digest=9ab1..
+ *     search: mode=dominance enumerated=24 truncated=0 filtered=10
+ *             symmetry=8 dominance=2 beam=0 solved=4 gap=0 digest=77c2..
  *     volume-bytes: 6291456
  *     mem-bytes: 393216
  *
@@ -46,6 +48,18 @@
  * malformed lines are rejected by the deserializer, while rule PL14
  * re-derives the digest and re-runs the analyzer so a certificate can
  * neither be forged nor replayed onto a different schedule.
+ *
+ * The search line (one physical line; wrapped above for width)
+ * discloses where the planner's candidate orders went (enumerated /
+ * filtered / symmetry-pruned / dominance-pruned / beam-pruned /
+ * solved), whether maxPermutations truncated the enumeration, the
+ * pruning mode, beam mode's certified optimality-gap bound, and a
+ * digest binding all of it to the chain and schedule (see
+ * analysis/order_equivalence.hpp). It is emitted only for planned
+ * plans (fixed-order and hand-assembled plans have no search) and
+ * policed on load: malformed lines are rejected by the deserializer,
+ * while rule PL15 checks the counts' consistency and re-derives the
+ * digest so the claims can neither be forged nor replayed.
  *
  * The fingerprint line is optional in hand-written documents and
  * mandatory for plan-cache entries: it hashes the chain structure plus
@@ -118,6 +132,15 @@ struct ParsedPlanDoc
      */
     std::vector<std::pair<std::string, std::string>> safety;
 
+    /**
+     * (key, value) pairs from the "search:" line, in order (expected
+     * keys: mode, enumerated, truncated, filtered, symmetry, dominance,
+     * beam, solved, gap, digest). Token grammar is enforced at parse
+     * time; semantic binding is bindSearch's job so the verifier can
+     * report PL15 instead of throwing.
+     */
+    std::vector<std::pair<std::string, std::string>> search;
+
     double declaredVolumeBytes = 0.0;
     std::int64_t declaredMemBytes = 0;
 
@@ -127,6 +150,7 @@ struct ParsedPlanDoc
     bool haveThreads = false;
     bool haveGrain = false;
     bool haveSafety = false;
+    bool haveSearch = false;
     bool haveVolume = false;
     bool haveMem = false;
 };
@@ -164,6 +188,19 @@ std::vector<analysis::AxisConcurrency> bindConcurrency(
  */
 analysis::SafetyCertificate bindSafety(
     const ir::Chain &chain,
+    const std::vector<std::pair<std::string, std::string>> &entries);
+
+/**
+ * Binds a parsed "search:" declaration: requires exactly the
+ * mode/enumerated/truncated/filtered/symmetry/dominance/beam/solved/
+ * gap/digest keys (each once), a known mode name, truncated in {0, 1},
+ * non-negative counts, and a 16-hex digest. Throws chimera::Error
+ * naming the defect; deserializePlan lets it propagate (cache entries
+ * replan) and the verifier reports rule PL15 instead. Whether the
+ * counts are *consistent* and the digest matches the bound schedule is
+ * verify::verifySearchStats's job.
+ */
+analysis::SearchStats bindSearch(
     const std::vector<std::pair<std::string, std::string>> &entries);
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <unordered_set>
 
 #include "analysis/dependence.hpp"
 #include "ir/builders.hpp"
@@ -437,8 +438,7 @@ ExecutionPlan
 planChainUncached(const Chain &chain, const PlannerOptions &options)
 {
     WallTimer timer;
-    const std::vector<AxisId> reorderable = chain.reorderableAxes();
-    CHIMERA_CHECK(reorderable.size() <= 8,
+    CHIMERA_CHECK(chain.reorderableAxes().size() <= 8,
                   "too many reorderable axes to enumerate");
 
     solver::TileSolverOptions solverOptions;
@@ -446,21 +446,8 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
     solverOptions.maxSweeps = options.solverSweeps;
     solverOptions.model = options.model;
 
-    // Pinned kernel axes execute untiled inside the micro/im2col step.
-    solver::TileConstraints constraints = options.constraints;
-    for (AxisId pinned : chain.pinnedAxes()) {
-        constraints.fixed.emplace(
-            pinned, chain.axes()[static_cast<std::size_t>(pinned)].extent);
-    }
-    // Break inter-intermediate ordering cycles (panel residency): with
-    // these axes blocked, no order at all would be executable.
-    if (options.onlyExecutableOrders) {
-        for (const auto &[axis, tile] : executabilityPins(chain).fixed) {
-            constraints.minTile.erase(axis);
-            constraints.multipleOf.erase(axis);
-            constraints.fixed[axis] = tile;
-        }
-    }
+    const solver::TileConstraints constraints =
+        searchConstraints(chain, options);
 
     // Axes fixed to their full extent (e.g. a middle-GEMM free dimension
     // held as a full panel) have one block and relax the executability
@@ -476,50 +463,37 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
     // independent (permutation -> tile solve) steps can be distributed
     // across threads.
     obs::Span searchSpan(obs::trace(), "plan.search", "plan");
-    std::vector<std::vector<AxisId>> candidates;
-    for (const std::vector<int> &orderIdx :
-         allPermutations(static_cast<int>(reorderable.size()))) {
-        if (static_cast<int>(candidates.size()) >=
-            options.maxPermutations) {
-            CHIMERA_WARN("permutation cap reached for chain "
-                         << chain.name());
-            break;
-        }
-        candidates.push_back(
-            fullPermutation(chain, reorderable, orderIdx));
-    }
+    bool truncated = false;
+    const std::vector<std::vector<AxisId>> candidates =
+        enumerateCandidateOrders(chain, options, &truncated);
 
-    std::vector<solver::TileSolution> outcomes(candidates.size());
-    std::vector<char> filtered(candidates.size(), 0);
-    parallelFor(poolForThreads(options.threads), 0,
-                static_cast<std::int64_t>(candidates.size()),
-                [&](std::int64_t i, int) {
-                    const std::vector<AxisId> &perm =
-                        candidates[static_cast<std::size_t>(i)];
-                    if (options.onlyExecutableOrders &&
-                        !model::isExecutableOrder(chain, perm,
-                                                  filterTiles)) {
-                        // default-constructed outcome: infeasible
-                        filtered[static_cast<std::size_t>(i)] = 1;
-                        return;
-                    }
-                    outcomes[static_cast<std::size_t>(i)] =
-                        solver::solveTiles(chain, perm, constraints,
-                                           solverOptions);
-                });
+    analysis::SearchStats stats;
+    stats.present = true;
+    stats.mode = options.prune;
+    stats.enumerated = static_cast<std::int64_t>(candidates.size());
+    stats.truncated = truncated;
 
-    // Deterministic argmin: reduce in enumeration order with the exact
-    // serial better-than predicate, so ties (and the +-0.5 volume
-    // slack) resolve to the same permutation at every thread count.
+    analysis::OrderAnalyzer analyzer(chain, constraints,
+                                     solverOptions.memCapacityBytes,
+                                     options.model);
+
+    // Deterministic argmin: candidates are always reduced in
+    // enumeration order with the exact serial better-than predicate,
+    // so ties (and the +-0.5 volume slack) resolve to the same
+    // permutation at every thread count. Volumes are exact integers in
+    // doubles, so the predicate is a true lexicographic
+    // (volume, memUsage, enumeration index) order — which is also what
+    // makes symmetry and dominance pruning exact (DESIGN.md).
     ExecutionPlan best;
     bool haveBest = false;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        const solver::TileSolution &sol = outcomes[i];
+    const auto consider = [&](std::size_t i,
+                              const solver::TileSolution &sol) {
         if (!sol.feasible) {
-            continue;
+            return;
         }
         const bool better =
-            !haveBest || sol.volumeBytes < best.predictedVolumeBytes - 0.5 ||
+            !haveBest ||
+            sol.volumeBytes < best.predictedVolumeBytes - 0.5 ||
             (sol.volumeBytes < best.predictedVolumeBytes + 0.5 &&
              sol.memUsageBytes < best.memUsageBytes);
         if (better) {
@@ -529,17 +503,140 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
             best.memUsageBytes = sol.memUsageBytes;
             haveBest = true;
         }
+    };
+    ThreadPool *pool = poolForThreads(options.threads);
+    const auto solveBatch = [&](const std::vector<std::size_t> &batch) {
+        std::vector<solver::TileSolution> outcomes(batch.size());
+        parallelFor(pool, 0, static_cast<std::int64_t>(batch.size()),
+                    [&](std::int64_t j, int) {
+                        outcomes[static_cast<std::size_t>(j)] =
+                            solver::solveTiles(
+                                chain,
+                                candidates[batch[static_cast<
+                                    std::size_t>(j)]],
+                                constraints, solverOptions);
+                    });
+        stats.solved += static_cast<std::int64_t>(batch.size());
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+            consider(batch[j], outcomes[j]);
+        }
+    };
+
+    std::unordered_set<std::string> seenKeys;
+    const bool useSymmetry = options.prune != analysis::PruneMode::None;
+    // Serial pre-pass per candidate: symmetry-class membership, then
+    // the executability filter, then (dominance only) the lower bound
+    // against the best volume achieved so far.
+    const auto survives = [&](std::size_t i, bool useDominance) {
+        const std::vector<AxisId> &perm = candidates[i];
+        if (useSymmetry &&
+            !seenKeys.insert(analyzer.symmetryKey(perm)).second) {
+            ++stats.symmetryPruned;
+            return false;
+        }
+        if (options.onlyExecutableOrders &&
+            !model::isExecutableOrder(chain, perm, filterTiles)) {
+            ++stats.filtered;
+            return false;
+        }
+        if (useDominance && haveBest &&
+            analyzer.lowerBoundIncremental(perm) >
+                best.predictedVolumeBytes + 0.5) {
+            ++stats.dominancePruned;
+            return false;
+        }
+        return true;
+    };
+
+    if (options.prune == analysis::PruneMode::Beam) {
+        // One serial pass collects the survivors and their bounds,
+        // then only the beamWidth best-bound orders are solved. The
+        // minimum bound over the unsolved tail certifies the
+        // optimality gap.
+        std::vector<std::size_t> survivors;
+        std::vector<double> bounds;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (!survives(i, /*useDominance=*/false)) {
+                continue;
+            }
+            survivors.push_back(i);
+            bounds.push_back(
+                analyzer.lowerBoundIncremental(candidates[i]));
+        }
+        std::vector<std::size_t> ranked(survivors.size());
+        for (std::size_t k = 0; k < ranked.size(); ++k) {
+            ranked[k] = k;
+        }
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return bounds[a] < bounds[b];
+                         });
+        const std::size_t width = std::min(
+            ranked.size(),
+            static_cast<std::size_t>(std::max(1, options.beamWidth)));
+        std::vector<std::size_t> chosen;
+        for (std::size_t k = 0; k < width; ++k) {
+            chosen.push_back(survivors[ranked[k]]);
+        }
+        std::sort(chosen.begin(), chosen.end());
+        solveBatch(chosen);
+        std::size_t solvedUpTo = width;
+        if (!haveBest && width < ranked.size()) {
+            // The beam held only infeasible orders: widen to the full
+            // survivor set rather than failing a plannable chain.
+            std::vector<std::size_t> rest;
+            for (std::size_t k = width; k < ranked.size(); ++k) {
+                rest.push_back(survivors[ranked[k]]);
+            }
+            std::sort(rest.begin(), rest.end());
+            solveBatch(rest);
+            solvedUpTo = ranked.size();
+        }
+        stats.beamPruned =
+            static_cast<std::int64_t>(ranked.size() - solvedUpTo);
+        if (haveBest && solvedUpTo < ranked.size()) {
+            double minUnsolved = bounds[ranked[solvedUpTo]];
+            for (std::size_t k = solvedUpTo; k < ranked.size(); ++k) {
+                minUnsolved = std::min(minUnsolved, bounds[ranked[k]]);
+            }
+            stats.gapBoundBytes =
+                static_cast<std::int64_t>(std::max(
+                    0.0, best.predictedVolumeBytes - minUnsolved));
+        }
+    } else {
+        // Fixed-size batches, independent of the thread count: the
+        // pre-pass of batch B sees exactly the solutions of batches
+        // < B, so every pruning decision (and every count) is
+        // identical at 1, 2 or 8 search threads.
+        constexpr std::size_t kBatch = 64;
+        const bool useDominance =
+            options.prune == analysis::PruneMode::Dominance;
+        std::vector<std::size_t> batch;
+        for (std::size_t lo = 0; lo < candidates.size(); lo += kBatch) {
+            const std::size_t hi =
+                std::min(candidates.size(), lo + kBatch);
+            batch.clear();
+            for (std::size_t i = lo; i < hi; ++i) {
+                if (survives(i, useDominance)) {
+                    batch.push_back(i);
+                }
+            }
+            solveBatch(batch);
+        }
     }
     CHIMERA_CHECK(haveBest,
                   "no feasible schedule for chain " + chain.name() +
                       " under the given memory capacity");
-    const int filteredCount = static_cast<int>(
-        std::count(filtered.begin(), filtered.end(), char(1)));
-    best.candidatesExamined =
-        static_cast<int>(candidates.size()) - filteredCount;
+    best.candidatesExamined = static_cast<int>(stats.solved);
     searchSpan.arg("chain", chain.name())
-        .arg("solved", best.candidatesExamined)
-        .arg("filtered", filteredCount)
+        .arg("solved", static_cast<int>(stats.solved))
+        .arg("filtered", static_cast<int>(stats.filtered))
+        .arg("symmetry_pruned", static_cast<int>(stats.symmetryPruned))
+        .arg("dominance_pruned",
+             static_cast<int>(stats.dominancePruned))
+        .arg("beam_pruned", static_cast<int>(stats.beamPruned))
+        .arg("enumerated", static_cast<int>(stats.enumerated))
+        .arg("truncated", stats.truncated ? 1 : 0)
         .arg("dv_bytes", best.predictedVolumeBytes)
         .arg("mu_bytes", best.memUsageBytes);
     searchSpan.end();
@@ -559,13 +656,24 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
                           << sa.renderViolations());
         }
     }
+    // The digest binds the *final* schedule (after chunking refinement
+    // may have re-solved the tiles), so PL15 can tie the search claims
+    // to exactly the plan that is served.
+    best.search = stats;
+    best.search.digest =
+        analysis::searchDigest(chain, best.perm, best.tiles, best.search);
     best.planSeconds = timer.seconds();
-    CHIMERA_DEBUG("planned " << chain.name() << ": order "
-                             << orderString(chain, best.perm) << " volume "
-                             << best.predictedVolumeBytes << "B ("
-                             << best.candidatesExamined << " solved, "
-                             << filteredCount
-                             << " filtered as non-executable)");
+    CHIMERA_DEBUG("planned "
+                  << chain.name() << ": order "
+                  << orderString(chain, best.perm) << " volume "
+                  << best.predictedVolumeBytes << "B (" << stats.solved
+                  << " solved, " << stats.filtered
+                  << " filtered as non-executable, "
+                  << stats.symmetryPruned << " symmetry-pruned, "
+                  << stats.dominancePruned << " dominance-pruned, "
+                  << stats.beamPruned << " beam-pruned of "
+                  << stats.enumerated << " enumerated"
+                  << (stats.truncated ? ", truncated" : "") << ")");
     if (options.verify) {
         selfCheck(chain, best, options, options.onlyExecutableOrders,
                   "planner");
@@ -574,6 +682,55 @@ planChainUncached(const Chain &chain, const PlannerOptions &options)
 }
 
 } // namespace
+
+std::vector<std::vector<AxisId>>
+enumerateCandidateOrders(const Chain &chain, const PlannerOptions &options,
+                         bool *truncated)
+{
+    const std::vector<AxisId> reorderable = chain.reorderableAxes();
+    std::vector<std::vector<AxisId>> candidates;
+    bool capped = false;
+    for (const std::vector<int> &orderIdx :
+         allPermutations(static_cast<int>(reorderable.size()))) {
+        if (static_cast<int>(candidates.size()) >=
+            options.maxPermutations) {
+            // No longer silent: the searchTruncated flag travels with
+            // the plan (and its `search:` document line), so cached
+            // consumers can see the search was not exhaustive.
+            CHIMERA_WARN("permutation cap reached for chain "
+                         << chain.name());
+            capped = true;
+            break;
+        }
+        candidates.push_back(
+            fullPermutation(chain, reorderable, orderIdx));
+    }
+    if (truncated != nullptr) {
+        *truncated = capped;
+    }
+    return candidates;
+}
+
+solver::TileConstraints
+searchConstraints(const Chain &chain, const PlannerOptions &options)
+{
+    // Pinned kernel axes execute untiled inside the micro/im2col step.
+    solver::TileConstraints constraints = options.constraints;
+    for (AxisId pinned : chain.pinnedAxes()) {
+        constraints.fixed.emplace(
+            pinned, chain.axes()[static_cast<std::size_t>(pinned)].extent);
+    }
+    // Break inter-intermediate ordering cycles (panel residency): with
+    // these axes blocked, no order at all would be executable.
+    if (options.onlyExecutableOrders) {
+        for (const auto &[axis, tile] : executabilityPins(chain).fixed) {
+            constraints.minTile.erase(axis);
+            constraints.multipleOf.erase(axis);
+            constraints.fixed[axis] = tile;
+        }
+    }
+    return constraints;
+}
 
 ExecutionPlan
 planChain(const Chain &chain, const PlannerOptions &options)

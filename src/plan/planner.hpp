@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/dependence.hpp"
+#include "analysis/order_equivalence.hpp"
 #include "analysis/static_safety.hpp"
 #include "ir/chain.hpp"
 #include "model/multilevel.hpp"
@@ -74,6 +75,16 @@ struct ExecutionPlan
      */
     analysis::SafetyCertificate safety;
 
+    /**
+     * Where the order search's candidates went (enumerated / filtered /
+     * symmetry-pruned / dominance-pruned / beam-pruned / solved),
+     * whether maxPermutations truncated the enumeration, and beam
+     * mode's certified optimality-gap bound. Serialized as the v2
+     * `search:` document line and policed by PL15; absent
+     * (present == false) on fixed-order and hand-assembled plans.
+     */
+    analysis::SearchStats search;
+
     /** Algorithm-1 volume prediction for this plan, bytes. */
     double predictedVolumeBytes = 0.0;
 
@@ -114,6 +125,23 @@ struct PlannerOptions
      * intermediate regions are considered (see model::isExecutableOrder).
      */
     bool onlyExecutableOrders = true;
+
+    /**
+     * Search pruning (analysis/order_equivalence.hpp). None, Symmetry
+     * and Dominance are *exact* — the chosen plan is bitwise identical
+     * to exhaustive enumeration, so they are excluded from the cache
+     * key (fingerprints minted under any of them are interchangeable).
+     * Beam is inexact: it solves only the beamWidth best-lower-bound
+     * orders, records a certified optimality-gap bound in the plan's
+     * search stats, and enters the fingerprint/cache key.
+     */
+    analysis::PruneMode prune = analysis::PruneMode::Dominance;
+
+    /**
+     * Orders the tile solver actually evaluates under PruneMode::Beam
+     * (after exact symmetry merging). Ignored by the other modes.
+     */
+    int beamWidth = 8;
 
     /**
      * Threads for the (permutation -> tile solve) candidate loop:
@@ -239,6 +267,29 @@ effectiveConcurrency(const ir::Chain &chain, const ExecutionPlan &plan);
 analysis::SafetyAnalysis certifyPlan(const ir::Chain &chain,
                                      const PlannerOptions &options,
                                      ExecutionPlan &plan);
+
+/**
+ * The candidate block orders planChain enumerates for @p chain under
+ * @p options: every permutation of the reorderable axes (the
+ * maxPermutations cap applied) with the pinned axes appended
+ * innermost. @p truncated (optional) reports whether the cap cut the
+ * enumeration short. Exported so the search verifier can replay the
+ * exact search space (OE01-OE04).
+ */
+std::vector<std::vector<ir::AxisId>>
+enumerateCandidateOrders(const ir::Chain &chain,
+                         const PlannerOptions &options,
+                         bool *truncated = nullptr);
+
+/**
+ * The tile constraints the order search actually solves under:
+ * options.constraints plus the pinned-axis fixes and (when
+ * onlyExecutableOrders) the executability pins. The order-equivalence
+ * analyzer must be built against exactly these to reason about the
+ * same candidate lattice as the solver.
+ */
+solver::TileConstraints searchConstraints(const ir::Chain &chain,
+                                          const PlannerOptions &options);
 
 /** Human-readable order string, e.g. "m,l,k,n". */
 std::string orderString(const ir::Chain &chain,

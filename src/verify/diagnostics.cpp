@@ -56,6 +56,9 @@ publishedRules()
         {"PL14", "PL", "safety-certificate binding defect (forged/replayed"
                        " or refuted `safety:` line)",
          true},
+        {"PL15", "PL", "search-stats binding defect (inconsistent counts"
+                       " or forged/replayed `search:` line)",
+         true},
         {"KP01", "KP", "micro-kernel register usage exceeds the budget",
          true},
         {"KP02", "KP", "micro-kernel structure: MII < 2 or MII !| MI",
@@ -79,6 +82,18 @@ publishedRules()
         {"SB03", "SB", "index arithmetic can overflow int64", true},
         {"SB04", "SB", "parallel axis lacks a shape-generic disjointness"
                        " proof",
+         true},
+        {"OE01", "OE", "symmetry-class merge unsound: class members solve"
+                       " differently",
+         true},
+        {"OE02", "OE", "dominance bound unsound: solved volume undercuts"
+                       " the bound or exact pruning changed the argmin",
+         true},
+        {"OE03", "OE", "incremental prefix bound diverges from"
+                       " from-scratch evaluation",
+         true},
+        {"OE04", "OE", "beam optimality-gap bound refuted by the"
+                       " exhaustive optimum",
          true},
     };
     return rules;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "exec/gemm_chain3_exec.hpp"
 #include "model/data_movement.hpp"
 #include "support/error.hpp"
@@ -62,11 +64,34 @@ TEST(Chain3Ir, PrivateAxesFlowThroughOps)
     EXPECT_EQ(chain.axes()[static_cast<std::size_t>(priv2[0])].name, "l");
 }
 
-TEST(Chain3Ir, RejectsSoftmax)
+TEST(Chain3Ir, SoftmaxBuildsTheAttentionChain)
 {
+    // QK^T -> softmax -> .V -> proj: same IR skeleton, the softmax
+    // rides as the first intermediate's epilogue.
     ir::GemmChain3Config cfg = smallChain3();
     cfg.epilogue = ir::Epilogue::Softmax;
-    EXPECT_THROW(ir::makeGemmChain3(cfg), Error);
+    const ir::Chain chain = ir::makeGemmChain3(cfg);
+    EXPECT_EQ(chain.ops().size(), 3u);
+    EXPECT_EQ(chain.intermediateEpilogue(), ir::Epilogue::Softmax);
+}
+
+TEST(Chain3Planner, SoftmaxPinsTheFullScoreRow)
+{
+    // Softmax normalizes a whole l row, so the constraints pin T_L = L
+    // (next to the usual T_P = P panel pin).
+    ir::GemmChain3Config cfg = smallChain3();
+    cfg.epilogue = ir::Epilogue::Softmax;
+    const ir::Chain chain = ir::makeGemmChain3(cfg);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 64.0 * 1024;
+    options.constraints = exec::gemmChain3Constraints(
+        chain,
+        kernels::MicroKernelRegistry::instance().select(detectSimdTier()));
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+    const ir::AxisId l = ir::axisIdByName(chain, "l");
+    const ir::AxisId p = ir::axisIdByName(chain, "p");
+    EXPECT_EQ(plan.tiles[static_cast<std::size_t>(l)], cfg.l);
+    EXPECT_EQ(plan.tiles[static_cast<std::size_t>(p)], cfg.p);
 }
 
 TEST(Chain3Model, IntermediatesMoveNothing)
@@ -154,7 +179,44 @@ TEST_P(Chain3Exec, FusedMatchesReference)
 
 INSTANTIATE_TEST_SUITE_P(Epilogues, Chain3Exec,
                          ::testing::Values(ir::Epilogue::None,
-                                           ir::Epilogue::Relu));
+                                           ir::Epilogue::Relu,
+                                           ir::Epilogue::Softmax));
+
+TEST(Chain3Exec, SoftmaxAttentionWithScaleMatchesReference)
+{
+    // The 4-op attention pattern with the 1/sqrt(d_k) score scaling:
+    // fused (on-chip row softmax) vs the max-subtracting reference.
+    ir::GemmChain3Config cfg = smallChain3();
+    cfg.epilogue = ir::Epilogue::Softmax;
+    cfg.softmaxScale = 1.0f / std::sqrt(static_cast<float>(cfg.k));
+    const plan::ExecutionPlan plan = planChain3(cfg, 48.0 * 1024);
+
+    Tensor a(exec::gemmChain3ShapeA(cfg));
+    Tensor b(exec::gemmChain3ShapeB(cfg));
+    Tensor d(exec::gemmChain3ShapeD(cfg));
+    Tensor f(exec::gemmChain3ShapeF(cfg));
+    Tensor e(exec::gemmChain3ShapeE(cfg));
+    Tensor fused(exec::gemmChain3ShapeE(cfg));
+    Tensor expected(exec::gemmChain3ShapeE(cfg));
+    Rng rng(31);
+    fillUniform(a, rng);
+    fillUniform(b, rng);
+    fillUniform(d, rng);
+    fillUniform(f, rng);
+
+    exec::referenceGemmChain3(cfg, a, b, d, f, expected);
+    exec::runFusedGemmChain3(cfg, plan, exec::ComputeEngine::best(), a, b,
+                             d, f, fused);
+    EXPECT_TRUE(allClose(fused, expected, 5e-3f, 5e-3f))
+        << "maxdiff " << maxAbsDiff(fused, expected);
+
+    Tensor c1({cfg.batch, cfg.m, cfg.l});
+    Tensor c2({cfg.batch, cfg.m, cfg.p});
+    exec::runUnfusedGemmChain3(cfg, exec::ComputeEngine::best(), a, b, d,
+                               f, c1, c2, e, {16, 16, 16});
+    EXPECT_TRUE(allClose(e, expected, 5e-3f, 5e-3f))
+        << "maxdiff " << maxAbsDiff(e, expected);
+}
 
 TEST(Chain3Exec, OddShapesAndBatchOne)
 {

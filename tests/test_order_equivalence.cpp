@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the order-equivalence analyzer and the certified search
+ * pipeline: exact pruning must be bitwise-indistinguishable from
+ * exhaustive enumeration (the property sweep runs randomized chains at
+ * 1/2/8 planner threads), the incremental prefix bound must equal the
+ * from-scratch bound, the `search:` line must round-trip and resist
+ * tampering (PL15), beam mode must honor its optimality-gap bound, and
+ * the plan cache must treat beam as a different planning contract
+ * while the exact modes share fingerprints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "analysis/order_equivalence.hpp"
+#include "exec/constraints.hpp"
+#include "exec/gemm_chain3_exec.hpp"
+#include "ir/builders.hpp"
+#include "kernels/micro_kernel.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/plan_io.hpp"
+#include "plan/planner.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "verify/plan_verifier.hpp"
+#include "verify/search_verifier.hpp"
+
+namespace chimera {
+namespace {
+
+namespace fs = std::filesystem;
+
+const kernels::MicroKernel &
+testKernel()
+{
+    return kernels::MicroKernelRegistry::instance().select(
+        detectSimdTier());
+}
+
+/** A random two-GEMM chain (fused length 2, with softmax 3). */
+ir::Chain
+randomGemmChain(Rng &rng, bool softmax)
+{
+    ir::GemmChainConfig cfg;
+    cfg.batch = 1 + static_cast<std::int64_t>(rng.below(2));
+    cfg.m = 16 + static_cast<std::int64_t>(rng.below(6)) * 16;
+    cfg.n = 16 + static_cast<std::int64_t>(rng.below(6)) * 16;
+    cfg.k = 8 + static_cast<std::int64_t>(rng.below(6)) * 8;
+    cfg.l = 16 + static_cast<std::int64_t>(rng.below(6)) * 16;
+    cfg.epilogue = softmax ? ir::Epilogue::Softmax : ir::Epilogue::None;
+    cfg.name = "sweep-gemm2";
+    return ir::makeGemmChain(cfg);
+}
+
+/** A random three-GEMM chain (fused length 3, with softmax 4). */
+ir::Chain
+randomGemmChain3(Rng &rng, bool softmax)
+{
+    ir::GemmChain3Config cfg;
+    cfg.batch = 1 + static_cast<std::int64_t>(rng.below(2));
+    cfg.m = 16 + static_cast<std::int64_t>(rng.below(4)) * 16;
+    cfg.n = 16 + static_cast<std::int64_t>(rng.below(4)) * 16;
+    cfg.k = 8 + static_cast<std::int64_t>(rng.below(4)) * 8;
+    cfg.l = 16 + static_cast<std::int64_t>(rng.below(4)) * 8;
+    cfg.p = 8 + static_cast<std::int64_t>(rng.below(3)) * 4;
+    cfg.epilogue = softmax ? ir::Epilogue::Softmax : ir::Epilogue::None;
+    cfg.name = "sweep-gemm3";
+    return ir::makeGemmChain3(cfg);
+}
+
+plan::PlannerOptions
+sweepOptions(const ir::Chain &chain, bool chain3)
+{
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 96.0 * 1024;
+    options.constraints =
+        chain3 ? exec::gemmChain3Constraints(chain, testKernel())
+               : exec::cpuChainConstraints(chain, testKernel());
+    return options;
+}
+
+/** Bitwise plan equality: the exact-pruning contract. */
+void
+expectSamePlan(const plan::ExecutionPlan &a, const plan::ExecutionPlan &b,
+               const std::string &what)
+{
+    EXPECT_EQ(a.perm, b.perm) << what;
+    EXPECT_EQ(a.tiles, b.tiles) << what;
+    EXPECT_DOUBLE_EQ(a.predictedVolumeBytes, b.predictedVolumeBytes)
+        << what;
+    EXPECT_EQ(a.memUsageBytes, b.memUsageBytes) << what;
+}
+
+TEST(PropertySweep, ExactPruningMatchesExhaustiveAtEveryThreadCount)
+{
+    Rng rng(2026);
+    for (int round = 0; round < 6; ++round) {
+        const bool chain3 = round >= 2;
+        const bool softmax = (round & 1) != 0;
+        const ir::Chain chain = chain3 ? randomGemmChain3(rng, softmax)
+                                       : randomGemmChain(rng, softmax);
+        plan::PlannerOptions options = sweepOptions(chain, chain3);
+
+        options.prune = analysis::PruneMode::None;
+        options.threads = 1;
+        const plan::ExecutionPlan exhaustive =
+            plan::planChain(chain, options);
+
+        for (const analysis::PruneMode mode :
+             {analysis::PruneMode::Symmetry,
+              analysis::PruneMode::Dominance}) {
+            for (const int threads : {1, 2, 8}) {
+                options.prune = mode;
+                options.threads = threads;
+                const plan::ExecutionPlan pruned =
+                    plan::planChain(chain, options);
+                expectSamePlan(
+                    pruned, exhaustive,
+                    std::string("round ") + std::to_string(round) +
+                        " mode " + analysis::pruneModeName(mode) +
+                        " threads " + std::to_string(threads));
+                EXPECT_LE(pruned.search.solved, exhaustive.search.solved);
+                EXPECT_EQ(pruned.search.enumerated +
+                              (pruned.search.truncated ? 0 : 0),
+                          exhaustive.search.enumerated);
+            }
+        }
+    }
+}
+
+TEST(OrderAnalyzer, IncrementalBoundEqualsScratchBound)
+{
+    ir::GemmChain3Config cfg;
+    cfg.batch = 2;
+    cfg.m = 48;
+    cfg.n = 24;
+    cfg.k = 16;
+    cfg.l = 40;
+    cfg.p = 20;
+    const ir::Chain chain = ir::makeGemmChain3(cfg);
+    plan::PlannerOptions options = sweepOptions(chain, true);
+    const solver::TileConstraints constraints =
+        plan::searchConstraints(chain, options);
+    analysis::OrderAnalyzer analyzer(
+        chain, constraints, options.memCapacityBytes, options.model);
+    const std::vector<std::vector<ir::AxisId>> candidates =
+        plan::enumerateCandidateOrders(chain, options);
+    ASSERT_GT(candidates.size(), 100u); // 5! reorderable axes and up
+    for (const std::vector<ir::AxisId> &perm : candidates) {
+        EXPECT_DOUBLE_EQ(analyzer.lowerBoundIncremental(perm),
+                         analyzer.lowerBound(perm));
+    }
+}
+
+TEST(OrderAnalyzer, SearchStatsCountsAreConsistent)
+{
+    Rng rng(7);
+    const ir::Chain chain = randomGemmChain(rng, false);
+    plan::PlannerOptions options = sweepOptions(chain, false);
+    for (const analysis::PruneMode mode :
+         {analysis::PruneMode::None, analysis::PruneMode::Symmetry,
+          analysis::PruneMode::Dominance, analysis::PruneMode::Beam}) {
+        options.prune = mode;
+        const plan::ExecutionPlan plan = plan::planChain(chain, options);
+        const analysis::SearchStats &s = plan.search;
+        ASSERT_TRUE(s.present);
+        EXPECT_EQ(s.mode, mode);
+        EXPECT_EQ(s.enumerated, s.filtered + s.symmetryPruned +
+                                    s.dominancePruned + s.beamPruned +
+                                    s.solved);
+        EXPECT_GE(s.solved, 1);
+        const verify::Report report =
+            verify::verifySearchStats(chain, plan);
+        EXPECT_FALSE(report.hasErrors()) << report.render();
+    }
+}
+
+TEST(SearchReplay, CleanOnFixtureChains)
+{
+    // replaySearch runs the OE01-OE04 battery: class members solve
+    // like their representatives, bounds hold on solved orders, the
+    // incremental bound matches, and exact argmin is preserved.
+    Rng rng(11);
+    for (const bool chain3 : {false, true}) {
+        const ir::Chain chain = chain3 ? randomGemmChain3(rng, true)
+                                       : randomGemmChain(rng, false);
+        plan::PlannerOptions options = sweepOptions(chain, chain3);
+        options.prune = analysis::PruneMode::Dominance;
+        const verify::SearchReplay replay =
+            verify::replaySearch(chain, options);
+        EXPECT_FALSE(replay.report.hasErrors())
+            << replay.report.render();
+        expectSamePlan(replay.pruned, replay.exhaustive, "replay");
+    }
+}
+
+TEST(BeamSearch, GapBoundCoversTheExhaustiveOptimum)
+{
+    Rng rng(13);
+    const ir::Chain chain = randomGemmChain3(rng, false);
+    plan::PlannerOptions options = sweepOptions(chain, true);
+    options.prune = analysis::PruneMode::Beam;
+    options.beamWidth = 2;
+    const verify::SearchReplay replay =
+        verify::replaySearch(chain, options);
+    EXPECT_FALSE(replay.report.hasErrors()) << replay.report.render();
+    EXPECT_GE(replay.pruned.search.gapBoundBytes, 0);
+    // The certificate: exhaustive optimum >= beam volume - gap.
+    EXPECT_GE(replay.exhaustive.predictedVolumeBytes,
+              replay.pruned.predictedVolumeBytes -
+                  static_cast<double>(replay.pruned.search.gapBoundBytes) -
+                  0.5);
+}
+
+TEST(SearchSerialization, RoundTripPreservesStats)
+{
+    Rng rng(17);
+    const ir::Chain chain = randomGemmChain(rng, false);
+    plan::PlannerOptions options = sweepOptions(chain, false);
+    options.prune = analysis::PruneMode::Dominance;
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+    ASSERT_TRUE(plan.search.present);
+
+    const std::string text = plan::serializePlan(chain, plan);
+    EXPECT_NE(text.find("search: mode=dominance"), std::string::npos);
+
+    const plan::ParsedPlanDoc doc = plan::parsePlanDocument(text);
+    ASSERT_TRUE(doc.haveSearch);
+    const analysis::SearchStats bound = plan::bindSearch(doc.search);
+    EXPECT_EQ(bound.mode, plan.search.mode);
+    EXPECT_EQ(bound.enumerated, plan.search.enumerated);
+    EXPECT_EQ(bound.truncated, plan.search.truncated);
+    EXPECT_EQ(bound.filtered, plan.search.filtered);
+    EXPECT_EQ(bound.symmetryPruned, plan.search.symmetryPruned);
+    EXPECT_EQ(bound.dominancePruned, plan.search.dominancePruned);
+    EXPECT_EQ(bound.beamPruned, plan.search.beamPruned);
+    EXPECT_EQ(bound.solved, plan.search.solved);
+    EXPECT_EQ(bound.gapBoundBytes, plan.search.gapBoundBytes);
+    EXPECT_EQ(bound.digest, plan.search.digest);
+
+    const plan::ExecutionPlan loaded = plan::deserializePlan(chain, text);
+    ASSERT_TRUE(loaded.search.present);
+    const verify::Report report =
+        verify::verifySearchStats(chain, loaded);
+    EXPECT_FALSE(report.hasErrors()) << report.render();
+}
+
+/** Replaces the digest on the `search:` line of @p text. */
+std::string
+tamperSearchDigest(std::string text)
+{
+    const std::size_t line = text.find("search: mode=");
+    EXPECT_NE(line, std::string::npos);
+    const std::size_t pos = text.find("digest=", line);
+    EXPECT_NE(pos, std::string::npos);
+    text.replace(pos + 7, 16, "deadbeefdeadbeef");
+    return text;
+}
+
+TEST(SearchSerialization, TamperedDigestIsReportedAsPL15)
+{
+    Rng rng(19);
+    const ir::Chain chain = randomGemmChain(rng, false);
+    plan::PlannerOptions options = sweepOptions(chain, false);
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+    const std::string text =
+        tamperSearchDigest(plan::serializePlan(chain, plan));
+
+    const plan::ParsedPlanDoc doc = plan::parsePlanDocument(text);
+    const verify::Report report =
+        verify::verifyPlanDocument(chain, doc, "", {});
+    bool sawPl15 = false;
+    for (const verify::Finding &finding : report.findings()) {
+        sawPl15 = sawPl15 || finding.ruleId == "PL15";
+    }
+    EXPECT_TRUE(sawPl15) << report.render();
+}
+
+TEST(SearchSerialization, InconsistentCountsAreReportedAsPL15)
+{
+    Rng rng(23);
+    const ir::Chain chain = randomGemmChain(rng, false);
+    plan::PlannerOptions options = sweepOptions(chain, false);
+    plan::ExecutionPlan plan = plan::planChain(chain, options);
+    ASSERT_TRUE(plan.search.present);
+    plan.search.solved += 1; // breaks the counts identity + digest
+    const verify::Report report = verify::verifySearchStats(chain, plan);
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(PlanCache, RejectsTamperedSearchLineAndReplans)
+{
+    ir::GemmChainConfig cfg;
+    cfg.batch = 4;
+    cfg.m = 64;
+    cfg.n = 32;
+    cfg.k = 16;
+    cfg.l = 48;
+    cfg.name = "search-tamper";
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 32.0 * 1024;
+
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "chimera-search-cache-tamper";
+    fs::remove_all(dir);
+    {
+        plan::PlanCache cache(dir.string());
+        cache.store(chain, options, plan::planChain(chain, options));
+    }
+    fs::path entry;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        if (e.path().extension() == ".plan") {
+            entry = e.path();
+        }
+    }
+    ASSERT_FALSE(entry.empty());
+    std::string text;
+    {
+        std::ifstream in(entry);
+        text.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    text = tamperSearchDigest(text);
+    {
+        std::ofstream out(entry, std::ios::trunc);
+        out << text;
+    }
+
+    plan::PlanCache reopened(dir.string());
+    EXPECT_FALSE(reopened.lookup(chain, options).has_value());
+    EXPECT_EQ(reopened.stats().rejectedPlans, 1);
+
+    // The deployment path: a fresh planChain through the poisoned cache
+    // silently replans and re-stores a valid entry.
+    options.cache = &reopened;
+    const plan::ExecutionPlan replanned = plan::planChain(chain, options);
+    EXPECT_GT(replanned.candidatesExamined, 0);
+    EXPECT_TRUE(replanned.search.present);
+    EXPECT_TRUE(plan::planChain(chain, options).search.present);
+    EXPECT_GE(reopened.stats().memoryHits + reopened.stats().diskHits, 1);
+}
+
+TEST(PlanCache, ExactModesShareFingerprintsBeamDoesNot)
+{
+    ir::GemmChainConfig cfg;
+    cfg.batch = 1;
+    cfg.m = 64;
+    cfg.n = 64;
+    cfg.k = 32;
+    cfg.l = 48;
+    cfg.name = "search-fingerprint";
+    const ir::Chain chain = ir::makeGemmChain(cfg);
+    plan::PlannerOptions options;
+    options.memCapacityBytes = 48.0 * 1024;
+    plan::PlanCache cache(""); // memory-only
+    options.cache = &cache;
+
+    options.prune = analysis::PruneMode::Dominance;
+    const plan::ExecutionPlan stored = plan::planChain(chain, options);
+    EXPECT_GT(stored.candidatesExamined, 0);
+
+    // Exact modes are excluded from the fingerprint: an exhaustive
+    // lookup reuses the dominance-planned entry (they are provably the
+    // same plan).
+    options.prune = analysis::PruneMode::None;
+    const plan::ExecutionPlan sharedHit = plan::planChain(chain, options);
+    EXPECT_EQ(sharedHit.candidatesExamined, 0);
+    expectSamePlan(sharedHit, stored, "exact-mode cache share");
+
+    // Beam is a different planning contract (possibly suboptimal) and
+    // must miss.
+    options.prune = analysis::PruneMode::Beam;
+    const plan::ExecutionPlan beamPlan = plan::planChain(chain, options);
+    EXPECT_GT(beamPlan.candidatesExamined, 0);
+}
+
+TEST(SearchDigest, BindsModeAndCounts)
+{
+    Rng rng(29);
+    const ir::Chain chain = randomGemmChain(rng, false);
+    plan::PlannerOptions options = sweepOptions(chain, false);
+    const plan::ExecutionPlan plan = plan::planChain(chain, options);
+    analysis::SearchStats stats = plan.search;
+    const std::string original =
+        analysis::searchDigest(chain, plan.perm, plan.tiles, stats);
+    EXPECT_EQ(original, stats.digest);
+    stats.mode = analysis::PruneMode::None;
+    EXPECT_NE(analysis::searchDigest(chain, plan.perm, plan.tiles, stats),
+              original);
+    stats = plan.search;
+    stats.dominancePruned += 1;
+    EXPECT_NE(analysis::searchDigest(chain, plan.perm, plan.tiles, stats),
+              original);
+}
+
+} // namespace
+} // namespace chimera

@@ -77,6 +77,7 @@ TEST(Planner, ExaminesAllTwentyFourOrders)
     options.memCapacityBytes = 32.0 * 1024;
     // Without the executability filter every enumerated order is solved.
     options.onlyExecutableOrders = false;
+    options.prune = analysis::PruneMode::None; // this test is about exhaustion
     const ExecutionPlan plan = planChain(chain, options);
     EXPECT_EQ(plan.candidatesExamined, 24);
     EXPECT_GT(plan.planSeconds, 0.0);
@@ -234,6 +235,7 @@ TEST(Planner, RespectsPermutationCap)
     options.memCapacityBytes = 32.0 * 1024;
     options.maxPermutations = 5;
     options.onlyExecutableOrders = false; // solve all capped candidates
+    options.prune = analysis::PruneMode::None; // cap semantics, not pruning
     const ExecutionPlan plan = planChain(chain, options);
     EXPECT_EQ(plan.candidatesExamined, 5);
 }
@@ -296,6 +298,7 @@ TEST(Planner, ParallelPlanningRespectsPermutationCap)
     options.memCapacityBytes = 32.0 * 1024;
     options.maxPermutations = 5;
     options.onlyExecutableOrders = false; // solve all capped candidates
+    options.prune = analysis::PruneMode::None; // cap semantics, not pruning
     options.threads = 4;
     const ExecutionPlan plan = planChain(chain, options);
     EXPECT_EQ(plan.candidatesExamined, 5);

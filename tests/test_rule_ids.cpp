@@ -24,7 +24,7 @@ TEST(RuleIds, GoldenListInFamilyOrder)
         "CH01", "CH02", "CH03", "CH04", "CH05", "CH06", "CH07",
         // Plan legality and document binding.
         "PL01", "PL02", "PL03", "PL04", "PL05", "PL06", "PL07", "PL08",
-        "PL09", "PL10", "PL11", "PL12", "PL13", "PL14",
+        "PL09", "PL10", "PL11", "PL12", "PL13", "PL14", "PL15",
         // Micro-kernel parameters.
         "KP01", "KP02", "KP03",
         // Declared-concurrency vs dependence analysis.
@@ -32,8 +32,10 @@ TEST(RuleIds, GoldenListInFamilyOrder)
         // Dynamic race detection.
         "RC01",
         // Symbolic static safety.
-        "SB01", "SB02", "SB03", "SB04"};
-    ASSERT_EQ(expected.size(), 35u);
+        "SB01", "SB02", "SB03", "SB04",
+        // Order-equivalence / search pruning soundness.
+        "OE01", "OE02", "OE03", "OE04"};
+    ASSERT_EQ(expected.size(), 40u);
 
     const std::vector<verify::RuleInfo> &rules = verify::publishedRules();
     ASSERT_EQ(rules.size(), expected.size());

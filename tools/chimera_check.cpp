@@ -20,6 +20,15 @@
  * rules: DP02 says the declared table disagrees with the analysis,
  * RC01 says the disagreement produces conflicting writers in practice.
  *
+ * With --search the tool replays the planner's pruned order search
+ * against exhaustive enumeration (rules OE01-OE04,
+ * src/verify/search_verifier.hpp): exact pruning modes must select the
+ * bitwise-identical plan, sampled symmetry-class members must solve
+ * identically to their representatives, every solved order must respect
+ * its certified lower bound, and beam mode's optimality-gap bound must
+ * cover the exhaustive optimum. --prune picks the audited mode
+ * (none/symmetry/dominance/beam, default dominance).
+ *
  * With --static the tool runs the symbolic plan-safety analyzer (rules
  * SB01-SB04, src/analysis/static_safety.hpp) on the resolved plan:
  * shape-generic bounds containment, workspace budgeting, int64
@@ -31,6 +40,7 @@
  *
  * Usage:
  *   chimera-check gemm <batch> <M> <N> <K> <L> [options]
+ *   chimera-check gemm3 <batch> <M> <N> <K> <L> <P> [options]
  *   chimera-check conv <batch> <IC> <H> <W> <OC1> <OC2> <k1> <k2> \
  *                      <stride1> <stride2> [options]
  *   chimera-check dsl '<einsum statements>' idx=extent... [options]
@@ -44,6 +54,11 @@
  *   --threads <N>        planner threads when planning fresh
  *   --race               execute the fused chain under the shadow-memory
  *                        race checker (gemm/conv only; rule RC01)
+ *   --search             replay the pruned order search against
+ *                        exhaustive enumeration (OE01-OE04)
+ *   --prune <mode>       pruning mode for --search: none, symmetry,
+ *                        dominance (default), or beam
+ *   --beam-width <N>     beam width when --prune beam (default 8)
  *   --static             run the symbolic safety analyzer (SB01-SB04)
  *   --domain axis=max    widen one axis of the --static shape domain to
  *                        [1, max] (repeatable)
@@ -63,6 +78,7 @@
 #include "analysis/race_checker.hpp"
 #include "exec/constraints.hpp"
 #include "exec/conv_chain_exec.hpp"
+#include "exec/gemm_chain3_exec.hpp"
 #include "exec/gemm_chain_exec.hpp"
 #include "ir/builders.hpp"
 #include "ir/dsl.hpp"
@@ -74,6 +90,7 @@
 #include "verify/chain_verifier.hpp"
 #include "verify/plan_verifier.hpp"
 #include "verify/safety_verifier.hpp"
+#include "verify/search_verifier.hpp"
 
 namespace {
 
@@ -89,6 +106,9 @@ struct CliOptions
     bool recount = true;
     int threads = 0;
     bool race = false;
+    bool search = false;
+    analysis::PruneMode prune = analysis::PruneMode::Dominance;
+    int beamWidth = 8;
     bool staticSafety = false;
     std::map<std::string, std::int64_t> safetyDomain; // axis -> max
 };
@@ -103,13 +123,16 @@ usage()
     std::fprintf(
         stderr,
         "usage: chimera-check gemm <batch> <M> <N> <K> <L> [options]\n"
+        "       chimera-check gemm3 <batch> <M> <N> <K> <L> <P>"
+        " [options]\n"
         "       chimera-check conv <batch> <IC> <H> <W> <OC1> <OC2>"
         " <k1> <k2> <st1> <st2> [options]\n"
         "       chimera-check dsl '<einsum statements>' idx=extent..."
         " [options]\n"
         "options: --plan <file> --fingerprint <hex> --capacity <bytes>"
         " --softmax --relu --registers <N> --no-recount --threads <N>"
-        " --race (gemm/conv only) --static --domain axis=max\n");
+        " --race (gemm/conv only) --search --prune <mode>"
+        " --beam-width <N> --static --domain axis=max\n");
     std::exit(2);
 }
 
@@ -135,6 +158,20 @@ parseOptions(int argc, char **argv, int firstOption)
             options.recount = false;
         } else if (arg == "--race") {
             options.race = true;
+        } else if (arg == "--search") {
+            options.search = true;
+        } else if (arg == "--prune" && i + 1 < argc) {
+            const std::optional<analysis::PruneMode> mode =
+                analysis::parsePruneMode(argv[++i]);
+            if (!mode) {
+                usage();
+            }
+            options.prune = *mode;
+        } else if (arg == "--beam-width" && i + 1 < argc) {
+            options.beamWidth = std::atoi(argv[++i]);
+            if (options.beamWidth < 1) {
+                usage();
+            }
         } else if (arg == "--static") {
             options.staticSafety = true;
         } else if (arg == "--domain" && i + 1 < argc) {
@@ -298,6 +335,54 @@ runStaticSafety(const ir::Chain &chain, const plan::ExecutionPlan &plan,
                 analysis.totalSeconds * 1e3);
 }
 
+/**
+ * The --search pass: replays the pruned order search against exhaustive
+ * enumeration (verify::replaySearch) and prints both outcomes plus the
+ * search-stats line of the pruned run. OE01-OE04 findings land in
+ * @p report; a planner failure is an environment problem and exits 2
+ * through main's catch.
+ */
+void
+runSearchReplay(const ir::Chain &chain,
+                const solver::TileConstraints &constraints,
+                const CliOptions &options, verify::Report &report)
+{
+    plan::PlannerOptions po;
+    po.memCapacityBytes = options.capacityBytes;
+    po.constraints = constraints;
+    po.threads = options.threads;
+    po.prune = options.prune;
+    po.beamWidth = options.beamWidth;
+    const verify::SearchReplay replay =
+        verify::replaySearch(chain, po);
+    const analysis::SearchStats &s = replay.pruned.search;
+    std::printf(
+        "search: mode=%s order %s — solved %lld of %lld enumerated"
+        " (filtered %lld, symmetry %lld, dominance %lld, beam %lld%s)\n",
+        analysis::pruneModeName(s.mode),
+        plan::orderString(chain, replay.pruned.perm).c_str(),
+        static_cast<long long>(s.solved),
+        static_cast<long long>(s.enumerated),
+        static_cast<long long>(s.filtered),
+        static_cast<long long>(s.symmetryPruned),
+        static_cast<long long>(s.dominancePruned),
+        static_cast<long long>(s.beamPruned),
+        s.truncated ? "; truncated" : "");
+    std::printf(
+        "search: exhaustive order %s — solved %lld of %lld enumerated\n",
+        plan::orderString(chain, replay.exhaustive.perm).c_str(),
+        static_cast<long long>(replay.exhaustive.search.solved),
+        static_cast<long long>(replay.exhaustive.search.enumerated));
+    if (s.mode == analysis::PruneMode::Beam) {
+        std::printf("search: beam gap bound %lld bytes\n",
+                    static_cast<long long>(s.gapBoundBytes));
+    } else if (replay.pruned.perm == replay.exhaustive.perm &&
+               replay.pruned.tiles == replay.exhaustive.tiles) {
+        std::printf("search: pruned and exhaustive argmin agree\n");
+    }
+    report.merge(replay.report);
+}
+
 /** Reports checker conflicts as RC01 (or prints the clean summary). */
 void
 reportRaceFindings(const analysis::RaceChecker &checker,
@@ -371,6 +456,10 @@ run(const ir::Chain &chain, const solver::TileConstraints &constraints,
         } else {
             std::printf("static-safety: skipped (no resolvable plan)\n");
         }
+    }
+
+    if (options.search && !chainBroken) {
+        runSearchReplay(chain, constraints, options, report);
     }
 
     if (options.race && !chainBroken) {
@@ -459,6 +548,48 @@ main(int argc, char **argv)
                     return report;
                 };
             return run(chain, exec::cpuChainConstraints(chain, kernel),
+                       options, scan);
+        }
+        if (mode == "gemm3" && argc >= 8) {
+            const CliOptions options = parseOptions(argc, argv, 8);
+            ir::GemmChain3Config cfg;
+            cfg.name = "check-gemm3-chain";
+            cfg.batch = std::atoll(argv[2]);
+            cfg.m = std::atoll(argv[3]);
+            cfg.n = std::atoll(argv[4]);
+            cfg.k = std::atoll(argv[5]);
+            cfg.l = std::atoll(argv[6]);
+            cfg.p = std::atoll(argv[7]);
+            cfg.epilogue = options.epilogue;
+            if (cfg.epilogue == ir::Epilogue::Softmax) {
+                cfg.softmaxScale =
+                    1.0f / std::sqrt(static_cast<float>(cfg.k));
+            }
+            const ir::Chain chain = ir::makeGemmChain3(cfg);
+            const RaceScan scan =
+                [&cfg](const plan::ExecutionPlan &plan) {
+                    verify::Report report;
+                    Tensor a(exec::gemmChain3ShapeA(cfg));
+                    Tensor b(exec::gemmChain3ShapeB(cfg));
+                    Tensor d(exec::gemmChain3ShapeD(cfg));
+                    Tensor f(exec::gemmChain3ShapeF(cfg));
+                    Tensor e(exec::gemmChain3ShapeE(cfg));
+                    Rng rng(42);
+                    fillUniform(a, rng);
+                    fillUniform(b, rng);
+                    fillUniform(d, rng);
+                    fillUniform(f, rng);
+                    analysis::RaceChecker checker(e.numel());
+                    exec::ExecOptions eo;
+                    eo.threads = 1; // task-keyed detection: run serially
+                    eo.raceCheck = &checker;
+                    exec::runFusedGemmChain3(
+                        cfg, plan, exec::ComputeEngine::best(), a, b, d,
+                        f, e, eo);
+                    reportRaceFindings(checker, report);
+                    return report;
+                };
+            return run(chain, exec::gemmChain3Constraints(chain, kernel),
                        options, scan);
         }
         if (mode == "conv" && argc >= 12) {
